@@ -1,0 +1,81 @@
+// Ablation: the spectral operator choices of Sec. II.
+//
+// HACC's PM solver composes (i) the Eq. 5 filter (Gaussian x sinc^ns),
+// (ii) a 6th-order influence function, (iii) 4th-order Super-Lanczos
+// differencing. This bench quantifies each choice against the naive
+// 2nd-order alternatives on two observables:
+//
+//  * pair-force anisotropy: the RMS directional scatter of the PM
+//    two-particle force at fixed separation (the paper: the filter reduces
+//    CIC anisotropy "noise" by over an order of magnitude, which is what
+//    lets the hand-over sit at 3 grid spacings);
+//  * pair-force radial accuracy vs the continuum 1/r^2 at r >= 3.
+#include <cmath>
+#include <cstdio>
+#include <numbers>
+#include <sstream>
+
+#include "tree/force_matcher.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hacc;
+
+  std::printf("=== Ablation: spectral operator choices (Sec. II) ===\n\n");
+
+  struct Variant {
+    const char* name;
+    mesh::SpectralConfig cfg;
+  };
+  const Variant variants[] = {
+      {"HACC default (filter + O6 + SL4)", {}},
+      {"no filter (sigma=0, ns=0)",
+       {0.0, 0, mesh::GreenOrder::kOrder6,
+        mesh::GradientOrder::kSuperLanczos4}},
+      {"2nd-order Green's function",
+       {0.8, 3, mesh::GreenOrder::kOrder2,
+        mesh::GradientOrder::kSuperLanczos4}},
+      {"2nd-order differencing",
+       {0.8, 3, mesh::GreenOrder::kOrder6, mesh::GradientOrder::kOrder2}},
+      {"all second order, no filter",
+       {0.0, 0, mesh::GreenOrder::kOrder2, mesh::GradientOrder::kOrder2}},
+  };
+
+  Table t({"variant", "aniso RMS @ r=2.5", "aniso RMS @ r=3.5",
+           "radial err @ r>3 [%]"});
+  for (const auto& v : variants) {
+    tree::ForceMatchConfig fm;
+    fm.spectral = v.cfg;
+    fm.sources = 6;
+    fm.samples = 48;
+    fm.radii = 24;
+    fm.rmax = 4.5f;
+    const auto samples = tree::measure_grid_force(fm);
+    // Anisotropy: scatter of fscalar within narrow radial shells.
+    auto shell_rms = [&](double r) {
+      RunningStats s;
+      for (const auto& smp : samples) {
+        const double rr = std::sqrt(smp.s);
+        if (std::abs(rr - r) < 0.25) s.add(smp.fscalar);
+      }
+      return s.count() > 4 ? s.stddev() / std::abs(s.mean()) : 0.0;
+    };
+    // Radial accuracy vs continuum s^-3/2 beyond the hand-over.
+    RunningStats err;
+    for (const auto& smp : samples) {
+      if (smp.s < 9.0) continue;
+      err.add(std::abs(smp.fscalar * std::pow(smp.s, 1.5) - 1.0));
+    }
+    t.add_row({v.name, Table::fixed(shell_rms(2.5), 4),
+               Table::fixed(shell_rms(3.5), 4),
+               Table::fixed(100.0 * err.mean(), 2)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\n(the default should show the smallest anisotropy at the "
+              "hand-over scale;\nwithout the filter the CIC anisotropy "
+              "dominates, as the paper argues)\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 10 reproduction: evolution of the matter fluctuation power spectrum.
+//
+// Runs a real LCDM simulation and prints log10 P(k) vs log10 k at the
+// paper's redshifts z = 5.5, 3.0, 1.9, 0.9, 0.4, 0.0, plus linear theory
+// at the lowest k bins. The shape to reproduce: linear growth (uniform
+// vertical shifts) at small k, progressively nonlinear enhancement at
+// large k as z -> 0.
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hacc;
+
+  std::printf("=== Fig. 10: matter power spectrum evolution ===\n\n");
+
+  cosmology::Cosmology cosmo;
+  core::SimulationConfig cfg;
+  cfg.grid = 48;
+  cfg.particles_per_dim = 48;
+  cfg.box_mpch = 96.0;
+  cfg.z_initial = 40.0;
+  cfg.z_final = 0.0;
+  cfg.steps = 12;
+  cfg.subcycles = 3;
+  cfg.overload = 4.0;
+  cfg.solver = core::ShortRangeSolver::kTreePP;
+
+  const std::vector<double> snapshots{5.5, 3.0, 1.9, 0.9, 0.4, 0.0};
+
+  comm::Machine::run(2, [&](comm::Comm& world) {
+    core::Simulation sim(world, cosmo, cfg);
+    sim.initialize();
+    cosmology::LinearPower lin(cosmo);
+
+    std::map<double, std::vector<cosmology::PowerBin>> spectra;
+    std::size_t snap = 0;
+    while (sim.steps_taken() < cfg.steps) {
+      sim.step();
+      while (snap < snapshots.size() &&
+             sim.current_z() <= snapshots[snap] + 1e-9) {
+        spectra[snapshots[snap]] = sim.power_spectrum(12);
+        ++snap;
+      }
+    }
+    if (world.rank() != 0) return;
+
+    // One column per redshift, log10 P(k) rows by log10 k (Fig. 10 axes).
+    std::vector<std::string> headers{"log10 k"};
+    for (double z : snapshots) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "z=%.1f", z);
+      headers.push_back(buf);
+    }
+    headers.push_back("linear z=0");
+    Table t(headers);
+    const auto& ref = spectra.at(0.0);
+    for (std::size_t b = 0; b < ref.size(); ++b) {
+      std::vector<std::string> row{Table::fixed(std::log10(ref[b].k), 2)};
+      for (double z : snapshots) {
+        const auto& bins = spectra.at(z);
+        row.push_back(b < bins.size()
+                          ? Table::fixed(std::log10(bins[b].power), 2)
+                          : "-");
+      }
+      row.push_back(Table::fixed(std::log10(lin(ref[b].k)), 2));
+      t.add_row(row);
+    }
+    std::ostringstream os;
+    t.print(os);
+    std::fputs(os.str().c_str(), stdout);
+
+    // Shape checks echoed to the output.
+    const auto& z0 = spectra.at(0.0);
+    const auto& z55 = spectra.at(5.5);
+    const double low_k_growth = z0.front().power / z55.front().power;
+    const double high_k_growth = z0.back().power / z55.back().power;
+    const double d_ratio =
+        cosmo.growth_factor(1.0) /
+        cosmo.growth_factor(cosmology::Cosmology::a_of_z(5.5));
+    std::printf("\nlow-k growth z=5.5 -> 0:   %7.1fx  (linear D^2 predicts "
+                "%.1fx)\n",
+                low_k_growth, d_ratio * d_ratio);
+    std::printf("high-k growth z=5.5 -> 0:  %7.1fx  (nonlinear: must exceed "
+                "linear)\n",
+                high_k_growth);
+  });
+  return 0;
+}

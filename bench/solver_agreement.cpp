@@ -1,0 +1,69 @@
+// Sec. II accuracy claim: "the P3M and the PPTreePM versions agree to
+// within 0.1% for the nonlinear power spectrum test in the code comparison
+// suite".
+//
+// Evolves the identical initial conditions with both short-range solvers
+// and prints the per-bin P(k) ratio. In this codebase both solvers share
+// the force kernel, so the agreement is limited only by float summation
+// order — comfortably within the paper's 0.1%.
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hacc;
+
+  std::printf("=== Sec. II: P3M vs PPTreePM nonlinear P(k) agreement ===\n\n");
+
+  cosmology::Cosmology cosmo;
+  core::SimulationConfig base;
+  base.grid = 32;
+  base.particles_per_dim = 32;
+  base.box_mpch = 32.0;  // small box: strongly nonlinear by z=1
+  base.z_initial = 30.0;
+  base.z_final = 1.0;
+  base.steps = 8;
+  base.subcycles = 3;
+  base.overload = 4.0;
+
+  std::vector<cosmology::PowerBin> tree_pk, p3m_pk;
+  for (auto solver :
+       {core::ShortRangeSolver::kTreePP, core::ShortRangeSolver::kP3m}) {
+    core::SimulationConfig cfg = base;
+    cfg.solver = solver;
+    auto& sink =
+        solver == core::ShortRangeSolver::kTreePP ? tree_pk : p3m_pk;
+    comm::Machine::run(2, [&](comm::Comm& world) {
+      core::Simulation sim(world, cosmo, cfg);
+      sim.initialize();
+      sim.run();
+      auto bins = sim.power_spectrum(12);
+      if (world.rank() == 0) sink = bins;
+    });
+  }
+
+  Table t({"k [h/Mpc]", "P_tree", "P_p3m", "|ratio-1| [%]"});
+  double worst = 0;
+  for (std::size_t i = 0; i < tree_pk.size() && i < p3m_pk.size(); ++i) {
+    const double dev =
+        std::abs(p3m_pk[i].power / tree_pk[i].power - 1.0) * 100.0;
+    worst = std::max(worst, dev);
+    t.add_row({Table::fixed(tree_pk[i].k, 3),
+               Table::fixed(tree_pk[i].power, 3),
+               Table::fixed(p3m_pk[i].power, 3), Table::fixed(dev, 4)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\nworst-bin deviation: %.4f%%  (paper claims agreement to "
+              "within 0.1%%)\n",
+              worst);
+  std::printf("%s\n", worst <= 0.1 ? "PASS: within the paper's band"
+                                   : "NOTE: exceeds the paper's 0.1% band");
+  return 0;
+}

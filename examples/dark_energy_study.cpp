@@ -1,0 +1,93 @@
+// Dark-energy model-space study (the paper's science program, Secs. I & V).
+//
+// "With HACC, we aim to systematically study dark energy model space at
+// extreme scales and derive not only qualitative signatures of different
+// dark energy scenarios but deliver quantitative predictions..."
+//
+// This example runs the same initial conditions under three dark-energy
+// equations of state (phantom w = -1.2, cosmological constant w = -1,
+// quintessence-like w = -0.8) and prints the fractional P(k) differences at
+// z = 0 — the kind of observable signature surveys constrain — next to the
+// linear-theory expectation at low k.
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "util/table.h"
+
+int main() {
+  using namespace hacc;
+
+  std::printf("=== Dark-energy model space: w in {-1.2, -1.0, -0.8} ===\n\n");
+
+  core::SimulationConfig cfg;
+  cfg.grid = 32;
+  cfg.particles_per_dim = 32;
+  cfg.box_mpch = 96.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 0.0;
+  cfg.steps = 10;
+  cfg.subcycles = 3;
+  cfg.overload = 4.0;
+  cfg.solver = core::ShortRangeSolver::kTreePP;
+  cfg.seed = 2012;  // identical realization for all models
+
+  const std::vector<double> ws{-1.2, -1.0, -0.8};
+  std::vector<std::vector<cosmology::PowerBin>> spectra;
+  std::vector<double> growth;
+
+  // Common *early-time* normalization: the linear power at z_init scales as
+  // sigma8^2 D(z_init)^2, so matching sigma8 * D(z_init) across models puts
+  // all three on the same primordial amplitude (the way surveys compare
+  // dark-energy models); the z=0 differences are then pure growth history.
+  const double a_init = cosmology::Cosmology::a_of_z(cfg.z_initial);
+  cosmology::Cosmology ref;  // LCDM
+  const double ref_amp = ref.sigma8 * ref.growth_factor(a_init);
+
+  for (double w : ws) {
+    cosmology::Cosmology cosmo;
+    cosmo.w = w;
+    cosmo.sigma8 = ref_amp / cosmo.growth_factor(a_init);
+    growth.push_back(
+        cosmo.growth_factor(1.0) /
+        cosmo.growth_factor(cosmology::Cosmology::a_of_z(cfg.z_initial)));
+    std::vector<cosmology::PowerBin> result;
+    comm::Machine::run(2, [&](comm::Comm& world) {
+      core::Simulation sim(world, cosmo, cfg);
+      sim.initialize();
+      sim.run();
+      auto bins = sim.power_spectrum(10);
+      if (world.rank() == 0) result = bins;
+    });
+    spectra.push_back(std::move(result));
+    std::printf("w = %+.1f done (growth z=%.0f->0: %.2fx)\n", w,
+                cfg.z_initial, growth.back());
+  }
+
+  std::printf("\nP(k) at z = 0 relative to LCDM (w = -1):\n\n");
+  Table t({"k [h/Mpc]", "P_w=-1.2 / P_LCDM", "P_w=-0.8 / P_LCDM"});
+  const auto& lcdm = spectra[1];
+  for (std::size_t b = 0; b < lcdm.size(); ++b) {
+    t.add_row({Table::fixed(lcdm[b].k, 3),
+               Table::fixed(spectra[0][b].power / lcdm[b].power, 3),
+               Table::fixed(spectra[2][b].power / lcdm[b].power, 3)});
+  }
+  std::ostringstream os;
+  t.print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  // Linear expectation at low k: P ratio = (D_w / D_LCDM)^2 since the runs
+  // share ICs normalized at z_init.
+  const double lin_ph = std::pow(growth[0] / growth[1], 2);
+  const double lin_q = std::pow(growth[2] / growth[1], 2);
+  std::printf("\nlinear-theory low-k expectation: %.3f (w=-1.2), %.3f "
+              "(w=-0.8)\n",
+              lin_ph, lin_q);
+  std::printf("(phantom dark energy boosts late-time growth; quintessence "
+              "suppresses it —\nthe quantitative signature HACC's survey "
+              "program targets)\n");
+  return 0;
+}

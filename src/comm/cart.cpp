@@ -1,0 +1,30 @@
+#include "comm/cart.h"
+
+#include <algorithm>
+
+namespace hacc::comm {
+
+std::vector<int> dims_create(int nranks, int ndims) {
+  HACC_CHECK(nranks >= 1 && ndims >= 1);
+  std::vector<int> dims(static_cast<std::size_t>(ndims), 1);
+  // Factor nranks into primes (descending) and greedily assign each prime to
+  // the currently-smallest dimension; yields near-cubic decompositions.
+  std::vector<int> primes;
+  int n = nranks;
+  for (int f = 2; f * f <= n; ++f) {
+    while (n % f == 0) {
+      primes.push_back(f);
+      n /= f;
+    }
+  }
+  if (n > 1) primes.push_back(n);
+  std::sort(primes.rbegin(), primes.rend());
+  for (int p : primes) {
+    auto it = std::min_element(dims.begin(), dims.end());
+    *it *= p;
+  }
+  std::sort(dims.rbegin(), dims.rend());
+  return dims;
+}
+
+}  // namespace hacc::comm

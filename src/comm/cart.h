@@ -1,0 +1,80 @@
+// Cartesian process topologies.
+//
+// HACC decomposes space into regular (non-cubic) 3-D blocks of ranks (paper
+// Sec. II, e.g. the 192x128x64 geometry of the 96-rack run in Table II), and
+// the pencil FFT decomposes the grid over a 2-D process grid. CartTopology
+// provides MPI_Dims_create-style balanced factorizations plus rank<->coords
+// mapping and periodic neighbor lookup.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "util/error.h"
+
+namespace hacc::comm {
+
+/// Balanced factorization of `nranks` into `ndims` factors, largest first
+/// (like MPI_Dims_create). Works for any nranks >= 1.
+std::vector<int> dims_create(int nranks, int ndims);
+
+/// An N-dimensional periodic Cartesian layout of ranks (row-major order:
+/// the last dimension varies fastest).
+template <int N>
+class CartTopology {
+ public:
+  explicit CartTopology(std::array<int, N> dims) : dims_(dims) {
+    for (int d = 0; d < N; ++d) HACC_CHECK(dims_[static_cast<std::size_t>(d)] > 0);
+  }
+
+  /// Build a balanced topology for `nranks`.
+  static CartTopology balanced(int nranks) {
+    auto v = dims_create(nranks, N);
+    std::array<int, N> dims{};
+    for (int d = 0; d < N; ++d) dims[static_cast<std::size_t>(d)] = v[static_cast<std::size_t>(d)];
+    return CartTopology(dims);
+  }
+
+  const std::array<int, N>& dims() const noexcept { return dims_; }
+
+  int size() const noexcept {
+    int p = 1;
+    for (int d : dims_) p *= d;
+    return p;
+  }
+
+  std::array<int, N> coords(int rank) const {
+    HACC_CHECK(rank >= 0 && rank < size());
+    std::array<int, N> c{};
+    for (int d = N - 1; d >= 0; --d) {
+      c[static_cast<std::size_t>(d)] = rank % dims_[static_cast<std::size_t>(d)];
+      rank /= dims_[static_cast<std::size_t>(d)];
+    }
+    return c;
+  }
+
+  int rank_of(std::array<int, N> c) const {
+    int rank = 0;
+    for (int d = 0; d < N; ++d) {
+      int x = c[static_cast<std::size_t>(d)] % dims_[static_cast<std::size_t>(d)];
+      if (x < 0) x += dims_[static_cast<std::size_t>(d)];
+      rank = rank * dims_[static_cast<std::size_t>(d)] + x;
+    }
+    return rank;
+  }
+
+  /// Periodic neighbor at offset `shift` along dimension `dim`.
+  int neighbor(int rank, int dim, int shift) const {
+    auto c = coords(rank);
+    c[static_cast<std::size_t>(dim)] += shift;
+    return rank_of(c);
+  }
+
+ private:
+  std::array<int, N> dims_;
+};
+
+using Cart2D = CartTopology<2>;
+using Cart3D = CartTopology<3>;
+
+}  // namespace hacc::comm

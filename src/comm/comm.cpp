@@ -1,0 +1,188 @@
+#include "comm/comm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <tuple>
+
+namespace hacc::comm {
+
+/// Shared state of one simulated machine: a mailbox per (thread) rank and a
+/// context-id allocator for communicator creation.
+class MachineState {
+ public:
+  explicit MachineState(int nranks) : mailboxes_(nranks) {}
+
+  Mailbox& mailbox(int machine_rank) {
+    HACC_CHECK(machine_rank >= 0 &&
+               machine_rank < static_cast<int>(mailboxes_.size()));
+    return mailboxes_[static_cast<std::size_t>(machine_rank)];
+  }
+
+  std::uint64_t allocate_contexts(std::uint64_t n) {
+    return next_context_.fetch_add(n);
+  }
+
+  /// Wake all blocked receivers with Aborted (called when a rank fails, so
+  /// the remaining ranks cannot deadlock waiting on it).
+  void abort_all() {
+    for (auto& mb : mailboxes_) mb.abort();
+  }
+
+ private:
+  std::vector<Mailbox> mailboxes_;
+  std::atomic<std::uint64_t> next_context_{1};  // 0 = world
+};
+
+void Comm::send_bytes(int dest, int tag,
+                      std::span<const std::byte> bytes) const {
+  HACC_CHECK(valid());
+  HACC_CHECK_MSG(dest >= 0 && dest < size(), "send: bad destination rank");
+  Message msg;
+  msg.context = context_;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(bytes.begin(), bytes.end());
+  mailbox_of(dest).deliver(std::move(msg));
+}
+
+std::vector<std::byte> Comm::recv_bytes(int source, int tag) const {
+  HACC_CHECK(valid());
+  HACC_CHECK_MSG(source >= 0 && source < size(), "recv: bad source rank");
+  return mailbox_of(rank_).receive(context_, source, tag).payload;
+}
+
+Mailbox& Comm::mailbox_of(int rank_in_comm) const {
+  return machine_->mailbox(group()[static_cast<std::size_t>(rank_in_comm)]);
+}
+
+void Comm::barrier() const {
+  // Dissemination barrier: log2(P) rounds of buffered send + blocking recv.
+  constexpr int kTagBarrier = -100;
+  const int p = size();
+  std::byte token{0};
+  for (int dist = 1; dist < p; dist <<= 1) {
+    const int to = (rank_ + dist) % p;
+    const int from = (rank_ - dist + p) % p;
+    send_bytes(to, kTagBarrier, std::span<const std::byte>(&token, 1));
+    (void)recv_bytes(from, kTagBarrier);
+  }
+}
+
+void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
+  constexpr int kTagBcast = -99;
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  // Binomial tree: find highest bit of vrank = the parent distance.
+  int recv_dist = 0;
+  for (int dist = 1; dist < p; dist <<= 1) {
+    if (vrank & dist) recv_dist = dist;
+  }
+  if (vrank != 0) {
+    const int parent = ((vrank - recv_dist) + root) % p;
+    auto bytes = recv_bytes(parent, kTagBcast);
+    HACC_CHECK(bytes.size() == data.size());
+    std::copy(bytes.begin(), bytes.end(), data.begin());
+  }
+  // Forward to children: distances above our own parent distance.
+  for (int dist = (recv_dist == 0 ? 1 : recv_dist << 1); dist < p;
+       dist <<= 1) {
+    if (vrank + dist < p) {
+      const int child = ((vrank + dist) + root) % p;
+      send_bytes(child, kTagBcast, data);
+    }
+  }
+}
+
+Comm Comm::split(int color, int key) const {
+  HACC_CHECK(valid());
+  const int p = size();
+  struct Entry {
+    int color, key, rank;
+  };
+  const Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(p));
+  // Everyone learns everyone's (color, key).
+  allgather(std::span<const Entry>(&mine, 1), std::span<Entry>(all));
+
+  // Stable order within a color group: by key, ties by old rank.
+  std::vector<Entry> members;
+  std::vector<int> colors_seen;
+  for (const auto& e : all) {
+    if (e.color == color) members.push_back(e);
+    if (e.color >= 0 &&
+        std::find(colors_seen.begin(), colors_seen.end(), e.color) ==
+            colors_seen.end())
+      colors_seen.push_back(e.color);
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.key, a.rank) < std::tie(b.key, b.rank);
+  });
+
+  // Deterministic context allocation: every rank computes the same color
+  // ordering, and rank 0 of the parent allocates one context id per color,
+  // broadcast to all. (A single atomic fetch_add on rank 0 keeps ids
+  // machine-unique even across concurrent splits of disjoint comms.)
+  // Every rank — including excluded ones — must take part in this broadcast:
+  // it runs on the *parent* communicator.
+  std::sort(colors_seen.begin(), colors_seen.end());
+  std::uint64_t base = 0;
+  if (rank_ == 0 && !colors_seen.empty())
+    base = machine_->allocate_contexts(colors_seen.size());
+  base = bcast_value(base, 0);
+
+  if (color < 0) return Comm{};  // not a member of any new communicator
+  const auto color_index = static_cast<std::uint64_t>(
+      std::find(colors_seen.begin(), colors_seen.end(), color) -
+      colors_seen.begin());
+  const std::uint64_t new_context = base + color_index;
+
+  std::vector<int> new_group;
+  int new_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    new_group.push_back(group()[static_cast<std::size_t>(members[i].rank)]);
+    if (members[i].rank == rank_) new_rank = static_cast<int>(i);
+  }
+  HACC_CHECK(new_rank >= 0);
+  return Comm(machine_, new_context, new_rank, std::move(new_group));
+}
+
+void Machine::run(int nranks, const std::function<void(Comm&)>& fn) {
+  HACC_CHECK_MSG(nranks > 0, "Machine::run needs at least one rank");
+  MachineState state(nranks);
+  std::vector<int> world(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) world[static_cast<std::size_t>(r)] = r;
+
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&state, /*context=*/0, r, world);
+      try {
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        state.abort_all();  // unblock peers waiting on this rank
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Report the primary failure, preferring a real error over the Aborted
+  // exceptions it induced in peer ranks.
+  std::exception_ptr aborted;
+  for (auto& e : errors) {
+    if (!e) continue;
+    try {
+      std::rethrow_exception(e);
+    } catch (const Aborted&) {
+      aborted = e;
+    } catch (...) {
+      std::rethrow_exception(e);
+    }
+  }
+  if (aborted) std::rethrow_exception(aborted);
+}
+
+}  // namespace hacc::comm

@@ -1,0 +1,329 @@
+// Communicator: the MPI-subset interface HACC's algorithms need.
+//
+// Point-to-point sends are buffered (enqueue into the destination mailbox and
+// return), receives block. Collectives are implemented *on top of*
+// point-to-point with the standard distributed algorithms — dissemination
+// barrier, binomial-tree broadcast/reduce, ring allgather, pairwise-exchange
+// all-to-all — so the communication structure exercised by the pencil FFT and
+// the overload refresh matches what an MPI build would do on a real machine.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/message.h"
+#include "util/error.h"
+
+namespace hacc::comm {
+
+class MachineState;
+
+/// Reduction operators supported by reduce/allreduce/scan.
+enum class ReduceOp { kSum, kMin, kMax };
+
+/// A group of ranks with an isolated message context (like MPI_Comm).
+///
+/// Comm objects are per-thread handles; they are cheap to copy. All
+/// collectives must be entered by every rank of the communicator.
+class Comm {
+ public:
+  /// Creates an invalid handle (valid() == false); assign a real
+  /// communicator to it later (e.g. from split()).
+  Comm() = default;
+
+  /// Rank of the calling thread within this communicator.
+  int rank() const noexcept { return rank_; }
+  /// Number of ranks in this communicator.
+  int size() const noexcept { return static_cast<int>(group_->size()); }
+
+  // ---- Point-to-point -----------------------------------------------------
+
+  /// Buffered send of raw bytes to `dest` (rank in this communicator).
+  void send_bytes(int dest, int tag, std::span<const std::byte> bytes) const;
+
+  /// Blocking receive from `source`; returns the payload.
+  std::vector<std::byte> recv_bytes(int source, int tag) const;
+
+  /// Typed send of a contiguous trivially-copyable range.
+  template <typename T>
+  void send(int dest, int tag, std::span<const T> data) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(dest, tag, std::as_bytes(data));
+  }
+  template <typename T>
+  void send_value(int dest, int tag, const T& value) const {
+    send(dest, tag, std::span<const T>(&value, 1));
+  }
+
+  /// Typed receive into a caller buffer; message size must match exactly.
+  template <typename T>
+  void recv(int source, int tag, std::span<T> out) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(source, tag);
+    HACC_CHECK_MSG(bytes.size() == out.size_bytes(),
+                   "recv size mismatch (tag " + std::to_string(tag) + ")");
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+  }
+  template <typename T>
+  T recv_value(int source, int tag) const {
+    T v{};
+    recv(source, tag, std::span<T>(&v, 1));
+    return v;
+  }
+  /// Typed receive of unknown length.
+  template <typename T>
+  std::vector<T> recv_vector(int source, int tag) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    auto bytes = recv_bytes(source, tag);
+    HACC_CHECK(bytes.size() % sizeof(T) == 0);
+    std::vector<T> out(bytes.size() / sizeof(T));
+    std::memcpy(out.data(), bytes.data(), bytes.size());
+    return out;
+  }
+
+  /// Combined send+recv (deadlock-free because sends are buffered).
+  template <typename T>
+  std::vector<T> sendrecv(int dest, int source, int tag,
+                          std::span<const T> data) const {
+    send(dest, tag, data);
+    return recv_vector<T>(source, tag);
+  }
+
+  // ---- Collectives --------------------------------------------------------
+
+  /// Dissemination barrier: O(log P) rounds.
+  void barrier() const;
+
+  /// Binomial-tree broadcast from `root`, in place.
+  template <typename T>
+  void bcast(std::span<T> data, int root) const {
+    bcast_bytes(std::as_writable_bytes(data), root);
+  }
+  template <typename T>
+  T bcast_value(T value, int root) const {
+    bcast(std::span<T>(&value, 1), root);
+    return value;
+  }
+
+  /// Binomial-tree reduction to `root`; element-wise over the span.
+  template <typename T>
+  void reduce(std::span<T> data, ReduceOp op, int root) const;
+
+  /// Reduce + broadcast. Element-wise over the span, result on all ranks.
+  template <typename T>
+  void allreduce(std::span<T> data, ReduceOp op) const {
+    reduce(data, op, 0);
+    bcast(data, 0);
+  }
+  template <typename T>
+  T allreduce_value(T value, ReduceOp op) const {
+    allreduce(std::span<T>(&value, 1), op);
+    return value;
+  }
+
+  /// Exclusive prefix sum over ranks: rank r receives sum of `value` over
+  /// ranks 0..r-1 (rank 0 receives T{}). Linear chain; used e.g. to assign
+  /// globally contiguous particle id ranges.
+  template <typename T>
+  T exscan_sum(T value) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    constexpr int kTagScan = -106;
+    T prefix{};
+    if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
+    if (rank_ + 1 < size()) {
+      T forward = prefix;
+      forward += value;
+      send_value(rank_ + 1, kTagScan, forward);
+    }
+    return prefix;
+  }
+
+  /// Gather equal-size contributions to `root`. `recv` must have
+  /// size()*send.size() elements on root (may be empty elsewhere).
+  template <typename T>
+  void gather(std::span<const T> send, std::span<T> recv, int root) const;
+
+  /// Ring allgather of equal-size contributions.
+  template <typename T>
+  void allgather(std::span<const T> send, std::span<T> recv) const;
+
+  /// Variable-size all-to-all exchange with a pairwise schedule.
+  /// `send_counts[r]` elements go to rank r, taken consecutively from
+  /// `send`. Returns the concatenation of contributions received from ranks
+  /// 0..P-1 and fills `recv_counts`.
+  template <typename T>
+  std::vector<T> alltoallv(std::span<const T> send,
+                           std::span<const std::size_t> send_counts,
+                           std::vector<std::size_t>& recv_counts) const;
+
+  /// Split into sub-communicators by color (ranks with the same color end up
+  /// in the same new communicator, ordered by key then by old rank).
+  /// color < 0 means "not in any group": returns an invalid Comm.
+  Comm split(int color, int key) const;
+
+  /// True if this handle refers to a communicator this thread is part of.
+  bool valid() const noexcept { return machine_ != nullptr; }
+
+ private:
+  friend class Machine;
+
+  Comm(MachineState* machine, std::uint64_t context, int rank,
+       std::vector<int> group)
+      : machine_(machine),
+        context_(context),
+        rank_(rank),
+        group_(std::make_shared<std::vector<int>>(std::move(group))) {}
+
+  void bcast_bytes(std::span<std::byte> data, int root) const;
+  Mailbox& mailbox_of(int rank_in_comm) const;
+  const std::vector<int>& group() const { return *group_; }
+
+  MachineState* machine_ = nullptr;
+  std::uint64_t context_ = 0;
+  int rank_ = 0;
+  std::shared_ptr<std::vector<int>> group_;  // comm rank -> machine rank
+};
+
+/// Runs an SPMD function over N ranks, each on its own thread.
+class Machine {
+ public:
+  /// Spawn `nranks` threads, call fn(comm) on each with a world
+  /// communicator, join. Exceptions thrown by any rank are rethrown
+  /// (first by rank order) after all threads have been joined.
+  static void run(int nranks, const std::function<void(Comm&)>& fn);
+};
+
+// ---- templated collective implementations ---------------------------------
+
+namespace detail {
+template <typename T>
+void apply_op(std::span<T> acc, std::span<const T> in, ReduceOp op) {
+  HACC_CHECK(acc.size() == in.size());
+  switch (op) {
+    case ReduceOp::kSum:
+      for (std::size_t i = 0; i < acc.size(); ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        if (in[i] < acc[i]) acc[i] = in[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < acc.size(); ++i)
+        if (in[i] > acc[i]) acc[i] = in[i];
+      break;
+  }
+}
+inline constexpr int kTagReduce = -101;
+inline constexpr int kTagGather = -102;
+inline constexpr int kTagAllgather = -103;
+inline constexpr int kTagAlltoall = -104;
+inline constexpr int kTagSplit = -105;
+}  // namespace detail
+
+template <typename T>
+void Comm::reduce(std::span<T> data, ReduceOp op, int root) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  // Rotate ranks so `root` acts as rank 0 of the binomial tree.
+  const int p = size();
+  const int vrank = (rank_ - root + p) % p;
+  std::vector<T> incoming(data.size());
+  for (int dist = 1; dist < p; dist <<= 1) {
+    if (vrank & dist) {
+      const int dst = ((vrank - dist) + root) % p;
+      send(dst, detail::kTagReduce, std::span<const T>(data));
+      return;  // sent partial result up the tree; done
+    }
+    if (vrank + dist < p) {
+      const int src = ((vrank + dist) + root) % p;
+      recv(src, detail::kTagReduce, std::span<T>(incoming));
+      detail::apply_op(data, std::span<const T>(incoming), op);
+    }
+  }
+}
+
+template <typename T>
+void Comm::gather(std::span<const T> send_buf, std::span<T> recv_buf,
+                  int root) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  if (rank_ == root) {
+    HACC_CHECK(recv_buf.size() ==
+               send_buf.size() * static_cast<std::size_t>(size()));
+    std::copy(send_buf.begin(), send_buf.end(),
+              recv_buf.begin() +
+                  static_cast<std::ptrdiff_t>(send_buf.size()) * root);
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      recv(r, detail::kTagGather,
+           recv_buf.subspan(send_buf.size() * static_cast<std::size_t>(r),
+                            send_buf.size()));
+    }
+  } else {
+    send(root, detail::kTagGather, send_buf);
+  }
+}
+
+template <typename T>
+void Comm::allgather(std::span<const T> send_buf, std::span<T> recv_buf) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  const std::size_t chunk = send_buf.size();
+  HACC_CHECK(recv_buf.size() == chunk * static_cast<std::size_t>(p));
+  std::copy(send_buf.begin(), send_buf.end(),
+            recv_buf.begin() + static_cast<std::ptrdiff_t>(chunk) * rank_);
+  // Ring: in step s, forward the block that originated at rank (rank - s).
+  const int next = (rank_ + 1) % p;
+  const int prev = (rank_ - 1 + p) % p;
+  for (int s = 0; s < p - 1; ++s) {
+    const int send_block = (rank_ - s + p) % p;
+    const int recv_block = (rank_ - s - 1 + p) % p;
+    send(next, detail::kTagAllgather,
+         std::span<const T>(
+             recv_buf.subspan(chunk * static_cast<std::size_t>(send_block),
+                              chunk)));
+    recv(prev, detail::kTagAllgather,
+         recv_buf.subspan(chunk * static_cast<std::size_t>(recv_block),
+                          chunk));
+  }
+}
+
+template <typename T>
+std::vector<T> Comm::alltoallv(std::span<const T> send_buf,
+                               std::span<const std::size_t> send_counts,
+                               std::vector<std::size_t>& recv_counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const int p = size();
+  HACC_CHECK(send_counts.size() == static_cast<std::size_t>(p));
+  std::vector<std::size_t> offsets(p + 1, 0);
+  for (int r = 0; r < p; ++r) offsets[r + 1] = offsets[r] + send_counts[r];
+  HACC_CHECK(offsets[p] == send_buf.size());
+
+  // Exchange counts first (pairwise), then payloads; shifted-ring schedule
+  // spreads traffic and avoids hotspots (cf. pencil-FFT transposes).
+  recv_counts.assign(p, 0);
+  std::vector<std::vector<T>> received(p);
+  for (int s = 0; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    send_value(dst, detail::kTagAlltoall, send_counts[dst]);
+    recv_counts[src] = recv_value<std::size_t>(src, detail::kTagAlltoall);
+    send(dst, detail::kTagAlltoall,
+         send_buf.subspan(offsets[dst], send_counts[dst]));
+    received[src].resize(recv_counts[src]);
+    recv(src, detail::kTagAlltoall, std::span<T>(received[src]));
+  }
+  std::size_t total = 0;
+  for (int r = 0; r < p; ++r) total += recv_counts[r];
+  std::vector<T> out;
+  out.reserve(total);
+  for (int r = 0; r < p; ++r)
+    out.insert(out.end(), received[r].begin(), received[r].end());
+  return out;
+}
+
+}  // namespace hacc::comm

@@ -1,0 +1,98 @@
+// Message envelope and per-rank mailbox for the SimMPI runtime.
+//
+// SimMPI reproduces the MPI programming model (paper runs HACC with one MPI
+// rank per core) inside one process: each rank is a thread, each thread owns
+// a mailbox, and sends enqueue byte payloads into the destination mailbox
+// ("eager"/buffered semantics). Receives block until a message matching
+// (context, source, tag) arrives. Communicator contexts isolate traffic the
+// way MPI communicators do, so a library FFT and user code can't intercept
+// each other's messages.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+namespace hacc::comm {
+
+/// Thrown out of blocking receives when the machine is shutting down because
+/// another rank failed; prevents surviving ranks from blocking forever.
+class Aborted : public std::runtime_error {
+ public:
+  Aborted() : std::runtime_error("SimMPI machine aborted by a failing rank") {}
+};
+
+/// A delivered message: payload plus matching metadata.
+struct Message {
+  std::uint64_t context = 0;  ///< communicator context id
+  int source = 0;             ///< sender's rank *within that communicator*
+  int tag = 0;
+  std::vector<std::byte> payload;
+};
+
+/// Thread-safe mailbox with (context, source, tag) matching.
+class Mailbox {
+ public:
+  void deliver(Message msg) {
+    {
+      std::lock_guard lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    cv_.notify_all();
+  }
+
+  /// Block until a message matching (context, source, tag) is available and
+  /// return it. FIFO per matching triple (MPI non-overtaking rule).
+  /// Throws Aborted if the machine is shut down while waiting.
+  Message receive(std::uint64_t context, int source, int tag) {
+    std::unique_lock lock(mutex_);
+    for (;;) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->context == context && it->source == source &&
+            it->tag == tag) {
+          Message msg = std::move(*it);
+          queue_.erase(it);
+          return msg;
+        }
+      }
+      if (aborted_) throw Aborted{};
+      cv_.wait(lock);
+    }
+  }
+
+  /// Wake any blocked receiver with an Aborted exception (machine teardown).
+  void abort() {
+    {
+      std::lock_guard lock(mutex_);
+      aborted_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Non-blocking probe: true if a matching message is queued.
+  bool probe(std::uint64_t context, int source, int tag) const {
+    std::lock_guard lock(mutex_);
+    for (const auto& m : queue_) {
+      if (m.context == context && m.source == source && m.tag == tag)
+        return true;
+    }
+    return false;
+  }
+
+  std::size_t pending() const {
+    std::lock_guard lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool aborted_ = false;
+};
+
+}  // namespace hacc::comm

@@ -1,0 +1,185 @@
+#include "core/domain.h"
+
+#include <cmath>
+#include <vector>
+
+namespace hacc::core {
+
+namespace {
+
+/// Wire format for particle exchange (trivially copyable).
+struct PackedParticle {
+  float x, y, z, vx, vy, vz, mass;
+  std::uint32_t role;
+  std::uint64_t id;
+};
+
+}  // namespace
+
+OverloadDomain::OverloadDomain(const mesh::BlockDecomp3D& decomp, int rank,
+                               double overload)
+    : decomp_(decomp),
+      rank_(rank),
+      box_(decomp.box_of(rank)),
+      overload_(overload) {
+  HACC_CHECK_MSG(overload_ >= 0.0, "negative overload depth");
+  for (int d = 0; d < 3; ++d) {
+    const std::size_t n = decomp.grid_dims()[static_cast<std::size_t>(d)];
+    const int p = decomp.topology().dims()[static_cast<std::size_t>(d)];
+    HACC_CHECK_MSG(
+        overload_ <= static_cast<double>(n / static_cast<std::size_t>(p)),
+        "overload depth exceeds the smallest domain extent");
+  }
+}
+
+bool OverloadDomain::owns(float x, float y, float z) const noexcept {
+  return static_cast<double>(x) >= static_cast<double>(box_.x.lo) &&
+         static_cast<double>(x) < static_cast<double>(box_.x.hi) &&
+         static_cast<double>(y) >= static_cast<double>(box_.y.lo) &&
+         static_cast<double>(y) < static_cast<double>(box_.y.hi) &&
+         static_cast<double>(z) >= static_cast<double>(box_.z.lo) &&
+         static_cast<double>(z) < static_cast<double>(box_.z.hi);
+}
+
+std::array<std::size_t, 2> OverloadDomain::census(
+    const tree::ParticleArray& p) const {
+  std::array<std::size_t, 2> counts{0, 0};
+  for (std::size_t i = 0; i < p.size(); ++i)
+    ++counts[p.role[i] == tree::Role::kActive ? 0 : 1];
+  return counts;
+}
+
+RefreshStats OverloadDomain::refresh(comm::Comm& comm,
+                                     tree::ParticleArray& particles) const {
+  const auto& dims = decomp_.grid_dims();
+  const auto& topo = decomp_.topology();
+  const int p = comm.size();
+  HACC_CHECK(p == decomp_.nranks());
+
+  auto wrap = [&](float v, int axis) {
+    const auto n = static_cast<double>(dims[static_cast<std::size_t>(axis)]);
+    double w = std::fmod(static_cast<double>(v), n);
+    if (w < 0) w += n;
+    if (w >= n) w = 0.0;
+    // The float cast can round w = n - epsilon back up to exactly n,
+    // escaping the half-open [0, n); re-check after the narrowing.
+    auto f = static_cast<float>(w);
+    if (f >= static_cast<float>(n)) f = 0.0f;
+    return f;
+  };
+
+  // Exchange helper: route per-destination packets through one all-to-all.
+  auto exchange = [&](std::vector<std::vector<PackedParticle>>& outbound) {
+    std::vector<PackedParticle> send;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) {
+      counts[static_cast<std::size_t>(r)] =
+          outbound[static_cast<std::size_t>(r)].size();
+      send.insert(send.end(), outbound[static_cast<std::size_t>(r)].begin(),
+                  outbound[static_cast<std::size_t>(r)].end());
+    }
+    std::vector<std::size_t> rcounts;
+    return comm.alltoallv(std::span<const PackedParticle>(send),
+                          std::span<const std::size_t>(counts), rcounts);
+  };
+
+  // Phase 1: drop passives, wrap actives, route leavers to their owner.
+  std::vector<std::vector<PackedParticle>> outbound(
+      static_cast<std::size_t>(p));
+  std::size_t migrated = 0;
+  for (std::size_t i = 0; i < particles.size();) {
+    if (particles.role[i] == tree::Role::kPassive) {
+      particles.remove_unordered(i);
+      continue;
+    }
+    particles.x[i] = wrap(particles.x[i], 0);
+    particles.y[i] = wrap(particles.y[i], 1);
+    particles.z[i] = wrap(particles.z[i], 2);
+    if (!owns(particles.x[i], particles.y[i], particles.z[i])) {
+      const int owner = decomp_.owner_of(
+          static_cast<std::size_t>(particles.x[i]),
+          static_cast<std::size_t>(particles.y[i]),
+          static_cast<std::size_t>(particles.z[i]));
+      outbound[static_cast<std::size_t>(owner)].push_back(PackedParticle{
+          particles.x[i], particles.y[i], particles.z[i], particles.vx[i],
+          particles.vy[i], particles.vz[i], particles.mass[i], 0,
+          particles.id[i]});
+      particles.remove_unordered(i);
+      ++migrated;
+      continue;
+    }
+    ++i;
+  }
+  // Deliver migrants *before* building replicas, so arrivals are replicated
+  // to their new neighbors in the same refresh.
+  for (const auto& q : exchange(outbound)) {
+    HACC_ASSERT(owns(q.x, q.y, q.z));
+    particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
+                        tree::Role::kActive);
+  }
+  for (auto& v : outbound) v.clear();
+
+  // Phase 2: for every neighbor image, queue shifted passive replicas.
+  // An image is a neighbor rank viewed at a periodic offset: its domain box
+  // shifted by (sx, sy, sz) in {-N, 0, +N}^3 so that it is adjacent to ours.
+  const auto my_coords = topo.coords(rank_);
+  for (int ox = -1; ox <= 1; ++ox) {
+    for (int oy = -1; oy <= 1; ++oy) {
+      for (int oz = -1; oz <= 1; ++oz) {
+        if (ox == 0 && oy == 0 && oz == 0) continue;
+        const std::array<int, 3> offset{ox, oy, oz};
+        std::array<int, 3> ncoord{};
+        std::array<double, 3> shift{};
+        for (int d = 0; d < 3; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          ncoord[sd] = my_coords[sd] + offset[sd];
+          const int pd = topo.dims()[sd];
+          shift[sd] = 0.0;
+          if (ncoord[sd] < 0)
+            shift[sd] = -static_cast<double>(dims[sd]);
+          else if (ncoord[sd] >= pd)
+            shift[sd] = static_cast<double>(dims[sd]);
+        }
+        const int nbr = topo.rank_of(ncoord);
+        const auto nbox = decomp_.box_of(nbr);
+        // The image's overload slab, in MY coordinate frame.
+        std::array<double, 3> lo{}, hi{};
+        const fft::Range* ranges[3] = {&nbox.x, &nbox.y, &nbox.z};
+        for (int d = 0; d < 3; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          lo[sd] = static_cast<double>(ranges[d]->lo) + shift[sd] - overload_;
+          hi[sd] = static_cast<double>(ranges[d]->hi) + shift[sd] + overload_;
+        }
+        for (std::size_t i = 0; i < particles.size(); ++i) {
+          const double px = particles.x[i], py = particles.y[i],
+                       pz = particles.z[i];
+          if (px < lo[0] || px >= hi[0] || py < lo[1] || py >= hi[1] ||
+              pz < lo[2] || pz >= hi[2])
+            continue;
+          // Position expressed in the receiver's frame.
+          outbound[static_cast<std::size_t>(nbr)].push_back(PackedParticle{
+              static_cast<float>(px - shift[0]),
+              static_cast<float>(py - shift[1]),
+              static_cast<float>(pz - shift[2]), particles.vx[i],
+              particles.vy[i], particles.vz[i], particles.mass[i], 1,
+              particles.id[i]});
+        }
+      }
+    }
+  }
+
+  // Phase 3: deliver the passive replicas.
+  for (const auto& q : exchange(outbound)) {
+    particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
+                        tree::Role::kPassive);
+  }
+
+  RefreshStats stats;
+  const auto counts2 = census(particles);
+  stats.active = counts2[0];
+  stats.passive = counts2[1];
+  stats.migrated = migrated;
+  return stats;
+}
+
+}  // namespace hacc::core

@@ -1,0 +1,73 @@
+// Particle overloading (paper Sec. II, Fig. 4).
+//
+// HACC's spatial domain decomposition is regular (non-cubic) 3-D blocks,
+// but unlike the guard zones of a typical PM method, *full particle
+// replication* is employed across domain boundaries: every rank stores,
+// besides its own ("active", green in Fig. 4) particles, complete copies of
+// all neighbor particles within the overload depth of its boundary
+// ("passive", red). Passive particles are moved by interpolated forces but
+// never deposited in the Poisson solve; they switch roles as they cross
+// domain boundaries. The payoff: medium/long-range force calculations need
+// no particle communication at all, and the short-range solver becomes a
+// purely rank-local ("on-node") method that can be swapped per architecture
+// with guaranteed scalability.
+//
+// Passive replicas are stored with *unwrapped* coordinates in the receiving
+// rank's frame (a replica from across the periodic seam sits at x < 0 or
+// x >= N), so short-range pair distances need no minimum-image logic.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "comm/comm.h"
+#include "mesh/grid.h"
+#include "tree/particles.h"
+
+namespace hacc::core {
+
+struct RefreshStats {
+  std::size_t active = 0;     ///< active particles after the refresh
+  std::size_t passive = 0;    ///< passive replicas after the refresh
+  std::size_t migrated = 0;   ///< actives that changed owner
+  double overload_fraction() const noexcept {
+    return active ? static_cast<double>(passive) / static_cast<double>(active)
+                  : 0.0;
+  }
+};
+
+class OverloadDomain {
+ public:
+  /// `overload` is the replication depth in grid units; it must not exceed
+  /// the smallest domain extent along any axis.
+  OverloadDomain(const mesh::BlockDecomp3D& decomp, int rank,
+                 double overload);
+
+  const mesh::BlockDecomp3D& decomp() const noexcept { return decomp_; }
+  const fft::Box3D& box() const noexcept { return box_; }
+  double overload() const noexcept { return overload_; }
+  int rank() const noexcept { return rank_; }
+
+  /// True if a (wrapped, in [0,N)) position belongs to this rank's domain.
+  bool owns(float x, float y, float z) const noexcept;
+
+  /// Full overloading refresh (collective):
+  ///  1. drop all passive replicas,
+  ///  2. wrap active positions into [0, N) and migrate those that left the
+  ///     domain to their new owner (role switching at boundary crossings),
+  ///  3. rebuild the passive layer: for each of the 26 neighbor images,
+  ///     send shifted copies of actives that fall inside the image's
+  ///     overload region.
+  RefreshStats refresh(comm::Comm& comm, tree::ParticleArray& particles) const;
+
+  /// Count (active, passive) without modifying anything.
+  std::array<std::size_t, 2> census(const tree::ParticleArray& p) const;
+
+ private:
+  mesh::BlockDecomp3D decomp_;
+  int rank_;
+  fft::Box3D box_;
+  double overload_;
+};
+
+}  // namespace hacc::core

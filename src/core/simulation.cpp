@@ -1,0 +1,352 @@
+#include "core/simulation.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "io/snapshot.h"
+#include "mesh/cic.h"
+
+namespace hacc::core {
+
+using cosmology::Cosmology;
+
+Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
+                       const SimulationConfig& config)
+    : world_(world),
+      cosmo_(cosmo),
+      config_(config),
+      decomp_(mesh::BlockDecomp3D::balanced(
+          {config.grid, config.grid, config.grid}, world.size())) {
+  HACC_CHECK(config.steps >= 1 && config.subcycles >= 1);
+  HACC_CHECK(config.particles_per_dim >= 1);
+  HACC_CHECK_MSG(config.z_initial > config.z_final,
+                 "z must decrease over the run");
+
+  domain_ = std::make_unique<OverloadDomain>(decomp_, world.rank(),
+                                             config.overload);
+  poisson_ = std::make_unique<mesh::PoissonSolver>(world, decomp_,
+                                                   config.spectral);
+  // Ghost layer: passive particles live up to `overload` outside the
+  // domain, drift slightly further between refreshes, and their CIC cloud
+  // reaches one more cell: overload + 2 covers all three.
+  grid_ghost_ = static_cast<std::size_t>(std::ceil(config.overload)) + 2;
+
+  // Short-range kernel: subtract the force-matched filtered grid force.
+  kernel_.softening = config.softening;
+  kernel_.rmax = 3.0f;  // the paper's hand-over scale (3 grid spacings)
+  const mesh::SpectralConfig def{};
+  const bool default_spectral =
+      config.spectral.sigma == def.sigma && config.spectral.ns == def.ns &&
+      config.spectral.green == def.green &&
+      config.spectral.gradient == def.gradient;
+  if (default_spectral) {
+    kernel_.fgrid = tree::default_fgrid_poly5();
+  } else {
+    tree::ForceMatchConfig fm;
+    fm.spectral = config.spectral;
+    fm.rmax = kernel_.rmax;
+    kernel_.fgrid = tree::match_grid_force(fm);
+  }
+
+  const double np_total = std::pow(
+      static_cast<double>(config.particles_per_dim), 3);
+  const double cells = std::pow(static_cast<double>(config.grid), 3);
+  const double rho_bar = np_total / cells;  // unit particle masses
+  mass_scale_ =
+      static_cast<float>(1.0 / (4.0 * std::numbers::pi * rho_bar));
+
+  a_ = Cosmology::a_of_z(config.z_initial);
+}
+
+void Simulation::initialize() {
+  auto scope = timers_.scope("init");
+  cosmology::IcConfig ic = config_.ic;
+  ic.particles_per_dim = config_.particles_per_dim;
+  ic.box_mpch = config_.box_mpch;
+  ic.z_init = config_.z_initial;
+  ic.seed = config_.seed;
+  cosmology::generate_zeldovich(world_, decomp_, cosmo_, ic, particles_);
+  domain_->refresh(world_, particles_);
+  steps_taken_ = 0;
+  a_ = Cosmology::a_of_z(config_.z_initial);
+}
+
+mesh::DistGrid Simulation::density_contrast() {
+  mesh::DistGrid rho(decomp_, world_.rank(), grid_ghost_);
+  {
+    auto scope = timers_.scope("cic");
+    // Deposit *active* particles only (passives are someone else's mass).
+    std::vector<float> xs, ys, zs;
+    xs.reserve(particles_.size());
+    ys.reserve(particles_.size());
+    zs.reserve(particles_.size());
+    for (std::size_t i = 0; i < particles_.size(); ++i) {
+      if (particles_.role[i] != tree::Role::kActive) continue;
+      xs.push_back(particles_.x[i]);
+      ys.push_back(particles_.y[i]);
+      zs.push_back(particles_.z[i]);
+    }
+    if (config_.threaded_deposit) {
+      mesh::cic_deposit_threaded(rho, xs, ys, zs, 1.0f);
+    } else {
+      mesh::cic_deposit(rho, xs, ys, zs, 1.0f);
+    }
+  }
+  {
+    auto scope = timers_.scope("grid-exchange");
+    rho.fold_ghosts(world_);
+  }
+  mesh::to_density_contrast(rho, world_);
+  return rho;
+}
+
+void Simulation::long_range_kick(double a0, double a1) {
+  mesh::DistGrid delta = density_contrast();
+  std::array<mesh::DistGrid, 3> force{
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_),
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_),
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_)};
+  {
+    auto scope = timers_.scope("poisson");
+    poisson_->solve(world_, delta, force);
+  }
+  {
+    auto scope = timers_.scope("grid-exchange");
+    for (auto& f : force) f.fill_ghosts(world_);
+  }
+  // Kick every local particle (active and passive).
+  auto scope = timers_.scope("lr-kick");
+  const double factor = 1.5 * cosmo_.omega_m * cosmo_.kick_factor(a0, a1);
+  std::vector<float> gx(particles_.size()), gy(particles_.size()),
+      gz(particles_.size());
+  // Clamped: the deepest passives may have drifted past the ghost layer
+  // since the last refresh (their skin forces are approximate by design).
+  mesh::cic_interpolate(force[0], particles_.x, particles_.y, particles_.z,
+                        gx, /*clamp_to_storage=*/true);
+  mesh::cic_interpolate(force[1], particles_.x, particles_.y, particles_.z,
+                        gy, /*clamp_to_storage=*/true);
+  mesh::cic_interpolate(force[2], particles_.x, particles_.y, particles_.z,
+                        gz, /*clamp_to_storage=*/true);
+  const auto f = static_cast<float>(factor);
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_.vx[i] += f * gx[i];
+    particles_.vy[i] += f * gy[i];
+    particles_.vz[i] += f * gz[i];
+  }
+}
+
+void Simulation::apply_short_kick(double coeff) {
+  if (config_.solver == ShortRangeSolver::kNone || particles_.empty())
+    return;
+  sr_ax_.assign(particles_.size(), 0.0f);
+  sr_ay_.assign(particles_.size(), 0.0f);
+  sr_az_.assign(particles_.size(), 0.0f);
+  if (config_.solver == ShortRangeSolver::kTreePP) {
+    if (config_.tree_splits > 0) {
+      // Multiple trees per rank (Sec. VI): parallel builds, same physics.
+      std::unique_ptr<tree::MultiTree> forest;
+      {
+        auto scope = timers_.scope("tree-build");
+        forest = std::make_unique<tree::MultiTree>(
+            particles_, tree::MultiTreeConfig{
+                            config_.tree_splits,
+                            tree::RcbConfig{config_.leaf_size}});
+      }
+      auto scope = timers_.scope("sr-kernel");
+      stats_ = tree::compute_short_range_multi(*forest, kernel_, sr_ax_,
+                                               sr_ay_, sr_az_, mass_scale_);
+      const auto c2 = static_cast<float>(coeff);
+      for (std::size_t i = 0; i < particles_.size(); ++i) {
+        particles_.vx[i] += c2 * sr_ax_[i];
+        particles_.vy[i] += c2 * sr_ay_[i];
+        particles_.vz[i] += c2 * sr_az_[i];
+      }
+      return;
+    }
+    std::unique_ptr<tree::RcbTree> rcb;
+    {
+      auto scope = timers_.scope("tree-build");
+      rcb = std::make_unique<tree::RcbTree>(
+          particles_, tree::RcbConfig{config_.leaf_size});
+    }
+    auto scope = timers_.scope("sr-kernel");
+    stats_ = tree::compute_short_range(*rcb, kernel_, sr_ax_, sr_ay_, sr_az_,
+                                       mass_scale_);
+  } else {
+    auto scope = timers_.scope("sr-kernel");
+    stats_ = p3m::compute_short_range_p3m(particles_, kernel_, sr_ax_, sr_ay_,
+                                          sr_az_, mass_scale_);
+  }
+  const auto c = static_cast<float>(coeff);
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_.vx[i] += c * sr_ax_[i];
+    particles_.vy[i] += c * sr_ay_[i];
+    particles_.vz[i] += c * sr_az_[i];
+  }
+}
+
+void Simulation::drift(double factor) {
+  auto scope = timers_.scope("stream");
+  const auto f = static_cast<float>(factor);
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    particles_.x[i] += f * particles_.vx[i];
+    particles_.y[i] += f * particles_.vy[i];
+    particles_.z[i] += f * particles_.vz[i];
+  }
+  // Positions are NOT wrapped here: passive replicas must stay in the
+  // receiver's unwrapped frame. The refresh wraps actives.
+}
+
+void Simulation::short_range_subcycles(double a0, double a1) {
+  const int nc = config_.subcycles;
+  const double prefac = 1.5 * cosmo_.omega_m;
+  for (int c = 0; c < nc; ++c) {
+    const double b0 =
+        a0 + (a1 - a0) * static_cast<double>(c) / static_cast<double>(nc);
+    const double b1 = a0 + (a1 - a0) * static_cast<double>(c + 1) /
+                               static_cast<double>(nc);
+    const double bm = 0.5 * (b0 + b1);
+    // S K S: stream - short-range kick - stream.
+    drift(cosmo_.drift_factor(b0, bm));
+    apply_short_kick(prefac * cosmo_.kick_factor(b0, b1));
+    drift(cosmo_.drift_factor(bm, b1));
+  }
+}
+
+void Simulation::step() {
+  const double a0 = a_;
+  const double a_final = Cosmology::a_of_z(config_.z_final);
+  const double a_init = Cosmology::a_of_z(config_.z_initial);
+  const double da = (a_final - a_init) / static_cast<double>(config_.steps);
+  const double a1 = std::min(a0 + da, a_final);
+  const double am = 0.5 * (a0 + a1);
+
+  long_range_kick(a0, am);        // M_lr(t/2)
+  short_range_subcycles(a0, a1);  // (M_sr(t/n_c))^{n_c}
+  long_range_kick(am, a1);        // M_lr(t/2)
+  {
+    auto scope = timers_.scope("refresh");
+    domain_->refresh(world_, particles_);
+  }
+  a_ = a1;
+  ++steps_taken_;
+}
+
+void Simulation::run() {
+  for (int s = 0; s < config_.steps; ++s) step();
+}
+
+std::vector<cosmology::PowerBin> Simulation::power_spectrum(
+    std::size_t bins) {
+  mesh::DistGrid delta = density_contrast();
+  return cosmology::measure_power_spectrum(world_, delta, config_.box_mpch,
+                                           bins);
+}
+
+tree::ParticleArray Simulation::gather_active() {
+  // Serialize actives and funnel them to rank 0.
+  struct Packed {
+    float x, y, z, vx, vy, vz, mass;
+    std::uint64_t id;
+  };
+  std::vector<Packed> mine;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] != tree::Role::kActive) continue;
+    mine.push_back(Packed{particles_.x[i], particles_.y[i], particles_.z[i],
+                          particles_.vx[i], particles_.vy[i],
+                          particles_.vz[i], particles_.mass[i],
+                          particles_.id[i]});
+  }
+  tree::ParticleArray out;
+  constexpr int kTagGatherActive = -400;
+  if (world_.rank() == 0) {
+    auto append = [&out](const std::vector<Packed>& v) {
+      for (const auto& q : v)
+        out.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
+                      tree::Role::kActive);
+    };
+    append(mine);
+    for (int r = 1; r < world_.size(); ++r)
+      append(world_.recv_vector<Packed>(r, kTagGatherActive));
+  } else {
+    world_.send(0, kTagGatherActive, std::span<const Packed>(mine));
+  }
+  return out;
+}
+
+void Simulation::write_checkpoint(const std::string& path) {
+  // Strip passives: they are someone else's actives and get rebuilt.
+  tree::ParticleArray actives;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] == tree::Role::kActive)
+      actives.append_from(particles_, i);
+  }
+  io::SnapshotHeader h;
+  h.scale_factor = a_;
+  h.box_mpch = config_.box_mpch;
+  h.grid = config_.grid;
+  io::write_snapshot(path + ".rank" + std::to_string(world_.rank()), actives,
+                     h);
+  world_.barrier();  // checkpoint complete on all ranks
+}
+
+void Simulation::read_checkpoint(const std::string& path) {
+  io::SnapshotHeader h = io::read_snapshot(
+      path + ".rank" + std::to_string(world_.rank()), particles_);
+  HACC_CHECK_MSG(h.grid == config_.grid && h.box_mpch == config_.box_mpch,
+                 "checkpoint does not match the simulation configuration");
+  a_ = h.scale_factor;
+  // Recompute how many steps the restored state corresponds to.
+  const double a_init = Cosmology::a_of_z(config_.z_initial);
+  const double a_final = Cosmology::a_of_z(config_.z_final);
+  const double da = (a_final - a_init) / static_cast<double>(config_.steps);
+  steps_taken_ = static_cast<int>(std::lround((a_ - a_init) / da));
+  domain_->refresh(world_, particles_);
+}
+
+Simulation::EnergyDiagnostics Simulation::energy() {
+  mesh::DistGrid delta = density_contrast();
+  std::array<mesh::DistGrid, 3> force{
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_),
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_),
+      mesh::DistGrid(decomp_, world_.rank(), grid_ghost_)};
+  mesh::DistGrid phi(decomp_, world_.rank(), grid_ghost_);
+  poisson_->solve(world_, delta, force, &phi);
+  phi.fill_ghosts(world_);
+
+  std::vector<float> xs, ys, zs, ps;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] != tree::Role::kActive) continue;
+    xs.push_back(particles_.x[i]);
+    ys.push_back(particles_.y[i]);
+    zs.push_back(particles_.z[i]);
+    ps.push_back(particles_.vx[i] * particles_.vx[i] +
+                 particles_.vy[i] * particles_.vy[i] +
+                 particles_.vz[i] * particles_.vz[i]);
+  }
+  std::vector<float> phi_at(xs.size());
+  mesh::cic_interpolate(phi, xs, ys, zs, phi_at, /*clamp_to_storage=*/true);
+
+  EnergyDiagnostics e;
+  for (float p2 : ps) e.kinetic += 0.5 * static_cast<double>(p2);
+  e.kinetic /= a_ * a_;
+  for (float ph : phi_at) e.potential += ph;
+  e.potential *= 0.5 * 1.5 * cosmo_.omega_m / a_;
+  e.kinetic = world_.allreduce_value(e.kinetic, comm::ReduceOp::kSum);
+  e.potential = world_.allreduce_value(e.potential, comm::ReduceOp::kSum);
+  return e;
+}
+
+std::array<double, 3> Simulation::total_momentum() {
+  std::array<double, 3> sum{0, 0, 0};
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] != tree::Role::kActive) continue;
+    sum[0] += particles_.vx[i];
+    sum[1] += particles_.vy[i];
+    sum[2] += particles_.vz[i];
+  }
+  world_.allreduce(std::span<double>(sum), comm::ReduceOp::kSum);
+  return sum;
+}
+
+}  // namespace hacc::core

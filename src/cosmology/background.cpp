@@ -1,0 +1,110 @@
+#include "cosmology/background.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace hacc::cosmology {
+
+double Cosmology::efunc(double a) const noexcept {
+  // Constant-w dark energy: rho_de(a) = rho_de,0 a^{-3(1+w)}.
+  const double de = omega_l * std::pow(a, -3.0 * (1.0 + w));
+  return std::sqrt(omega_m / (a * a * a) + omega_k() / (a * a) + de);
+}
+
+double integrate(double lo, double hi, double (*f)(double, const void*),
+                 const void* ctx, std::size_t panels) {
+  HACC_CHECK(hi >= lo);
+  if (hi == lo) return 0.0;
+  // Composite Simpson over `panels` panels (panels forced even).
+  if (panels % 2 == 1) ++panels;
+  const double h = (hi - lo) / static_cast<double>(panels);
+  double sum = f(lo, ctx) + f(hi, ctx);
+  for (std::size_t i = 1; i < panels; ++i) {
+    const double x = lo + h * static_cast<double>(i);
+    sum += f(x, ctx) * (i % 2 == 1 ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+namespace {
+double kick_integrand(double a, const void* ctx) {
+  const auto& c = *static_cast<const Cosmology*>(ctx);
+  return 1.0 / (a * a * c.efunc(a));
+}
+double drift_integrand(double a, const void* ctx) {
+  const auto& c = *static_cast<const Cosmology*>(ctx);
+  return 1.0 / (a * a * a * c.efunc(a));
+}
+double tau_integrand(double a, const void* ctx) {
+  const auto& c = *static_cast<const Cosmology*>(ctx);
+  return 1.0 / (a * c.efunc(a));
+}
+/// Unnormalized D+(a): direct RK4 integration of the linear growth ODE in
+/// x = ln a,
+///   D'' + (2 + dlnE/dlnx) D' = (3/2) Omega_m a^{-3} E^{-2} D,
+/// started deep in matter domination (D = a, D' = a). Valid for any
+/// smooth dark energy (the closed-form D ~ E int da/(aE)^3 is exact only
+/// for w = -1, so general-w models need the ODE).
+double growth_unnormalized(const Cosmology& c, double a) {
+  const double x0 = std::log(1e-4);
+  const double x1 = std::log(a);
+  const int steps = 4000;
+  const double h = (x1 - x0) / steps;
+  auto dlne = [&](double x) {
+    const double eps = 1e-5;
+    return (std::log(c.efunc(std::exp(x + eps))) -
+            std::log(c.efunc(std::exp(x - eps)))) /
+           (2.0 * eps);
+  };
+  auto rhs = [&](double x, double d, double dp) {
+    const double aa = std::exp(x);
+    const double e = c.efunc(aa);
+    const double src = 1.5 * c.omega_m / (aa * aa * aa * e * e) * d;
+    return src - (2.0 + dlne(x)) * dp;
+  };
+  double x = x0;
+  double d = std::exp(x0);   // D ~ a in matter domination
+  double dp = std::exp(x0);  // dD/dlna ~ a
+  for (int i = 0; i < steps; ++i) {
+    const double k1d = dp, k1p = rhs(x, d, dp);
+    const double k2d = dp + 0.5 * h * k1p,
+                 k2p = rhs(x + 0.5 * h, d + 0.5 * h * k1d, dp + 0.5 * h * k1p);
+    const double k3d = dp + 0.5 * h * k2p,
+                 k3p = rhs(x + 0.5 * h, d + 0.5 * h * k2d, dp + 0.5 * h * k2p);
+    const double k4d = dp + h * k3p,
+                 k4p = rhs(x + h, d + h * k3d, dp + h * k3p);
+    d += h / 6.0 * (k1d + 2 * k2d + 2 * k3d + k4d);
+    dp += h / 6.0 * (k1p + 2 * k2p + 2 * k3p + k4p);
+    x += h;
+  }
+  return d;
+}
+}  // namespace
+
+double Cosmology::kick_factor(double a0, double a1) const {
+  return integrate(a0, a1, kick_integrand, this);
+}
+
+double Cosmology::drift_factor(double a0, double a1) const {
+  return integrate(a0, a1, drift_integrand, this);
+}
+
+double Cosmology::tau_of(double a0, double a1) const {
+  return integrate(a0, a1, tau_integrand, this);
+}
+
+double Cosmology::growth_factor(double a) const {
+  HACC_CHECK_MSG(a > 0.0 && a <= 1.5, "growth_factor: a out of range");
+  return growth_unnormalized(*this, a) / growth_unnormalized(*this, 1.0);
+}
+
+double Cosmology::growth_rate(double a) const {
+  const double eps = 1e-4 * a;
+  const double dp = growth_unnormalized(*this, a + eps);
+  const double dm = growth_unnormalized(*this, a - eps);
+  const double d = growth_unnormalized(*this, a);
+  return a * (dp - dm) / (2.0 * eps * d);
+}
+
+}  // namespace hacc::cosmology

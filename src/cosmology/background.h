@@ -1,0 +1,64 @@
+// FLRW background evolution and linear growth.
+//
+// The expansion of the Universe enters HACC through the scale factor a(t)
+// (paper Eq. 2-4): the Poisson source scales as a^-1 in comoving
+// coordinates and the symplectic stepper's kick/drift coefficients are
+// integrals over 1/(a^2 E) and 1/(a^3 E). This module provides E(a), the
+// kick/drift integrals, and the linear growth factor D+(a) used for initial
+// conditions and for validating the integrator against linear theory.
+//
+// Code units: lengths in grid cells, time tau = H0 t, momenta p = a^2 dx/dtau.
+#pragma once
+
+#include <cstddef>
+
+namespace hacc::cosmology {
+
+/// Flat(ish) LCDM parameters; defaults follow the WMAP7-like cosmology HACC
+/// science runs used (Omega_m ~ 0.26, h ~ 0.71, n_s ~ 0.963, sigma_8 ~ 0.8).
+struct Cosmology {
+  double omega_m = 0.265;   ///< total matter (CDM + baryon) today
+  double omega_b = 0.045;   ///< baryons today
+  double omega_l = 0.735;   ///< dark energy
+  double h = 0.71;          ///< H0 / (100 km/s/Mpc)
+  double n_s = 0.963;       ///< primordial spectral index
+  double sigma8 = 0.8;      ///< linear normalization at z = 0
+  /// Dark-energy equation of state w = p/rho (constant w0 model); -1 is a
+  /// cosmological constant. The paper's science program is exactly to
+  /// "systematically study dark energy model space" (Sec. V) — w is the
+  /// first axis of that space.
+  double w = -1.0;
+
+  double omega_k() const noexcept { return 1.0 - omega_m - omega_l; }
+
+  /// E(a) = H(a)/H0.
+  double efunc(double a) const noexcept;
+
+  /// Conversions.
+  static double a_of_z(double z) noexcept { return 1.0 / (1.0 + z); }
+  static double z_of_a(double a) noexcept { return 1.0 / a - 1.0; }
+
+  /// Kick coefficient: int_{a0}^{a1} da / (a^2 E(a)) = int dtau / a.
+  /// (The momentum update is dp = (3/2) Omega_m * g * this integral.)
+  double kick_factor(double a0, double a1) const;
+
+  /// Drift coefficient: int_{a0}^{a1} da / (a^3 E(a)) = int dtau / a^2.
+  /// (The position update is dx = p * this integral.)
+  double drift_factor(double a0, double a1) const;
+
+  /// Conformal-ish time elapsed: int da/(a E) = H0 (t1 - t0)... in tau.
+  double tau_of(double a0, double a1) const;
+
+  /// Linear growth factor D+(a), normalized to D+(1) = 1.
+  double growth_factor(double a) const;
+
+  /// Growth rate f = dln D+ / dln a.
+  double growth_rate(double a) const;
+};
+
+/// Adaptive Simpson integration helper (shared by the factors above and by
+/// the sigma8 normalization integral in power_spectrum.cpp).
+double integrate(double lo, double hi, double (*f)(double, const void*),
+                 const void* ctx, std::size_t panels = 512);
+
+}  // namespace hacc::cosmology

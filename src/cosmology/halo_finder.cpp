@@ -1,0 +1,218 @@
+#include "cosmology/halo_finder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hacc::cosmology {
+
+namespace {
+
+/// Union-find with path halving.
+class DisjointSets {
+ public:
+  explicit DisjointSets(std::size_t n) : parent_(n) {
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = static_cast<std::uint32_t>(i);
+  }
+  std::uint32_t find(std::uint32_t v) noexcept {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+  void unite(std::uint32_t a, std::uint32_t b) noexcept {
+    a = find(a);
+    b = find(b);
+    if (a != b) parent_[std::max(a, b)] = std::min(a, b);
+  }
+
+ private:
+  std::vector<std::uint32_t> parent_;
+};
+
+double periodic_delta(double d, double box) noexcept {
+  if (d > 0.5 * box) return d - box;
+  if (d < -0.5 * box) return d + box;
+  return d;
+}
+
+/// Link all pairs within `radius` among `subset` (or all particles when the
+/// subset is empty) using a chaining mesh with periodic wrap.
+void link_pairs(const tree::ParticleArray& p,
+                const std::vector<std::uint32_t>& subset, double radius,
+                double box, DisjointSets& sets) {
+  const double r2 = radius * radius;
+  const int ncells = std::max(3, static_cast<int>(std::floor(box / radius)));
+  const double cell = box / ncells;
+  const std::size_t total =
+      static_cast<std::size_t>(ncells) * static_cast<std::size_t>(ncells) *
+      static_cast<std::size_t>(ncells);
+
+  auto cell_of = [&](float x, float y, float z) {
+    auto c = [&](float v) {
+      int i = static_cast<int>(static_cast<double>(v) / cell);
+      if (i >= ncells) i = ncells - 1;
+      if (i < 0) i = 0;
+      return i;
+    };
+    return (static_cast<std::size_t>(c(x)) * static_cast<std::size_t>(ncells) +
+            static_cast<std::size_t>(c(y))) *
+               static_cast<std::size_t>(ncells) +
+           static_cast<std::size_t>(c(z));
+  };
+
+  std::vector<std::vector<std::uint32_t>> cells(total);
+  auto add = [&](std::uint32_t i) {
+    cells[cell_of(p.x[i], p.y[i], p.z[i])].push_back(i);
+  };
+  if (subset.empty()) {
+    for (std::uint32_t i = 0; i < p.size(); ++i) add(i);
+  } else {
+    for (auto i : subset) add(i);
+  }
+
+  for (int cx = 0; cx < ncells; ++cx)
+    for (int cy = 0; cy < ncells; ++cy)
+      for (int cz = 0; cz < ncells; ++cz) {
+        const std::size_t c0 =
+            (static_cast<std::size_t>(cx) * static_cast<std::size_t>(ncells) +
+             static_cast<std::size_t>(cy)) *
+                static_cast<std::size_t>(ncells) +
+            static_cast<std::size_t>(cz);
+        const auto& mine = cells[c0];
+        if (mine.empty()) continue;
+        for (int dx = -1; dx <= 1; ++dx)
+          for (int dy = -1; dy <= 1; ++dy)
+            for (int dz = -1; dz <= 1; ++dz) {
+              const int nx = (cx + dx + ncells) % ncells;
+              const int ny = (cy + dy + ncells) % ncells;
+              const int nz = (cz + dz + ncells) % ncells;
+              const std::size_t c1 =
+                  (static_cast<std::size_t>(nx) *
+                       static_cast<std::size_t>(ncells) +
+                   static_cast<std::size_t>(ny)) *
+                      static_cast<std::size_t>(ncells) +
+                  static_cast<std::size_t>(nz);
+              if (c1 < c0) continue;  // each unordered cell pair once
+              const auto& other = cells[c1];
+              for (std::size_t a = 0; a < mine.size(); ++a) {
+                const std::uint32_t i = mine[a];
+                const std::size_t b0 = (c1 == c0) ? a + 1 : 0;
+                for (std::size_t b = b0; b < other.size(); ++b) {
+                  const std::uint32_t j = other[b];
+                  const double ddx = periodic_delta(p.x[i] - p.x[j], box);
+                  const double ddy = periodic_delta(p.y[i] - p.y[j], box);
+                  const double ddz = periodic_delta(p.z[i] - p.z[j], box);
+                  if (ddx * ddx + ddy * ddy + ddz * ddz <= r2)
+                    sets.unite(i, j);
+                }
+              }
+            }
+      }
+}
+
+/// Periodic center of mass: average unit-circle phases per axis.
+std::array<double, 3> periodic_center(const tree::ParticleArray& p,
+                                      const std::vector<std::uint32_t>& m,
+                                      double box) {
+  std::array<double, 3> center{};
+  for (int axis = 0; axis < 3; ++axis) {
+    double cs = 0, sn = 0, msum = 0;
+    for (auto i : m) {
+      const double v =
+          axis == 0 ? p.x[i] : axis == 1 ? p.y[i] : p.z[i];
+      const double th = 2.0 * std::numbers::pi * v / box;
+      cs += p.mass[i] * std::cos(th);
+      sn += p.mass[i] * std::sin(th);
+      msum += p.mass[i];
+    }
+    double th = std::atan2(sn / msum, cs / msum);
+    if (th < 0) th += 2.0 * std::numbers::pi;
+    center[static_cast<std::size_t>(axis)] =
+        th * box / (2.0 * std::numbers::pi);
+  }
+  return center;
+}
+
+std::vector<Halo> groups_from_sets(const tree::ParticleArray& p,
+                                   DisjointSets& sets,
+                                   const std::vector<std::uint32_t>& subset,
+                                   std::size_t min_members, double box) {
+  std::vector<std::vector<std::uint32_t>> groups;
+  std::vector<std::int64_t> group_of(p.size(), -1);
+  auto visit = [&](std::uint32_t i) {
+    const std::uint32_t root = sets.find(i);
+    if (group_of[root] < 0) {
+      group_of[root] = static_cast<std::int64_t>(groups.size());
+      groups.emplace_back();
+    }
+    groups[static_cast<std::size_t>(group_of[root])].push_back(i);
+  };
+  if (subset.empty()) {
+    for (std::uint32_t i = 0; i < p.size(); ++i) visit(i);
+  } else {
+    for (auto i : subset) visit(i);
+  }
+
+  std::vector<Halo> halos;
+  for (auto& g : groups) {
+    if (g.size() < min_members) continue;
+    Halo h;
+    h.members = std::move(g);
+    h.center = periodic_center(p, h.members, box);
+    for (auto i : h.members) {
+      h.mass += p.mass[i];
+      h.velocity[0] += p.vx[i];
+      h.velocity[1] += p.vy[i];
+      h.velocity[2] += p.vz[i];
+    }
+    const double inv = 1.0 / static_cast<double>(h.members.size());
+    for (auto& v : h.velocity) v *= inv;
+    halos.push_back(std::move(h));
+  }
+  std::sort(halos.begin(), halos.end(),
+            [](const Halo& a, const Halo& b) { return a.mass > b.mass; });
+  return halos;
+}
+
+}  // namespace
+
+std::vector<Halo> find_halos(const tree::ParticleArray& p,
+                             const FofConfig& config) {
+  HACC_CHECK_MSG(config.box > 0, "FofConfig.box must be set");
+  HACC_CHECK_MSG(config.mean_spacing > 0,
+                 "FofConfig.mean_spacing must be set");
+  if (p.size() == 0) return {};
+  const double radius = config.linking_length * config.mean_spacing;
+  DisjointSets sets(p.size());
+  link_pairs(p, {}, radius, config.box, sets);
+  return groups_from_sets(p, sets, {}, config.min_members, config.box);
+}
+
+std::vector<Halo> find_subhalos(const tree::ParticleArray& p, const Halo& halo,
+                                const FofConfig& config,
+                                double sub_linking_fraction,
+                                std::size_t min_members) {
+  HACC_CHECK(sub_linking_fraction > 0 && sub_linking_fraction <= 1.0);
+  const double radius = config.linking_length * config.mean_spacing *
+                        sub_linking_fraction;
+  DisjointSets sets(p.size());
+  link_pairs(p, halo.members, radius, config.box, sets);
+  return groups_from_sets(p, sets, halo.members, min_members, config.box);
+}
+
+std::vector<std::size_t> mass_function(const std::vector<Halo>& halos,
+                                       const std::vector<double>& edges) {
+  std::vector<std::size_t> counts(edges.size(), 0);
+  for (const auto& h : halos) {
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (h.mass >= edges[i]) ++counts[i];
+    }
+  }
+  return counts;
+}
+
+}  // namespace hacc::cosmology

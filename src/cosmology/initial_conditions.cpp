@@ -1,0 +1,211 @@
+#include "cosmology/initial_conditions.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "fft/pencil.h"
+#include "mesh/cic.h"
+#include "mesh/kernels.h"
+#include "mesh/remap.h"
+#include "util/rng.h"
+
+namespace hacc::cosmology {
+
+void generate_displacement_fields(comm::Comm& world,
+                                  const mesh::BlockDecomp3D& decomp,
+                                  const Cosmology& cosmo,
+                                  const IcConfig& config,
+                                  std::array<mesh::DistGrid, 3>& psi) {
+  const auto& dims = decomp.grid_dims();
+  HACC_CHECK(dims[0] == dims[1] && dims[1] == dims[2]);
+  const std::size_t n = dims[0];
+  const double box = config.box_mpch;
+  const double cell_mpch = box / static_cast<double>(n);
+  const double kf = 2.0 * std::numbers::pi / box;
+  const double ncells = static_cast<double>(n) * static_cast<double>(n) *
+                        static_cast<double>(n);
+
+  LinearPower power(cosmo, config.transfer);
+
+  fft::PencilFft3D fft = fft::PencilFft3D::balanced(world, n, n, n);
+  const fft::Box3D rb = fft.real_box();
+  // White noise keyed by global cell: decomposition independent.
+  Philox rng(config.seed);
+  std::vector<fft::Complex> noise(rb.volume());
+  {
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = rb.y.lo; y < rb.y.hi; ++y)
+        for (std::size_t z = rb.z.lo; z < rb.z.hi; ++z) {
+          const std::uint64_t cell = (x * n + y) * n + z;
+          noise[i++] = fft::Complex(rng.gaussian2(cell)[0], 0.0);
+        }
+  }
+  fft.forward(noise);
+
+  // delta(k) = n(k) sqrt(P(k) N / V); psi_axis(k) = i k_axis delta / k^2.
+  const fft::Box3D sb = fft.spectral_box();
+  // Remap table: pencil spectral layout is not needed; we inverse-transform
+  // per axis from the same delta(k), so keep delta and derive per axis.
+  std::vector<fft::Complex> delta_k(noise.size());
+  {
+    std::size_t i = 0;
+    for (std::size_t mx = sb.x.lo; mx < sb.x.hi; ++mx) {
+      const long sx = mesh::signed_mode(mx, n);
+      for (std::size_t my = sb.y.lo; my < sb.y.hi; ++my) {
+        const long sy = mesh::signed_mode(my, n);
+        for (std::size_t mz = sb.z.lo; mz < sb.z.hi; ++mz, ++i) {
+          const long sz = mesh::signed_mode(mz, n);
+          const double k2 =
+              kf * kf *
+              static_cast<double>(sx * sx + sy * sy + sz * sz);
+          if (k2 == 0.0) {
+            delta_k[i] = fft::Complex(0, 0);
+            continue;
+          }
+          const double kmag = std::sqrt(k2);
+          const double amp =
+              std::sqrt(power(kmag) * ncells / (box * box * box));
+          delta_k[i] = noise[i] * amp;
+        }
+      }
+    }
+  }
+
+  // Block-layout remap table (shared by the three components).
+  std::vector<fft::Box3D> src, dst;
+  for (int r = 0; r < world.size(); ++r) {
+    const int q1 = r / fft.p2(), q2 = r % fft.p2();
+    src.push_back(fft::Box3D{fft::block_range(n, fft.p1(), q1),
+                             fft::block_range(n, fft.p2(), q2),
+                             fft::Range{0, n}});
+    dst.push_back(decomp.box_of(r));
+  }
+  mesh::Redistributor remap(src, dst);
+
+  for (int axis = 0; axis < 3; ++axis) {
+    std::vector<fft::Complex> psi_k(delta_k.size());
+    std::size_t i = 0;
+    for (std::size_t mx = sb.x.lo; mx < sb.x.hi; ++mx) {
+      const long sx = mesh::signed_mode(mx, n);
+      for (std::size_t my = sb.y.lo; my < sb.y.hi; ++my) {
+        const long sy = mesh::signed_mode(my, n);
+        for (std::size_t mz = sb.z.lo; mz < sb.z.hi; ++mz, ++i) {
+          const long sz = mesh::signed_mode(mz, n);
+          const double k2 =
+              kf * kf * static_cast<double>(sx * sx + sy * sy + sz * sz);
+          if (k2 == 0.0) {
+            psi_k[i] = fft::Complex(0, 0);
+            continue;
+          }
+          const long sm = axis == 0 ? sx : axis == 1 ? sy : sz;
+          // Zero the Nyquist plane of this axis: i*k has no Hermitian
+          // partner there and would leak an imaginary component.
+          if (n % 2 == 0 && sm == -static_cast<long>(n / 2)) {
+            psi_k[i] = fft::Complex(0, 0);
+            continue;
+          }
+          const double ka = kf * static_cast<double>(sm);
+          // psi = i k / k^2 * delta  [Mpc/h]; convert to grid units.
+          psi_k[i] = fft::Complex(0.0, ka / k2) * delta_k[i] /
+                     cell_mpch;
+        }
+      }
+    }
+    fft.inverse(psi_k);
+    std::vector<double> real(psi_k.size());
+    for (std::size_t j = 0; j < psi_k.size(); ++j) real[j] = psi_k[j].real();
+    // src boxes are the pencils, dst the particle blocks: forward maps
+    // pencil -> block.
+    auto block = remap.forward(world, real);
+    // Store into the DistGrid interior.
+    auto& grid = psi[static_cast<std::size_t>(axis)];
+    const auto& b = grid.interior();
+    grid.fill(0.0);
+    std::size_t j = 0;
+    for (std::ptrdiff_t xx = 0;
+         xx < static_cast<std::ptrdiff_t>(b.x.extent()); ++xx)
+      for (std::ptrdiff_t yy = 0;
+           yy < static_cast<std::ptrdiff_t>(b.y.extent()); ++yy)
+        for (std::ptrdiff_t zz = 0;
+             zz < static_cast<std::ptrdiff_t>(b.z.extent()); ++zz)
+          grid.at(xx, yy, zz) = block[j++];
+    grid.fill_ghosts(world);
+  }
+}
+
+void generate_zeldovich(comm::Comm& world, const mesh::BlockDecomp3D& decomp,
+                        const Cosmology& cosmo, const IcConfig& config,
+                        tree::ParticleArray& out) {
+  const auto& dims = decomp.grid_dims();
+  const std::size_t n = dims[0];
+  const std::size_t np = config.particles_per_dim;
+  HACC_CHECK_MSG(np >= 1 && np <= n,
+                 "particle lattice must not exceed the grid");
+
+  std::array<mesh::DistGrid, 3> psi{
+      mesh::DistGrid(decomp, world.rank(), 1),
+      mesh::DistGrid(decomp, world.rank(), 1),
+      mesh::DistGrid(decomp, world.rank(), 1)};
+  generate_displacement_fields(world, decomp, cosmo, config, psi);
+
+  const double a = Cosmology::a_of_z(config.z_init);
+  const double growth = cosmo.growth_factor(a);
+  const double f = cosmo.growth_rate(a);
+  const double e = cosmo.efunc(a);
+  // Zel'dovich momentum coefficient: p = a^2 E f D psi (code units).
+  const double pcoef = a * a * e * f * growth;
+
+  const auto& box = decomp.box_of(world.rank());
+  const double spacing = static_cast<double>(n) / static_cast<double>(np);
+  out.clear();
+
+  // Lattice sites inside my domain.
+  auto first_site = [&](double lo) {
+    return static_cast<std::size_t>(
+        std::ceil(lo / spacing - 1e-9));
+  };
+  std::vector<float> qx, qy, qz;
+  std::vector<std::uint64_t> ids;
+  for (std::size_t ix = first_site(static_cast<double>(box.x.lo)); ix < np;
+       ++ix) {
+    const double x = static_cast<double>(ix) * spacing;
+    if (x >= static_cast<double>(box.x.hi)) break;
+    for (std::size_t iy = first_site(static_cast<double>(box.y.lo)); iy < np;
+         ++iy) {
+      const double y = static_cast<double>(iy) * spacing;
+      if (y >= static_cast<double>(box.y.hi)) break;
+      for (std::size_t iz = first_site(static_cast<double>(box.z.lo));
+           iz < np; ++iz) {
+        const double z = static_cast<double>(iz) * spacing;
+        if (z >= static_cast<double>(box.z.hi)) break;
+        qx.push_back(static_cast<float>(x));
+        qy.push_back(static_cast<float>(y));
+        qz.push_back(static_cast<float>(z));
+        ids.push_back((ix * np + iy) * np + iz);
+      }
+    }
+  }
+
+  std::vector<float> dx(qx.size()), dy(qx.size()), dz(qx.size());
+  mesh::cic_interpolate(psi[0], qx, qy, qz, dx);
+  mesh::cic_interpolate(psi[1], qx, qy, qz, dy);
+  mesh::cic_interpolate(psi[2], qx, qy, qz, dz);
+
+  const auto wrap = [&](double v) {
+    const double nn = static_cast<double>(n);
+    v = std::fmod(v, nn);
+    return static_cast<float>(v < 0 ? v + nn : v);
+  };
+  out.reserve(qx.size());
+  for (std::size_t i = 0; i < qx.size(); ++i) {
+    out.push_back(wrap(qx[i] + growth * dx[i]),
+                  wrap(qy[i] + growth * dy[i]),
+                  wrap(qz[i] + growth * dz[i]),
+                  static_cast<float>(pcoef * dx[i]),
+                  static_cast<float>(pcoef * dy[i]),
+                  static_cast<float>(pcoef * dz[i]), 1.0f, ids[i]);
+  }
+}
+
+}  // namespace hacc::cosmology

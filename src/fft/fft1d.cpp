@@ -1,0 +1,228 @@
+#include "fft/fft1d.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.h"
+
+namespace hacc::fft {
+
+namespace {
+
+/// Largest prime radix handled by the mixed-radix combine step.
+constexpr std::size_t kMaxRadix = 31;
+
+std::size_t smallest_factor(std::size_t n) {
+  for (std::size_t f = 2; f * f <= n; ++f) {
+    if (n % f == 0) return f;
+  }
+  return n;
+}
+
+bool is_smooth(std::size_t n) {
+  while (n > 1) {
+    const std::size_t f = smallest_factor(n);
+    if (f > kMaxRadix) return false;
+    n /= f;
+  }
+  return true;
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+struct Fft1D::Impl {
+  std::size_t n = 0;
+  // Twiddle table: w[k] = exp(-2 pi i k / n), k in [0, n).
+  std::vector<Complex> twiddle;
+  // Prime factorization of n, smallest first (mixed-radix path).
+  std::vector<std::size_t> factors;
+
+  // Bluestein state (only when !smooth): convolution length m (power of 2),
+  // chirp[j] = exp(-i pi j^2 / n), and the forward FFT of the padded
+  // conjugate chirp.
+  std::unique_ptr<Fft1D> conv_fft;
+  std::vector<Complex> chirp;
+  std::vector<Complex> chirp_fft;  // FFT of b_j = conj(chirp) wrapped
+
+  void build_twiddles() {
+    twiddle.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double phase =
+          -2.0 * std::numbers::pi * static_cast<double>(k) /
+          static_cast<double>(n);
+      twiddle[k] = Complex(std::cos(phase), std::sin(phase));
+    }
+  }
+
+  Complex tw(std::size_t k, Direction dir) const {
+    const Complex w = twiddle[k % n];
+    return dir == Direction::kForward ? w : std::conj(w);
+  }
+
+  /// Out-of-place recursive mixed-radix decimation-in-time.
+  /// in: logical sequence x[j] = in[j * in_stride]; writes out[0..len).
+  /// `scratch` must have room for len values and is clobbered.
+  void rec(const Complex* in, std::size_t in_stride, Complex* out,
+           Complex* scratch, std::size_t len, std::size_t depth,
+           Direction dir) const {
+    if (len == 1) {
+      out[0] = in[0];
+      return;
+    }
+    const std::size_t r = factors[depth];
+    const std::size_t m = len / r;
+    // Children transform the r decimated subsequences into scratch, using
+    // `out` as their scratch: regions are disjoint per child.
+    for (std::size_t j = 0; j < r; ++j) {
+      rec(in + j * in_stride, in_stride * r, scratch + j * m, out + j * m, m,
+          depth + 1, dir);
+    }
+    // Combine: X[q + s*m] = sum_j scratch[j*m + q] * W_n^{j (q + s m)}
+    // with W at this level = W_{len} = twiddle step n/len in the master
+    // table.
+    const std::size_t step = n / len;
+    for (std::size_t q = 0; q < m; ++q) {
+      for (std::size_t s = 0; s < r; ++s) {
+        const std::size_t idx = q + s * m;
+        Complex acc = scratch[q];  // j = 0 term, W^0 = 1
+        for (std::size_t j = 1; j < r; ++j) {
+          acc += scratch[j * m + q] * tw(((j * idx) % len) * step, dir);
+        }
+        out[idx] = acc;
+      }
+    }
+  }
+
+  void transform_smooth(Complex* data, Direction dir) const {
+    // Thread-local scratch: plans are shared across OpenMP threads (the
+    // threaded batch and the PM solver's concurrent line transforms).
+    thread_local std::vector<Complex> scratch_a, scratch_b;
+    scratch_a.resize(n);
+    scratch_b.resize(n);
+    // Copy input out so the recursion can write back into `data`.
+    std::copy(data, data + n, scratch_a.begin());
+    rec(scratch_a.data(), 1, data, scratch_b.data(), n, 0, dir);
+  }
+
+  void build_bluestein() {
+    const std::size_t m = next_pow2(2 * n - 1);
+    conv_fft = std::make_unique<Fft1D>(m);
+    chirp.resize(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      // Use j^2 mod 2n to keep the phase argument small and exact.
+      const std::size_t j2 = (j * j) % (2 * n);
+      const double phase = -std::numbers::pi * static_cast<double>(j2) /
+                           static_cast<double>(n);
+      chirp[j] = Complex(std::cos(phase), std::sin(phase));
+    }
+    // b_j = conj(chirp_|j|) wrapped into [0, m).
+    std::vector<Complex> b(m, Complex(0, 0));
+    b[0] = std::conj(chirp[0]);
+    for (std::size_t j = 1; j < n; ++j) {
+      b[j] = std::conj(chirp[j]);
+      b[m - j] = std::conj(chirp[j]);
+    }
+    conv_fft->transform(b.data(), Direction::kForward);
+    chirp_fft = std::move(b);
+  }
+
+  void transform_bluestein(Complex* data, Direction dir) const {
+    const std::size_t m = conv_fft->size();
+    thread_local std::vector<Complex> bluestein_work;
+    bluestein_work.assign(m, Complex(0, 0));
+    // Forward with chirp; inverse = conjugate trick.
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex x =
+          dir == Direction::kForward ? data[j] : std::conj(data[j]);
+      bluestein_work[j] = x * chirp[j];
+    }
+    conv_fft->transform(bluestein_work.data(), Direction::kForward);
+    for (std::size_t j = 0; j < m; ++j) bluestein_work[j] *= chirp_fft[j];
+    conv_fft->inverse_scaled(bluestein_work.data());
+    for (std::size_t j = 0; j < n; ++j) {
+      const Complex y = bluestein_work[j] * chirp[j];
+      data[j] = dir == Direction::kForward ? y : std::conj(y);
+    }
+  }
+};
+
+Fft1D::Fft1D(std::size_t n) : n_(n), smooth_(is_smooth(n)) {
+  HACC_CHECK_MSG(n >= 1, "FFT length must be positive");
+  impl_ = std::make_unique<Impl>();
+  impl_->n = n;
+  impl_->build_twiddles();
+  if (smooth_) {
+    std::size_t m = n;
+    while (m > 1) {
+      const std::size_t f = smallest_factor(m);
+      impl_->factors.push_back(f);
+      m /= f;
+    }
+  } else {
+    impl_->build_bluestein();
+  }
+}
+
+Fft1D::~Fft1D() = default;
+Fft1D::Fft1D(Fft1D&&) noexcept = default;
+Fft1D& Fft1D::operator=(Fft1D&&) noexcept = default;
+
+void Fft1D::transform(Complex* data, Direction dir) const {
+  if (n_ == 1) return;
+  if (smooth_) {
+    impl_->transform_smooth(data, dir);
+  } else {
+    impl_->transform_bluestein(data, dir);
+  }
+}
+
+void Fft1D::transform_batch(Complex* data, std::size_t count,
+                            Direction dir) const {
+  // Lines are independent; thread when there is enough work to amortize
+  // the fork (part of the paper's "fully thread ... the long-range solver"
+  // program, Sec. VI).
+#pragma omp parallel for schedule(static) if (count >= 64 && n_ >= 32)
+  for (std::size_t i = 0; i < count; ++i) transform(data + i * n_, dir);
+}
+
+void Fft1D::transform_strided(Complex* data, std::size_t stride,
+                              Direction dir) const {
+  if (stride == 1) {
+    transform(data, dir);
+    return;
+  }
+  std::vector<Complex> line(n_);
+  for (std::size_t j = 0; j < n_; ++j) line[j] = data[j * stride];
+  transform(line.data(), dir);
+  for (std::size_t j = 0; j < n_; ++j) data[j * stride] = line[j];
+}
+
+void Fft1D::inverse_scaled(Complex* data) const {
+  transform(data, Direction::kInverse);
+  const double inv = 1.0 / static_cast<double>(n_);
+  for (std::size_t j = 0; j < n_; ++j) data[j] *= inv;
+}
+
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   Direction dir) {
+  const std::size_t n = in.size();
+  const double sign = dir == Direction::kForward ? -1.0 : 1.0;
+  std::vector<Complex> out(n, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double phase = sign * 2.0 * std::numbers::pi *
+                           static_cast<double>((j * k) % n) /
+                           static_cast<double>(n);
+      out[k] += in[j] * Complex(std::cos(phase), std::sin(phase));
+    }
+  }
+  return out;
+}
+
+}  // namespace hacc::fft

@@ -1,0 +1,72 @@
+// One-dimensional complex FFT, implemented from scratch.
+//
+// HACC deliberately avoids vendor FFT libraries (paper Sec. I: "HACC's
+// performance and flexibility are not dependent on vendor-supplied or other
+// high-performance libraries"); its 3-D FFT is built on its own 1-D kernels.
+// We provide a planned, cache-twiddle, mixed-radix Cooley-Tukey transform
+// for smooth sizes (any product of primes <= 31 — covers every size in the
+// paper: 1024, 4096, 5120=2^10*5, 6400, 8192, 9216=2^10*9, 10240) and a
+// Bluestein chirp-z fallback so *every* length is supported, as required for
+// the "non-power-of-two FFT" claim (paper Sec. IV-A).
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace hacc::fft {
+
+using Complex = std::complex<double>;
+
+/// Transform direction. Forward uses exp(-i 2pi jk/n); Inverse is unscaled
+/// exp(+i 2pi jk/n) — callers divide by n (or use `inverse_scaled`).
+enum class Direction { kForward, kInverse };
+
+/// A planned 1-D transform of fixed length n.
+///
+/// Plans precompute the full twiddle table (and Bluestein chirp state when
+/// needed) once. Plans are immutable after construction; `transform` uses
+/// thread-local scratch and is safe to call concurrently on one shared plan
+/// (transform_batch exploits this with an OpenMP loop).
+class Fft1D {
+ public:
+  explicit Fft1D(std::size_t n);
+  ~Fft1D();
+  Fft1D(Fft1D&&) noexcept;
+  Fft1D& operator=(Fft1D&&) noexcept;
+  Fft1D(const Fft1D&) = delete;
+  Fft1D& operator=(const Fft1D&) = delete;
+
+  std::size_t size() const noexcept { return n_; }
+
+  /// In-place transform of one contiguous line of n values.
+  void transform(Complex* data, Direction dir) const;
+
+  /// In-place transform of `count` contiguous lines (line i starts at
+  /// data + i*n).
+  void transform_batch(Complex* data, std::size_t count, Direction dir) const;
+
+  /// In-place transform of a strided line: element j at data[j*stride].
+  void transform_strided(Complex* data, std::size_t stride,
+                         Direction dir) const;
+
+  /// Inverse transform including the 1/n normalization.
+  void inverse_scaled(Complex* data) const;
+
+  /// True if n factors entirely into primes <= 31 (mixed-radix path);
+  /// false means the Bluestein path is used.
+  bool smooth() const noexcept { return smooth_; }
+
+ private:
+  struct Impl;
+  std::size_t n_;
+  bool smooth_;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// O(n^2) reference DFT used by tests to validate the fast transforms.
+std::vector<Complex> dft_reference(const std::vector<Complex>& in,
+                                   Direction dir);
+
+}  // namespace hacc::fft

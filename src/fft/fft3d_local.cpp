@@ -1,0 +1,44 @@
+#include "fft/fft3d_local.h"
+
+#include <vector>
+
+namespace hacc::fft {
+
+Fft3DLocal::Fft3DLocal(std::size_t nx, std::size_t ny, std::size_t nz)
+    : nx_(nx), ny_(ny), nz_(nz), fx_(nx), fy_(ny), fz_(nz) {}
+
+void Fft3DLocal::transform(Complex* data, Direction dir) const {
+  // z lines are contiguous: batch directly.
+  fz_.transform_batch(data, nx_ * ny_, dir);
+
+  // y lines: stride nz within each (x) plane; gather/transform/scatter.
+  std::vector<Complex> line(ny_);
+  for (std::size_t x = 0; x < nx_; ++x) {
+    Complex* plane = data + x * ny_ * nz_;
+    for (std::size_t z = 0; z < nz_; ++z) {
+      for (std::size_t y = 0; y < ny_; ++y) line[y] = plane[y * nz_ + z];
+      fy_.transform(line.data(), dir);
+      for (std::size_t y = 0; y < ny_; ++y) plane[y * nz_ + z] = line[y];
+    }
+  }
+
+  // x lines: stride ny*nz.
+  std::vector<Complex> xline(nx_);
+  const std::size_t xstride = ny_ * nz_;
+  for (std::size_t y = 0; y < ny_; ++y) {
+    for (std::size_t z = 0; z < nz_; ++z) {
+      Complex* base = data + y * nz_ + z;
+      for (std::size_t x = 0; x < nx_; ++x) xline[x] = base[x * xstride];
+      fx_.transform(xline.data(), dir);
+      for (std::size_t x = 0; x < nx_; ++x) base[x * xstride] = xline[x];
+    }
+  }
+}
+
+void Fft3DLocal::inverse_scaled(Complex* data) const {
+  transform(data, Direction::kInverse);
+  const double inv = 1.0 / static_cast<double>(size());
+  for (std::size_t i = 0; i < size(); ++i) data[i] *= inv;
+}
+
+}  // namespace hacc::fft

@@ -1,0 +1,34 @@
+// Serial (single-rank) 3-D complex FFT.
+//
+// Used as the reference implementation the distributed slab/pencil FFTs are
+// validated against, and as the fast path when a solver runs on one rank.
+// Layout is row-major (x, y, z) -> ((x*ny + y)*nz + z).
+#pragma once
+
+#include <cstddef>
+
+#include "fft/fft1d.h"
+
+namespace hacc::fft {
+
+class Fft3DLocal {
+ public:
+  Fft3DLocal(std::size_t nx, std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+  std::size_t size() const noexcept { return nx_ * ny_ * nz_; }
+
+  /// In-place unscaled transform of an nx*ny*nz row-major array.
+  void transform(Complex* data, Direction dir) const;
+
+  /// Inverse including the 1/(nx*ny*nz) normalization.
+  void inverse_scaled(Complex* data) const;
+
+ private:
+  std::size_t nx_, ny_, nz_;
+  Fft1D fx_, fy_, fz_;
+};
+
+}  // namespace hacc::fft

@@ -1,0 +1,251 @@
+#include "fft/pencil.h"
+
+#include <vector>
+
+#include "comm/cart.h"
+
+namespace hacc::fft {
+
+PencilFft3D::PencilFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
+                         std::size_t nz, int p1, int p2)
+    : nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      p1_(p1),
+      p2_(p2),
+      q1_(world.rank() / p2),
+      q2_(world.rank() % p2),
+      fft_x_plan_(nx),
+      fft_y_plan_(ny),
+      fft_z_plan_(nz) {
+  HACC_CHECK_MSG(world.size() == p1 * p2,
+                 "pencil FFT: world size must equal p1*p2");
+  HACC_CHECK_MSG(static_cast<std::size_t>(p1) <= nx &&
+                     static_cast<std::size_t>(p1) <= ny,
+                 "pencil FFT: p1 must not exceed Nx and Ny");
+  HACC_CHECK_MSG(static_cast<std::size_t>(p2) <= ny &&
+                     static_cast<std::size_t>(p2) <= nz,
+                 "pencil FFT: p2 must not exceed Ny and Nz");
+
+  row_comm_ = world.split(q1_, q2_);
+  col_comm_ = world.split(q2_, q1_);
+  HACC_CHECK(row_comm_.size() == p2 && row_comm_.rank() == q2_);
+  HACC_CHECK(col_comm_.size() == p1 && col_comm_.rank() == q1_);
+
+  real_box_ = Box3D{block_range(nx, p1, q1_), block_range(ny, p2, q2_),
+                    Range{0, nz}};
+  mid_box_ = Box3D{block_range(nx, p1, q1_), Range{0, ny},
+                   block_range(nz, p2, q2_)};
+  spectral_box_ = Box3D{Range{0, nx}, block_range(ny, p1, q1_),
+                        block_range(nz, p2, q2_)};
+}
+
+PencilFft3D PencilFft3D::balanced(comm::Comm& world, std::size_t nx,
+                                  std::size_t ny, std::size_t nz) {
+  const auto dims = comm::dims_create(world.size(), 2);
+  return PencilFft3D(world, nx, ny, nz, dims[0], dims[1]);
+}
+
+// T1: (nxl, nyl, Nz) -> (nxl, Ny, nzl). Row subcomm (size p2). Every peer d
+// receives our z-slab block_range(nz, p2, d); we receive each peer's local
+// y range.
+void PencilFft3D::transpose_z_to_y(std::vector<Complex>& data) const {
+  const std::size_t nxl = real_box_.x.extent();
+  const std::size_t nyl = real_box_.y.extent();
+  const std::size_t nzl = mid_box_.z.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p2_));
+  for (int d = 0; d < p2_; ++d) {
+    const Range zr = block_range(nz_, p2_, d);
+    counts[static_cast<std::size_t>(d)] = nxl * nyl * zr.extent();
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = 0; y < nyl; ++y) {
+        const Complex* line = &data[(x * nyl + y) * nz_];
+        send.insert(send.end(), line + zr.lo, line + zr.hi);
+      }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = row_comm_.alltoallv(std::span<const Complex>(send),
+                                  std::span<const std::size_t>(counts),
+                                  rcounts);
+  // Unpack: from peer s we get its y-block [ys, ye) x our z-block, ordered
+  // (x, y, z).
+  data.assign(nxl * ny_ * nzl, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p2_; ++s) {
+    const Range yr = block_range(ny_, p2_, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               nxl * yr.extent() * nzl);
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = yr.lo; y < yr.hi; ++y)
+        for (std::size_t z = 0; z < nzl; ++z)
+          data[(x * ny_ + y) * nzl + z] = recv[off++];
+  }
+}
+
+// Inverse of T1: (nxl, Ny, nzl) -> (nxl, nyl, Nz).
+void PencilFft3D::transpose_y_to_z(std::vector<Complex>& data) const {
+  const std::size_t nxl = real_box_.x.extent();
+  const std::size_t nyl = real_box_.y.extent();
+  const std::size_t nzl = mid_box_.z.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p2_));
+  for (int d = 0; d < p2_; ++d) {
+    const Range yr = block_range(ny_, p2_, d);
+    counts[static_cast<std::size_t>(d)] = nxl * yr.extent() * nzl;
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = yr.lo; y < yr.hi; ++y) {
+        const Complex* line = &data[(x * ny_ + y) * nzl];
+        send.insert(send.end(), line, line + nzl);
+      }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = row_comm_.alltoallv(std::span<const Complex>(send),
+                                  std::span<const std::size_t>(counts),
+                                  rcounts);
+  data.assign(nxl * nyl * nz_, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p2_; ++s) {
+    const Range zr = block_range(nz_, p2_, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               nxl * nyl * zr.extent());
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = 0; y < nyl; ++y)
+        for (std::size_t z = zr.lo; z < zr.hi; ++z)
+          data[(x * nyl + y) * nz_ + z] = recv[off++];
+  }
+}
+
+// T2: (nxl, Ny, nzl) -> (Nx, nyl2, nzl). Column subcomm (size p1). Peer d
+// receives our x-block x its spectral y-block.
+void PencilFft3D::transpose_y_to_x(std::vector<Complex>& data) const {
+  const std::size_t nxl = mid_box_.x.extent();
+  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nyl2 = spectral_box_.y.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p1_));
+  for (int d = 0; d < p1_; ++d) {
+    const Range yr = block_range(ny_, p1_, d);
+    counts[static_cast<std::size_t>(d)] = nxl * yr.extent() * nzl;
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = yr.lo; y < yr.hi; ++y) {
+        const Complex* line = &data[(x * ny_ + y) * nzl];
+        send.insert(send.end(), line, line + nzl);
+      }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = col_comm_.alltoallv(std::span<const Complex>(send),
+                                  std::span<const std::size_t>(counts),
+                                  rcounts);
+  data.assign(nx_ * nyl2 * nzl, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p1_; ++s) {
+    const Range xr = block_range(nx_, p1_, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               xr.extent() * nyl2 * nzl);
+    for (std::size_t x = xr.lo; x < xr.hi; ++x)
+      for (std::size_t y = 0; y < nyl2; ++y)
+        for (std::size_t z = 0; z < nzl; ++z)
+          data[(x * nyl2 + y) * nzl + z] = recv[off++];
+  }
+}
+
+// Inverse of T2: (Nx, nyl2, nzl) -> (nxl, Ny, nzl).
+void PencilFft3D::transpose_x_to_y(std::vector<Complex>& data) const {
+  const std::size_t nxl = mid_box_.x.extent();
+  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nyl2 = spectral_box_.y.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p1_));
+  for (int d = 0; d < p1_; ++d) {
+    const Range xr = block_range(nx_, p1_, d);
+    counts[static_cast<std::size_t>(d)] = xr.extent() * nyl2 * nzl;
+    for (std::size_t x = xr.lo; x < xr.hi; ++x)
+      for (std::size_t y = 0; y < nyl2; ++y) {
+        const Complex* line = &data[(x * nyl2 + y) * nzl];
+        send.insert(send.end(), line, line + nzl);
+      }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = col_comm_.alltoallv(std::span<const Complex>(send),
+                                  std::span<const std::size_t>(counts),
+                                  rcounts);
+  data.assign(nxl * ny_ * nzl, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p1_; ++s) {
+    const Range yr = block_range(ny_, p1_, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               nxl * yr.extent() * nzl);
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = yr.lo; y < yr.hi; ++y)
+        for (std::size_t z = 0; z < nzl; ++z)
+          data[(x * ny_ + y) * nzl + z] = recv[off++];
+  }
+}
+
+void PencilFft3D::fft_y(std::vector<Complex>& data, Direction dir) const {
+  // y-pencil layout (nxl, Ny, nzl): y lines have stride nzl.
+  const std::size_t nxl = mid_box_.x.extent();
+  const std::size_t nzl = mid_box_.z.extent();
+  std::vector<Complex> line(ny_);
+  for (std::size_t x = 0; x < nxl; ++x)
+    for (std::size_t z = 0; z < nzl; ++z) {
+      Complex* base = &data[x * ny_ * nzl + z];
+      for (std::size_t y = 0; y < ny_; ++y) line[y] = base[y * nzl];
+      fft_y_plan_.transform(line.data(), dir);
+      for (std::size_t y = 0; y < ny_; ++y) base[y * nzl] = line[y];
+    }
+}
+
+void PencilFft3D::fft_x(std::vector<Complex>& data, Direction dir) const {
+  // x-pencil layout (Nx, nyl2, nzl): x lines have stride nyl2*nzl.
+  const std::size_t nyl2 = spectral_box_.y.extent();
+  const std::size_t nzl = spectral_box_.z.extent();
+  const std::size_t stride = nyl2 * nzl;
+  std::vector<Complex> line(nx_);
+  for (std::size_t y = 0; y < nyl2; ++y)
+    for (std::size_t z = 0; z < nzl; ++z) {
+      Complex* base = &data[y * nzl + z];
+      for (std::size_t x = 0; x < nx_; ++x) line[x] = base[x * stride];
+      fft_x_plan_.transform(line.data(), dir);
+      for (std::size_t x = 0; x < nx_; ++x) base[x * stride] = line[x];
+    }
+}
+
+void PencilFft3D::forward(std::vector<Complex>& data) const {
+  HACC_CHECK_MSG(data.size() == real_box_.volume(),
+                 "pencil forward: input must be the local z-pencil");
+  fft_z_plan_.transform_batch(data.data(),
+                              real_box_.x.extent() * real_box_.y.extent(),
+                              Direction::kForward);
+  transpose_z_to_y(data);
+  fft_y(data, Direction::kForward);
+  transpose_y_to_x(data);
+  fft_x(data, Direction::kForward);
+}
+
+void PencilFft3D::inverse(std::vector<Complex>& data) const {
+  HACC_CHECK_MSG(data.size() == spectral_box_.volume(),
+                 "pencil inverse: input must be the local x-pencil");
+  fft_x(data, Direction::kInverse);
+  transpose_x_to_y(data);
+  fft_y(data, Direction::kInverse);
+  transpose_y_to_z(data);
+  fft_z_plan_.transform_batch(data.data(),
+                              real_box_.x.extent() * real_box_.y.extent(),
+                              Direction::kInverse);
+  const double scale =
+      1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_) *
+             static_cast<double>(nz_));
+  for (auto& v : data) v *= scale;
+}
+
+}  // namespace hacc::fft

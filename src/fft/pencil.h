@@ -1,0 +1,76 @@
+// Distributed 3-D FFT with a 2-D "pencil" decomposition.
+//
+// This is the scalable FFT at the heart of HACC's long/medium-range solver
+// (paper Sec. IV-A): the grid is partitioned over a 2-D process grid
+// p1 x p2, lifting the slab limit N_rank < N_fft to N_rank < N^2_fft. The
+// transform is composed of interleaved transposition and sequential 1-D FFT
+// steps, where each transposition involves only a subset of ranks (a row or
+// a column of the process grid).
+//
+// Layouts (row-major, x slowest / z fastest):
+//   real space   "z-pencil":  (Nx/p1, Ny/p2, Nz)  — x over p1, y over p2
+//   after T1     "y-pencil":  (Nx/p1, Ny, Nz/p2)
+//   spectral     "x-pencil":  (Nx, Ny/p1, Nz/p2)  — y over p1, z over p2
+// Blocks are uneven when the process-grid dims do not divide the FFT dims.
+#pragma once
+
+#include <cstddef>
+
+#include "comm/comm.h"
+#include "fft/decomp.h"
+#include "fft/fft1d.h"
+
+namespace hacc::fft {
+
+class PencilFft3D {
+ public:
+  /// Create a plan over `world` for an Nx x Ny x Nz transform on a p1 x p2
+  /// process grid. Requires world.size() == p1*p2, p1 <= Ny (and Nx), and
+  /// p2 <= Nz (and Ny), i.e. N_rank < N^2 overall.
+  PencilFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
+              std::size_t nz, int p1, int p2);
+
+  /// Balanced process grid for world.size().
+  static PencilFft3D balanced(comm::Comm& world, std::size_t nx,
+                              std::size_t ny, std::size_t nz);
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+  int p1() const noexcept { return p1_; }
+  int p2() const noexcept { return p2_; }
+  int grid_row() const noexcept { return q1_; }
+  int grid_col() const noexcept { return q2_; }
+
+  /// The box of global real-space grid indices this rank owns (z-pencil).
+  const Box3D& real_box() const noexcept { return real_box_; }
+  /// The box of global spectral indices this rank owns (x-pencil).
+  const Box3D& spectral_box() const noexcept { return spectral_box_; }
+
+  /// Forward transform: `data` holds the local z-pencil (real_box volume);
+  /// on return it holds the local x-pencil (spectral_box volume) of the
+  /// unscaled forward transform. The buffer is resized as needed.
+  void forward(std::vector<Complex>& data) const;
+
+  /// Inverse of `forward`, including the 1/(Nx*Ny*Nz) normalization:
+  /// spectral x-pencil in, real z-pencil out.
+  void inverse(std::vector<Complex>& data) const;
+
+ private:
+  void transpose_z_to_y(std::vector<Complex>& data) const;
+  void transpose_y_to_z(std::vector<Complex>& data) const;
+  void transpose_y_to_x(std::vector<Complex>& data) const;
+  void transpose_x_to_y(std::vector<Complex>& data) const;
+  void fft_y(std::vector<Complex>& data, Direction dir) const;
+  void fft_x(std::vector<Complex>& data, Direction dir) const;
+
+  std::size_t nx_, ny_, nz_;
+  int p1_, p2_;
+  int q1_, q2_;  // this rank's process-grid coordinates
+  comm::Comm row_comm_;  // ranks sharing q1 (size p2): z<->y transposes
+  comm::Comm col_comm_;  // ranks sharing q2 (size p1): y<->x transposes
+  Box3D real_box_, mid_box_, spectral_box_;
+  Fft1D fft_x_plan_, fft_y_plan_, fft_z_plan_;
+};
+
+}  // namespace hacc::fft

@@ -1,0 +1,145 @@
+#include "fft/slab.h"
+
+namespace hacc::fft {
+
+SlabFft3D::SlabFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
+                     std::size_t nz)
+    : comm_(world.split(0, world.rank())),
+      nx_(nx),
+      ny_(ny),
+      nz_(nz),
+      fft_x_plan_(nx),
+      fft_y_plan_(ny),
+      fft_z_plan_(nz) {
+  const auto p = static_cast<std::size_t>(comm_.size());
+  HACC_CHECK_MSG(p <= nx && p <= ny,
+                 "slab FFT requires N_rank <= N_fft (use the pencil FFT)");
+  real_box_ = Box3D{block_range(nx, comm_.size(), comm_.rank()),
+                    Range{0, ny}, Range{0, nz}};
+  spectral_box_ = Box3D{Range{0, nx},
+                        block_range(ny, comm_.size(), comm_.rank()),
+                        Range{0, nz}};
+}
+
+void SlabFft3D::fft_yz_local(std::vector<Complex>& data, Direction dir) const {
+  const std::size_t nxl = real_box_.x.extent();
+  // z lines contiguous.
+  fft_z_plan_.transform_batch(data.data(), nxl * ny_, dir);
+  // y lines: stride nz.
+  std::vector<Complex> line(ny_);
+  for (std::size_t x = 0; x < nxl; ++x) {
+    Complex* plane = &data[x * ny_ * nz_];
+    for (std::size_t z = 0; z < nz_; ++z) {
+      for (std::size_t y = 0; y < ny_; ++y) line[y] = plane[y * nz_ + z];
+      fft_y_plan_.transform(line.data(), dir);
+      for (std::size_t y = 0; y < ny_; ++y) plane[y * nz_ + z] = line[y];
+    }
+  }
+}
+
+void SlabFft3D::fft_x_local(std::vector<Complex>& data, Direction dir) const {
+  const std::size_t nyl = spectral_box_.y.extent();
+  const std::size_t stride = nyl * nz_;
+  std::vector<Complex> line(nx_);
+  for (std::size_t y = 0; y < nyl; ++y)
+    for (std::size_t z = 0; z < nz_; ++z) {
+      Complex* base = &data[y * nz_ + z];
+      for (std::size_t x = 0; x < nx_; ++x) line[x] = base[x * stride];
+      fft_x_plan_.transform(line.data(), dir);
+      for (std::size_t x = 0; x < nx_; ++x) base[x * stride] = line[x];
+    }
+}
+
+// (nxl, Ny, Nz) -> (Nx, nyl, Nz): peer d gets our x-block x its y-block.
+void SlabFft3D::transpose_x_to_y(std::vector<Complex>& data) const {
+  const int p = comm_.size();
+  const std::size_t nxl = real_box_.x.extent();
+  const std::size_t nyl = spectral_box_.y.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const Range yr = block_range(ny_, p, d);
+    counts[static_cast<std::size_t>(d)] = nxl * yr.extent() * nz_;
+    for (std::size_t x = 0; x < nxl; ++x) {
+      const Complex* base = &data[(x * ny_ + yr.lo) * nz_];
+      send.insert(send.end(), base, base + yr.extent() * nz_);
+    }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = comm_.alltoallv(std::span<const Complex>(send),
+                              std::span<const std::size_t>(counts), rcounts);
+  data.assign(nx_ * nyl * nz_, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p; ++s) {
+    const Range xr = block_range(nx_, p, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               xr.extent() * nyl * nz_);
+    for (std::size_t x = xr.lo; x < xr.hi; ++x)
+      for (std::size_t y = 0; y < nyl; ++y) {
+        Complex* dst = &data[(x * nyl + y) * nz_];
+        std::copy(recv.begin() + static_cast<std::ptrdiff_t>(off),
+                  recv.begin() + static_cast<std::ptrdiff_t>(off + nz_), dst);
+        off += nz_;
+      }
+  }
+}
+
+// (Nx, nyl, Nz) -> (nxl, Ny, Nz).
+void SlabFft3D::transpose_y_to_x(std::vector<Complex>& data) const {
+  const int p = comm_.size();
+  const std::size_t nxl = real_box_.x.extent();
+  const std::size_t nyl = spectral_box_.y.extent();
+
+  std::vector<Complex> send;
+  send.reserve(data.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+  for (int d = 0; d < p; ++d) {
+    const Range xr = block_range(nx_, p, d);
+    counts[static_cast<std::size_t>(d)] = xr.extent() * nyl * nz_;
+    for (std::size_t x = xr.lo; x < xr.hi; ++x) {
+      const Complex* base = &data[x * nyl * nz_];
+      send.insert(send.end(), base, base + nyl * nz_);
+    }
+  }
+  std::vector<std::size_t> rcounts;
+  auto recv = comm_.alltoallv(std::span<const Complex>(send),
+                              std::span<const std::size_t>(counts), rcounts);
+  data.assign(nxl * ny_ * nz_, Complex(0, 0));
+  std::size_t off = 0;
+  for (int s = 0; s < p; ++s) {
+    const Range yr = block_range(ny_, p, s);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
+               nxl * yr.extent() * nz_);
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t y = yr.lo; y < yr.hi; ++y) {
+        Complex* dst = &data[(x * ny_ + y) * nz_];
+        std::copy(recv.begin() + static_cast<std::ptrdiff_t>(off),
+                  recv.begin() + static_cast<std::ptrdiff_t>(off + nz_), dst);
+        off += nz_;
+      }
+  }
+}
+
+void SlabFft3D::forward(std::vector<Complex>& data) const {
+  HACC_CHECK_MSG(data.size() == real_box_.volume(),
+                 "slab forward: input must be the local x-slab");
+  fft_yz_local(data, Direction::kForward);
+  transpose_x_to_y(data);
+  fft_x_local(data, Direction::kForward);
+}
+
+void SlabFft3D::inverse(std::vector<Complex>& data) const {
+  HACC_CHECK_MSG(data.size() == spectral_box_.volume(),
+                 "slab inverse: input must be the local y-slab");
+  fft_x_local(data, Direction::kInverse);
+  transpose_y_to_x(data);
+  fft_yz_local(data, Direction::kInverse);
+  const double scale =
+      1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_) *
+             static_cast<double>(nz_));
+  for (auto& v : data) v *= scale;
+}
+
+}  // namespace hacc::fft

@@ -1,0 +1,54 @@
+// Distributed 3-D FFT with a 1-D "slab" decomposition.
+//
+// This is the first-generation HACC FFT (used on Roadrunner, paper
+// Sec. IV-A), subject to the limit N_rank <= N_fft that motivated the pencil
+// version. Kept as a baseline: Fig. 6 contrasts slab (Roadrunner) and pencil
+// (BG/P, BG/Q) weak scaling.
+//
+// Layouts (row-major):
+//   real space  "x-slab": (Nx/P, Ny, Nz)
+//   spectral    "y-slab": (Nx, Ny/P, Nz)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "comm/comm.h"
+#include "fft/decomp.h"
+#include "fft/fft1d.h"
+
+namespace hacc::fft {
+
+class SlabFft3D {
+ public:
+  /// Requires world.size() <= min(Nx, Ny) — the slab limit.
+  SlabFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
+            std::size_t nz);
+
+  std::size_t nx() const noexcept { return nx_; }
+  std::size_t ny() const noexcept { return ny_; }
+  std::size_t nz() const noexcept { return nz_; }
+
+  /// Global x-range of this rank's real-space slab.
+  const Box3D& real_box() const noexcept { return real_box_; }
+  /// Global y-range of this rank's spectral slab.
+  const Box3D& spectral_box() const noexcept { return spectral_box_; }
+
+  /// In-place unscaled forward: x-slab in, y-slab out.
+  void forward(std::vector<Complex>& data) const;
+  /// Inverse including 1/N^3 normalization: y-slab in, x-slab out.
+  void inverse(std::vector<Complex>& data) const;
+
+ private:
+  void transpose_x_to_y(std::vector<Complex>& data) const;
+  void transpose_y_to_x(std::vector<Complex>& data) const;
+  void fft_yz_local(std::vector<Complex>& data, Direction dir) const;
+  void fft_x_local(std::vector<Complex>& data, Direction dir) const;
+
+  comm::Comm comm_;
+  std::size_t nx_, ny_, nz_;
+  Box3D real_box_, spectral_box_;
+  Fft1D fft_x_plan_, fft_y_plan_, fft_z_plan_;
+};
+
+}  // namespace hacc::fft

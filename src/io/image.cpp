@@ -1,0 +1,117 @@
+#include "io/image.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "util/error.h"
+
+namespace hacc::io {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+Image2D project_slice(std::span<const float> x, std::span<const float> y,
+                      std::span<const float> z, const SliceSpec& spec) {
+  HACC_CHECK(x.size() == y.size() && y.size() == z.size());
+  HACC_CHECK_MSG(spec.box > 0, "SliceSpec.box must be set");
+  HACC_CHECK(spec.axis >= 0 && spec.axis < 3);
+  HACC_CHECK(spec.pixels >= 2);
+  double w0lo = spec.win_lo0, w0hi = spec.win_hi0;
+  double w1lo = spec.win_lo1, w1hi = spec.win_hi1;
+  if (w0hi <= w0lo) {
+    w0lo = 0;
+    w0hi = spec.box;
+  }
+  if (w1hi <= w1lo) {
+    w1lo = 0;
+    w1hi = spec.box;
+  }
+  Image2D img;
+  img.width = spec.pixels;
+  img.height = spec.pixels;
+  img.pixels.assign(img.width * img.height, 0.0);
+  const double sx = static_cast<double>(img.width) / (w0hi - w0lo);
+  const double sy = static_cast<double>(img.height) / (w1hi - w1lo);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double pos[3] = {x[i], y[i], z[i]};
+    const double depth = pos[spec.axis];
+    if (depth < spec.slab_lo || depth >= spec.slab_hi) continue;
+    const int t0 = spec.axis == 0 ? 1 : 0;
+    const int t1 = spec.axis == 2 ? 1 : 2;
+    const double u = (pos[t0] - w0lo) * sx;
+    const double v = (pos[t1] - w1lo) * sy;
+    if (u < 0 || v < 0 || u >= static_cast<double>(img.width) ||
+        v >= static_cast<double>(img.height))
+      continue;
+    // 2-D CIC.
+    const auto iu = static_cast<std::size_t>(u);
+    const auto iv = static_cast<std::size_t>(v);
+    const double fu = u - static_cast<double>(iu);
+    const double fv = v - static_cast<double>(iv);
+    const std::size_t iu1 = (iu + 1) % img.width;
+    const std::size_t iv1 = (iv + 1) % img.height;
+    img.at(iu, iv) += (1 - fu) * (1 - fv);
+    img.at(iu1, iv) += fu * (1 - fv);
+    img.at(iu, iv1) += (1 - fu) * fv;
+    img.at(iu1, iv1) += fu * fv;
+  }
+  return img;
+}
+
+Image2D log_scale(const Image2D& in) {
+  Image2D out = in;
+  double mean = 0;
+  for (double v : in.pixels) mean += v;
+  mean /= static_cast<double>(in.pixels.size());
+  if (mean <= 0) {
+    std::fill(out.pixels.begin(), out.pixels.end(), 0.0);
+    return out;
+  }
+  double vmax = 0;
+  for (auto& v : out.pixels) {
+    v = std::log10(1.0 + v / mean);
+    vmax = std::max(vmax, v);
+  }
+  if (vmax > 0) {
+    for (auto& v : out.pixels) v /= vmax;
+  }
+  return out;
+}
+
+void write_pgm(const std::string& path, const Image2D& img) {
+  File f(std::fopen(path.c_str(), "wb"));
+  HACC_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", img.width, img.height);
+  for (double v : img.pixels) {
+    const auto byte = static_cast<unsigned char>(
+        std::clamp(v, 0.0, 1.0) * 255.0);
+    std::fputc(byte, f.get());
+  }
+}
+
+void write_ppm(const std::string& path, const Image2D& img) {
+  File f(std::fopen(path.c_str(), "wb"));
+  HACC_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::fprintf(f.get(), "P6\n%zu %zu\n255\n", img.width, img.height);
+  for (double v : img.pixels) {
+    const double t = std::clamp(v, 0.0, 1.0);
+    // Blue -> magenta -> yellow ramp (echoes the paper's renderings).
+    const double r = std::clamp(2.0 * t, 0.0, 1.0);
+    const double g = std::clamp(2.0 * t - 1.0, 0.0, 1.0);
+    const double b = std::clamp(1.0 - 1.5 * (t - 0.4), 0.2, 1.0) * (t > 0.02 ? 1.0 : 5.0 * t);
+    std::fputc(static_cast<unsigned char>(r * 255), f.get());
+    std::fputc(static_cast<unsigned char>(g * 255), f.get());
+    std::fputc(static_cast<unsigned char>(b * 255), f.get());
+  }
+}
+
+}  // namespace hacc::io

@@ -1,0 +1,52 @@
+// Density-slice imaging (stand-in for the paper's Figs. 2 and 9).
+//
+// Projects particles inside a slab onto a 2-D pixel grid (CIC in 2-D),
+// applies log scaling, and writes a grayscale PGM or false-color PPM. The
+// zoom sequence of Fig. 2 is reproduced by calling project_slice with
+// successively smaller windows.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hacc::io {
+
+/// A 2-D scalar field with row-major pixels.
+struct Image2D {
+  std::size_t width = 0, height = 0;
+  std::vector<double> pixels;  // width*height
+
+  double& at(std::size_t x, std::size_t y) { return pixels[y * width + x]; }
+  double at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+};
+
+struct SliceSpec {
+  int axis = 2;           ///< projection axis (slab thickness along it)
+  double slab_lo = 0;     ///< slab range along `axis` (grid units)
+  double slab_hi = 1;
+  double win_lo0 = 0;     ///< window in the first transverse axis
+  double win_hi0 = 0;     ///< (0,0 means the full box)
+  double win_lo1 = 0;
+  double win_hi1 = 0;
+  std::size_t pixels = 256;
+  double box = 0;         ///< periodic box (grid units); required
+};
+
+/// 2-D CIC deposit of the particles in the slab onto the window.
+Image2D project_slice(std::span<const float> x, std::span<const float> y,
+                      std::span<const float> z, const SliceSpec& spec);
+
+/// log10(1 + v/mean) scaling into [0, 1], robust to empty images.
+Image2D log_scale(const Image2D& in);
+
+/// 8-bit grayscale PGM.
+void write_pgm(const std::string& path, const Image2D& normalized);
+
+/// False-color (blue-magenta-yellow) PPM from a [0,1] field.
+void write_ppm(const std::string& path, const Image2D& normalized);
+
+}  // namespace hacc::io

@@ -1,0 +1,111 @@
+#include "io/snapshot.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "util/error.h"
+
+namespace hacc::io {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+void write_bytes(std::FILE* f, const void* data, std::size_t bytes,
+                 std::uint64_t& sum) {
+  HACC_CHECK_MSG(std::fwrite(data, 1, bytes, f) == bytes, "short write");
+  sum = fnv1a(data, bytes, sum);
+}
+
+void read_bytes(std::FILE* f, void* data, std::size_t bytes,
+                std::uint64_t& sum) {
+  HACC_CHECK_MSG(std::fread(data, 1, bytes, f) == bytes, "short read");
+  sum = fnv1a(data, bytes, sum);
+}
+}  // namespace
+
+std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+void write_snapshot(const std::string& path,
+                    const tree::ParticleArray& particles,
+                    const SnapshotHeader& header) {
+  HACC_CHECK(particles.consistent());
+  SnapshotHeader h = header;
+  h.count = particles.size();
+  File f(std::fopen(path.c_str(), "wb"));
+  HACC_CHECK_MSG(f != nullptr, "cannot open " + path + " for writing");
+  std::uint64_t sum = 0xcbf29ce484222325ULL;
+  write_bytes(f.get(), &h, sizeof(h), sum);
+  const std::size_t n = particles.size();
+  auto block = [&](const auto& v) {
+    write_bytes(f.get(), v.data(), n * sizeof(v[0]), sum);
+  };
+  if (n > 0) {
+    block(particles.x);
+    block(particles.y);
+    block(particles.z);
+    block(particles.vx);
+    block(particles.vy);
+    block(particles.vz);
+    block(particles.mass);
+    block(particles.id);
+    block(particles.role);
+  }
+  HACC_CHECK(std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum));
+}
+
+SnapshotHeader read_snapshot(const std::string& path,
+                             tree::ParticleArray& particles) {
+  File f(std::fopen(path.c_str(), "rb"));
+  HACC_CHECK_MSG(f != nullptr, "cannot open " + path);
+  std::uint64_t sum = 0xcbf29ce484222325ULL;
+  SnapshotHeader h;
+  read_bytes(f.get(), &h, sizeof(h), sum);
+  HACC_CHECK_MSG(h.magic == SnapshotHeader{}.magic, "bad snapshot magic");
+  HACC_CHECK_MSG(h.version == 1, "unsupported snapshot version");
+  particles.clear();
+  const auto n = static_cast<std::size_t>(h.count);
+  particles.x.resize(n);
+  particles.y.resize(n);
+  particles.z.resize(n);
+  particles.vx.resize(n);
+  particles.vy.resize(n);
+  particles.vz.resize(n);
+  particles.mass.resize(n);
+  particles.id.resize(n);
+  particles.role.resize(n);
+  auto block = [&](auto& v) {
+    read_bytes(f.get(), v.data(), n * sizeof(v[0]), sum);
+  };
+  if (n > 0) {
+    block(particles.x);
+    block(particles.y);
+    block(particles.z);
+    block(particles.vx);
+    block(particles.vy);
+    block(particles.vz);
+    block(particles.mass);
+    block(particles.id);
+    block(particles.role);
+  }
+  std::uint64_t stored = 0;
+  HACC_CHECK(std::fread(&stored, 1, sizeof(stored), f.get()) ==
+             sizeof(stored));
+  HACC_CHECK_MSG(stored == sum, "snapshot checksum mismatch");
+  HACC_CHECK(particles.consistent());
+  return h;
+}
+
+}  // namespace hacc::io

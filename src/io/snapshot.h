@@ -1,0 +1,39 @@
+// Binary particle snapshots.
+//
+// The paper's science runs store particle subsets and density slices at
+// intermediate snapshots (Sec. V). This is a simple, self-describing
+// single-file format: fixed header, SoA blocks (so readers can pull one
+// component without touching the rest), and an FNV-1a checksum trailer for
+// corruption detection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tree/particles.h"
+
+namespace hacc::io {
+
+struct SnapshotHeader {
+  std::uint64_t magic = 0x48414343534e4150ULL;  // "HACCSNAP"
+  std::uint32_t version = 1;
+  std::uint64_t count = 0;
+  double scale_factor = 0;
+  double box_mpch = 0;
+  std::uint64_t grid = 0;
+};
+
+/// Write active+passive particles as-is. Throws hacc::Error on I/O failure.
+void write_snapshot(const std::string& path,
+                    const tree::ParticleArray& particles,
+                    const SnapshotHeader& header);
+
+/// Read a snapshot; validates magic, version and checksum.
+SnapshotHeader read_snapshot(const std::string& path,
+                             tree::ParticleArray& particles);
+
+/// FNV-1a over a byte range (exposed for tests).
+std::uint64_t fnv1a(const void* data, std::size_t bytes,
+                    std::uint64_t seed = 0xcbf29ce484222325ULL);
+
+}  // namespace hacc::io

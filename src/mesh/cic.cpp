@@ -1,0 +1,165 @@
+#include "mesh/cic.h"
+
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#else
+namespace {
+inline int omp_get_num_threads() { return 1; }
+inline int omp_get_thread_num() { return 0; }
+}  // namespace
+#endif
+
+namespace hacc::mesh {
+
+namespace {
+
+/// Map a global coordinate to an offset from this rank's interior origin,
+/// periodically wrapped into the window centered on the local block (so a
+/// passive replica across the box seam lands in the local ghost range).
+inline double localize(double pos, double lo, double n, double ext) {
+  double rel = pos - lo;
+  const double center = 0.5 * ext;
+  rel -= n * std::floor((rel - center + 0.5 * n) / n);
+  return rel;
+}
+
+struct CicCell {
+  std::ptrdiff_t i0, j0, k0;
+  double fx, fy, fz;
+};
+
+inline CicCell locate(const DistGrid& grid, float xf, float yf, float zf) {
+  const auto& box = grid.interior();
+  const auto& dims = grid.decomp().grid_dims();
+  const double rx = localize(xf, static_cast<double>(box.x.lo),
+                             static_cast<double>(dims[0]),
+                             static_cast<double>(box.x.extent()));
+  const double ry = localize(yf, static_cast<double>(box.y.lo),
+                             static_cast<double>(dims[1]),
+                             static_cast<double>(box.y.extent()));
+  const double rz = localize(zf, static_cast<double>(box.z.lo),
+                             static_cast<double>(dims[2]),
+                             static_cast<double>(box.z.extent()));
+  CicCell c;
+  c.i0 = static_cast<std::ptrdiff_t>(std::floor(rx));
+  c.j0 = static_cast<std::ptrdiff_t>(std::floor(ry));
+  c.k0 = static_cast<std::ptrdiff_t>(std::floor(rz));
+  c.fx = rx - static_cast<double>(c.i0);
+  c.fy = ry - static_cast<double>(c.j0);
+  c.fz = rz - static_cast<double>(c.k0);
+  return c;
+}
+
+}  // namespace
+
+void cic_deposit(DistGrid& grid, std::span<const float> x,
+                 std::span<const float> y, std::span<const float> z,
+                 float particle_mass) {
+  HACC_CHECK(x.size() == y.size() && y.size() == z.size());
+  const double m = particle_mass;
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    const CicCell c = locate(grid, x[p], y[p], z[p]);
+    const double wx0 = 1.0 - c.fx, wx1 = c.fx;
+    const double wy0 = 1.0 - c.fy, wy1 = c.fy;
+    const double wz0 = 1.0 - c.fz, wz1 = c.fz;
+    grid.at(c.i0, c.j0, c.k0) += m * wx0 * wy0 * wz0;
+    grid.at(c.i0, c.j0, c.k0 + 1) += m * wx0 * wy0 * wz1;
+    grid.at(c.i0, c.j0 + 1, c.k0) += m * wx0 * wy1 * wz0;
+    grid.at(c.i0, c.j0 + 1, c.k0 + 1) += m * wx0 * wy1 * wz1;
+    grid.at(c.i0 + 1, c.j0, c.k0) += m * wx1 * wy0 * wz0;
+    grid.at(c.i0 + 1, c.j0, c.k0 + 1) += m * wx1 * wy0 * wz1;
+    grid.at(c.i0 + 1, c.j0 + 1, c.k0) += m * wx1 * wy1 * wz0;
+    grid.at(c.i0 + 1, c.j0 + 1, c.k0 + 1) += m * wx1 * wy1 * wz1;
+  }
+}
+
+void cic_deposit_threaded(DistGrid& grid, std::span<const float> x,
+                          std::span<const float> y, std::span<const float> z,
+                          float particle_mass) {
+  HACC_CHECK(x.size() == y.size() && y.size() == z.size());
+#pragma omp parallel
+  {
+    DistGrid scratch(grid.decomp(), grid.rank(), grid.ghost());
+    const int nt = omp_get_num_threads();
+    const int tid = omp_get_thread_num();
+    const std::size_t n = x.size();
+    const std::size_t lo = n * static_cast<std::size_t>(tid) /
+                           static_cast<std::size_t>(nt);
+    const std::size_t hi = n * static_cast<std::size_t>(tid + 1) /
+                           static_cast<std::size_t>(nt);
+    cic_deposit(scratch, x.subspan(lo, hi - lo), y.subspan(lo, hi - lo),
+                z.subspan(lo, hi - lo), particle_mass);
+#pragma omp critical(hacc_cic_reduce)
+    {
+      auto& dst = grid.data();
+      const auto& src = scratch.data();
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+    }
+  }
+}
+
+void cic_interpolate(const DistGrid& grid, std::span<const float> x,
+                     std::span<const float> y, std::span<const float> z,
+                     std::span<float> out, bool clamp_to_storage) {
+  HACC_CHECK(x.size() == y.size() && y.size() == z.size());
+  HACC_CHECK(out.size() == x.size());
+  const auto g = static_cast<std::ptrdiff_t>(grid.ghost());
+  const auto& ib = grid.interior();
+  const std::ptrdiff_t hi_cell[3] = {
+      static_cast<std::ptrdiff_t>(ib.x.extent()) + g - 2,
+      static_cast<std::ptrdiff_t>(ib.y.extent()) + g - 2,
+      static_cast<std::ptrdiff_t>(ib.z.extent()) + g - 2};
+  for (std::size_t p = 0; p < x.size(); ++p) {
+    CicCell c = locate(grid, x[p], y[p], z[p]);
+    if (clamp_to_storage) {
+      // Clamp the base cell so the whole cloud stays in local storage.
+      auto clamp1 = [&](std::ptrdiff_t& i0, double& f, int axis) {
+        if (i0 < -g) {
+          i0 = -g;
+          f = 0.0;
+        } else if (i0 > hi_cell[axis]) {
+          i0 = hi_cell[axis];
+          f = 1.0;
+        }
+      };
+      clamp1(c.i0, c.fx, 0);
+      clamp1(c.j0, c.fy, 1);
+      clamp1(c.k0, c.fz, 2);
+    }
+    const double wx0 = 1.0 - c.fx, wx1 = c.fx;
+    const double wy0 = 1.0 - c.fy, wy1 = c.fy;
+    const double wz0 = 1.0 - c.fz, wz1 = c.fz;
+    const double v =
+        grid.at(c.i0, c.j0, c.k0) * wx0 * wy0 * wz0 +
+        grid.at(c.i0, c.j0, c.k0 + 1) * wx0 * wy0 * wz1 +
+        grid.at(c.i0, c.j0 + 1, c.k0) * wx0 * wy1 * wz0 +
+        grid.at(c.i0, c.j0 + 1, c.k0 + 1) * wx0 * wy1 * wz1 +
+        grid.at(c.i0 + 1, c.j0, c.k0) * wx1 * wy0 * wz0 +
+        grid.at(c.i0 + 1, c.j0, c.k0 + 1) * wx1 * wy0 * wz1 +
+        grid.at(c.i0 + 1, c.j0 + 1, c.k0) * wx1 * wy1 * wz0 +
+        grid.at(c.i0 + 1, c.j0 + 1, c.k0 + 1) * wx1 * wy1 * wz1;
+    out[p] = static_cast<float>(v);
+  }
+}
+
+void to_density_contrast(DistGrid& grid, comm::Comm& comm) {
+  const auto& dims = grid.decomp().grid_dims();
+  const double cells = static_cast<double>(dims[0]) *
+                       static_cast<double>(dims[1]) *
+                       static_cast<double>(dims[2]);
+  const double mean =
+      comm.allreduce_value(grid.interior_sum(), comm::ReduceOp::kSum) / cells;
+  HACC_CHECK_MSG(mean > 0.0, "density contrast of an empty grid");
+  const auto ex = static_cast<std::ptrdiff_t>(grid.interior().x.extent());
+  const auto ey = static_cast<std::ptrdiff_t>(grid.interior().y.extent());
+  const auto ez = static_cast<std::ptrdiff_t>(grid.interior().z.extent());
+  const double inv = 1.0 / mean;
+  for (std::ptrdiff_t i = 0; i < ex; ++i)
+    for (std::ptrdiff_t j = 0; j < ey; ++j)
+      for (std::ptrdiff_t k = 0; k < ez; ++k)
+        grid.at(i, j, k) = grid.at(i, j, k) * inv - 1.0;
+}
+
+}  // namespace hacc::mesh

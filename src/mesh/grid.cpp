@@ -1,0 +1,154 @@
+#include "mesh/grid.h"
+
+#include <algorithm>
+
+namespace hacc::mesh {
+
+namespace {
+/// Distinct tags per (axis, direction) so a rank with the same neighbor on
+/// both sides (2 ranks along an axis) can tell the two slabs apart.
+int exchange_tag(int axis, int dir) { return -200 - (axis * 2 + dir); }
+}  // namespace
+
+DistGrid::DistGrid(const BlockDecomp3D& decomp, int rank, std::size_t ghost)
+    : decomp_(decomp),
+      rank_(rank),
+      box_(decomp.box_of(rank)),
+      ghost_(ghost),
+      data_(local_volume(), 0.0) {
+  // Every exchange pulls from the *immediate* neighbor only, so the ghost
+  // width must not exceed the smallest block extent along each axis.
+  for (int d = 0; d < 3; ++d) {
+    const std::size_t n = decomp.grid_dims()[static_cast<std::size_t>(d)];
+    const int p = decomp.topology().dims()[static_cast<std::size_t>(d)];
+    HACC_CHECK_MSG(ghost_ <= n / static_cast<std::size_t>(p),
+                   "ghost width exceeds the smallest block extent");
+  }
+}
+
+void DistGrid::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+double DistGrid::interior_sum() const {
+  double s = 0;
+  const auto ex = static_cast<std::ptrdiff_t>(box_.x.extent());
+  const auto ey = static_cast<std::ptrdiff_t>(box_.y.extent());
+  const auto ez = static_cast<std::ptrdiff_t>(box_.z.extent());
+  for (std::ptrdiff_t i = 0; i < ex; ++i)
+    for (std::ptrdiff_t j = 0; j < ey; ++j)
+      for (std::ptrdiff_t k = 0; k < ez; ++k) s += at(i, j, k);
+  return s;
+}
+
+// One sweep along `axis`. Geometry per direction dir (0 = low side, i.e. we
+// send toward the -axis neighbor; 1 = high side):
+//
+//   fold:  send ghosts [-g, 0) (dir 0) or [ext, ext+g) (dir 1); receiver
+//          adds into interior [ext-g, ext) / [0, g). Transverse axes span
+//          the *full* local range for axes not yet swept, so corner
+//          contributions ride along; ghosts are zeroed after sending.
+//   fill:  send interior [0, g) (dir 0 -> the +axis... no: dir 0 sends to
+//          the -axis neighbor, which stores it in its high ghosts
+//          [ext, ext+g)); send interior [ext-g, ext) to the +axis neighbor
+//          for its low ghosts [-g, 0). Transverse axes span the full local
+//          range for axes already swept, so corners propagate.
+void DistGrid::sweep(comm::Comm& comm, int axis, bool fold) {
+  if (ghost_ == 0) return;
+  const auto g = static_cast<std::ptrdiff_t>(ghost_);
+  const std::array<std::ptrdiff_t, 3> ext{
+      static_cast<std::ptrdiff_t>(box_.x.extent()),
+      static_cast<std::ptrdiff_t>(box_.y.extent()),
+      static_cast<std::ptrdiff_t>(box_.z.extent())};
+
+  // Transverse range along axis d: full (with ghosts) or interior-only.
+  // fold sweeps x,y,z in that order: axes > `axis` still carry ghost data.
+  // fill sweeps x,y,z too: axes < `axis` already have valid ghosts to send.
+  auto lo_of = [&](int d) -> std::ptrdiff_t {
+    if (d == axis) return 0;  // set per-direction below
+    const bool full = fold ? (d > axis) : (d < axis);
+    return full ? -g : 0;
+  };
+  auto hi_of = [&](int d) -> std::ptrdiff_t {
+    if (d == axis) return 0;
+    const bool full = fold ? (d > axis) : (d < axis);
+    return full ? ext[static_cast<std::size_t>(d)] + g
+                : ext[static_cast<std::size_t>(d)];
+  };
+
+  const auto& topo = decomp_.topology();
+  const int lo_nbr = topo.neighbor(rank_, axis, -1);
+  const int hi_nbr = topo.neighbor(rank_, axis, +1);
+
+  // Pack a box (per-axis [lo, hi) offsets) into a flat buffer.
+  auto pack = [&](std::array<std::ptrdiff_t, 3> lo,
+                  std::array<std::ptrdiff_t, 3> hi) {
+    std::vector<double> buf;
+    buf.reserve(static_cast<std::size_t>((hi[0] - lo[0]) * (hi[1] - lo[1]) *
+                                         (hi[2] - lo[2])));
+    for (std::ptrdiff_t i = lo[0]; i < hi[0]; ++i)
+      for (std::ptrdiff_t j = lo[1]; j < hi[1]; ++j)
+        for (std::ptrdiff_t k = lo[2]; k < hi[2]; ++k)
+          buf.push_back(at(i, j, k));
+    return buf;
+  };
+  auto unpack = [&](const std::vector<double>& buf,
+                    std::array<std::ptrdiff_t, 3> lo,
+                    std::array<std::ptrdiff_t, 3> hi, bool add) {
+    std::size_t idx = 0;
+    for (std::ptrdiff_t i = lo[0]; i < hi[0]; ++i)
+      for (std::ptrdiff_t j = lo[1]; j < hi[1]; ++j)
+        for (std::ptrdiff_t k = lo[2]; k < hi[2]; ++k) {
+          if (add) {
+            at(i, j, k) += buf[idx++];
+          } else {
+            at(i, j, k) = buf[idx++];
+          }
+        }
+    HACC_CHECK(idx == buf.size());
+  };
+
+  auto box_for = [&](std::ptrdiff_t alo, std::ptrdiff_t ahi) {
+    std::array<std::ptrdiff_t, 3> lo{lo_of(0), lo_of(1), lo_of(2)};
+    std::array<std::ptrdiff_t, 3> hi{hi_of(0), hi_of(1), hi_of(2)};
+    lo[static_cast<std::size_t>(axis)] = alo;
+    hi[static_cast<std::size_t>(axis)] = ahi;
+    return std::pair{lo, hi};
+  };
+
+  const std::ptrdiff_t e = ext[static_cast<std::size_t>(axis)];
+  // Send regions (dir 0 -> lo_nbr, dir 1 -> hi_nbr).
+  const auto [send0_lo, send0_hi] = fold ? box_for(-g, 0) : box_for(0, g);
+  const auto [send1_lo, send1_hi] =
+      fold ? box_for(e, e + g) : box_for(e - g, e);
+  // Receive regions (from hi_nbr with dir 0's tag, from lo_nbr with dir 1's).
+  const auto [recv_hi_lo, recv_hi_hi] =
+      fold ? box_for(e - g, e) : box_for(e, e + g);
+  const auto [recv_lo_lo, recv_lo_hi] = fold ? box_for(0, g) : box_for(-g, 0);
+
+  auto buf0 = pack(send0_lo, send0_hi);
+  auto buf1 = pack(send1_lo, send1_hi);
+  if (fold) {
+    // Zero the ghosts we just shipped so a later fill can't double-count.
+    unpack(std::vector<double>(buf0.size(), 0.0), send0_lo, send0_hi, false);
+    unpack(std::vector<double>(buf1.size(), 0.0), send1_lo, send1_hi, false);
+  }
+  comm.send(lo_nbr, exchange_tag(axis, 0), std::span<const double>(buf0));
+  comm.send(hi_nbr, exchange_tag(axis, 1), std::span<const double>(buf1));
+  // A message tagged dir 0 travels toward -axis, so it arrives *from* my
+  // +axis neighbor, and vice versa.
+  const auto in_from_hi = comm.recv_vector<double>(hi_nbr, exchange_tag(axis, 0));
+  const auto in_from_lo = comm.recv_vector<double>(lo_nbr, exchange_tag(axis, 1));
+  unpack(in_from_hi, recv_hi_lo, recv_hi_hi, fold);
+  unpack(in_from_lo, recv_lo_lo, recv_lo_hi, fold);
+}
+
+void DistGrid::fold_ghosts(comm::Comm& comm) {
+  for (int axis = 0; axis < 3; ++axis) sweep(comm, axis, /*fold=*/true);
+}
+
+void DistGrid::fill_ghosts(comm::Comm& comm) {
+  for (int axis = 0; axis < 3; ++axis) sweep(comm, axis, /*fold=*/false);
+}
+
+}  // namespace hacc::mesh

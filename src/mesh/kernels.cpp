@@ -1,0 +1,64 @@
+#include "mesh/kernels.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace hacc::mesh {
+
+double wavenumber(std::size_t m, std::size_t n) {
+  return 2.0 * std::numbers::pi * static_cast<double>(signed_mode(m, n)) /
+         static_cast<double>(n);
+}
+
+namespace {
+inline double sinc(double u) {
+  if (std::abs(u) < 1e-12) return 1.0;
+  return std::sin(u) / u;
+}
+}  // namespace
+
+double greens_function(const std::array<double, 3>& k, GreenOrder order) {
+  double keff2 = 0.0;
+  switch (order) {
+    case GreenOrder::kExact:
+      keff2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+      break;
+    case GreenOrder::kOrder2:
+      for (double ki : k) {
+        const double s = std::sin(0.5 * ki);
+        keff2 += 4.0 * s * s;
+      }
+      break;
+    case GreenOrder::kOrder6:
+      for (double ki : k) {
+        const double s2 = std::sin(0.5 * ki) * std::sin(0.5 * ki);
+        keff2 += 4.0 * s2 * (1.0 + s2 / 3.0 + 8.0 * s2 * s2 / 45.0);
+      }
+      break;
+  }
+  if (keff2 == 0.0) return 0.0;  // zero mode: mean subtracted elsewhere
+  return -1.0 / keff2;
+}
+
+double spectral_filter(const std::array<double, 3>& k, double sigma, int ns) {
+  const double k2 = k[0] * k[0] + k[1] * k[1] + k[2] * k[2];
+  double f = std::exp(-0.25 * k2 * sigma * sigma);
+  for (double ki : k) f *= std::pow(sinc(0.5 * ki), ns);
+  return f;
+}
+
+std::complex<double> gradient_multiplier(double k, GradientOrder order) {
+  switch (order) {
+    case GradientOrder::kExact:
+      return {0.0, k};
+    case GradientOrder::kOrder2:
+      return {0.0, std::sin(k)};
+    case GradientOrder::kSuperLanczos4:
+      // Fourth-order low-noise Lanczos differentiator (Hamming, "Digital
+      // Filters"): D(k) = (8 sin k - sin 2k) / 6.
+      return {0.0, (8.0 * std::sin(k) - std::sin(2.0 * k)) / 6.0};
+  }
+  return {0.0, 0.0};
+}
+
+}  // namespace hacc::mesh

@@ -1,0 +1,141 @@
+#include "mesh/poisson.h"
+
+#include <vector>
+
+namespace hacc::mesh {
+
+using fft::Complex;
+
+PoissonSolver::PoissonSolver(comm::Comm& world, const BlockDecomp3D& decomp,
+                             SpectralConfig config)
+    : decomp_(decomp), config_(config) {
+  const auto& dims = decomp.grid_dims();
+  fft_ = std::make_unique<fft::PencilFft3D>(
+      fft::PencilFft3D::balanced(world, dims[0], dims[1], dims[2]));
+  // Layout tables for the block <-> z-pencil remap.
+  std::vector<fft::Box3D> block_boxes, pencil_boxes;
+  const int p = world.size();
+  const int p1 = fft_->p1(), p2 = fft_->p2();
+  for (int r = 0; r < p; ++r) {
+    block_boxes.push_back(decomp.box_of(r));
+    const int q1 = r / p2, q2 = r % p2;
+    pencil_boxes.push_back(fft::Box3D{fft::block_range(dims[0], p1, q1),
+                                      fft::block_range(dims[1], p2, q2),
+                                      fft::Range{0, dims[2]}});
+  }
+  remap_ = std::make_unique<Redistributor>(std::move(block_boxes),
+                                           std::move(pencil_boxes));
+}
+
+void PoissonSolver::solve(comm::Comm& world, const DistGrid& delta,
+                          std::array<DistGrid, 3>& forces, DistGrid* phi) {
+  const auto& box = delta.interior();
+  const auto& dims = decomp_.grid_dims();
+
+  // Pack the interior (strip ghosts) and remap to the z-pencil layout.
+  std::vector<double> interior;
+  interior.reserve(box.volume());
+  {
+    auto scope = timers_.scope("remap");
+    const auto ex = static_cast<std::ptrdiff_t>(box.x.extent());
+    const auto ey = static_cast<std::ptrdiff_t>(box.y.extent());
+    const auto ez = static_cast<std::ptrdiff_t>(box.z.extent());
+    for (std::ptrdiff_t i = 0; i < ex; ++i)
+      for (std::ptrdiff_t j = 0; j < ey; ++j)
+        for (std::ptrdiff_t k = 0; k < ez; ++k)
+          interior.push_back(delta.at(i, j, k));
+    interior = remap_->forward(world, interior);
+  }
+
+  // One forward FFT of the density.
+  std::vector<Complex> spectrum(interior.size());
+  {
+    auto scope = timers_.scope("fft");
+    for (std::size_t i = 0; i < interior.size(); ++i)
+      spectrum[i] = Complex(interior[i], 0.0);
+    fft_->forward(spectrum);
+  }
+
+  // Compose filter x Green's function once.
+  const fft::Box3D sb = fft_->spectral_box();
+  {
+    auto scope = timers_.scope("kernel");
+    std::size_t idx = 0;
+    for (std::size_t mx = sb.x.lo; mx < sb.x.hi; ++mx) {
+      const double kx = wavenumber(mx, dims[0]);
+      for (std::size_t my = sb.y.lo; my < sb.y.hi; ++my) {
+        const double ky = wavenumber(my, dims[1]);
+        for (std::size_t mz = sb.z.lo; mz < sb.z.hi; ++mz) {
+          const double kz = wavenumber(mz, dims[2]);
+          const std::array<double, 3> k{kx, ky, kz};
+          spectrum[idx] *= greens_function(k, config_.green) *
+                           spectral_filter(k, config_.sigma, config_.ns);
+          ++idx;
+        }
+      }
+    }
+  }
+
+  // Per-axis gradient: independent inverse FFT + remap back to blocks.
+  auto store_to_grid = [&](const std::vector<double>& block_data,
+                           DistGrid& grid) {
+    const auto& b = grid.interior();
+    const auto ex = static_cast<std::ptrdiff_t>(b.x.extent());
+    const auto ey = static_cast<std::ptrdiff_t>(b.y.extent());
+    const auto ez = static_cast<std::ptrdiff_t>(b.z.extent());
+    grid.fill(0.0);
+    std::size_t idx = 0;
+    for (std::ptrdiff_t i = 0; i < ex; ++i)
+      for (std::ptrdiff_t j = 0; j < ey; ++j)
+        for (std::ptrdiff_t k = 0; k < ez; ++k)
+          grid.at(i, j, k) = block_data[idx++];
+  };
+
+  for (int axis = 0; axis < 3; ++axis) {
+    std::vector<Complex> component(spectrum.size());
+    {
+      auto scope = timers_.scope("kernel");
+      std::size_t idx = 0;
+      for (std::size_t mx = sb.x.lo; mx < sb.x.hi; ++mx) {
+        const double kx = wavenumber(mx, dims[0]);
+        for (std::size_t my = sb.y.lo; my < sb.y.hi; ++my) {
+          const double ky = wavenumber(my, dims[1]);
+          for (std::size_t mz = sb.z.lo; mz < sb.z.hi; ++mz) {
+            const double kz = wavenumber(mz, dims[2]);
+            const double kax = axis == 0 ? kx : axis == 1 ? ky : kz;
+            // f = -grad(phi): note the minus sign.
+            component[idx] = spectrum[idx] * (-gradient_multiplier(
+                                                 kax, config_.gradient));
+            ++idx;
+          }
+        }
+      }
+    }
+    {
+      auto scope = timers_.scope("fft");
+      fft_->inverse(component);
+    }
+    {
+      auto scope = timers_.scope("remap");
+      std::vector<double> real_part(component.size());
+      for (std::size_t i = 0; i < component.size(); ++i)
+        real_part[i] = component[i].real();
+      store_to_grid(remap_->backward(world, real_part), forces[
+          static_cast<std::size_t>(axis)]);
+    }
+  }
+
+  if (phi != nullptr) {
+    std::vector<Complex> pot = spectrum;
+    {
+      auto scope = timers_.scope("fft");
+      fft_->inverse(pot);
+    }
+    auto scope = timers_.scope("remap");
+    std::vector<double> real_part(pot.size());
+    for (std::size_t i = 0; i < pot.size(); ++i) real_part[i] = pot[i].real();
+    store_to_grid(remap_->backward(world, real_part), *phi);
+  }
+}
+
+}  // namespace hacc::mesh

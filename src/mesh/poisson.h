@@ -1,0 +1,64 @@
+// The HACC long/medium-range force solver.
+//
+// "The 'Poisson-solve' in HACC is the composition of all the kernels above
+// in one single Fourier transform; each component of the potential field
+// gradient then requires an independent FFT." (paper Sec. II)
+//
+// Pipeline per solve (double precision throughout — the spectral component
+// of HACC's mixed-precision scheme):
+//   1. remap the density contrast from the 3-D block layout to z-pencils,
+//   2. one forward pencil FFT,
+//   3. multiply by filter (Eq. 5) x sixth-order influence function,
+//   4. per axis: multiply by the Super-Lanczos gradient kernel, one inverse
+//      pencil FFT, remap back to blocks -> force component grid,
+//   5. optionally one more inverse FFT for the potential itself.
+//
+// Force convention: the returned grids hold f_i = -d(phi)/dx_i, the
+// gravitational acceleration per unit (4 pi G rho_bar a^2 ...) prefactor;
+// physical prefactors are folded into the time-stepper's kick factors.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <optional>
+
+#include "comm/comm.h"
+#include "fft/pencil.h"
+#include "mesh/grid.h"
+#include "mesh/kernels.h"
+#include "mesh/remap.h"
+#include "util/timer.h"
+
+namespace hacc::mesh {
+
+class PoissonSolver {
+ public:
+  /// Collective over `world` (creates the pencil FFT's sub-communicators).
+  /// `decomp` is the particle sector's block decomposition; the FFT pencil
+  /// grid is chosen automatically.
+  PoissonSolver(comm::Comm& world, const BlockDecomp3D& decomp,
+                SpectralConfig config = {});
+
+  const SpectralConfig& config() const noexcept { return config_; }
+  const BlockDecomp3D& decomp() const noexcept { return decomp_; }
+
+  /// Solve for the force grids given the density-contrast grid `delta`
+  /// (interior must be valid; ghosts ignored). Fills the interiors of
+  /// forces[0..2]; callers fill_ghosts() afterwards if passive particles
+  /// need interpolation. If `phi` is non-null, also returns the potential.
+  /// Collective over the world communicator passed at construction.
+  void solve(comm::Comm& world, const DistGrid& delta,
+             std::array<DistGrid, 3>& forces, DistGrid* phi = nullptr);
+
+  /// Phase timings ("fft", "kernel", "remap") accumulated across solves.
+  const TimerRegistry& timers() const noexcept { return timers_; }
+
+ private:
+  BlockDecomp3D decomp_;
+  SpectralConfig config_;
+  std::unique_ptr<fft::PencilFft3D> fft_;
+  std::unique_ptr<Redistributor> remap_;
+  TimerRegistry timers_;
+};
+
+}  // namespace hacc::mesh

@@ -1,0 +1,88 @@
+#include "mesh/remap.h"
+
+#include <algorithm>
+
+namespace hacc::mesh {
+
+namespace {
+
+fft::Range intersect_range(const fft::Range& a, const fft::Range& b) {
+  const std::size_t lo = std::max(a.lo, b.lo);
+  const std::size_t hi = std::min(a.hi, b.hi);
+  return hi > lo ? fft::Range{lo, hi} : fft::Range{0, 0};
+}
+
+/// Row-major flat index of global cell (x,y,z) within `box`.
+std::size_t flat_index(const fft::Box3D& box, std::size_t x, std::size_t y,
+                       std::size_t z) {
+  return ((x - box.x.lo) * box.y.extent() + (y - box.y.lo)) * box.z.extent() +
+         (z - box.z.lo);
+}
+
+}  // namespace
+
+fft::Box3D intersect(const fft::Box3D& a, const fft::Box3D& b) {
+  return fft::Box3D{intersect_range(a.x, b.x), intersect_range(a.y, b.y),
+                    intersect_range(a.z, b.z)};
+}
+
+Redistributor::Redistributor(std::vector<fft::Box3D> src_boxes,
+                             std::vector<fft::Box3D> dst_boxes)
+    : src_(std::move(src_boxes)), dst_(std::move(dst_boxes)) {
+  HACC_CHECK(src_.size() == dst_.size() && !src_.empty());
+}
+
+std::vector<double> Redistributor::exchange(
+    comm::Comm& comm, std::span<const double> in,
+    const std::vector<fft::Box3D>& from,
+    const std::vector<fft::Box3D>& to) const {
+  const int p = comm.size();
+  HACC_CHECK(static_cast<std::size_t>(p) == from.size());
+  const auto r = static_cast<std::size_t>(comm.rank());
+  const fft::Box3D& mine_from = from[r];
+  const fft::Box3D& mine_to = to[r];
+  HACC_CHECK_MSG(in.size() == mine_from.volume(),
+                 "redistribute: input size does not match source box");
+
+  // Pack: for each destination, the intersection of my source box with its
+  // destination box, in row-major order of the intersection.
+  std::vector<double> send;
+  send.reserve(in.size());
+  std::vector<std::size_t> counts(static_cast<std::size_t>(p), 0);
+  for (int d = 0; d < p; ++d) {
+    const fft::Box3D ov = intersect(mine_from, to[static_cast<std::size_t>(d)]);
+    counts[static_cast<std::size_t>(d)] = ov.volume();
+    for (std::size_t x = ov.x.lo; x < ov.x.hi; ++x)
+      for (std::size_t y = ov.y.lo; y < ov.y.hi; ++y)
+        for (std::size_t z = ov.z.lo; z < ov.z.hi; ++z)
+          send.push_back(in[flat_index(mine_from, x, y, z)]);
+  }
+
+  std::vector<std::size_t> rcounts;
+  auto recv = comm.alltoallv(std::span<const double>(send),
+                             std::span<const std::size_t>(counts), rcounts);
+
+  std::vector<double> out(mine_to.volume(), 0.0);
+  std::size_t off = 0;
+  for (int s = 0; s < p; ++s) {
+    const fft::Box3D ov = intersect(from[static_cast<std::size_t>(s)], mine_to);
+    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] == ov.volume());
+    for (std::size_t x = ov.x.lo; x < ov.x.hi; ++x)
+      for (std::size_t y = ov.y.lo; y < ov.y.hi; ++y)
+        for (std::size_t z = ov.z.lo; z < ov.z.hi; ++z)
+          out[flat_index(mine_to, x, y, z)] = recv[off++];
+  }
+  return out;
+}
+
+std::vector<double> Redistributor::forward(comm::Comm& comm,
+                                           std::span<const double> src) const {
+  return exchange(comm, src, src_, dst_);
+}
+
+std::vector<double> Redistributor::backward(comm::Comm& comm,
+                                            std::span<const double> dst) const {
+  return exchange(comm, dst, dst_, src_);
+}
+
+}  // namespace hacc::mesh

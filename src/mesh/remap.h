@@ -1,0 +1,48 @@
+// Redistribution between two box layouts of the same global grid.
+//
+// HACC's particle sector lives on a 3-D block decomposition while its FFT
+// lives on 2-D pencils; the PM solve therefore remaps grid data between the
+// two layouts on every long-range step (as in HACC's released SWFFT
+// "distribution" component). Both layouts are described by one
+// non-overlapping box per rank covering the global grid; the remap computes
+// pairwise box intersections, packs, and runs a single all-to-all.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "comm/comm.h"
+#include "fft/decomp.h"
+#include "util/error.h"
+
+namespace hacc::mesh {
+
+class Redistributor {
+ public:
+  /// `src_boxes[r]` / `dst_boxes[r]` is the box rank r owns in each layout.
+  /// Every rank constructs the same Redistributor (cheap; no communication).
+  Redistributor(std::vector<fft::Box3D> src_boxes,
+                std::vector<fft::Box3D> dst_boxes);
+
+  /// Remap this rank's source-layout block (row-major over its src box) to
+  /// its destination-layout block. Collective.
+  std::vector<double> forward(comm::Comm& comm,
+                              std::span<const double> src) const;
+
+  /// The inverse remap (dst layout -> src layout). Collective.
+  std::vector<double> backward(comm::Comm& comm,
+                               std::span<const double> dst) const;
+
+ private:
+  std::vector<double> exchange(comm::Comm& comm, std::span<const double> in,
+                               const std::vector<fft::Box3D>& from,
+                               const std::vector<fft::Box3D>& to) const;
+
+  std::vector<fft::Box3D> src_, dst_;
+};
+
+/// Intersection of two boxes (possibly empty).
+fft::Box3D intersect(const fft::Box3D& a, const fft::Box3D& b);
+
+}  // namespace hacc::mesh

@@ -1,0 +1,70 @@
+// IBM Blue Gene/Q machine constants (paper Sec. III and Refs. [5], [16]).
+//
+// This module is the substitution for hardware we do not have: an analytic
+// model of the BQC chip and the 5-D torus used to regenerate the paper's
+// extreme-scale tables (I, II, III) and figures (5-8). All constants are
+// taken from the paper or the cited BG/Q literature; calibrated constants
+// (marked CALIBRATED) are tuned once against rows the paper reports and
+// then used to produce the full tables.
+#pragma once
+
+#include <cstddef>
+
+namespace hacc::perfmodel {
+
+/// The BQC compute chip.
+struct BqcChip {
+  static constexpr double kClockGHz = 1.6;
+  static constexpr int kUserCores = 16;       ///< +1 OS core not counted
+  static constexpr int kHwThreadsPerCore = 4;
+  static constexpr int kQpxWidth = 4;         ///< 4-wide SIMD
+  static constexpr int kFmaPerCycle = 4;      ///< 4 FMAs/cycle via QPX
+  static constexpr double kInstrLatency = 6;  ///< FP latency in cycles
+  static constexpr double kL1KiB = 16;
+  static constexpr double kL2MiB = 32;
+  static constexpr double kL2LatencyCycles = 45;  ///< measured (paper)
+  static constexpr double kMemPeakBytesPerCycle = 18;  ///< measured (paper)
+
+  /// 12.8 GFlops per core: 1.6 GHz x 4 FMA x 2 flops.
+  static constexpr double peak_gflops_core() {
+    return kClockGHz * kFmaPerCycle * 2.0;
+  }
+  /// 204.8 GFlops per node.
+  static constexpr double peak_gflops_node() {
+    return peak_gflops_core() * kUserCores;
+  }
+};
+
+/// The BG/Q 5-D torus interconnect.
+struct BgqTorus {
+  static constexpr int kLinksPerNode = 10;
+  static constexpr double kPeakNodeBandwidthGBs = 40.0;  ///< total, paper
+  static constexpr double kLinkBandwidthGBs =
+      kPeakNodeBandwidthGBs / kLinksPerNode;
+  /// Effective fraction of peak achievable by the pipelined pencil-FFT
+  /// transposes (CALIBRATED against Table I).
+  static constexpr double kTransposeEfficiency = 0.72;
+};
+
+/// System sizes.
+struct BgqSystem {
+  static constexpr int kNodesPerRack = 1024;
+  static constexpr int kCoresPerRack = kNodesPerRack * BqcChip::kUserCores;
+
+  static constexpr long long cores_of_racks(int racks) {
+    return static_cast<long long>(racks) * kCoresPerRack;
+  }
+  static constexpr double peak_pflops(long long cores) {
+    return static_cast<double>(cores) * BqcChip::peak_gflops_core() / 1.0e6;
+  }
+  static constexpr double memory_per_node_gib = 16.0;
+};
+
+/// Reference architectures for the Fig. 6 cross-machine comparison.
+enum class Architecture {
+  kRoadrunner,  ///< Cell-accelerated cluster, slab FFT
+  kBgp,         ///< Blue Gene/P, pencil FFT
+  kBgq,         ///< Blue Gene/Q, pencil FFT
+};
+
+}  // namespace hacc::perfmodel

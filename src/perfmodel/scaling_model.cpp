@@ -1,0 +1,270 @@
+#include "perfmodel/scaling_model.h"
+
+#include <cmath>
+
+#include "perfmodel/kernel_model.h"
+#include "util/error.h"
+
+namespace hacc::perfmodel {
+
+namespace {
+
+// ---- calibrated constants (provenance in comments) ---------------------------
+
+/// Effective interactions per particle per substep of a production
+/// (clustered, ~2M particles/core) run. CALIBRATED once so the 96-rack row
+/// reproduces the measured 13.94 PFlops at 5.96e-11 s/substep/particle
+/// (=> 8.3e5 flops/particle at 42 flops/interaction).
+constexpr double kInteractionsPerParticle = 19781.0;
+
+/// Table III ran "an earlier version of the force kernel" (paper): its
+/// work constant is calibrated to the 512-core row instead.
+constexpr double kInteractionsPerParticleStrong = 13600.0;
+
+/// Representative shared-leaf neighbor-list size of science runs (paper:
+/// "typical runs have neighbor list sizes ~500-2500").
+constexpr double kTypicalNeighborList = 1500.0;
+
+/// Production overload depth in grid cells (hand-over 3 cells + drift
+/// slack; gives the paper's ~10% weak-scaling memory overhead).
+constexpr double kOverloadCells = 8.0;
+
+/// Fraction of the extra overloaded-skin work that shows up as wall-clock
+/// (passives skip deposit and some bookkeeping). CALIBRATED to the
+/// 16384-core slowdown of Table III.
+constexpr double kOverloadTimeAlpha = 0.35;
+
+/// Memory model: bytes per particle in the SoA (7 floats + id + role),
+/// bytes per grid cell (density + 3 gradients in double + pencil-FFT
+/// staging), multiplier and fixed per-rank overhead CALIBRATED to Tables
+/// II/III memory columns.
+constexpr double kBytesPerParticle = 37.0;
+constexpr double kBytesPerCell = 112.0;
+constexpr double kMemorySlack = 1.05;
+constexpr double kFixedRankMb = 25.0;
+
+/// FFT cost model t = A*(n^3/R)*3*log2(n) + B*(n^3*16/R)*(R/256)^gamma,
+/// CALIBRATED by least squares over the 15 rows of Table I (mean relative
+/// error ~10%): A = per-point-per-radix-pass time of the 1-D kernels at the
+/// BG/Q's FFT flop rate; B,gamma = effective per-rank transpose cost with
+/// bisection-limited (~sqrt) dilation on the 5-D torus.
+constexpr double kFftLocalA = 1.877e-8;
+constexpr double kFftCommB = 3.584e-9;
+constexpr double kFftCommGamma = 0.487;
+
+/// Fig. 6 per-architecture Poisson-solve time per step per particle
+/// (seconds): flat weak scaling at an architecture-dependent constant
+/// (read off the figure: Roadrunner/slab ~ a few ns, BG/P and BG/Q pencil
+/// lower per-particle costs at their respective clock rates).
+constexpr double kPoissonRoadrunnerNs = 3.0;
+constexpr double kPoissonBgpNs = 1.6;
+constexpr double kPoissonBgqNs = 0.35;
+
+double domain_side(long long grid, long long ranks) {
+  return static_cast<double>(grid) /
+         std::cbrt(static_cast<double>(ranks));
+}
+
+/// Overloaded-volume ratio (total stored / active) for a cubic domain of
+/// side L with skin depth d on all sides.
+double overload_volume_ratio(double side, double depth) {
+  const double v = (side + 2.0 * depth) / side;
+  return v * v * v;
+}
+
+}  // namespace
+
+double interactions_per_particle() { return kInteractionsPerParticle; }
+
+double flops_per_particle_substep() {
+  return kInteractionsPerParticle * KernelInstructionMix{}.flops_per_interaction();
+}
+
+double science_run_walltime(double particles, long long cores,
+                             int substeps) {
+  const double kernel_peak = kernel_peak_fraction(4, 16, kTypicalNeighborList);
+  const double frac = full_code_peak_fraction(PhaseMix{}.kernel, kernel_peak,
+                                              0.28);
+  const double rate =
+      static_cast<double>(cores) * BqcChip::peak_gflops_core() * 1.0e9 * frac;
+  return flops_per_particle_substep() * particles *
+         static_cast<double>(substeps) / rate;
+}
+
+// ---- weak scaling ----------------------------------------------------------------
+
+WeakScalingPoint model_weak_point(long long cores, long long np,
+                                  double box_mpch, std::string geometry) {
+  WeakScalingPoint pt;
+  pt.cores = cores;
+  pt.np = np;
+  pt.box_mpch = box_mpch;
+  pt.geometry = std::move(geometry);
+
+  const double particles = std::pow(static_cast<double>(np), 3);
+  const double ppc = particles / static_cast<double>(cores);
+
+  // Neighbor lists scale mildly with the particle loading.
+  const double nbr = kTypicalNeighborList * std::sqrt(ppc / 2.0e6);
+  const double kernel_peak = kernel_peak_fraction(4, 16, nbr);
+  const PhaseMix mix;
+  double frac = full_code_peak_fraction(mix.kernel, kernel_peak, 0.28);
+  // Near-ideal weak scaling: the only scale dependence is a tiny network
+  // dilation of the FFT share.
+  frac /= 1.0 + 1.0e-3 * std::log2(static_cast<double>(cores) / 2048.0);
+
+  const double rate =
+      static_cast<double>(cores) * BqcChip::peak_gflops_core() * 1.0e9 * frac;
+  pt.time_per_substep_particle = flops_per_particle_substep() / rate;
+  pt.pflops = rate / 1.0e15;
+  pt.peak_percent = frac * 100.0;
+  pt.cores_times_time =
+      pt.time_per_substep_particle * static_cast<double>(cores);
+
+  const double cells = particles;  // production runs: grid = particle lattice
+  const double cells_rank = cells / static_cast<double>(cores);
+  const double side = domain_side(np, cores);
+  const double repl = overload_volume_ratio(side, kOverloadCells);
+  pt.memory_mb_rank =
+      (ppc * repl * kBytesPerParticle + cells_rank * kBytesPerCell) *
+          kMemorySlack / 1.0e6 +
+      kFixedRankMb;
+  return pt;
+}
+
+std::vector<WeakScalingPoint> weak_scaling_table() {
+  // The exact configurations of Table II.
+  struct Cfg {
+    long long cores, np;
+    double box;
+    const char* geom;
+  };
+  const Cfg cfgs[] = {
+      {2048, 1600, 1814, "16x8x16"},      {4096, 2048, 2286, "16x16x16"},
+      {8192, 2560, 2880, "16x32x16"},     {16384, 3200, 3628, "32x32x16"},
+      {32768, 4096, 4571, "64x32x16"},    {65536, 5120, 5714, "64x64x16"},
+      {131072, 6656, 6857, "64x64x32"},   {262144, 8192, 9142, "64x64x64"},
+      {393216, 9216, 9857, "96x64x64"},   {524288, 10240, 11429, "128x64x64"},
+      {786432, 12288, 13185, "128x128x48"},
+      {1572864, 15360, 16614, "192x128x64"},
+  };
+  std::vector<WeakScalingPoint> out;
+  for (const auto& c : cfgs)
+    out.push_back(model_weak_point(c.cores, c.np, c.box, c.geom));
+  return out;
+}
+
+// ---- strong scaling --------------------------------------------------------------
+
+std::vector<StrongScalingPoint> strong_scaling_table() {
+  const long long np = 1024;
+  const double particles = std::pow(static_cast<double>(np), 3);
+  std::vector<StrongScalingPoint> out;
+  for (long long cores : {512LL, 1024LL, 2048LL, 4096LL, 8192LL, 16384LL}) {
+    StrongScalingPoint pt;
+    pt.cores = cores;
+    pt.particles_per_core =
+        static_cast<long long>(particles / static_cast<double>(cores));
+
+    const double side = domain_side(np, cores);
+    const double repl = overload_volume_ratio(side, kOverloadCells);
+    const double work_mult = 1.0 + kOverloadTimeAlpha * (repl - 1.0);
+
+    // Lists shrink as the per-core problem shrinks (more surface, less
+    // depth), degrading the kernel efficiency (paper: 67% -> 63%).
+    const double ppc = static_cast<double>(pt.particles_per_core);
+    const double nbr =
+        kTypicalNeighborList * std::pow(ppc / 2.1e6, 0.3);
+    const double kernel_peak = kernel_peak_fraction(4, 16, nbr);
+    const PhaseMix mix;
+    const double frac = full_code_peak_fraction(mix.kernel, kernel_peak, 0.28);
+
+    const double rate = static_cast<double>(cores) *
+                        BqcChip::peak_gflops_core() * 1.0e9 * frac;
+    const double flops = kInteractionsPerParticleStrong *
+                         KernelInstructionMix{}.flops_per_interaction();
+    pt.time_per_substep_particle = flops * work_mult / rate;
+    pt.time_per_substep = pt.time_per_substep_particle * particles;
+    pt.tflops = rate / 1.0e12;
+    pt.peak_percent = frac * 100.0;
+
+    const double cells_rank = particles / static_cast<double>(cores);
+    pt.memory_mb_rank =
+        (ppc * repl * kBytesPerParticle + cells_rank * kBytesPerCell) *
+            kMemorySlack / 1.0e6 +
+        kFixedRankMb;
+    // 16 ranks/node, 16 GiB/node.
+    pt.memory_fraction_percent =
+        pt.memory_mb_rank / (BgqSystem::memory_per_node_gib * 1024.0 /
+                             BqcChip::kUserCores) *
+        100.0;
+    out.push_back(pt);
+  }
+  return out;
+}
+
+// ---- FFT -------------------------------------------------------------------------
+
+double model_fft_time(long long n, long long ranks) {
+  HACC_CHECK(n >= 2 && ranks >= 1);
+  const double points = std::pow(static_cast<double>(n), 3);
+  const double per_rank = points / static_cast<double>(ranks);
+  const double local =
+      kFftLocalA * per_rank * 3.0 * std::log2(static_cast<double>(n));
+  const double comm =
+      kFftCommB * per_rank * 16.0 *
+      std::pow(static_cast<double>(ranks) / 256.0, kFftCommGamma);
+  return local + comm;
+}
+
+std::vector<FftScalingPoint> fft_scaling_table() {
+  struct Cfg {
+    long long n, ranks;
+  };
+  const Cfg cfgs[] = {
+      // strong scaling at 1024^3
+      {1024, 256},
+      {1024, 512},
+      {1024, 1024},
+      {1024, 2048},
+      {1024, 4096},
+      {1024, 8192},
+      // weak scaling, ~160^3 points per rank
+      {4096, 16384},
+      {5120, 32768},
+      {6400, 65536},
+      {8192, 131072},
+      {9216, 262144},
+      // weak scaling, ~200^3 points per rank
+      {5120, 16384},
+      {6400, 32768},
+      {8192, 65536},
+      {10240, 131072},
+  };
+  std::vector<FftScalingPoint> out;
+  for (const auto& c : cfgs)
+    out.push_back(FftScalingPoint{c.n, c.ranks, model_fft_time(c.n, c.ranks)});
+  return out;
+}
+
+// ---- Fig. 6 ----------------------------------------------------------------------
+
+double poisson_time_per_particle(Architecture arch, long long ranks) {
+  // Weak scaling of the spectral solver is essentially flat (Fig. 6); the
+  // slab decomposition (Roadrunner) picks up a mild dilation at high rank
+  // counts, foreshadowing the N_rank < N_fft wall.
+  switch (arch) {
+    case Architecture::kRoadrunner:
+      return kPoissonRoadrunnerNs * 1e-9 *
+             (1.0 + 0.04 * std::log2(static_cast<double>(ranks) / 64.0));
+    case Architecture::kBgp:
+      return kPoissonBgpNs * 1e-9 *
+             (1.0 + 0.01 * std::log2(static_cast<double>(ranks) / 64.0));
+    case Architecture::kBgq:
+      return kPoissonBgqNs * 1e-9 *
+             (1.0 + 0.01 * std::log2(static_cast<double>(ranks) / 64.0));
+  }
+  return 0.0;
+}
+
+}  // namespace hacc::perfmodel

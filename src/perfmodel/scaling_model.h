@@ -1,0 +1,112 @@
+// Scaling-table generators: the analytic substitution for the paper's
+// 96-rack BG/Q runs (Tables I-III, Figs. 6-8).
+//
+// The model composes
+//   * the kernel instruction model (kernel_model.h),
+//   * the paper's phase mix (80% kernel / 10% walk / 5% FFT / 5% rest),
+//   * a work model: effective interactions per particle per substep,
+//     CALIBRATED once to the measured 96-rack row (13.94 PFlops at
+//     t = 5.96e-11 s/substep/particle => 8.3e5 flops/particle/substep),
+//   * an FFT cost model: local O(N log N) work at a calibrated per-point
+//     rate plus transpose traffic over the torus at the calibrated
+//     transpose efficiency,
+//   * an overloading work multiplier for strong scaling: the replicated
+//     skin grows as domains shrink (paper Sec. IV-C attributes the 16k-core
+//     slowdown "only [to] the extra computations in the overloaded
+//     regions").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "perfmodel/bgq_machine.h"
+
+namespace hacc::perfmodel {
+
+// ---- Table II / Fig. 7: weak scaling of the full code ------------------------
+
+struct WeakScalingPoint {
+  long long cores = 0;
+  long long np = 0;           ///< particles per dimension
+  double box_mpch = 0;
+  std::string geometry;       ///< rank block, e.g. "16x8x16"
+  double pflops = 0;
+  double peak_percent = 0;
+  double time_per_substep_particle = 0;  ///< seconds
+  double cores_times_time = 0;           ///< the weak-scaling invariant
+  double memory_mb_rank = 0;
+};
+
+/// The exact configurations of Table II (cores, np, box, geometry), with
+/// model-predicted performance columns.
+std::vector<WeakScalingPoint> weak_scaling_table();
+
+/// Model a single weak-scaling point at ~2M particles/core.
+WeakScalingPoint model_weak_point(long long cores, long long np,
+                                  double box_mpch, std::string geometry);
+
+// ---- Table III / Fig. 8: strong scaling ---------------------------------------
+
+struct StrongScalingPoint {
+  long long cores = 0;
+  long long particles_per_core = 0;
+  double tflops = 0;
+  double peak_percent = 0;
+  double time_per_substep = 0;            ///< seconds
+  double time_per_substep_particle = 0;   ///< seconds
+  double memory_mb_rank = 0;
+  double memory_fraction_percent = 0;
+};
+
+/// Table III: 1024^3 particles, 512..16384 cores.
+std::vector<StrongScalingPoint> strong_scaling_table();
+
+// ---- Table I / FFT ---------------------------------------------------------------
+
+struct FftScalingPoint {
+  long long fft_size = 0;  ///< N of an N^3 transform
+  long long ranks = 0;
+  double seconds = 0;
+};
+
+/// Model the wall-clock of one 3-D pencil FFT of size n^3 on `ranks` ranks
+/// (16 ranks/node).
+double model_fft_time(long long n, long long ranks);
+
+/// The exact (size, ranks) pairs of Table I with modeled times.
+std::vector<FftScalingPoint> fft_scaling_table();
+
+// ---- Fig. 6: Poisson-solver weak scaling across architectures ---------------------
+
+/// Time per step per particle (seconds) of the long/medium-range solver.
+double poisson_time_per_particle(Architecture arch, long long ranks);
+
+// ---- time to solution ---------------------------------------------------------------
+
+/// Wall-clock seconds for a science run of `particles` total particles on
+/// `cores` BG/Q cores with `substeps` total sub-cycled force evaluations
+/// (z ~ 200 -> 0 production runs take ~500-1000). Encodes the paper's
+/// throughput requirement: "runs of 100 billion to trillions of particles
+/// in a day to a week of wall-clock".
+double science_run_walltime(double particles, long long cores,
+                            int substeps = 500);
+
+// ---- shared work model -------------------------------------------------------------
+
+/// Effective interactions per particle per substep (CALIBRATED; includes
+/// the shared-leaf-list redundancy and overloaded-skin work of production
+/// runs).
+double interactions_per_particle();
+
+/// Flops per particle per substep.
+double flops_per_particle_substep();
+
+/// The paper's phase mix at the 16/4 operating point.
+struct PhaseMix {
+  double kernel = 0.80;
+  double walk = 0.10;
+  double fft = 0.05;
+  double other = 0.05;
+};
+
+}  // namespace hacc::perfmodel

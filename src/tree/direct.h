@@ -1,0 +1,27 @@
+// Direct O(N^2) force summation references.
+//
+// Used (a) as the correctness oracle for the RCB tree short-range solver —
+// the tree gathers *every* particle within the hand-over radius, so the two
+// must agree to float round-off — and (b) as the exact Newtonian force for
+// validating PM + short-range force matching.
+#pragma once
+
+#include <span>
+
+#include "tree/force_kernel.h"
+#include "tree/particles.h"
+
+namespace hacc::tree {
+
+/// Direct evaluation of the short-range kernel over all pairs.
+void direct_short_range(const ParticleArray& p, const ShortRangeKernel& kernel,
+                        std::span<float> ax, std::span<float> ay,
+                        std::span<float> az, float mass_scale = 1.0f);
+
+/// Direct softened Newtonian forces: a_i = sum_j m_j (x_j-x_i)/(s+eps)^{3/2}
+/// (open boundaries; masses pre-scaled by mass_scale).
+void direct_newtonian(const ParticleArray& p, float softening,
+                      std::span<float> ax, std::span<float> ay,
+                      std::span<float> az, float mass_scale = 1.0f);
+
+}  // namespace hacc::tree

@@ -1,0 +1,59 @@
+#include "tree/force_kernel.h"
+
+#include <cmath>
+
+namespace hacc::tree {
+
+float ShortRangeKernel::fsr(float s) const noexcept {
+  if (s <= 0.0f || s >= rmax2()) return 0.0f;
+  return newtonian_fscalar(s, softening) - fgrid(s);
+}
+
+float newtonian_fscalar(float s, float softening) noexcept {
+  const float t = s + softening;
+  return 1.0f / (t * std::sqrt(t));
+}
+
+Force3 evaluate_neighbor_list(const ShortRangeKernel& kernel, float xi,
+                              float yi, float zi, const float* xn,
+                              const float* yn, const float* zn,
+                              const float* mn, std::size_t n) noexcept {
+  const float eps = kernel.softening;
+  const float rmax2 = kernel.rmax2();
+  const float c0 = kernel.fgrid.c[0], c1 = kernel.fgrid.c[1],
+              c2 = kernel.fgrid.c[2], c3 = kernel.fgrid.c[3],
+              c4 = kernel.fgrid.c[4], c5 = kernel.fgrid.c[5];
+  float ax = 0.0f, ay = 0.0f, az = 0.0f;
+  // The loop body is straight-line FMA-shaped code with branchless cutoff
+  // filtering (the two comparisons lower to vector selects), so the
+  // compiler can vectorize it; neighbor data is contiguous and aligned.
+#pragma omp simd reduction(+ : ax, ay, az)
+  for (std::size_t j = 0; j < n; ++j) {
+    const float dx = xn[j] - xi;
+    const float dy = yn[j] - yi;
+    const float dz = zn[j] - zi;
+    const float s = dx * dx + dy * dy + dz * dz;
+    const float t = s + eps;
+    const float inv = 1.0f / std::sqrt(t);
+    const float newton = inv * inv * inv;  // (s+eps)^(-3/2)
+    float poly = c5;
+    poly = poly * s + c4;
+    poly = poly * s + c3;
+    poly = poly * s + c2;
+    poly = poly * s + c1;
+    poly = poly * s + c0;
+    // Branchless filter: zero outside (0, rmax^2). "it is advantageous to
+    // include it into the force evaluation in a form where ternary
+    // operators can be combined" (paper Sec. III).
+    const float f0 = newton - poly;
+    const float f1 = (s < rmax2) ? f0 : 0.0f;
+    const float f = (s > 0.0f) ? f1 : 0.0f;
+    const float w = mn[j] * f;
+    ax += w * dx;
+    ay += w * dy;
+    az += w * dz;
+  }
+  return Force3{ax, ay, az};
+}
+
+}  // namespace hacc::tree

@@ -1,0 +1,63 @@
+// Numerical force matching of the filtered PM grid force (paper Sec. II).
+//
+// "The filtered grid force was obtained numerically to high accuracy using
+// randomly sampled particle pairs and then fitted to an expression with the
+// correct large and small distance asymptotics. Because this functional form
+// is needed only over a small, compact region, it can be simplified using a
+// fifth-order polynomial expansion."
+//
+// The matcher deposits a single unit-mass source particle at a random
+// sub-cell offset on an otherwise empty PM grid, runs the spectral Poisson
+// solve, and samples the interpolated force at field points covering
+// r in (0, rmax]. The radial force per unit separation vector, normalized
+// to the continuum pair coupling 1/(4 pi rho_bar), is the scalar
+// f_grid(s = r^2) the short-range kernel subtracts. A least-squares
+// degree-5 polynomial in s over (0, rmax^2] is returned.
+//
+// A run of the matcher with the default SpectralConfig produced the
+// coefficients shipped as `default_fgrid_poly5()` (see force_matcher.cpp for
+// the exact settings), so simulations start without redoing the fit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mesh/kernels.h"
+#include "tree/force_kernel.h"
+
+namespace hacc::tree {
+
+struct ForceMatchConfig {
+  std::size_t grid = 32;       ///< PM grid used for the measurement
+  std::size_t sources = 8;     ///< random source placements (sub-cell offsets)
+  std::size_t samples = 48;    ///< field points per source per radius
+  std::size_t radii = 40;      ///< radii spanning (0, rmax]
+  float rmax = 3.0f;           ///< hand-over radius (grid units)
+  std::uint64_t seed = 12345;
+  mesh::SpectralConfig spectral{};
+};
+
+/// One measured sample of the filtered grid pair force.
+struct ForceSample {
+  double s;       ///< squared separation
+  double fscalar; ///< radial force / (r * coupling); continuum limit s^-3/2
+};
+
+/// Measure f_grid by randomly sampled pairs. Self-contained: runs a private
+/// single-rank machine internally, so it can be called from anywhere
+/// (including from inside a rank of a larger run).
+std::vector<ForceSample> measure_grid_force(const ForceMatchConfig& config);
+
+/// Least-squares degree-5 fit in s of the measured samples.
+Poly5 fit_poly5(const std::vector<ForceSample>& samples);
+
+/// Convenience: measure + fit.
+Poly5 match_grid_force(const ForceMatchConfig& config);
+
+/// Coefficients pre-computed with the default ForceMatchConfig /
+/// SpectralConfig (sigma = 0.8, ns = 3, 6th-order Green's, Super-Lanczos
+/// gradient, rmax = 3).
+Poly5 default_fgrid_poly5();
+
+}  // namespace hacc::tree

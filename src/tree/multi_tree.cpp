@@ -1,0 +1,150 @@
+#include "tree/multi_tree.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hacc::tree {
+
+namespace {
+
+struct Block {
+  std::uint32_t first, count;
+};
+
+}  // namespace
+
+MultiTree::MultiTree(ParticleArray& particles, MultiTreeConfig config)
+    : particles_(&particles) {
+  HACC_CHECK(config.splits >= 0 && config.splits <= 8);
+  const auto n = static_cast<std::uint32_t>(particles.size());
+
+  // Recursively bisect the particle set spatially (midpoint of the longest
+  // bounding-box side; midpoint rather than center-of-mass keeps the block
+  // *volumes* comparable, which is what the per-tree walks care about).
+  std::vector<Block> blocks{{0, n}};
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;
+  for (int s = 0; s < config.splits; ++s) {
+    std::vector<Block> next;
+    next.reserve(blocks.size() * 2);
+    for (const Block& b : blocks) {
+      if (b.count < 2) {
+        next.push_back(b);
+        continue;
+      }
+      // Bounding box of this block.
+      std::array<float, 3> lo{std::numeric_limits<float>::max(),
+                              std::numeric_limits<float>::max(),
+                              std::numeric_limits<float>::max()};
+      std::array<float, 3> hi{std::numeric_limits<float>::lowest(),
+                              std::numeric_limits<float>::lowest(),
+                              std::numeric_limits<float>::lowest()};
+      for (std::uint32_t i = b.first; i < b.first + b.count; ++i) {
+        lo[0] = std::min(lo[0], particles.x[i]);
+        hi[0] = std::max(hi[0], particles.x[i]);
+        lo[1] = std::min(lo[1], particles.y[i]);
+        hi[1] = std::max(hi[1], particles.y[i]);
+        lo[2] = std::min(lo[2], particles.z[i]);
+        hi[2] = std::max(hi[2], particles.z[i]);
+      }
+      int dim = 0;
+      for (int d = 1; d < 3; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        if (hi[sd] - lo[sd] > hi[static_cast<std::size_t>(dim)] -
+                                  lo[static_cast<std::size_t>(dim)])
+          dim = d;
+      }
+      const float split = 0.5f * (lo[static_cast<std::size_t>(dim)] +
+                                  hi[static_cast<std::size_t>(dim)]);
+      const std::uint32_t below = three_phase_partition(
+          particles, b.first, b.count, dim, split, swaps);
+      if (below == 0 || below == b.count) {
+        next.push_back(b);  // degenerate (coincident particles)
+        continue;
+      }
+      next.push_back(Block{b.first, below});
+      next.push_back(Block{b.first + below, b.count - below});
+    }
+    blocks = std::move(next);
+  }
+
+  // Independent per-block builds — this is the loop the BG/Q would thread.
+  trees_.reserve(blocks.size());
+  for (const Block& b : blocks) trees_.emplace_back(particles, b.first, b.count, config.rcb);
+}
+
+double MultiTree::build_imbalance() const noexcept {
+  if (trees_.empty()) return 1.0;
+  std::size_t largest = 0, total = 0;
+  for (const auto& t : trees_) {
+    const std::size_t c =
+        t.nodes().empty() ? 0 : t.nodes().front().count;
+    largest = std::max(largest, c);
+    total += c;
+  }
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(trees_.size());
+  return mean > 0 ? static_cast<double>(largest) / mean : 1.0;
+}
+
+void MultiTree::gather_neighbors(std::size_t t, std::uint32_t leaf_node,
+                                 float rcut, NeighborList& out,
+                                 std::size_t* visits) const {
+  out.clear();
+  const RcbNode& leaf = trees_[t].nodes()[leaf_node];
+  for (const auto& tree : trees_) {
+    if (tree.nodes().empty()) continue;
+    // Prune whole foreign trees by root-box distance.
+    if (RcbTree::box_distance2(tree.nodes().front(), leaf.lo, leaf.hi) >
+        rcut * rcut)
+      continue;
+    tree.gather_neighbors_into(leaf.lo, leaf.hi, rcut, out, visits,
+                               /*append=*/true);
+  }
+}
+
+InteractionStats compute_short_range_multi(const MultiTree& forest,
+                                           const ShortRangeKernel& kernel,
+                                           std::span<float> ax,
+                                           std::span<float> ay,
+                                           std::span<float> az,
+                                           float mass_scale) {
+  const ParticleArray& p = forest.particles();
+  HACC_CHECK(ax.size() == p.size() && ay.size() == p.size() &&
+             az.size() == p.size());
+  // Flatten (tree, leaf) pairs for one dynamic OpenMP loop.
+  std::vector<std::pair<std::size_t, std::uint32_t>> work;
+  for (std::size_t t = 0; t < forest.trees().size(); ++t)
+    for (auto leaf : forest.trees()[t].leaves()) work.emplace_back(t, leaf);
+
+  InteractionStats stats;
+  stats.particles = p.size();
+  stats.leaves = work.size();
+  std::size_t interactions = 0, visits = 0;
+#pragma omp parallel reduction(+ : interactions, visits)
+  {
+    NeighborList list;
+#pragma omp for schedule(dynamic, 1)
+    for (std::size_t w = 0; w < work.size(); ++w) {
+      const auto [t, leaf_id] = work[w];
+      const RcbNode& leaf = forest.trees()[t].nodes()[leaf_id];
+      forest.gather_neighbors(t, leaf_id, kernel.rmax, list, &visits);
+      if (mass_scale != 1.0f) {
+        for (auto& m : list.m) m *= mass_scale;
+      }
+      for (std::uint32_t i = leaf.first; i < leaf.first + leaf.count; ++i) {
+        const Force3 f = evaluate_neighbor_list(
+            kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
+            list.z.data(), list.m.data(), list.size());
+        ax[i] = f.x;
+        ay[i] = f.y;
+        az[i] = f.z;
+      }
+      interactions += static_cast<std::size_t>(leaf.count) * list.size();
+    }
+  }
+  stats.interactions = interactions;
+  stats.walk_visits = visits;
+  return stats;
+}
+
+}  // namespace hacc::tree

@@ -1,0 +1,59 @@
+// Multiple RCB trees per rank (paper Sec. VI, "The Future").
+//
+// "Next, we will improve (nodal) load balancing by using multiple trees at
+// each rank, enabling an improved threading of the tree-build."
+//
+// MultiTree spatially partitions the rank-local particle set into 2^splits
+// disjoint blocks with the same three-phase partition the tree build uses
+// (so the SoA stays one contiguous, locality-ordered array), then builds an
+// independent RCB tree per block — the builds are independent and run under
+// OpenMP. Force evaluation walks *all* trees for each leaf's neighbor list,
+// so the result is identical to a single tree over the whole set; only the
+// build parallelism and the work granularity change.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tree/rcb_tree.h"
+
+namespace hacc::tree {
+
+struct MultiTreeConfig {
+  /// Number of binary spatial splits: 2^splits trees. 0 = one tree.
+  int splits = 3;
+  RcbConfig rcb{};
+};
+
+class MultiTree {
+ public:
+  /// Partition + build; permutes the SoA in place like RcbTree.
+  MultiTree(ParticleArray& particles, MultiTreeConfig config = {});
+
+  const std::vector<RcbTree>& trees() const noexcept { return trees_; }
+  const ParticleArray& particles() const noexcept { return *particles_; }
+
+  /// Largest tree size / mean tree size: 1.0 = perfectly balanced builds.
+  double build_imbalance() const noexcept;
+
+  /// Gather every particle within rcut of `leaf` of tree `t`, searching all
+  /// trees (cross-block neighbors included).
+  void gather_neighbors(std::size_t t, std::uint32_t leaf_node, float rcut,
+                        NeighborList& out,
+                        std::size_t* visits = nullptr) const;
+
+ private:
+  ParticleArray* particles_;
+  std::vector<RcbTree> trees_;
+};
+
+/// Short-range forces over a MultiTree; identical physics to the
+/// single-tree compute_short_range, threaded over (tree, leaf) pairs.
+InteractionStats compute_short_range_multi(const MultiTree& forest,
+                                           const ShortRangeKernel& kernel,
+                                           std::span<float> ax,
+                                           std::span<float> ay,
+                                           std::span<float> az,
+                                           float mass_scale = 1.0f);
+
+}  // namespace hacc::tree

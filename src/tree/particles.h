@@ -1,0 +1,121 @@
+// Structure-of-arrays particle storage.
+//
+// "The particle data is stored as a collection of arrays — the so-called
+// structure-of-arrays (SOA) format. There are three arrays for the three
+// spatial coordinates, three for the velocity components, in addition to
+// arrays for mass, a particle identifier, etc." (paper Sec. III)
+//
+// Positions are single precision in grid units (HACC's mixed-precision
+// scheme: particles and short-range forces in float, spectral math in
+// double). The `tag` byte carries the overloading role (active/passive,
+// paper Fig. 4).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/aligned.h"
+#include "util/error.h"
+
+namespace hacc::tree {
+
+/// Overloading role of a particle on this rank.
+enum class Role : std::uint8_t {
+  kActive = 0,   ///< inside the rank's domain; deposited in the Poisson solve
+  kPassive = 1,  ///< boundary-region replica; moved but not deposited
+};
+
+class ParticleArray {
+ public:
+  std::size_t size() const noexcept { return x.size(); }
+  bool empty() const noexcept { return x.empty(); }
+
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    vx.reserve(n);
+    vy.reserve(n);
+    vz.reserve(n);
+    mass.reserve(n);
+    id.reserve(n);
+    role.reserve(n);
+  }
+
+  void clear() {
+    x.clear();
+    y.clear();
+    z.clear();
+    vx.clear();
+    vy.clear();
+    vz.clear();
+    mass.clear();
+    id.clear();
+    role.clear();
+  }
+
+  void push_back(float px, float py, float pz, float pvx, float pvy,
+                 float pvz, float pmass, std::uint64_t pid,
+                 Role prole = Role::kActive) {
+    x.push_back(px);
+    y.push_back(py);
+    z.push_back(pz);
+    vx.push_back(pvx);
+    vy.push_back(pvy);
+    vz.push_back(pvz);
+    mass.push_back(pmass);
+    id.push_back(pid);
+    role.push_back(prole);
+  }
+
+  /// Copy particle j of `src` onto the end of this array.
+  void append_from(const ParticleArray& src, std::size_t j) {
+    push_back(src.x[j], src.y[j], src.z[j], src.vx[j], src.vy[j], src.vz[j],
+              src.mass[j], src.id[j], src.role[j]);
+  }
+
+  /// Swap particles i and j across every array.
+  void swap_particles(std::size_t i, std::size_t j) {
+    std::swap(x[i], x[j]);
+    std::swap(y[i], y[j]);
+    std::swap(z[i], z[j]);
+    std::swap(vx[i], vx[j]);
+    std::swap(vy[i], vy[j]);
+    std::swap(vz[i], vz[j]);
+    std::swap(mass[i], mass[j]);
+    std::swap(id[i], id[j]);
+    std::swap(role[i], role[j]);
+  }
+
+  /// Remove particle i by moving the last particle into its slot.
+  void remove_unordered(std::size_t i) {
+    HACC_ASSERT(i < size());
+    const std::size_t last = size() - 1;
+    if (i != last) swap_particles(i, last);
+    x.pop_back();
+    y.pop_back();
+    z.pop_back();
+    vx.pop_back();
+    vy.pop_back();
+    vz.pop_back();
+    mass.pop_back();
+    id.pop_back();
+    role.pop_back();
+  }
+
+  /// Consistency check: every array has the same length.
+  bool consistent() const noexcept {
+    const std::size_t n = x.size();
+    return y.size() == n && z.size() == n && vx.size() == n &&
+           vy.size() == n && vz.size() == n && mass.size() == n &&
+           id.size() == n && role.size() == n;
+  }
+
+  aligned_vector<float> x, y, z;
+  aligned_vector<float> vx, vy, vz;
+  aligned_vector<float> mass;
+  aligned_vector<std::uint64_t> id;
+  aligned_vector<Role> role;
+};
+
+}  // namespace hacc::tree

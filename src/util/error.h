@@ -1,0 +1,45 @@
+// Error handling for the HACC reproduction framework.
+//
+// The framework is a library: precondition violations throw (so tests can
+// assert on them) rather than abort. Hot loops use HACC_ASSERT, which
+// compiles out in release builds unless HACC_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hacc {
+
+/// Exception thrown on precondition/invariant violations in library code.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void raise(const char* cond, const char* file, int line,
+                               const std::string& msg) {
+  throw Error(std::string(file) + ":" + std::to_string(line) + ": check `" +
+              cond + "` failed" + (msg.empty() ? "" : ": " + msg));
+}
+}  // namespace detail
+
+}  // namespace hacc
+
+/// Always-on check for API preconditions. Throws hacc::Error on failure.
+#define HACC_CHECK(cond)                                      \
+  do {                                                        \
+    if (!(cond)) ::hacc::detail::raise(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define HACC_CHECK_MSG(cond, msg)                                      \
+  do {                                                                 \
+    if (!(cond)) ::hacc::detail::raise(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Debug-only check for hot paths.
+#if defined(HACC_ENABLE_ASSERTS) || !defined(NDEBUG)
+#define HACC_ASSERT(cond) HACC_CHECK(cond)
+#else
+#define HACC_ASSERT(cond) ((void)0)
+#endif

@@ -1,0 +1,19 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace hacc {
+
+std::array<double, 2> Philox::gaussian2(std::uint64_t counter,
+                                        std::uint64_t tag) const noexcept {
+  const Block b = block(counter, tag);
+  // Box-Muller; guard u1 away from 0 so log() is finite.
+  double u1 = to_unit(b[0], b[1]);
+  const double u2 = to_unit(b[2], b[3]);
+  if (u1 < 0x1.0p-60) u1 = 0x1.0p-60;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  return {r * std::cos(theta), r * std::sin(theta)};
+}
+
+}  // namespace hacc

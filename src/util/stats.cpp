@@ -1,0 +1,94 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace hacc {
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+std::vector<double> solve_linear(std::vector<double> a,
+                                 std::vector<double> b) {
+  const std::size_t n = b.size();
+  HACC_CHECK(a.size() == n * n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t piv = col;
+    double best = std::abs(a[col * n + col]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a[r * n + col]);
+      if (v > best) {
+        best = v;
+        piv = r;
+      }
+    }
+    HACC_CHECK_MSG(best > 1e-300, "singular matrix in solve_linear");
+    if (piv != col) {
+      for (std::size_t c = 0; c < n; ++c)
+        std::swap(a[piv * n + c], a[col * n + c]);
+      std::swap(b[piv], b[col]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r * n + col] * inv;
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a[r * n + c] -= f * a[col * n + c];
+      b[r] -= f * b[col];
+    }
+  }
+  // Back substitution.
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double s = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) s -= a[ri * n + c] * x[c];
+    x[ri] = s / a[ri * n + ri];
+  }
+  return x;
+}
+
+std::vector<double> polyfit(std::span<const double> x,
+                            std::span<const double> y, int deg) {
+  HACC_CHECK(deg >= 0);
+  HACC_CHECK(x.size() == y.size());
+  HACC_CHECK(x.size() > static_cast<std::size_t>(deg));
+  const std::size_t m = static_cast<std::size_t>(deg) + 1;
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<double> ata(m * m, 0.0), aty(m, 0.0);
+  std::vector<double> powers(2 * m - 1);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    powers[0] = 1.0;
+    for (std::size_t p = 1; p < powers.size(); ++p)
+      powers[p] = powers[p - 1] * x[i];
+    for (std::size_t r = 0; r < m; ++r) {
+      aty[r] += powers[r] * y[i];
+      for (std::size_t c = 0; c < m; ++c) ata[r * m + c] += powers[r + c];
+    }
+  }
+  return solve_linear(std::move(ata), std::move(aty));
+}
+
+double polyval(std::span<const double> coeffs, double x) noexcept {
+  double v = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) v = v * x + coeffs[i];
+  return v;
+}
+
+LineFit linefit(std::span<const double> x, std::span<const double> y) {
+  HACC_CHECK(x.size() == y.size() && x.size() >= 2);
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double n = static_cast<double>(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  HACC_CHECK_MSG(std::abs(denom) > 1e-300, "degenerate x in linefit");
+  const double slope = (n * sxy - sx * sy) / denom;
+  return LineFit{(sy - slope * sx) / n, slope};
+}
+
+}  // namespace hacc

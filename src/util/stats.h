@@ -1,0 +1,60 @@
+// Running statistics and least-squares fitting.
+//
+// Used by: the ForceMatcher (fits the degree-5 polynomial of the filtered
+// grid force, paper Sec. II), the power-spectrum estimator (bin averages),
+// and the bench harnesses (scaling-slope fits).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace hacc {
+
+/// Welford running mean/variance with min/max.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    if (x < min_ || n_ == 1) min_ = x;
+    if (x > max_ || n_ == 1) max_ = x;
+  }
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  double variance() const noexcept {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0, m2_ = 0, min_ = 0, max_ = 0;
+};
+
+/// Solve the dense linear system A x = b (in place copies; Gaussian
+/// elimination with partial pivoting). A is row-major n x n.
+/// Throws hacc::Error if the system is singular to working precision.
+std::vector<double> solve_linear(std::vector<double> a, std::vector<double> b);
+
+/// Least-squares fit of a polynomial c0 + c1 x + ... + c_deg x^deg to the
+/// points (x[i], y[i]) via normal equations. Returns deg+1 coefficients,
+/// lowest order first.
+std::vector<double> polyfit(std::span<const double> x,
+                            std::span<const double> y, int deg);
+
+/// Evaluate a polynomial (lowest-order-first coefficients) by Horner.
+double polyval(std::span<const double> coeffs, double x) noexcept;
+
+/// Ordinary least squares line fit y = a + b x; returns {a, b}.
+struct LineFit {
+  double intercept;
+  double slope;
+};
+LineFit linefit(std::span<const double> x, std::span<const double> y);
+
+}  // namespace hacc

@@ -1,0 +1,37 @@
+// Console table formatting for the benchmark harnesses.
+//
+// Every bench binary reproduces a table or figure from the paper; Table
+// gives them a uniform fixed-width layout (and a CSV dump for plotting).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hacc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append a row; each cell already formatted. Must match header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Helpers to format numbers consistently.
+  static std::string fixed(double v, int precision);
+  static std::string sci(double v, int precision);
+  static std::string integer(long long v);
+
+  /// Render with aligned columns.
+  void print(std::ostream& os) const;
+  /// Render as CSV.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hacc

@@ -1,0 +1,20 @@
+#include "util/timer.h"
+
+#include <algorithm>
+
+namespace hacc {
+
+std::vector<TimerRegistry::Row> TimerRegistry::report() const {
+  const double total = grand_total();
+  std::vector<Row> rows;
+  rows.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    rows.push_back(
+        Row{name, e.count, e.seconds, total > 0 ? e.seconds / total : 0.0});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.seconds > b.seconds; });
+  return rows;
+}
+
+}  // namespace hacc

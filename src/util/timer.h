@@ -1,0 +1,92 @@
+// Hierarchical timing.
+//
+// HACC's performance story is told in time-per-substep-per-particle and in
+// the per-phase breakdown (80% force kernel / 10% tree walk / 5% FFT / 5%
+// rest at the 16/4 operating point, paper Sec. III). TimerRegistry
+// accumulates named phases so the driver and benches can report exactly
+// those breakdowns.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hacc {
+
+/// Simple wall-clock stopwatch.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+  void reset() { start_ = Clock::now(); }
+  /// Seconds since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates (count, total seconds) per named phase.
+class TimerRegistry {
+ public:
+  /// RAII scope: accumulates into `name` on destruction.
+  class Scope {
+   public:
+    Scope(TimerRegistry& reg, std::string name)
+        : reg_(&reg), name_(std::move(name)) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { reg_->add(name_, timer_.elapsed()); }
+
+   private:
+    TimerRegistry* reg_;
+    std::string name_;
+    Timer timer_;
+  };
+
+  void add(const std::string& name, double seconds) {
+    auto& e = entries_[name];
+    e.count += 1;
+    e.seconds += seconds;
+  }
+  Scope scope(std::string name) { return Scope(*this, std::move(name)); }
+
+  double total(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+  std::size_t count(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.count;
+  }
+
+  /// Sum over all phases.
+  double grand_total() const {
+    double t = 0;
+    for (const auto& [k, v] : entries_) t += v.seconds;
+    return t;
+  }
+
+  /// (name, seconds, fraction-of-total) rows sorted by descending time.
+  struct Row {
+    std::string name;
+    std::size_t count;
+    double seconds;
+    double fraction;
+  };
+  std::vector<Row> report() const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  struct Entry {
+    std::size_t count = 0;
+    double seconds = 0;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace hacc

@@ -1,0 +1,379 @@
+// Tests for the SimMPI runtime: point-to-point semantics, every collective,
+// communicator split, Cartesian topologies, failure propagation.
+//
+// Collectives are verified across a sweep of rank counts (powers of two and
+// awkward odd sizes) via parameterized tests.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "comm/cart.h"
+#include "comm/comm.h"
+#include "util/error.h"
+
+namespace hacc::comm {
+namespace {
+
+TEST(Machine, RunsEveryRankExactlyOnce) {
+  std::atomic<int> count{0};
+  std::vector<std::atomic<int>> seen(8);
+  Machine::run(8, [&](Comm& c) {
+    count.fetch_add(1);
+    seen[static_cast<std::size_t>(c.rank())].fetch_add(1);
+    EXPECT_EQ(c.size(), 8);
+  });
+  EXPECT_EQ(count.load(), 8);
+  for (auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Machine, SingleRankWorks) {
+  Machine::run(1, [](Comm& c) {
+    EXPECT_EQ(c.rank(), 0);
+    EXPECT_EQ(c.size(), 1);
+    c.barrier();
+    EXPECT_EQ(c.allreduce_value(5, ReduceOp::kSum), 5);
+  });
+}
+
+TEST(Machine, ZeroRanksRejected) {
+  EXPECT_THROW(Machine::run(0, [](Comm&) {}), Error);
+}
+
+TEST(Machine, RankFailurePropagatesWithoutDeadlock) {
+  EXPECT_THROW(Machine::run(4,
+                            [](Comm& c) {
+                              if (c.rank() == 2) throw Error("rank 2 died");
+                              // Other ranks block on a message that will
+                              // never come; abort must wake them.
+                              if (c.rank() == 0)
+                                (void)c.recv_bytes(1, /*tag=*/77);
+                              c.barrier();
+                            }),
+               Error);
+}
+
+TEST(PointToPoint, TypedRoundTrip) {
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      const std::vector<double> data{1.5, 2.5, 3.5};
+      c.send(1, 7, std::span<const double>(data));
+      auto back = c.recv_vector<int>(1, 8);
+      ASSERT_EQ(back.size(), 2u);
+      EXPECT_EQ(back[0], 10);
+      EXPECT_EQ(back[1], 20);
+    } else {
+      auto got = c.recv_vector<double>(0, 7);
+      ASSERT_EQ(got.size(), 3u);
+      EXPECT_DOUBLE_EQ(got[1], 2.5);
+      const std::vector<int> reply{10, 20};
+      c.send(0, 8, std::span<const int>(reply));
+    }
+  });
+}
+
+TEST(PointToPoint, NonOvertakingPerSourceAndTag) {
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      for (int i = 0; i < 50; ++i) c.send_value(1, 3, i);
+    } else {
+      for (int i = 0; i < 50; ++i) EXPECT_EQ(c.recv_value<int>(0, 3), i);
+    }
+  });
+}
+
+TEST(PointToPoint, TagsSeparateStreams) {
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, /*tag=*/1, 100);
+      c.send_value(1, /*tag=*/2, 200);
+    } else {
+      // Receive in the opposite order of sending: tag matching must hold.
+      EXPECT_EQ(c.recv_value<int>(0, 2), 200);
+      EXPECT_EQ(c.recv_value<int>(0, 1), 100);
+    }
+  });
+}
+
+TEST(PointToPoint, SelfSendWorks) {
+  Machine::run(3, [](Comm& c) {
+    c.send_value(c.rank(), 5, c.rank() * 11);
+    EXPECT_EQ(c.recv_value<int>(c.rank(), 5), c.rank() * 11);
+  });
+}
+
+TEST(PointToPoint, SizeMismatchThrows) {
+  EXPECT_THROW(Machine::run(2,
+                            [](Comm& c) {
+                              if (c.rank() == 0) {
+                                c.send_value<double>(1, 1, 3.0);
+                              } else {
+                                int wrong[3];
+                                c.recv(0, 1, std::span<int>(wrong));
+                              }
+                            }),
+               Error);
+}
+
+TEST(PointToPoint, SendRecvExchange) {
+  Machine::run(4, [](Comm& c) {
+    const int right = (c.rank() + 1) % c.size();
+    const int left = (c.rank() - 1 + c.size()) % c.size();
+    const std::vector<int> mine{c.rank()};
+    auto got = c.sendrecv(right, left, 9, std::span<const int>(mine));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], left);
+  });
+}
+
+// ---- collectives over a sweep of communicator sizes ------------------------
+
+class CollectiveTest : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CollectiveTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16));
+
+TEST_P(CollectiveTest, Barrier) {
+  const int p = GetParam();
+  std::atomic<int> arrived{0};
+  Machine::run(p, [&](Comm& c) {
+    arrived.fetch_add(1);
+    c.barrier();
+    // After the barrier every rank must have arrived.
+    EXPECT_EQ(arrived.load(), p);
+    c.barrier();
+    c.barrier();  // repeated barriers must not interfere
+  });
+}
+
+TEST_P(CollectiveTest, BcastFromEveryRoot) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<int> data(5, c.rank() == root ? root * 100 : -1);
+      c.bcast(std::span<int>(data), root);
+      for (int v : data) EXPECT_EQ(v, root * 100);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  const int expect = p * (p - 1) / 2;
+  Machine::run(p, [&](Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<long long> v{c.rank(), 2LL * c.rank()};
+      c.reduce(std::span<long long>(v), ReduceOp::kSum, root);
+      if (c.rank() == root) {
+        EXPECT_EQ(v[0], expect);
+        EXPECT_EQ(v[1], 2LL * expect);
+      }
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AllreduceMinMaxSum) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    EXPECT_EQ(c.allreduce_value(c.rank(), ReduceOp::kSum), p * (p - 1) / 2);
+    EXPECT_EQ(c.allreduce_value(c.rank(), ReduceOp::kMin), 0);
+    EXPECT_EQ(c.allreduce_value(c.rank(), ReduceOp::kMax), p - 1);
+    EXPECT_DOUBLE_EQ(c.allreduce_value(1.5, ReduceOp::kSum), 1.5 * p);
+  });
+}
+
+TEST_P(CollectiveTest, ExclusiveScanSum) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    // value = rank + 1 -> prefix at rank r is r(r+1)/2.
+    const long long prefix = c.exscan_sum<long long>(c.rank() + 1);
+    EXPECT_EQ(prefix, static_cast<long long>(c.rank()) * (c.rank() + 1) / 2);
+    // Doubles work too.
+    const double dp = c.exscan_sum(0.5);
+    EXPECT_DOUBLE_EQ(dp, 0.5 * c.rank());
+  });
+}
+
+TEST(ExScan, AssignsContiguousIdRanges) {
+  // The intended use: globally contiguous id ranges from local counts.
+  Machine::run(4, [](Comm& c) {
+    const std::uint64_t local_count = 10 + 5 * static_cast<std::uint64_t>(c.rank());
+    const std::uint64_t first_id = c.exscan_sum(local_count);
+    // Rank r starts where ranks 0..r-1 ended.
+    std::uint64_t expect = 0;
+    for (int r = 0; r < c.rank(); ++r)
+      expect += 10 + 5 * static_cast<std::uint64_t>(r);
+    EXPECT_EQ(first_id, expect);
+  });
+}
+
+TEST_P(CollectiveTest, GatherToEveryRoot) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    for (int root = 0; root < p; ++root) {
+      const std::vector<int> mine{c.rank(), c.rank() + 1000};
+      std::vector<int> all(c.rank() == root ? 2 * static_cast<std::size_t>(p)
+                                            : 0);
+      c.gather(std::span<const int>(mine), std::span<int>(all), root);
+      if (c.rank() == root) {
+        for (int r = 0; r < p; ++r) {
+          EXPECT_EQ(all[2 * static_cast<std::size_t>(r)], r);
+          EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1], r + 1000);
+        }
+      }
+      c.barrier();
+    }
+  });
+}
+
+TEST_P(CollectiveTest, Allgather) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    const std::vector<int> mine{c.rank() * 3, c.rank() * 3 + 1};
+    std::vector<int> all(2 * static_cast<std::size_t>(p));
+    c.allgather(std::span<const int>(mine), std::span<int>(all));
+    for (int r = 0; r < p; ++r) {
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r)], r * 3);
+      EXPECT_EQ(all[2 * static_cast<std::size_t>(r) + 1], r * 3 + 1);
+    }
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvTransposesContributions) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    // Rank r sends r+1 copies of value r*1000+dst to each destination dst.
+    std::vector<int> send;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      counts[static_cast<std::size_t>(dst)] =
+          static_cast<std::size_t>(c.rank() + 1);
+      for (int k = 0; k <= c.rank(); ++k)
+        send.push_back(c.rank() * 1000 + dst);
+    }
+    std::vector<std::size_t> rcounts;
+    auto got = c.alltoallv(std::span<const int>(send),
+                           std::span<const std::size_t>(counts), rcounts);
+    ASSERT_EQ(rcounts.size(), static_cast<std::size_t>(p));
+    std::size_t off = 0;
+    for (int src = 0; src < p; ++src) {
+      EXPECT_EQ(rcounts[static_cast<std::size_t>(src)],
+                static_cast<std::size_t>(src + 1));
+      for (std::size_t k = 0; k < rcounts[static_cast<std::size_t>(src)]; ++k)
+        EXPECT_EQ(got[off + k], src * 1000 + c.rank());
+      off += rcounts[static_cast<std::size_t>(src)];
+    }
+    EXPECT_EQ(off, got.size());
+  });
+}
+
+TEST_P(CollectiveTest, SplitByParity) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    Comm sub = c.split(c.rank() % 2, c.rank());
+    ASSERT_TRUE(sub.valid());
+    const int expected_size = p / 2 + ((c.rank() % 2 == 0) ? p % 2 : 0);
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.rank(), c.rank() / 2);
+    // The sub-communicator must be fully functional and isolated.
+    const int sum = sub.allreduce_value(c.rank(), ReduceOp::kSum);
+    int expect = 0;
+    for (int r = c.rank() % 2; r < p; r += 2) expect += r;
+    EXPECT_EQ(sum, expect);
+    c.barrier();
+  });
+}
+
+TEST(Split, NegativeColorExcluded) {
+  Machine::run(4, [](Comm& c) {
+    Comm sub = c.split(c.rank() == 0 ? -1 : 1, c.rank());
+    if (c.rank() == 0) {
+      EXPECT_FALSE(sub.valid());
+    } else {
+      ASSERT_TRUE(sub.valid());
+      EXPECT_EQ(sub.size(), 3);
+    }
+  });
+}
+
+TEST(Split, KeyControlsOrdering) {
+  Machine::run(4, [](Comm& c) {
+    // Reverse the rank order via the key.
+    Comm sub = c.split(0, -c.rank());
+    EXPECT_EQ(sub.rank(), c.size() - 1 - c.rank());
+  });
+}
+
+TEST(Split, NestedSplitWorks) {
+  Machine::run(8, [](Comm& c) {
+    Comm half = c.split(c.rank() / 4, c.rank());
+    Comm quarter = half.split(half.rank() / 2, half.rank());
+    EXPECT_EQ(quarter.size(), 2);
+    EXPECT_EQ(quarter.allreduce_value(1, ReduceOp::kSum), 2);
+  });
+}
+
+// ---- Cartesian topology -----------------------------------------------------
+
+TEST(DimsCreate, FactorizesBalanced) {
+  EXPECT_EQ(dims_create(8, 3), (std::vector<int>{2, 2, 2}));
+  EXPECT_EQ(dims_create(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(dims_create(7, 2), (std::vector<int>{7, 1}));
+  EXPECT_EQ(dims_create(1, 3), (std::vector<int>{1, 1, 1}));
+  EXPECT_EQ(dims_create(6, 1), (std::vector<int>{6}));
+}
+
+TEST(DimsCreate, ProductMatchesForManyCounts) {
+  for (int n = 1; n <= 64; ++n) {
+    for (int d = 1; d <= 3; ++d) {
+      auto dims = dims_create(n, d);
+      int prod = 1;
+      for (int x : dims) prod *= x;
+      EXPECT_EQ(prod, n) << "n=" << n << " d=" << d;
+    }
+  }
+}
+
+TEST(Cart3D, RoundTripAllRanks) {
+  Cart3D topo({3, 2, 4});
+  EXPECT_EQ(topo.size(), 24);
+  for (int r = 0; r < topo.size(); ++r) {
+    EXPECT_EQ(topo.rank_of(topo.coords(r)), r);
+  }
+}
+
+TEST(Cart3D, PeriodicNeighbors) {
+  Cart3D topo({2, 3, 4});
+  // Wrap along each dimension.
+  const int r = topo.rank_of({0, 0, 0});
+  EXPECT_EQ(topo.coords(topo.neighbor(r, 0, -1))[0], 1);
+  EXPECT_EQ(topo.coords(topo.neighbor(r, 1, -1))[1], 2);
+  EXPECT_EQ(topo.coords(topo.neighbor(r, 2, 5))[2], 1);
+}
+
+TEST(Cart2D, BalancedMatchesDimsCreate) {
+  auto topo = Cart2D::balanced(12);
+  EXPECT_EQ(topo.dims()[0] * topo.dims()[1], 12);
+  EXPECT_EQ(topo.dims()[0], 4);
+  EXPECT_EQ(topo.dims()[1], 3);
+}
+
+// Paper Table II geometries are regular 3-D rank blocks; verify the topology
+// machinery handles those exact shapes.
+TEST(Cart3D, PaperGeometries) {
+  const std::array<std::array<int, 3>, 3> geoms{
+      {{16, 8, 16}, {64, 64, 32}, {192, 128, 64}}};
+  const std::array<int, 3> cores{2048, 131072, 1572864};
+  for (std::size_t i = 0; i < geoms.size(); ++i) {
+    Cart3D topo(geoms[i]);
+    EXPECT_EQ(topo.size(), cores[i]);
+    // Interior rank round trip at scale.
+    const int mid = topo.size() / 2;
+    EXPECT_EQ(topo.rank_of(topo.coords(mid)), mid);
+  }
+}
+
+}  // namespace
+}  // namespace hacc::comm

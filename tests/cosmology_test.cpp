@@ -1,0 +1,482 @@
+// Tests for the cosmology module: FLRW background, growth, linear power
+// spectra, Zel'dovich initial conditions (measured P(k) must reproduce the
+// input), FOF halos and subhalos.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "comm/comm.h"
+#include "cosmology/background.h"
+#include "cosmology/halo_finder.h"
+#include "cosmology/initial_conditions.h"
+#include "cosmology/power_spectrum.h"
+#include "mesh/cic.h"
+#include "util/rng.h"
+
+namespace hacc::cosmology {
+namespace {
+
+// ---- background --------------------------------------------------------------
+
+TEST(Background, EfuncLimits) {
+  Cosmology c;
+  EXPECT_NEAR(c.efunc(1.0), 1.0, 1e-12);  // E(a=1) = 1 by construction
+  // Deep matter domination: E ~ sqrt(Om) a^{-3/2}.
+  const double a = 1e-3;
+  EXPECT_NEAR(c.efunc(a) / (std::sqrt(c.omega_m) * std::pow(a, -1.5)), 1.0,
+              1e-3);
+}
+
+TEST(Background, EinsteinDeSitterGrowthIsA) {
+  // Om = 1: D+(a) = a exactly.
+  Cosmology eds;
+  eds.omega_m = 1.0;
+  eds.omega_l = 0.0;
+  eds.omega_b = 0.0;
+  for (double a : {0.1, 0.25, 0.5, 0.9}) {
+    EXPECT_NEAR(eds.growth_factor(a), a, 2e-4) << "a=" << a;
+    EXPECT_NEAR(eds.growth_rate(a), 1.0, 1e-3);
+  }
+}
+
+TEST(Background, LcdmGrowthSuppressedAtLateTimes) {
+  // In LCDM growth lags a at late times; at early times D ~ a.
+  Cosmology c;
+  EXPECT_NEAR(c.growth_factor(1.0), 1.0, 1e-12);
+  const double early = c.growth_factor(0.02) / 0.02;
+  const double late = c.growth_factor(1.0) / 1.0;
+  EXPECT_GT(early, late);  // normalized growth per a declines
+  // Known LCDM value: D+(a=0.5)/a ~ 1.1..1.3 relative to its z=0 value for
+  // Om ~ 0.265 (growth suppression ~ 0.78 at z=0 in absolute terms).
+  const double d_half = c.growth_factor(0.5);
+  EXPECT_GT(d_half, 0.5);   // more growth than a (normalized at 1)
+  EXPECT_LT(d_half, 0.75);
+}
+
+TEST(Background, GrowthRateApproximatesOmegaPower) {
+  // f(z=0) ~ Omega_m(z=0)^0.55 for LCDM.
+  Cosmology c;
+  EXPECT_NEAR(c.growth_rate(1.0), std::pow(c.omega_m, 0.55), 0.01);
+}
+
+TEST(Background, KickDriftFactorsPositiveAndAdditive) {
+  Cosmology c;
+  const double k1 = c.kick_factor(0.2, 0.5);
+  const double k2 = c.kick_factor(0.5, 0.8);
+  EXPECT_GT(k1, 0);
+  EXPECT_NEAR(k1 + k2, c.kick_factor(0.2, 0.8), 1e-10);
+  const double d1 = c.drift_factor(0.2, 0.5);
+  EXPECT_GT(d1, k1);  // 1/(a^3 E) > 1/(a^2 E) for a < 1
+}
+
+TEST(Background, EdsFactorsMatchClosedForm) {
+  // Om = 1: kick = int a^{-1/2} da... E = a^{-3/2}:
+  // kick: int da/(a^2 E) = int a^{-1/2} da = 2(sqrt(a1)-sqrt(a0));
+  // drift: int da/(a^3 E) = int a^{-3/2} da = 2(1/sqrt(a0)-1/sqrt(a1)).
+  Cosmology eds;
+  eds.omega_m = 1.0;
+  eds.omega_l = 0.0;
+  EXPECT_NEAR(eds.kick_factor(0.25, 1.0), 2.0 * (1.0 - 0.5), 1e-9);
+  EXPECT_NEAR(eds.drift_factor(0.25, 1.0), 2.0 * (2.0 - 1.0), 1e-9);
+}
+
+TEST(Background, DarkEnergyEquationOfState) {
+  // w = -1 must reproduce the cosmological constant exactly.
+  Cosmology lcdm;
+  Cosmology w1 = lcdm;
+  w1.w = -1.0;
+  for (double a : {0.1, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(w1.efunc(a), lcdm.efunc(a));
+  }
+  // Quintessence-like w = -0.8: dark energy matters earlier, so E(a<1) is
+  // larger and growth since a=0.5 is more suppressed (D(0.5)/D(1) larger).
+  Cosmology q = lcdm;
+  q.w = -0.8;
+  EXPECT_GT(q.efunc(0.5), lcdm.efunc(0.5));
+  EXPECT_GT(q.growth_factor(0.5), lcdm.growth_factor(0.5));
+  // Phantom w = -1.2: the opposite ordering.
+  Cosmology ph = lcdm;
+  ph.w = -1.2;
+  EXPECT_LT(ph.efunc(0.5), lcdm.efunc(0.5));
+  EXPECT_LT(ph.growth_factor(0.5), lcdm.growth_factor(0.5));
+}
+
+TEST(Background, GrowthOdeStableAcrossWRange) {
+  // The ODE growth must stay normalized and monotone for the model-space
+  // scan the paper motivates.
+  for (double w : {-1.4, -1.2, -1.0, -0.8, -0.6}) {
+    Cosmology c;
+    c.w = w;
+    EXPECT_NEAR(c.growth_factor(1.0), 1.0, 1e-12) << w;
+    double prev = 0;
+    for (double a : {0.1, 0.3, 0.5, 0.7, 0.9, 1.0}) {
+      const double d = c.growth_factor(a);
+      EXPECT_GT(d, prev) << "w=" << w << " a=" << a;
+      prev = d;
+    }
+  }
+}
+
+// ---- linear power -------------------------------------------------------------
+
+class TransferCase : public ::testing::TestWithParam<TransferFunction> {};
+INSTANTIATE_TEST_SUITE_P(Both, TransferCase,
+                         ::testing::Values(TransferFunction::kBbks,
+                                           TransferFunction::kEisensteinHu));
+
+TEST_P(TransferCase, TransferIsOneAtLargeScalesAndDecays) {
+  Cosmology c;
+  LinearPower p(c, GetParam());
+  EXPECT_NEAR(p.transfer(1e-5), 1.0, 1e-3);
+  EXPECT_LT(p.transfer(1.0), 0.1);
+  EXPECT_LT(p.transfer(10.0), p.transfer(1.0));
+}
+
+TEST_P(TransferCase, Sigma8NormalizationHolds) {
+  Cosmology c;
+  LinearPower p(c, GetParam());
+  EXPECT_NEAR(sigma_r(p, 8.0), c.sigma8, 1e-6);
+}
+
+TEST_P(TransferCase, PowerPeaksAroundMatterRadiationEquality) {
+  Cosmology c;
+  LinearPower p(c, GetParam());
+  // P(k) rises as ~k^ns at low k and falls at high k; the turnover for this
+  // cosmology sits near k ~ 0.01-0.05 h/Mpc.
+  const double p_low = p(1e-4);
+  const double p_peak = p(0.02);
+  const double p_high = p(5.0);
+  EXPECT_GT(p_peak, p_low);
+  EXPECT_GT(p_peak, p_high);
+}
+
+TEST(LinearPower, RedshiftScalingIsGrowthSquared) {
+  Cosmology c;
+  LinearPower p(c);
+  const double d = c.growth_factor(Cosmology::a_of_z(2.0));
+  EXPECT_NEAR(p.at_redshift(0.1, 2.0), p(0.1) * d * d, 1e-12);
+}
+
+// ---- measured P(k) of a known field ---------------------------------------------
+
+TEST(MeasuredPower, RecoversSingleModeAmplitude) {
+  // delta(x) = A cos(k1 x): P should concentrate in the k1 bin with
+  // |delta_k|^2 = (A N^3 / 2)^2 in two modes -> P = A^2 V / 4 ... checked
+  // against the estimator's normalization directly.
+  const std::size_t n = 16;
+  const double box = 100.0;  // Mpc/h
+  const double amp = 0.01;
+  mesh::BlockDecomp3D d({n, n, n}, comm::Cart3D({1, 1, 1}));
+  comm::Machine::run(1, [&](comm::Comm& c) {
+    mesh::DistGrid delta(d, 0, 1);
+    for (std::size_t x = 0; x < n; ++x)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t z = 0; z < n; ++z)
+          delta.at(static_cast<std::ptrdiff_t>(x),
+                   static_cast<std::ptrdiff_t>(y),
+                   static_cast<std::ptrdiff_t>(z)) =
+              amp * std::cos(2.0 * std::numbers::pi * static_cast<double>(x) /
+                             static_cast<double>(n));
+    auto bins =
+        measure_power_spectrum(c, delta, box, 8, /*deconvolve_cic=*/false);
+    const double kf = 2.0 * std::numbers::pi / box;
+    // All power in the lowest bin; expected P = A^2/4 * V ... per-mode
+    // power: |delta_k|^2 = (A/2 N^3)^2 at k = +-k1; estimator averages over
+    // modes in the bin.
+    double total_modes = 0, weighted_p = 0, kbar = 0;
+    for (const auto& b : bins) {
+      total_modes += static_cast<double>(b.modes);
+      weighted_p += b.power * static_cast<double>(b.modes);
+      if (b.power > weighted_p / total_modes * 10) kbar = b.k;
+    }
+    (void)kbar;
+    const double volume = box * box * box;
+    const double expected_total = 2.0 * (amp / 2.0) * (amp / 2.0) * volume;
+    EXPECT_NEAR(weighted_p, expected_total, 1e-6 * expected_total);
+    // The hot bin is the one containing kf.
+    const auto& hot = *std::max_element(
+        bins.begin(), bins.end(),
+        [](const PowerBin& a, const PowerBin& b) { return a.power < b.power; });
+    EXPECT_NEAR(hot.k, kf, kf * 0.5);
+  });
+}
+
+class MeasureRanks : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, MeasureRanks, ::testing::Values(1, 2, 4, 8));
+
+TEST_P(MeasureRanks, DecompositionIndependent) {
+  const int nranks = GetParam();
+  const std::size_t n = 16;
+  const double box = 64.0;
+  // Deterministic random field keyed on global cell.
+  auto field = [&](std::size_t x, std::size_t y, std::size_t z) {
+    return Philox(77).gaussian2((x * n + y) * n + z)[0] * 0.1;
+  };
+  static std::vector<PowerBin> reference;
+  mesh::BlockDecomp3D d = mesh::BlockDecomp3D::balanced({n, n, n}, nranks);
+  comm::Machine::run(nranks, [&](comm::Comm& c) {
+    mesh::DistGrid delta(d, c.rank(), 1);
+    const auto& b = delta.interior();
+    for (std::size_t x = b.x.lo; x < b.x.hi; ++x)
+      for (std::size_t y = b.y.lo; y < b.y.hi; ++y)
+        for (std::size_t z = b.z.lo; z < b.z.hi; ++z)
+          delta.at(static_cast<std::ptrdiff_t>(x - b.x.lo),
+                   static_cast<std::ptrdiff_t>(y - b.y.lo),
+                   static_cast<std::ptrdiff_t>(z - b.z.lo)) = field(x, y, z);
+    auto bins = measure_power_spectrum(c, delta, box, 12);
+    if (c.rank() == 0) {
+      if (nranks == 1) {
+        reference = bins;
+      } else {
+        ASSERT_EQ(bins.size(), reference.size());
+        for (std::size_t i = 0; i < bins.size(); ++i) {
+          EXPECT_NEAR(bins[i].power, reference[i].power,
+                      1e-9 * (reference[i].power + 1.0));
+          EXPECT_EQ(bins[i].modes, reference[i].modes);
+        }
+      }
+    }
+  });
+}
+
+// ---- initial conditions ----------------------------------------------------------
+
+TEST(InitialConditions, LatticeCountAndDeterminism) {
+  const std::size_t n = 16;
+  IcConfig cfg;
+  cfg.particles_per_dim = 16;
+  cfg.box_mpch = 32.0;
+  cfg.z_init = 30.0;
+  Cosmology cosmo;
+  for (int nranks : {1, 4, 8}) {
+    mesh::BlockDecomp3D d = mesh::BlockDecomp3D::balanced({n, n, n}, nranks);
+    std::vector<std::array<float, 6>> by_id(16 * 16 * 16);
+    std::mutex mu;
+    comm::Machine::run(nranks, [&](comm::Comm& c) {
+      tree::ParticleArray p;
+      generate_zeldovich(c, d, cosmo, cfg, p);
+      const auto total = c.allreduce_value(
+          static_cast<long long>(p.size()), comm::ReduceOp::kSum);
+      EXPECT_EQ(total, 16LL * 16 * 16);
+      std::lock_guard lock(mu);
+      for (std::size_t i = 0; i < p.size(); ++i)
+        by_id[p.id[i]] = {p.x[i], p.y[i], p.z[i], p.vx[i], p.vy[i], p.vz[i]};
+    });
+    static std::vector<std::array<float, 6>> reference;
+    if (nranks == 1) {
+      reference = by_id;
+    } else {
+      // Decomposition independence: same realization on 1 and 4 ranks.
+      for (std::size_t i = 0; i < by_id.size(); ++i) {
+        for (int c6 = 0; c6 < 6; ++c6)
+          EXPECT_NEAR(by_id[i][static_cast<std::size_t>(c6)],
+                      reference[i][static_cast<std::size_t>(c6)], 1e-4f)
+              << "id=" << i;
+      }
+    }
+  }
+}
+
+TEST(InitialConditions, MeasuredPowerMatchesLinearInput) {
+  // Deposit the Zel'dovich particles and verify the measured P(k) tracks
+  // the linear input spectrum at the IC redshift (within sampling noise).
+  const std::size_t n = 32;
+  IcConfig cfg;
+  cfg.particles_per_dim = 32;
+  cfg.box_mpch = 128.0;
+  cfg.z_init = 20.0;
+  cfg.seed = 99;
+  Cosmology cosmo;
+  LinearPower lin(cosmo, cfg.transfer);
+  mesh::BlockDecomp3D d({n, n, n}, comm::Cart3D({1, 1, 1}));
+  comm::Machine::run(1, [&](comm::Comm& c) {
+    tree::ParticleArray p;
+    generate_zeldovich(c, d, cosmo, cfg, p);
+    mesh::DistGrid rho(d, 0, 1);
+    mesh::cic_deposit(rho, p.x, p.y, p.z, 1.0f);
+    rho.fold_ghosts(c);
+    mesh::to_density_contrast(rho, c);
+    auto bins = measure_power_spectrum(c, rho, cfg.box_mpch, 12);
+    const double z = cfg.z_init;
+    // Compare in the intermediate-k range (low k: few modes; high k near
+    // Nyquist: lattice/window artifacts).
+    std::size_t tested = 0;
+    for (const auto& b : bins) {
+      if (b.modes < 50 || b.k > 0.5) continue;
+      const double expect = lin.at_redshift(b.k, z);
+      EXPECT_NEAR(b.power / expect, 1.0, 0.5) << "k=" << b.k;
+      ++tested;
+    }
+    EXPECT_GE(tested, 3u);
+  });
+}
+
+TEST(InitialConditions, DisplacementFieldsAreDivergenceOfPotential) {
+  // The Zel'dovich displacement is curl-free; check a discrete curl is
+  // small relative to the field magnitude.
+  const std::size_t n = 16;
+  IcConfig cfg;
+  cfg.particles_per_dim = 16;
+  cfg.box_mpch = 64.0;
+  Cosmology cosmo;
+  mesh::BlockDecomp3D d({n, n, n}, comm::Cart3D({1, 1, 1}));
+  comm::Machine::run(1, [&](comm::Comm& c) {
+    std::array<mesh::DistGrid, 3> psi{mesh::DistGrid(d, 0, 1),
+                                      mesh::DistGrid(d, 0, 1),
+                                      mesh::DistGrid(d, 0, 1)};
+    generate_displacement_fields(c, d, cosmo, cfg, psi);
+    double curl = 0, mag = 0;
+    for (std::ptrdiff_t x = 1; x < static_cast<std::ptrdiff_t>(n) - 1; ++x)
+      for (std::ptrdiff_t y = 1; y < static_cast<std::ptrdiff_t>(n) - 1; ++y)
+        for (std::ptrdiff_t z = 1; z < static_cast<std::ptrdiff_t>(n) - 1;
+             ++z) {
+          // curl_z = d(psi_y)/dx - d(psi_x)/dy (central differences).
+          const double cz =
+              0.5 * (psi[1].at(x + 1, y, z) - psi[1].at(x - 1, y, z)) -
+              0.5 * (psi[0].at(x, y + 1, z) - psi[0].at(x, y - 1, z));
+          curl += cz * cz;
+          mag += psi[0].at(x, y, z) * psi[0].at(x, y, z) +
+                 psi[1].at(x, y, z) * psi[1].at(x, y, z);
+        }
+    EXPECT_LT(curl, 0.05 * mag);
+  });
+}
+
+// ---- halo finder ------------------------------------------------------------------
+
+tree::ParticleArray two_blobs(double box, std::size_t per_blob,
+                              std::uint64_t seed) {
+  tree::ParticleArray p;
+  Philox rng(seed);
+  Philox::Stream s(rng);
+  auto blob = [&](double cx, double cy, double cz, float sigma) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      auto wrap = [&](double v) {
+        v = std::fmod(v, box);
+        return static_cast<float>(v < 0 ? v + box : v);
+      };
+      p.push_back(wrap(cx + sigma * s.gaussian()),
+                  wrap(cy + sigma * s.gaussian()),
+                  wrap(cz + sigma * s.gaussian()), 1.0f, 2.0f, 3.0f, 1.0f,
+                  p.size());
+    }
+  };
+  blob(box * 0.25, box * 0.25, box * 0.25, 0.4f);
+  blob(box * 0.75, box * 0.75, box * 0.75, 0.4f);
+  return p;
+}
+
+TEST(HaloFinder, FindsTwoWellSeparatedBlobs) {
+  const double box = 32.0;
+  auto p = two_blobs(box, 200, 5);
+  FofConfig cfg;
+  cfg.box = box;
+  cfg.mean_spacing = 2.0;  // linking radius 0.4
+  cfg.linking_length = 0.2;
+  cfg.min_members = 50;
+  auto halos = find_halos(p, cfg);
+  ASSERT_EQ(halos.size(), 2u);
+  // Gaussian-tail outliers may legitimately be unlinked; require >= 95%.
+  EXPECT_GE(halos[0].members.size() + halos[1].members.size(), 380u);
+  // Centers near the blob centers.
+  for (const auto& h : halos) {
+    const bool near_a = std::abs(h.center[0] - 8.0) < 1.0;
+    const bool near_b = std::abs(h.center[0] - 24.0) < 1.0;
+    EXPECT_TRUE(near_a || near_b);
+    EXPECT_NEAR(h.velocity[0], 1.0, 1e-4);
+  }
+}
+
+TEST(HaloFinder, PeriodicWrapLinksAcrossSeam) {
+  // A blob straddling the box corner must come out as ONE halo with its
+  // center near the corner.
+  const double box = 32.0;
+  tree::ParticleArray p;
+  Philox rng(6);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < 300; ++i) {
+    auto wrap = [&](double v) {
+      v = std::fmod(v + box, box);
+      return static_cast<float>(v);
+    };
+    p.push_back(wrap(0.3 * s.gaussian()), wrap(0.3 * s.gaussian()),
+                wrap(0.3 * s.gaussian()), 0, 0, 0, 1.0f, i);
+  }
+  FofConfig cfg;
+  cfg.box = box;
+  cfg.mean_spacing = 2.0;
+  cfg.min_members = 100;
+  auto halos = find_halos(p, cfg);
+  ASSERT_EQ(halos.size(), 1u);
+  EXPECT_GE(halos[0].members.size(), 285u);  // tail outliers may drop
+  const double cx = halos[0].center[0];
+  EXPECT_TRUE(cx < 1.5 || cx > box - 1.5) << cx;
+}
+
+TEST(HaloFinder, MinMembersFiltersFieldParticles) {
+  const double box = 32.0;
+  tree::ParticleArray p = two_blobs(box, 100, 8);
+  // Sprinkle isolated particles.
+  Philox rng(9);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < 50; ++i)
+    p.push_back(static_cast<float>(s.uniform(0, box)),
+                static_cast<float>(s.uniform(0, box)),
+                static_cast<float>(s.uniform(0, box)), 0, 0, 0, 1.0f,
+                1000 + i);
+  FofConfig cfg;
+  cfg.box = box;
+  cfg.mean_spacing = 2.0;
+  cfg.min_members = 50;
+  auto halos = find_halos(p, cfg);
+  EXPECT_EQ(halos.size(), 2u);
+}
+
+TEST(HaloFinder, SubhalosSplitMerger) {
+  // One FOF halo made of two sub-clumps connected by a thin bridge; the
+  // tighter sub-linking must split them.
+  const double box = 32.0;
+  tree::ParticleArray p;
+  Philox rng(10);
+  Philox::Stream s(rng);
+  auto blob = [&](double cx, float sigma, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i)
+      p.push_back(static_cast<float>(cx + sigma * s.gaussian()),
+                  static_cast<float>(16.0 + sigma * s.gaussian()),
+                  static_cast<float>(16.0 + sigma * s.gaussian()), 0, 0, 0,
+                  1.0f, p.size());
+  };
+  blob(14.0, 0.25f, 150);
+  blob(18.0, 0.25f, 150);
+  // Bridge with spacing just under the parent linking radius (0.4).
+  for (int i = 0; i < 12; ++i)
+    p.push_back(14.0f + 0.35f * static_cast<float>(i), 16.0f, 16.0f, 0, 0, 0,
+                1.0f, p.size());
+  FofConfig cfg;
+  cfg.box = box;
+  cfg.mean_spacing = 2.0;
+  cfg.min_members = 100;
+  auto halos = find_halos(p, cfg);
+  ASSERT_EQ(halos.size(), 1u);  // bridge merges everything
+  auto subs = find_subhalos(p, halos[0], cfg, 0.5, 50);
+  EXPECT_EQ(subs.size(), 2u);  // sub-linking severs the bridge
+}
+
+TEST(HaloFinder, MassFunctionIsCumulative) {
+  std::vector<Halo> halos(3);
+  halos[0].mass = 100;
+  halos[1].mass = 50;
+  halos[2].mass = 10;
+  const auto counts = mass_function(halos, {5.0, 20.0, 60.0, 200.0});
+  EXPECT_EQ(counts, (std::vector<std::size_t>{3, 2, 1, 0}));
+}
+
+TEST(HaloFinder, RequiresBoxAndSpacing) {
+  tree::ParticleArray p = two_blobs(32.0, 20, 3);
+  FofConfig cfg;  // box/mean_spacing unset
+  EXPECT_THROW(find_halos(p, cfg), Error);
+}
+
+}  // namespace
+}  // namespace hacc::cosmology

@@ -1,0 +1,434 @@
+// Tests for the FFT stack: 1-D mixed-radix + Bluestein, serial 3-D, and the
+// distributed slab and pencil transforms (validated against the serial one
+// over sweeps of grid sizes and process-grid shapes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "comm/comm.h"
+#include "fft/decomp.h"
+#include "fft/fft1d.h"
+#include "fft/fft3d_local.h"
+#include "fft/pencil.h"
+#include "fft/slab.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace hacc::fft {
+namespace {
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Philox rng(seed);
+  std::vector<Complex> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto [re, im] = rng.gaussian2(i);
+    v[i] = Complex(re, im);
+  }
+  return v;
+}
+
+double max_abs_diff(const std::vector<Complex>& a,
+                    const std::vector<Complex>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  double m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+// ---- block decomposition ----------------------------------------------------
+
+TEST(Decomp, BlocksPartitionTheAxis) {
+  for (std::size_t n : {1u, 5u, 16u, 17u, 100u}) {
+    for (int p = 1; p <= 9; ++p) {
+      if (static_cast<std::size_t>(p) > n) continue;
+      std::size_t covered = 0;
+      for (int r = 0; r < p; ++r) {
+        const Range b = block_range(n, p, r);
+        EXPECT_EQ(b.lo, covered);
+        covered = b.hi;
+        EXPECT_GE(b.extent(), n / static_cast<std::size_t>(p));
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+TEST(Decomp, OwnerIsConsistentWithRanges) {
+  for (std::size_t n : {7u, 16u, 33u}) {
+    for (int p = 1; p <= 8; ++p) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const int owner = block_owner(n, p, i);
+        EXPECT_TRUE(block_range(n, p, owner).contains(i));
+      }
+    }
+  }
+}
+
+// ---- 1-D --------------------------------------------------------------------
+
+class Fft1DSizes : public ::testing::TestWithParam<std::size_t> {};
+
+// Powers of two, smooth composites (incl. paper grid sizes scaled down),
+// primes (Bluestein), and awkward sizes.
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft1DSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 12, 15, 16,
+                                           20, 27, 30, 32, 36, 45, 60, 64, 97,
+                                           100, 101, 128, 160, 200, 240, 243,
+                                           256, 337, 512, 1000, 1024));
+
+TEST_P(Fft1DSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 42 + n);
+  auto expect = dft_reference(x, Direction::kForward);
+  Fft1D plan(n);
+  plan.transform(x.data(), Direction::kForward);
+  EXPECT_LT(max_abs_diff(x, expect), 1e-9 * static_cast<double>(n) + 1e-12)
+      << "n=" << n << " smooth=" << plan.smooth();
+}
+
+TEST_P(Fft1DSizes, InverseRoundTrip) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 7 + n);
+  const auto orig = x;
+  Fft1D plan(n);
+  plan.transform(x.data(), Direction::kForward);
+  plan.inverse_scaled(x.data());
+  EXPECT_LT(max_abs_diff(x, orig), 1e-10 * static_cast<double>(n) + 1e-12);
+}
+
+TEST_P(Fft1DSizes, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  auto x = random_signal(n, 1 + n);
+  double time_energy = 0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  Fft1D plan(n);
+  plan.transform(x.data(), Direction::kForward);
+  double freq_energy = 0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * (time_energy + 1.0));
+}
+
+TEST(Fft1D, SmoothDetection) {
+  EXPECT_TRUE(Fft1D(1024).smooth());
+  EXPECT_TRUE(Fft1D(10240).smooth());  // 2^11 * 5: the paper's largest grid
+  EXPECT_TRUE(Fft1D(9216).smooth());   // 2^10 * 9
+  EXPECT_FALSE(Fft1D(337).smooth());   // prime > 31
+  EXPECT_FALSE(Fft1D(2 * 337).smooth());
+}
+
+TEST(Fft1D, DeltaTransformsToConstant) {
+  const std::size_t n = 30;
+  std::vector<Complex> x(n, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  Fft1D(n).transform(x.data(), Direction::kForward);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft1D, SingleModeLandsInCorrectBin) {
+  const std::size_t n = 64, mode = 5;
+  std::vector<Complex> x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double phase = 2.0 * std::numbers::pi *
+                         static_cast<double>(mode * j) /
+                         static_cast<double>(n);
+    x[j] = Complex(std::cos(phase), std::sin(phase));
+  }
+  Fft1D(n).transform(x.data(), Direction::kForward);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double expect = (k == mode) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(x[k]), expect, 1e-9) << "k=" << k;
+  }
+}
+
+TEST(Fft1D, BatchMatchesIndividual) {
+  const std::size_t n = 48, count = 5;
+  auto data = random_signal(n * count, 11);
+  auto expect = data;
+  Fft1D plan(n);
+  for (std::size_t i = 0; i < count; ++i)
+    plan.transform(expect.data() + i * n, Direction::kForward);
+  plan.transform_batch(data.data(), count, Direction::kForward);
+  EXPECT_EQ(max_abs_diff(data, expect), 0.0);
+}
+
+TEST(Fft1D, LargeBatchThreadedMatchesSerial) {
+  // transform_batch threads when count >= 64; results must match per-line
+  // transforms exactly.
+  const std::size_t n = 64, count = 200;
+  auto data = random_signal(n * count, 77);
+  auto expect = data;
+  Fft1D plan(n);
+  for (std::size_t i = 0; i < count; ++i)
+    plan.transform(expect.data() + i * n, Direction::kForward);
+  plan.transform_batch(data.data(), count, Direction::kForward);
+  EXPECT_EQ(max_abs_diff(data, expect), 0.0);
+}
+
+TEST(Fft1D, ConcurrentTransformsOnSharedPlanAreSafe) {
+  // Hammer one plan from many threads; every result must equal the
+  // single-threaded reference (thread-local scratch isolation).
+  const std::size_t n = 96;
+  Fft1D plan(n);
+  auto base = random_signal(n, 31);
+  auto expect = base;
+  plan.transform(expect.data(), Direction::kForward);
+#pragma omp parallel for
+  for (int t = 0; t < 32; ++t) {
+    auto work = base;
+    plan.transform(work.data(), Direction::kForward);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_EQ(work[j], expect[j]);
+    }
+  }
+}
+
+TEST(Fft1D, StridedMatchesContiguous) {
+  const std::size_t n = 36, stride = 7;
+  auto packed = random_signal(n, 13);
+  std::vector<Complex> strided(n * stride, Complex(-1, -1));
+  for (std::size_t j = 0; j < n; ++j) strided[j * stride] = packed[j];
+  Fft1D plan(n);
+  plan.transform(packed.data(), Direction::kForward);
+  plan.transform_strided(strided.data(), stride, Direction::kForward);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(std::abs(strided[j * stride] - packed[j]), 0.0, 1e-12);
+  }
+  // Gaps untouched.
+  EXPECT_EQ(strided[1], Complex(-1, -1));
+}
+
+TEST(Fft1D, ZeroLengthRejected) { EXPECT_THROW(Fft1D(0), Error); }
+
+// ---- serial 3-D ---------------------------------------------------------------
+
+TEST(Fft3DLocal, MatchesBruteForceOnTinyGrid) {
+  const std::size_t nx = 4, ny = 3, nz = 5;
+  auto x = random_signal(nx * ny * nz, 21);
+  // Brute force 3-D DFT.
+  std::vector<Complex> expect(x.size(), Complex(0, 0));
+  for (std::size_t kx = 0; kx < nx; ++kx)
+    for (std::size_t ky = 0; ky < ny; ++ky)
+      for (std::size_t kz = 0; kz < nz; ++kz) {
+        Complex acc(0, 0);
+        for (std::size_t jx = 0; jx < nx; ++jx)
+          for (std::size_t jy = 0; jy < ny; ++jy)
+            for (std::size_t jz = 0; jz < nz; ++jz) {
+              const double phase =
+                  -2.0 * std::numbers::pi *
+                  (static_cast<double>(kx * jx) / static_cast<double>(nx) +
+                   static_cast<double>(ky * jy) / static_cast<double>(ny) +
+                   static_cast<double>(kz * jz) / static_cast<double>(nz));
+              acc += x[(jx * ny + jy) * nz + jz] *
+                     Complex(std::cos(phase), std::sin(phase));
+            }
+        expect[(kx * ny + ky) * nz + kz] = acc;
+      }
+  Fft3DLocal(nx, ny, nz).transform(x.data(), Direction::kForward);
+  EXPECT_LT(max_abs_diff(x, expect), 1e-9);
+}
+
+TEST(Fft3DLocal, RoundTrip) {
+  const std::size_t n = 16;
+  auto x = random_signal(n * n * n, 3);
+  const auto orig = x;
+  Fft3DLocal fft(n, n, n);
+  fft.transform(x.data(), Direction::kForward);
+  fft.inverse_scaled(x.data());
+  EXPECT_LT(max_abs_diff(x, orig), 1e-10);
+}
+
+// ---- distributed: shared helpers ---------------------------------------------
+
+/// Builds the same deterministic global field on every rank.
+std::vector<Complex> global_field(std::size_t nx, std::size_t ny,
+                                  std::size_t nz, std::uint64_t seed) {
+  return random_signal(nx * ny * nz, seed);
+}
+
+/// Serial reference spectrum of that field.
+std::vector<Complex> reference_spectrum(std::vector<Complex> field,
+                                        std::size_t nx, std::size_t ny,
+                                        std::size_t nz) {
+  Fft3DLocal(nx, ny, nz).transform(field.data(), Direction::kForward);
+  return field;
+}
+
+// ---- pencil -------------------------------------------------------------------
+
+struct PencilCase {
+  std::size_t nx, ny, nz;
+  int p1, p2;
+};
+
+class PencilTest : public ::testing::TestWithParam<PencilCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PencilTest,
+    ::testing::Values(PencilCase{8, 8, 8, 1, 1}, PencilCase{8, 8, 8, 2, 2},
+                      PencilCase{8, 8, 8, 4, 2}, PencilCase{8, 8, 8, 2, 4},
+                      PencilCase{16, 16, 16, 4, 4},
+                      // uneven blocks: dims don't divide the grid
+                      PencilCase{12, 10, 14, 3, 2},
+                      PencilCase{9, 7, 11, 2, 3},
+                      // non-cubic grids
+                      PencilCase{16, 8, 4, 2, 2},
+                      PencilCase{5, 6, 7, 5, 3}));
+
+TEST_P(PencilTest, ForwardMatchesSerial) {
+  const auto c = GetParam();
+  const auto field = global_field(c.nx, c.ny, c.nz, 99);
+  const auto expect = reference_spectrum(field, c.nx, c.ny, c.nz);
+  comm::Machine::run(c.p1 * c.p2, [&](comm::Comm& world) {
+    PencilFft3D fft(world, c.nx, c.ny, c.nz, c.p1, c.p2);
+    const Box3D rb = fft.real_box();
+    std::vector<Complex> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = rb.y.lo; y < rb.y.hi; ++y)
+        for (std::size_t z = rb.z.lo; z < rb.z.hi; ++z)
+          local[i++] = field[(x * c.ny + y) * c.nz + z];
+    fft.forward(local);
+    const Box3D sb = fft.spectral_box();
+    ASSERT_EQ(local.size(), sb.volume());
+    i = 0;
+    for (std::size_t x = sb.x.lo; x < sb.x.hi; ++x)
+      for (std::size_t y = sb.y.lo; y < sb.y.hi; ++y)
+        for (std::size_t z = sb.z.lo; z < sb.z.hi; ++z) {
+          EXPECT_LT(std::abs(local[i] - expect[(x * c.ny + y) * c.nz + z]),
+                    1e-8)
+              << "k=(" << x << "," << y << "," << z << ")";
+          ++i;
+        }
+  });
+}
+
+TEST_P(PencilTest, RoundTripRestoresField) {
+  const auto c = GetParam();
+  const auto field = global_field(c.nx, c.ny, c.nz, 5);
+  comm::Machine::run(c.p1 * c.p2, [&](comm::Comm& world) {
+    PencilFft3D fft(world, c.nx, c.ny, c.nz, c.p1, c.p2);
+    const Box3D rb = fft.real_box();
+    std::vector<Complex> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = rb.y.lo; y < rb.y.hi; ++y)
+        for (std::size_t z = rb.z.lo; z < rb.z.hi; ++z)
+          local[i++] = field[(x * c.ny + y) * c.nz + z];
+    const auto orig = local;
+    fft.forward(local);
+    fft.inverse(local);
+    ASSERT_EQ(local.size(), orig.size());
+    double m = 0;
+    for (std::size_t j = 0; j < local.size(); ++j)
+      m = std::max(m, std::abs(local[j] - orig[j]));
+    EXPECT_LT(m, 1e-10);
+  });
+}
+
+TEST(Pencil, BoxesTileTheGrid) {
+  const std::size_t n = 10;
+  const int p1 = 3, p2 = 2;
+  std::vector<int> real_cover(n * n * n, 0), spec_cover(n * n * n, 0);
+  std::mutex mu;
+  comm::Machine::run(p1 * p2, [&](comm::Comm& world) {
+    PencilFft3D fft(world, n, n, n, p1, p2);
+    std::lock_guard lock(mu);
+    for (auto [box, cover] :
+         {std::pair{fft.real_box(), &real_cover},
+          std::pair{fft.spectral_box(), &spec_cover}}) {
+      for (std::size_t x = box.x.lo; x < box.x.hi; ++x)
+        for (std::size_t y = box.y.lo; y < box.y.hi; ++y)
+          for (std::size_t z = box.z.lo; z < box.z.hi; ++z)
+            ++(*cover)[(x * n + y) * n + z];
+    }
+  });
+  for (std::size_t i = 0; i < real_cover.size(); ++i) {
+    EXPECT_EQ(real_cover[i], 1);
+    EXPECT_EQ(spec_cover[i], 1);
+  }
+}
+
+TEST(Pencil, RejectsBadProcessGrid) {
+  comm::Machine::run(4, [](comm::Comm& world) {
+    EXPECT_THROW(PencilFft3D(world, 8, 8, 8, 3, 1), Error);
+  });
+}
+
+TEST(Pencil, RejectsOversubscribedAxis) {
+  comm::Machine::run(6, [](comm::Comm& world) {
+    // p1 = 6 > ny = 4.
+    EXPECT_THROW(PencilFft3D(world, 8, 4, 8, 6, 1), Error);
+  });
+}
+
+// ---- slab ---------------------------------------------------------------------
+
+class SlabTest : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Ranks, SlabTest, ::testing::Values(1, 2, 3, 4, 8));
+
+TEST_P(SlabTest, ForwardMatchesSerial) {
+  const int p = GetParam();
+  const std::size_t nx = 8, ny = 12, nz = 6;
+  const auto field = global_field(nx, ny, nz, 77);
+  const auto expect = reference_spectrum(field, nx, ny, nz);
+  comm::Machine::run(p, [&](comm::Comm& world) {
+    SlabFft3D fft(world, nx, ny, nz);
+    const Box3D rb = fft.real_box();
+    std::vector<Complex> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = 0; y < ny; ++y)
+        for (std::size_t z = 0; z < nz; ++z)
+          local[i++] = field[(x * ny + y) * nz + z];
+    fft.forward(local);
+    const Box3D sb = fft.spectral_box();
+    i = 0;
+    for (std::size_t x = 0; x < nx; ++x)
+      for (std::size_t y = sb.y.lo; y < sb.y.hi; ++y)
+        for (std::size_t z = 0; z < nz; ++z) {
+          EXPECT_LT(std::abs(local[i] - expect[(x * ny + y) * nz + z]), 1e-8);
+          ++i;
+        }
+  });
+}
+
+TEST_P(SlabTest, RoundTrip) {
+  const int p = GetParam();
+  const std::size_t n = 8;
+  const auto field = global_field(n, n, n, 31);
+  comm::Machine::run(p, [&](comm::Comm& world) {
+    SlabFft3D fft(world, n, n, n);
+    const Box3D rb = fft.real_box();
+    std::vector<Complex> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = 0; y < n; ++y)
+        for (std::size_t z = 0; z < n; ++z)
+          local[i++] = field[(x * n + y) * n + z];
+    const auto orig = local;
+    fft.forward(local);
+    fft.inverse(local);
+    double m = 0;
+    for (std::size_t j = 0; j < local.size(); ++j)
+      m = std::max(m, std::abs(local[j] - orig[j]));
+    EXPECT_LT(m, 1e-10);
+  });
+}
+
+TEST(Slab, EnforcesRankLimit) {
+  // The slab decomposition is subject to N_rank <= N_fft (paper Sec. IV-A);
+  // the pencil FFT exists precisely to lift this.
+  comm::Machine::run(9, [](comm::Comm& world) {
+    EXPECT_THROW(SlabFft3D(world, 8, 8, 8), Error);
+  });
+}
+
+}  // namespace
+}  // namespace hacc::fft

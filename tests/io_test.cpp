@@ -1,0 +1,187 @@
+// Tests for snapshot I/O (round trip, corruption detection) and density
+// imaging (projection weights, scaling, file formats).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "io/image.h"
+#include "io/snapshot.h"
+#include "util/rng.h"
+
+namespace hacc::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+tree::ParticleArray sample_particles(std::size_t n) {
+  tree::ParticleArray p;
+  Philox rng(11);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(static_cast<float>(s.uniform(0, 16)),
+                static_cast<float>(s.uniform(0, 16)),
+                static_cast<float>(s.uniform(0, 16)),
+                static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()), 1.5f, i,
+                i % 3 == 0 ? tree::Role::kPassive : tree::Role::kActive);
+  }
+  return p;
+}
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+TEST(Snapshot, RoundTripsAllFields) {
+  const std::string path = temp_path("hacc_snap_rt.bin");
+  auto p = sample_particles(500);
+  SnapshotHeader h;
+  h.scale_factor = 0.25;
+  h.box_mpch = 64.0;
+  h.grid = 32;
+  write_snapshot(path, p, h);
+
+  tree::ParticleArray q;
+  const SnapshotHeader r = read_snapshot(path, q);
+  EXPECT_EQ(r.count, 500u);
+  EXPECT_DOUBLE_EQ(r.scale_factor, 0.25);
+  EXPECT_DOUBLE_EQ(r.box_mpch, 64.0);
+  EXPECT_EQ(r.grid, 32u);
+  ASSERT_EQ(q.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(q.x[i], p.x[i]);
+    EXPECT_EQ(q.vz[i], p.vz[i]);
+    EXPECT_EQ(q.mass[i], p.mass[i]);
+    EXPECT_EQ(q.id[i], p.id[i]);
+    EXPECT_EQ(q.role[i], p.role[i]);
+  }
+  fs::remove(path);
+}
+
+TEST(Snapshot, EmptySnapshotOk) {
+  const std::string path = temp_path("hacc_snap_empty.bin");
+  tree::ParticleArray p;
+  write_snapshot(path, p, SnapshotHeader{});
+  tree::ParticleArray q;
+  q.push_back(1, 2, 3, 4, 5, 6, 7, 8);  // must be cleared by the read
+  EXPECT_EQ(read_snapshot(path, q).count, 0u);
+  EXPECT_TRUE(q.empty());
+  fs::remove(path);
+}
+
+TEST(Snapshot, DetectsCorruption) {
+  const std::string path = temp_path("hacc_snap_corrupt.bin");
+  auto p = sample_particles(100);
+  write_snapshot(path, p, SnapshotHeader{});
+  // Flip a byte in the middle of the payload.
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(200);
+    char c;
+    f.seekg(200);
+    f.get(c);
+    f.seekp(200);
+    f.put(static_cast<char>(c ^ 0x5a));
+  }
+  tree::ParticleArray q;
+  EXPECT_THROW(read_snapshot(path, q), Error);
+  fs::remove(path);
+}
+
+TEST(Snapshot, RejectsBadMagic) {
+  const std::string path = temp_path("hacc_snap_magic.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a snapshot at all, not even close to one......";
+  }
+  tree::ParticleArray q;
+  EXPECT_THROW(read_snapshot(path, q), Error);
+  fs::remove(path);
+}
+
+TEST(Fnv, KnownVector) {
+  // FNV-1a of "a" from the reference implementation.
+  EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cULL);
+  EXPECT_NE(fnv1a("ab", 2), fnv1a("ba", 2));
+}
+
+// ---- imaging ----------------------------------------------------------------
+
+TEST(Image, ProjectionConservesSlabMass) {
+  std::vector<float> x{2.5f, 8.0f, 12.25f}, y{3.5f, 9.0f, 1.75f},
+      z{1.0f, 5.0f, 14.0f};
+  SliceSpec spec;
+  spec.box = 16.0;
+  spec.axis = 2;
+  spec.slab_lo = 0.0;
+  spec.slab_hi = 8.0;  // includes z = 1 and 5, excludes 14
+  spec.pixels = 64;
+  const Image2D img = project_slice(x, y, z, spec);
+  double total = 0;
+  for (double v : img.pixels) total += v;
+  EXPECT_NEAR(total, 2.0, 1e-9);
+}
+
+TEST(Image, WindowZoomSelectsParticles) {
+  std::vector<float> x{2.0f, 12.0f}, y{2.0f, 12.0f}, z{1.0f, 1.0f};
+  SliceSpec spec;
+  spec.box = 16.0;
+  spec.slab_lo = 0.0;
+  spec.slab_hi = 2.0;
+  spec.win_lo0 = 0.0;
+  spec.win_hi0 = 8.0;
+  spec.win_lo1 = 0.0;
+  spec.win_hi1 = 8.0;
+  spec.pixels = 32;
+  const Image2D img = project_slice(x, y, z, spec);
+  double total = 0;
+  for (double v : img.pixels) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);  // only the (2,2) particle is in view
+}
+
+TEST(Image, LogScaleNormalizesToUnit) {
+  Image2D img;
+  img.width = img.height = 4;
+  img.pixels.assign(16, 0.0);
+  img.at(1, 1) = 100.0;
+  img.at(2, 2) = 10.0;
+  const Image2D out = log_scale(img);
+  double vmax = 0;
+  for (double v : out.pixels) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+    vmax = std::max(vmax, v);
+  }
+  EXPECT_DOUBLE_EQ(vmax, 1.0);
+  EXPECT_GT(out.at(1, 1), out.at(2, 2));
+}
+
+TEST(Image, LogScaleOfEmptyImageIsZero) {
+  Image2D img;
+  img.width = img.height = 2;
+  img.pixels.assign(4, 0.0);
+  const Image2D out = log_scale(img);
+  for (double v : out.pixels) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Image, WritesValidPgmAndPpm) {
+  Image2D img;
+  img.width = 3;
+  img.height = 2;
+  img.pixels = {0.0, 0.5, 1.0, 0.25, 0.75, 0.1};
+  const std::string pgm = temp_path("hacc_img.pgm");
+  const std::string ppm = temp_path("hacc_img.ppm");
+  write_pgm(pgm, img);
+  write_ppm(ppm, img);
+  // Header + exact payload sizes.
+  EXPECT_EQ(fs::file_size(pgm), std::string("P5\n3 2\n255\n").size() + 6);
+  EXPECT_EQ(fs::file_size(ppm), std::string("P6\n3 2\n255\n").size() + 18);
+  fs::remove(pgm);
+  fs::remove(ppm);
+}
+
+}  // namespace
+}  // namespace hacc::io

@@ -1,0 +1,203 @@
+// Tests for the Sec.-VI extensions: multiple RCB trees per rank and the
+// threaded CIC deposit. The contract for both: identical results to the
+// single-tree / serial implementations (up to float summation order).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "mesh/cic.h"
+#include "tree/force_matcher.h"
+#include "tree/multi_tree.h"
+#include "util/rng.h"
+
+namespace hacc::tree {
+namespace {
+
+ParticleArray random_particles(std::size_t n, float box, std::uint64_t seed) {
+  ParticleArray p;
+  p.reserve(n);
+  Philox rng(seed);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    p.push_back(static_cast<float>(s.uniform(0, box)),
+                static_cast<float>(s.uniform(0, box)),
+                static_cast<float>(s.uniform(0, box)),
+                static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()), 1.0f, i);
+  }
+  return p;
+}
+
+// ---- sub-range tree builds ----------------------------------------------------
+
+TEST(SubRangeTree, BuildsOnlyTheRangeAndLeavesRestUntouched) {
+  ParticleArray p = random_particles(300, 10.0f, 1);
+  const auto before = p;  // copy
+  RcbTree tree(p, 100, 100, RcbConfig{16});
+  // Nodes' index ranges stay within [100, 200).
+  for (const auto& n : tree.nodes()) {
+    EXPECT_GE(n.first, 100u);
+    EXPECT_LE(n.first + n.count, 200u);
+  }
+  // Particles outside the range are untouched.
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(p.id[i], before.id[i]);
+  for (std::size_t i = 200; i < 300; ++i) EXPECT_EQ(p.id[i], before.id[i]);
+  // The range itself is a permutation of the original range.
+  std::set<std::uint64_t> ids(p.id.begin() + 100, p.id.begin() + 200);
+  std::set<std::uint64_t> expect(before.id.begin() + 100,
+                                 before.id.begin() + 200);
+  EXPECT_EQ(ids, expect);
+}
+
+TEST(SubRangeTree, EmptyRangeGivesEmptyTree) {
+  ParticleArray p = random_particles(10, 5.0f, 2);
+  RcbTree tree(p, 5, 0, RcbConfig{4});
+  EXPECT_TRUE(tree.nodes().empty());
+}
+
+TEST(ThreePhasePartition, SplitsByCoordinate) {
+  ParticleArray p = random_particles(200, 8.0f, 3);
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> swaps;
+  const std::uint32_t below =
+      three_phase_partition(p, 0, 200, /*dim=*/1, 4.0f, swaps);
+  for (std::uint32_t i = 0; i < below; ++i) EXPECT_LT(p.y[i], 4.0f);
+  for (std::uint32_t i = below; i < 200; ++i) EXPECT_GE(p.y[i], 4.0f);
+  EXPECT_TRUE(p.consistent());
+}
+
+// ---- MultiTree ------------------------------------------------------------------
+
+class MultiTreeSplits : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Splits, MultiTreeSplits,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST_P(MultiTreeSplits, ForcesMatchSingleTree) {
+  const int splits = GetParam();
+  ParticleArray p1 = random_particles(1200, 14.0f, 7);
+  ParticleArray p2 = p1;
+  ShortRangeKernel kernel;
+  kernel.softening = 0.05f;
+  kernel.fgrid = default_fgrid_poly5();
+
+  RcbTree single(p1, RcbConfig{32});
+  std::vector<float> a1x(p1.size()), a1y(p1.size()), a1z(p1.size());
+  compute_short_range(single, kernel, a1x, a1y, a1z);
+
+  MultiTree forest(p2, MultiTreeConfig{splits, RcbConfig{32}});
+  EXPECT_EQ(forest.trees().size(), 1u << splits);
+  std::vector<float> a2x(p2.size()), a2y(p2.size()), a2z(p2.size());
+  const auto stats = compute_short_range_multi(forest, kernel, a2x, a2y, a2z);
+  EXPECT_EQ(stats.particles, p2.size());
+
+  // Compare by particle id (both builds permute).
+  std::vector<std::size_t> slot1(p1.size()), slot2(p2.size());
+  for (std::size_t i = 0; i < p1.size(); ++i) slot1[p1.id[i]] = i;
+  for (std::size_t i = 0; i < p2.size(); ++i) slot2[p2.id[i]] = i;
+  double max_err = 0, scale = 0;
+  for (std::size_t id = 0; id < p1.size(); ++id) {
+    const std::size_t i = slot1[id], j = slot2[id];
+    max_err =
+        std::max({max_err, std::abs(static_cast<double>(a1x[i] - a2x[j])),
+                  std::abs(static_cast<double>(a1y[i] - a2y[j])),
+                  std::abs(static_cast<double>(a1z[i] - a2z[j]))});
+    scale = std::max(scale, std::abs(static_cast<double>(a1x[i])));
+  }
+  EXPECT_LT(max_err, 5e-4 * (scale + 1.0)) << "splits=" << splits;
+}
+
+TEST(MultiTree, BlocksAreBalanced) {
+  ParticleArray p = random_particles(4000, 20.0f, 9);
+  MultiTree forest(p, MultiTreeConfig{3, RcbConfig{32}});
+  // Midpoint splits of a uniform set: no tree should dominate.
+  EXPECT_LT(forest.build_imbalance(), 2.0);
+  // Every particle in exactly one tree.
+  std::size_t total = 0;
+  for (const auto& t : forest.trees()) {
+    if (!t.nodes().empty()) total += t.nodes().front().count;
+  }
+  EXPECT_EQ(total, p.size());
+}
+
+TEST(MultiTree, CoincidentParticlesDegradeGracefully) {
+  ParticleArray p;
+  for (int i = 0; i < 64; ++i)
+    p.push_back(1.0f, 1.0f, 1.0f, 0, 0, 0, 1.0f,
+                static_cast<std::uint64_t>(i));
+  MultiTree forest(p, MultiTreeConfig{3, RcbConfig{8}});
+  EXPECT_GE(forest.trees().size(), 1u);
+}
+
+// ---- threaded CIC -----------------------------------------------------------------
+
+TEST(ThreadedCic, MatchesSerialDeposit) {
+  const std::size_t n = 16;
+  mesh::BlockDecomp3D d({n, n, n}, comm::Cart3D({1, 1, 1}));
+  Philox rng(11);
+  Philox::Stream s(rng);
+  std::vector<float> xs, ys, zs;
+  for (int i = 0; i < 5000; ++i) {
+    xs.push_back(static_cast<float>(s.uniform(0, n)));
+    ys.push_back(static_cast<float>(s.uniform(0, n)));
+    zs.push_back(static_cast<float>(s.uniform(0, n)));
+  }
+  mesh::DistGrid serial(d, 0, 2), threaded(d, 0, 2);
+  mesh::cic_deposit(serial, xs, ys, zs, 1.5f);
+  mesh::cic_deposit_threaded(threaded, xs, ys, zs, 1.5f);
+  for (std::size_t i = 0; i < serial.data().size(); ++i)
+    EXPECT_NEAR(threaded.data()[i], serial.data()[i],
+                1e-9 * (std::abs(serial.data()[i]) + 1.0));
+}
+
+// ---- full simulation equivalence -----------------------------------------------
+
+TEST(SimulationExtensions, MultiTreeAndThreadedCicReproduceBaseline) {
+  core::SimulationConfig base;
+  base.grid = 16;
+  base.particles_per_dim = 16;
+  base.box_mpch = 32.0;
+  base.z_initial = 30.0;
+  base.z_final = 10.0;
+  base.steps = 2;
+  base.subcycles = 2;
+  base.overload = 3.0;
+  base.solver = core::ShortRangeSolver::kTreePP;
+  cosmology::Cosmology cosmo;
+
+  auto run = [&](int splits, bool threaded) {
+    core::SimulationConfig cfg = base;
+    cfg.tree_splits = splits;
+    cfg.threaded_deposit = threaded;
+    std::vector<std::array<float, 3>> by_id(16 * 16 * 16);
+    comm::Machine::run(1, [&](comm::Comm& c) {
+      core::Simulation sim(c, cosmo, cfg);
+      sim.initialize();
+      sim.run();
+      const auto& p = sim.particles();
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p.role[i] == Role::kActive)
+          by_id[p.id[i]] = {p.x[i], p.y[i], p.z[i]};
+      }
+    });
+    return by_id;
+  };
+  const auto baseline = run(0, false);
+  const auto extended = run(2, true);
+  double max_err = 0;
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    for (int d = 0; d < 3; ++d) {
+      double diff = std::abs(static_cast<double>(
+          baseline[i][static_cast<std::size_t>(d)] -
+          extended[i][static_cast<std::size_t>(d)]));
+      diff = std::min(diff, 16.0 - diff);
+      max_err = std::max(max_err, diff);
+    }
+  }
+  EXPECT_LT(max_err, 2e-3);
+}
+
+}  // namespace
+}  // namespace hacc::tree

@@ -1,0 +1,294 @@
+// Tests for the BG/Q performance model: machine constants, the kernel
+// instruction model (Fig. 5 shape), and the scaling-table generators
+// (Tables I-III shape properties and agreement with the paper's anchor
+// rows).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "perfmodel/bgq_machine.h"
+#include "perfmodel/kernel_model.h"
+#include "perfmodel/scaling_model.h"
+
+namespace hacc::perfmodel {
+namespace {
+
+// ---- machine constants --------------------------------------------------------
+
+TEST(BgqMachine, PeakRates) {
+  EXPECT_DOUBLE_EQ(BqcChip::peak_gflops_core(), 12.8);
+  EXPECT_DOUBLE_EQ(BqcChip::peak_gflops_node(), 204.8);
+  EXPECT_EQ(BgqSystem::cores_of_racks(96), 1572864);
+  // 96 racks: 20.13 PF peak; the paper's 13.94 PF is 69.22% of this.
+  EXPECT_NEAR(BgqSystem::peak_pflops(1572864), 20.13, 0.01);
+  EXPECT_NEAR(13.94 / BgqSystem::peak_pflops(1572864), 0.6922, 1e-3);
+}
+
+// ---- kernel model ---------------------------------------------------------------
+
+TEST(KernelModel, FlopAccountingMatchesPaper) {
+  KernelInstructionMix mix;
+  EXPECT_EQ(mix.flops_per_iteration(), 168);      // "168 (= 40 + 128)"
+  EXPECT_EQ(mix.max_flops_per_iteration(), 208);  // "maximum of 208"
+  EXPECT_NEAR(mix.theoretical_peak_fraction(), 0.81, 0.005);
+  EXPECT_DOUBLE_EQ(mix.flops_per_interaction(), 42.0);
+}
+
+TEST(KernelModel, FourThreadsNearEightyPercentAtLargeLists) {
+  // Paper: "At 4 threads/core, the performance attained is close to 80% of
+  // peak" at large neighbor-list sizes.
+  const double frac = kernel_peak_fraction(4, 16, 2000.0);
+  EXPECT_GT(frac, 0.75);
+  EXPECT_LT(frac, 0.81);
+}
+
+TEST(KernelModel, PerformanceRisesWithThreads) {
+  for (double n : {200.0, 1000.0, 4000.0}) {
+    double prev = 0;
+    for (int t = 1; t <= 4; ++t) {
+      const double f = kernel_peak_fraction(t, 16, n);
+      EXPECT_GT(f, prev) << "threads=" << t << " n=" << n;
+      prev = f;
+    }
+  }
+}
+
+TEST(KernelModel, PerformanceRisesWithListSizeToPlateau) {
+  double prev = 0;
+  for (double n : {16.0, 64.0, 256.0, 1024.0, 4096.0}) {
+    const double f = kernel_peak_fraction(4, 16, n);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  // Plateau: doubling the list from 2000 to 4000 changes little.
+  EXPECT_NEAR(kernel_peak_fraction(4, 16, 4000.0),
+              kernel_peak_fraction(4, 16, 2000.0), 0.02);
+}
+
+TEST(KernelModel, TwoRanksPerNodeStillExceptional) {
+  // Paper Fig. 5: "Note the exceptional performance even at 2 ranks per
+  // node": the model's rank penalty must be small.
+  const double f16 = kernel_peak_fraction(4, 16, 2000.0);
+  const double f2 = kernel_peak_fraction(4, 2, 2000.0);
+  EXPECT_GT(f2, 0.9 * f16);
+}
+
+TEST(KernelModel, FullCodeFractionMatchesMeasuredCounters) {
+  // Paper: counters report 142.32 of 204.8 GFlops = 69.5% of node peak at
+  // the 80/10/5/5 phase mix.
+  const PhaseMix mix;
+  const double kernel_peak = kernel_peak_fraction(4, 16, 1500.0);
+  const double full = full_code_peak_fraction(mix.kernel, kernel_peak);
+  EXPECT_NEAR(full, 0.695, 0.035);
+}
+
+TEST(KernelModel, IssueModelMatchesPaper) {
+  IssueModel m;
+  EXPECT_NEAR(m.max_issue(), 1.783, 0.01);       // 100/56.10
+  EXPECT_NEAR(m.issue_efficiency(), 0.85, 0.01); // "85% of the possible"
+}
+
+// ---- weak scaling (Table II / Fig. 7) ---------------------------------------------
+
+TEST(WeakScaling, TableHasTwelveRowsWithPaperConfigs) {
+  const auto table = weak_scaling_table();
+  ASSERT_EQ(table.size(), 12u);
+  EXPECT_EQ(table.front().cores, 2048);
+  EXPECT_EQ(table.front().np, 1600);
+  EXPECT_EQ(table.back().cores, 1572864);
+  EXPECT_EQ(table.back().np, 15360);
+  EXPECT_EQ(table.back().geometry, "192x128x64");
+}
+
+TEST(WeakScaling, HeadlineRowNearPaper) {
+  const auto table = weak_scaling_table();
+  const auto& last = table.back();
+  // Paper: 13.94 PFlops, 69.22% of peak, 5.96e-11 s.
+  EXPECT_NEAR(last.pflops, 13.94, 0.9);
+  EXPECT_NEAR(last.peak_percent, 69.22, 3.0);
+  EXPECT_NEAR(last.time_per_substep_particle / 5.96e-11, 1.0, 0.10);
+}
+
+TEST(WeakScaling, InvariantCoresTimesTimeIsFlat) {
+  // The weak-scaling signature: cores * time/substep/particle ~ constant
+  // (paper column: 7.9e-5 .. 9.9e-5 over 768x in cores).
+  const auto table = weak_scaling_table();
+  double lo = 1e9, hi = 0;
+  for (const auto& r : table) {
+    lo = std::min(lo, r.cores_times_time);
+    hi = std::max(hi, r.cores_times_time);
+    EXPECT_GT(r.cores_times_time, 5e-5);
+    EXPECT_LT(r.cores_times_time, 1.5e-4);
+  }
+  EXPECT_LT(hi / lo, 1.3);  // within 30% across three orders of magnitude
+}
+
+TEST(WeakScaling, PerformanceScalesLinearlyWithCores) {
+  const auto table = weak_scaling_table();
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    const double core_ratio = static_cast<double>(table[i].cores) /
+                              static_cast<double>(table[i - 1].cores);
+    const double perf_ratio = table[i].pflops / table[i - 1].pflops;
+    EXPECT_NEAR(perf_ratio / core_ratio, 1.0, 0.05);
+  }
+}
+
+TEST(WeakScaling, PeakPercentInPaperBand) {
+  for (const auto& r : weak_scaling_table()) {
+    EXPECT_GT(r.peak_percent, 64.0);
+    EXPECT_LT(r.peak_percent, 71.0);
+  }
+}
+
+TEST(WeakScaling, MemoryPerRankNearPaperBand) {
+  // Paper column: 342-418 MB/rank.
+  for (const auto& r : weak_scaling_table()) {
+    EXPECT_GT(r.memory_mb_rank, 280.0);
+    EXPECT_LT(r.memory_mb_rank, 480.0);
+  }
+}
+
+// ---- strong scaling (Table III / Fig. 8) -------------------------------------------
+
+TEST(StrongScaling, SixRowsCoveringTheRack) {
+  const auto table = strong_scaling_table();
+  ASSERT_EQ(table.size(), 6u);
+  EXPECT_EQ(table.front().cores, 512);
+  EXPECT_EQ(table.front().particles_per_core, 2097152);
+  EXPECT_EQ(table.back().cores, 16384);
+  EXPECT_EQ(table.back().particles_per_core, 65536);
+}
+
+TEST(StrongScaling, AnchorRowNearPaper) {
+  const auto& first = strong_scaling_table().front();
+  // Paper: 4.42 TFlops, 67.44%, 145.94 s/substep, 368.82 MB/rank.
+  EXPECT_NEAR(first.tflops, 4.42, 0.35);
+  EXPECT_NEAR(first.time_per_substep, 145.94, 15.0);
+  EXPECT_NEAR(first.memory_mb_rank, 368.82, 40.0);
+}
+
+TEST(StrongScaling, NearIdealToEightRacksThenOverloadPenalty) {
+  const auto table = strong_scaling_table();
+  // Ideal: time/substep halves per doubling. Through 8192 cores the
+  // deviation from ideal must be small; at 16384 it grows (overloading).
+  for (std::size_t i = 1; i < table.size(); ++i) {
+    const double speedup =
+        table[i - 1].time_per_substep / table[i].time_per_substep;
+    if (table[i].cores <= 8192) {
+      EXPECT_GT(speedup, 1.75) << table[i].cores;
+    } else {
+      EXPECT_LT(speedup, 1.8);  // visible overload overhead
+      EXPECT_GT(speedup, 1.3);
+    }
+  }
+  // Paper: 145.94 -> 10.01 s across 512 -> 16384 (14.6x of ideal 32x).
+  const double total_speedup =
+      table.front().time_per_substep / table.back().time_per_substep;
+  EXPECT_GT(total_speedup, 10.0);
+  EXPECT_LT(total_speedup, 32.0);
+}
+
+TEST(StrongScaling, PeakPercentDeclinesModestly) {
+  const auto table = strong_scaling_table();
+  EXPECT_GT(table.front().peak_percent, table.back().peak_percent);
+  for (const auto& r : table) {
+    EXPECT_GT(r.peak_percent, 60.0);
+    EXPECT_LT(r.peak_percent, 70.0);
+  }
+}
+
+TEST(StrongScaling, MemoryFractionSpansProductionToStarved) {
+  // Paper: 62% down to 4.5% ("memory utilization factor of approximately
+  // 57% ... to as low as 7%"); our accounting uses the plain 1 GiB/rank.
+  const auto table = strong_scaling_table();
+  EXPECT_GT(table.front().memory_fraction_percent, 25.0);
+  EXPECT_LT(table.back().memory_fraction_percent, 8.0);
+}
+
+// ---- time to solution ----------------------------------------------------------------
+
+TEST(TimeToSolution, PaperThroughputClaimHolds) {
+  // "Particle push-times of 0.06 ns/substep/particle for more than 3.6
+  // trillion particles on 1,572,864 cores allow runs of 100 billion to
+  // trillions of particles in a day to a week of wall-clock."
+  const long long cores96 = BgqSystem::cores_of_racks(96);
+  const double day = 86400.0, week = 7 * 86400.0;
+  // 3.6 trillion particles, 500-2000 substeps: between a day and a week.
+  EXPECT_GT(science_run_walltime(3.6e12, cores96, 2000), day);
+  EXPECT_LT(science_run_walltime(3.6e12, cores96, 2000), week);
+  // 100 billion particles finish within a day even on a fraction of the
+  // machine (Mira, 48 racks).
+  EXPECT_LT(science_run_walltime(1e11, BgqSystem::cores_of_racks(48), 1000),
+            day);
+  // Linear in both particles and substeps; inverse in cores.
+  const double t0 = science_run_walltime(1e11, cores96, 500);
+  EXPECT_NEAR(science_run_walltime(2e11, cores96, 500) / t0, 2.0, 1e-9);
+  EXPECT_NEAR(science_run_walltime(1e11, cores96, 1000) / t0, 2.0, 1e-9);
+  EXPECT_NEAR(science_run_walltime(1e11, cores96 / 2, 500) / t0, 2.0, 1e-9);
+}
+
+TEST(TimeToSolution, TestRunMatchesPaperAnecdote) {
+  // Sec. V: the 10240^3 science test on 16 racks of Mira took ~14 hours
+  // (with I/O and fewer substeps than production; order of magnitude).
+  const double t = science_run_walltime(std::pow(10240.0, 3),
+                                        BgqSystem::cores_of_racks(16), 300);
+  EXPECT_GT(t, 0.3 * 14 * 3600.0);
+  EXPECT_LT(t, 3.0 * 14 * 3600.0);
+}
+
+// ---- FFT (Table I) -----------------------------------------------------------------
+
+TEST(FftModel, TableConfigsMatchPaper) {
+  const auto table = fft_scaling_table();
+  ASSERT_EQ(table.size(), 15u);
+  EXPECT_EQ(table.front().fft_size, 1024);
+  EXPECT_EQ(table.front().ranks, 256);
+  EXPECT_EQ(table.back().fft_size, 10240);
+  EXPECT_EQ(table.back().ranks, 131072);
+}
+
+TEST(FftModel, StrongScalingRowsNearPaper) {
+  // Paper: 2.731 s at 256 ranks down to 0.098 s at 8192.
+  EXPECT_NEAR(model_fft_time(1024, 256), 2.731, 0.4);
+  EXPECT_NEAR(model_fft_time(1024, 8192), 0.098, 0.025);
+  // Near-ideal scaling over the strong-scaling range.
+  const double speedup = model_fft_time(1024, 256) / model_fft_time(1024, 8192);
+  EXPECT_GT(speedup, 20.0);
+  EXPECT_LT(speedup, 32.1);
+}
+
+TEST(FftModel, WeakRowsStayWithinNarrowBand) {
+  // Paper: 160^3-per-rank rows at 5.3-7.4 s over 16x in ranks
+  // ("performance is remarkably stable, a successful benchmark").
+  const double t0 = model_fft_time(4096, 16384);
+  const double t1 = model_fft_time(9216, 262144);
+  EXPECT_NEAR(t0, 5.254, 1.0);
+  EXPECT_NEAR(t1, 7.238, 1.0);
+  EXPECT_LT(t1 / t0, 2.0);
+}
+
+TEST(FftModel, LargestPaperFftUnder15Seconds) {
+  // "The largest FFT we ran ... 10240^3 and a run-time of less than 15 s."
+  EXPECT_LT(model_fft_time(10240, 131072), 17.0);
+  EXPECT_GT(model_fft_time(10240, 131072), 10.0);
+}
+
+// ---- Fig. 6 -----------------------------------------------------------------------
+
+TEST(PoissonModel, ArchitectureOrderingAndFlatness) {
+  for (long long ranks : {64LL, 1024LL, 16384LL, 131072LL}) {
+    const double rr = poisson_time_per_particle(Architecture::kRoadrunner, ranks);
+    const double bgp = poisson_time_per_particle(Architecture::kBgp, ranks);
+    const double bgq = poisson_time_per_particle(Architecture::kBgq, ranks);
+    EXPECT_GT(rr, bgp);
+    EXPECT_GT(bgp, bgq);
+  }
+  // Weak scaling flat to within ~50% over 2048x in ranks (Fig. 6's ideal
+  // line is horizontal).
+  const double lo = poisson_time_per_particle(Architecture::kBgq, 64);
+  const double hi = poisson_time_per_particle(Architecture::kBgq, 131072);
+  EXPECT_LT(hi / lo, 1.5);
+}
+
+}  // namespace
+}  // namespace hacc::perfmodel

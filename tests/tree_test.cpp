@@ -1,0 +1,440 @@
+// Tests for the short-range sector: SoA particles, the force kernel, the RCB
+// tree (invariants + force correctness vs direct summation), and the
+// numerical force matcher.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "tree/direct.h"
+#include "tree/force_kernel.h"
+#include "tree/force_matcher.h"
+#include "tree/particles.h"
+#include "tree/rcb_tree.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hacc::tree {
+namespace {
+
+ParticleArray random_particles(std::size_t n, float box, std::uint64_t seed,
+                               bool clustered = false) {
+  ParticleArray p;
+  p.reserve(n);
+  Philox rng(seed);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    float x, y, z;
+    if (clustered && i % 2 == 0) {
+      // Half the particles in a tight Gaussian blob (mimics a halo).
+      x = 0.5f * box + 0.05f * box * static_cast<float>(s.gaussian());
+      y = 0.5f * box + 0.05f * box * static_cast<float>(s.gaussian());
+      z = 0.5f * box + 0.05f * box * static_cast<float>(s.gaussian());
+      x = std::clamp(x, 0.0f, box - 1e-3f);
+      y = std::clamp(y, 0.0f, box - 1e-3f);
+      z = std::clamp(z, 0.0f, box - 1e-3f);
+    } else {
+      x = static_cast<float>(s.uniform(0, box));
+      y = static_cast<float>(s.uniform(0, box));
+      z = static_cast<float>(s.uniform(0, box));
+    }
+    p.push_back(x, y, z, static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()),
+                static_cast<float>(s.gaussian()), 1.0f, i);
+  }
+  return p;
+}
+
+// ---- ParticleArray -----------------------------------------------------------
+
+TEST(ParticleArray, SwapMovesEveryField) {
+  ParticleArray p;
+  p.push_back(1, 2, 3, 4, 5, 6, 7, 100, Role::kActive);
+  p.push_back(10, 20, 30, 40, 50, 60, 70, 200, Role::kPassive);
+  p.swap_particles(0, 1);
+  EXPECT_EQ(p.x[0], 10);
+  EXPECT_EQ(p.vz[0], 60);
+  EXPECT_EQ(p.mass[0], 70);
+  EXPECT_EQ(p.id[0], 200u);
+  EXPECT_EQ(p.role[0], Role::kPassive);
+  EXPECT_EQ(p.id[1], 100u);
+  EXPECT_TRUE(p.consistent());
+}
+
+TEST(ParticleArray, RemoveUnorderedKeepsRest) {
+  ParticleArray p;
+  for (int i = 0; i < 5; ++i)
+    p.push_back(static_cast<float>(i), 0, 0, 0, 0, 0, 1,
+                static_cast<std::uint64_t>(i));
+  p.remove_unordered(1);
+  EXPECT_EQ(p.size(), 4u);
+  std::set<std::uint64_t> ids(p.id.begin(), p.id.end());
+  EXPECT_EQ(ids, (std::set<std::uint64_t>{0, 2, 3, 4}));
+  EXPECT_TRUE(p.consistent());
+}
+
+TEST(ParticleArray, StorageIsAligned) {
+  ParticleArray p = random_particles(100, 10.0f, 1);
+  EXPECT_TRUE(is_aligned(p.x.data()));
+  EXPECT_TRUE(is_aligned(p.mass.data()));
+}
+
+// ---- force kernel --------------------------------------------------------------
+
+TEST(ForceKernel, Poly5HornerMatchesDirect) {
+  Poly5 poly{{1.0f, -2.0f, 0.5f, 0.25f, -0.125f, 0.0625f}};
+  for (float s : {0.0f, 0.5f, 1.0f, 3.0f, 8.9f}) {
+    double expect = 0;
+    double pw = 1;
+    for (int i = 0; i < 6; ++i) {
+      expect += static_cast<double>(poly.c[static_cast<std::size_t>(i)]) * pw;
+      pw *= s;
+    }
+    EXPECT_NEAR(poly(s), expect, 1e-4 * (std::abs(expect) + 1));
+  }
+}
+
+TEST(ForceKernel, CutoffAndSelfFiltering) {
+  ShortRangeKernel k;
+  k.softening = 0.0f;
+  EXPECT_EQ(k.fsr(0.0f), 0.0f);               // self interaction
+  EXPECT_EQ(k.fsr(k.rmax2()), 0.0f);          // at cutoff
+  EXPECT_EQ(k.fsr(k.rmax2() + 1.0f), 0.0f);   // beyond
+  EXPECT_GT(k.fsr(1.0f), 0.0f);               // inside: attractive
+}
+
+TEST(ForceKernel, MatchesNewtonWithZeroPoly) {
+  ShortRangeKernel k;
+  k.softening = 0.01f;
+  for (float s : {0.3f, 1.0f, 4.0f, 8.0f}) {
+    EXPECT_FLOAT_EQ(k.fsr(s), newtonian_fscalar(s, 0.01f));
+  }
+}
+
+TEST(ForceKernel, NeighborListMatchesScalarSum) {
+  ShortRangeKernel k;
+  k.softening = 0.05f;
+  k.fgrid = Poly5{{0.1f, -0.01f, 0.001f, 0, 0, 0}};
+  ParticleArray p = random_particles(64, 5.0f, 3);
+  const float xi = 2.5f, yi = 2.5f, zi = 2.5f;
+  const Force3 f =
+      evaluate_neighbor_list(k, xi, yi, zi, p.x.data(), p.y.data(),
+                             p.z.data(), p.mass.data(), p.size());
+  double ex = 0, ey = 0, ez = 0;
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    const float dx = p.x[j] - xi, dy = p.y[j] - yi, dz = p.z[j] - zi;
+    const float s = dx * dx + dy * dy + dz * dz;
+    const float fs = k.fsr(s) * p.mass[j];
+    ex += fs * dx;
+    ey += fs * dy;
+    ez += fs * dz;
+  }
+  EXPECT_NEAR(f.x, ex, 1e-3 * (std::abs(ex) + 1));
+  EXPECT_NEAR(f.y, ey, 1e-3 * (std::abs(ey) + 1));
+  EXPECT_NEAR(f.z, ez, 1e-3 * (std::abs(ez) + 1));
+}
+
+TEST(ForceKernel, TargetInListIsIgnored) {
+  // A particle evaluating its own leaf's list must not feel itself.
+  ShortRangeKernel k;
+  ParticleArray p;
+  p.push_back(1, 1, 1, 0, 0, 0, 5.0f, 0);
+  const Force3 f = evaluate_neighbor_list(k, 1, 1, 1, p.x.data(), p.y.data(),
+                                          p.z.data(), p.mass.data(), 1);
+  EXPECT_EQ(f.x, 0.0f);
+  EXPECT_EQ(f.y, 0.0f);
+  EXPECT_EQ(f.z, 0.0f);
+}
+
+// ---- RCB tree invariants --------------------------------------------------------
+
+class RcbLeafSizes : public ::testing::TestWithParam<std::size_t> {};
+INSTANTIATE_TEST_SUITE_P(LeafSizes, RcbLeafSizes,
+                         ::testing::Values(1, 4, 16, 64, 128));
+
+TEST_P(RcbLeafSizes, LeavesPartitionParticles) {
+  ParticleArray p = random_particles(500, 16.0f, 7);
+  RcbTree tree(p, RcbConfig{GetParam()});
+  // Every particle index covered exactly once by the leaves.
+  std::vector<int> covered(p.size(), 0);
+  for (auto leaf : tree.leaves()) {
+    const RcbNode& n = tree.nodes()[leaf];
+    EXPECT_TRUE(n.is_leaf());
+    for (std::uint32_t i = n.first; i < n.first + n.count; ++i)
+      ++covered[i];
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST_P(RcbLeafSizes, BoxesContainTheirParticles) {
+  ParticleArray p = random_particles(500, 16.0f, 8, /*clustered=*/true);
+  RcbTree tree(p, RcbConfig{GetParam()});
+  for (const auto& n : tree.nodes()) {
+    for (std::uint32_t i = n.first; i < n.first + n.count; ++i) {
+      EXPECT_GE(p.x[i], n.lo[0]);
+      EXPECT_LE(p.x[i], n.hi[0]);
+      EXPECT_GE(p.y[i], n.lo[1]);
+      EXPECT_LE(p.y[i], n.hi[1]);
+      EXPECT_GE(p.z[i], n.lo[2]);
+      EXPECT_LE(p.z[i], n.hi[2]);
+    }
+  }
+}
+
+TEST_P(RcbLeafSizes, PermutationPreservesParticles) {
+  ParticleArray p = random_particles(300, 8.0f, 9);
+  // Record (id -> position) before the build.
+  std::vector<std::array<float, 3>> before(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    before[p.id[i]] = {p.x[i], p.y[i], p.z[i]};
+  RcbTree tree(p, RcbConfig{GetParam()});
+  ASSERT_TRUE(p.consistent());
+  std::set<std::uint64_t> ids(p.id.begin(), p.id.end());
+  EXPECT_EQ(ids.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.x[i], before[p.id[i]][0]);
+    EXPECT_EQ(p.y[i], before[p.id[i]][1]);
+    EXPECT_EQ(p.z[i], before[p.id[i]][2]);
+  }
+}
+
+TEST(RcbTree, ChildrenSpatiallyDisjointAlongSplit) {
+  ParticleArray p = random_particles(1000, 32.0f, 10);
+  RcbTree tree(p, RcbConfig{32});
+  for (const auto& n : tree.nodes()) {
+    if (n.is_leaf()) continue;
+    const RcbNode& l = tree.nodes()[static_cast<std::size_t>(n.left)];
+    const RcbNode& r = tree.nodes()[static_cast<std::size_t>(n.right)];
+    EXPECT_EQ(l.count + r.count, n.count);
+    EXPECT_EQ(l.first, n.first);
+    EXPECT_EQ(r.first, n.first + l.count);
+    // Along at least one axis the boxes must not interleave: the split
+    // axis has l's max <= r's min.
+    bool disjoint = false;
+    for (int d = 0; d < 3; ++d) {
+      const auto sd = static_cast<std::size_t>(d);
+      if (l.hi[sd] <= r.lo[sd] || r.hi[sd] <= l.lo[sd]) disjoint = true;
+    }
+    EXPECT_TRUE(disjoint);
+  }
+}
+
+TEST(RcbTree, SpatialLocalityAfterBuild) {
+  // The point of the RCB build: particles adjacent in memory are close in
+  // space. Check that the mean distance between memory-neighbors is much
+  // smaller than between random pairs.
+  ParticleArray p = random_particles(2000, 64.0f, 11, /*clustered=*/true);
+  auto mean_adjacent_distance = [](const ParticleArray& q) {
+    double adj = 0;
+    for (std::size_t i = 0; i + 1 < q.size(); ++i) {
+      const double dx = q.x[i + 1] - q.x[i];
+      const double dy = q.y[i + 1] - q.y[i];
+      const double dz = q.z[i + 1] - q.z[i];
+      adj += std::sqrt(dx * dx + dy * dy + dz * dz);
+    }
+    return adj / static_cast<double>(q.size() - 1);
+  };
+  const double before = mean_adjacent_distance(p);
+  RcbTree tree(p, RcbConfig{64});
+  const double after = mean_adjacent_distance(p);
+  EXPECT_LT(after, 0.5 * before);
+}
+
+TEST(RcbTree, CoincidentParticlesTerminate) {
+  ParticleArray p;
+  for (int i = 0; i < 100; ++i)
+    p.push_back(1.0f, 2.0f, 3.0f, 0, 0, 0, 1.0f,
+                static_cast<std::uint64_t>(i));
+  RcbTree tree(p, RcbConfig{8});  // must not loop forever
+  EXPECT_GE(tree.leaves().size(), 1u);
+}
+
+TEST(RcbTree, EmptyParticlesGiveEmptyTree) {
+  ParticleArray p;
+  RcbTree tree(p);
+  EXPECT_TRUE(tree.nodes().empty());
+  EXPECT_TRUE(tree.leaves().empty());
+}
+
+TEST(RcbTree, GatherNeighborsFindsExactlyTheBallPlusLeaf) {
+  ParticleArray p = random_particles(800, 20.0f, 13);
+  RcbTree tree(p, RcbConfig{16});
+  const float rcut = 3.0f;
+  NeighborList list;
+  for (auto leaf_id : tree.leaves()) {
+    const RcbNode& leaf = tree.nodes()[leaf_id];
+    tree.gather_neighbors(leaf_id, rcut, list);
+    // Everything within rcut of the leaf box must be present...
+    std::size_t required = 0;
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      float d2 = 0;
+      const std::array<float, 3> q{p.x[j], p.y[j], p.z[j]};
+      for (int d = 0; d < 3; ++d) {
+        const auto sd = static_cast<std::size_t>(d);
+        const float gap =
+            std::max({0.0f, leaf.lo[sd] - q[sd], q[sd] - leaf.hi[sd]});
+        d2 += gap * gap;
+      }
+      if (d2 <= rcut * rcut) ++required;
+    }
+    EXPECT_GE(list.size(), required);
+    EXPECT_LE(list.size(), p.size());
+  }
+}
+
+// ---- tree force vs direct summation ----------------------------------------------
+
+class TreeForceCase
+    : public ::testing::TestWithParam<std::tuple<std::size_t, bool>> {};
+INSTANTIATE_TEST_SUITE_P(
+    LeafAndClustering, TreeForceCase,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 8, 32, 128),
+                       ::testing::Bool()));
+
+TEST_P(TreeForceCase, MatchesDirectShortRange) {
+  const auto [leaf_size, clustered] = GetParam();
+  ParticleArray p = random_particles(400, 12.0f, 17, clustered);
+  ShortRangeKernel kernel;
+  kernel.softening = 0.05f;
+  kernel.fgrid = default_fgrid_poly5();
+  RcbTree tree(p, RcbConfig{leaf_size});
+  std::vector<float> ax(p.size()), ay(p.size()), az(p.size());
+  const auto stats = compute_short_range(tree, kernel, ax, ay, az);
+  EXPECT_EQ(stats.particles, p.size());
+  EXPECT_GT(stats.interactions, 0u);
+  std::vector<float> dx(p.size()), dy(p.size()), dz(p.size());
+  direct_short_range(p, kernel, dx, dy, dz);
+  // The tree gathers every particle within rcut, so agreement is to float
+  // round-off (summation order differs).
+  double max_err = 0, max_force = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    max_err = std::max({max_err, std::abs(static_cast<double>(ax[i] - dx[i])),
+                        std::abs(static_cast<double>(ay[i] - dy[i])),
+                        std::abs(static_cast<double>(az[i] - dz[i]))});
+    max_force = std::max({max_force, std::abs(static_cast<double>(dx[i])),
+                          std::abs(static_cast<double>(dy[i])),
+                          std::abs(static_cast<double>(dz[i]))});
+  }
+  EXPECT_LT(max_err, 2e-4 * (max_force + 1.0));
+}
+
+TEST(TreeForce, NewtonThirdLawMomentumConservation) {
+  ParticleArray p = random_particles(500, 10.0f, 23, /*clustered=*/true);
+  ShortRangeKernel kernel;
+  kernel.softening = 0.1f;
+  kernel.fgrid = default_fgrid_poly5();
+  RcbTree tree(p, RcbConfig{32});
+  std::vector<float> ax(p.size()), ay(p.size()), az(p.size());
+  compute_short_range(tree, kernel, ax, ay, az);
+  // Equal masses: sum of accelerations ~ 0 (pairwise antisymmetric kernel).
+  double sx = 0, sy = 0, sz = 0, scale = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    sx += ax[i];
+    sy += ay[i];
+    sz += az[i];
+    scale += std::abs(ax[i]) + std::abs(ay[i]) + std::abs(az[i]);
+  }
+  EXPECT_LT(std::abs(sx), 1e-5 * scale + 1e-6);
+  EXPECT_LT(std::abs(sy), 1e-5 * scale + 1e-6);
+  EXPECT_LT(std::abs(sz), 1e-5 * scale + 1e-6);
+}
+
+TEST(TreeForce, MassScaleScalesLinearly) {
+  ParticleArray p = random_particles(100, 6.0f, 29);
+  ShortRangeKernel kernel;
+  RcbTree tree(p, RcbConfig{16});
+  std::vector<float> a1(p.size()), a2(p.size()), tmp(p.size()), t2(p.size()),
+      t3(p.size());
+  compute_short_range(tree, kernel, a1, tmp, t2, 1.0f);
+  compute_short_range(tree, kernel, a2, t3, tmp, 2.5f);
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_NEAR(a2[i], 2.5f * a1[i], 1e-4f * (std::abs(a1[i]) + 1e-3f));
+}
+
+TEST(TreeForce, FatterLeavesMoreInteractionsFewerWalkVisits) {
+  // The walk-minimization tradeoff (paper Sec. III): growing the leaf size
+  // shifts work from the walk into the kernel.
+  ParticleArray p1 = random_particles(2000, 16.0f, 31);
+  ParticleArray p2 = p1;
+  ShortRangeKernel kernel;
+  RcbTree small_leaves(p1, RcbConfig{8});
+  RcbTree fat_leaves(p2, RcbConfig{128});
+  std::vector<float> ax(p1.size()), ay(p1.size()), az(p1.size());
+  const auto s_small = compute_short_range(small_leaves, kernel, ax, ay, az);
+  const auto s_fat = compute_short_range(fat_leaves, kernel, ax, ay, az);
+  EXPECT_GT(s_fat.interactions, s_small.interactions);
+  EXPECT_LT(s_fat.walk_visits, s_small.walk_visits);
+}
+
+// ---- force matcher -----------------------------------------------------------------
+
+TEST(ForceMatcher, GridForceApproachesNewtonAtHandOver) {
+  // Near r = rmax the filtered grid force must approach the continuum
+  // 1/r^2, i.e. fscalar(s) ~ s^{-3/2}: that is what makes the hand-over at
+  // 3 grid spacings possible.
+  ForceMatchConfig cfg;
+  cfg.sources = 2;
+  cfg.samples = 24;
+  cfg.radii = 12;
+  auto samples = measure_grid_force(cfg);
+  ASSERT_FALSE(samples.empty());
+  RunningStats ratio;
+  for (const auto& smp : samples) {
+    if (smp.s > 7.0) ratio.add(smp.fscalar * std::pow(smp.s, 1.5));
+  }
+  ASSERT_GT(ratio.count(), 10u);
+  EXPECT_NEAR(ratio.mean(), 1.0, 0.08);
+}
+
+TEST(ForceMatcher, GridForceVanishesAtOrigin) {
+  // Small-r samples: the filtered grid force is finite (no 1/r^2
+  // divergence), so fscalar stays bounded.
+  ForceMatchConfig cfg;
+  cfg.sources = 2;
+  cfg.samples = 16;
+  cfg.radii = 16;
+  auto samples = measure_grid_force(cfg);
+  for (const auto& smp : samples) {
+    EXPECT_LT(std::abs(smp.fscalar), 1.0) << "s=" << smp.s;
+  }
+}
+
+TEST(ForceMatcher, FitResidualsAreSmall) {
+  ForceMatchConfig cfg;
+  cfg.sources = 4;
+  cfg.samples = 32;
+  cfg.radii = 24;
+  auto samples = measure_grid_force(cfg);
+  const Poly5 poly = fit_poly5(samples);
+  RunningStats resid;
+  for (const auto& smp : samples)
+    resid.add(poly(static_cast<float>(smp.s)) - smp.fscalar);
+  EXPECT_LT(std::abs(resid.mean()), 2e-3);
+  EXPECT_LT(resid.stddev(), 2e-2);
+}
+
+TEST(ForceMatcher, DefaultPolyMatchesFreshFit) {
+  // Guards the shipped coefficients against drift: refit with the default
+  // configuration and compare on the fit interval.
+  const Poly5 fresh = match_grid_force(ForceMatchConfig{});
+  const Poly5 shipped = default_fgrid_poly5();
+  for (float s = 0.25f; s < 9.0f; s += 0.25f) {
+    EXPECT_NEAR(fresh(s), shipped(s), 5e-3) << "s=" << s;
+  }
+}
+
+TEST(ForceMatcher, ShortRangeVanishesBeyondHandOverByConstruction) {
+  // f_SR(s) = newton - poly must be small near the hand-over scale.
+  ShortRangeKernel kernel;
+  kernel.softening = 0.0f;
+  kernel.fgrid = default_fgrid_poly5();
+  const float near_cut = 8.7f;
+  EXPECT_LT(std::abs(newtonian_fscalar(near_cut, 0.0f) -
+                     kernel.fgrid(near_cut)),
+            0.15f * newtonian_fscalar(near_cut, 0.0f));
+}
+
+}  // namespace
+}  // namespace hacc::tree
