@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_leaf_size.dir/ablation_leaf_size.cpp.o"
+  "CMakeFiles/ablation_leaf_size.dir/ablation_leaf_size.cpp.o.d"
+  "ablation_leaf_size"
+  "ablation_leaf_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_leaf_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spectral.dir/ablation_spectral.cpp.o"
+  "CMakeFiles/ablation_spectral.dir/ablation_spectral.cpp.o.d"
+  "ablation_spectral"
+  "ablation_spectral.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spectral.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_scaling.dir/fft_scaling.cpp.o"
+  "CMakeFiles/fft_scaling.dir/fft_scaling.cpp.o.d"
+  "fft_scaling"
+  "fft_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/force_kernel.dir/force_kernel.cpp.o"
+  "CMakeFiles/force_kernel.dir/force_kernel.cpp.o.d"
+  "force_kernel"
+  "force_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/force_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

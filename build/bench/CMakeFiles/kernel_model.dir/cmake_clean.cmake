@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_model.dir/kernel_model.cpp.o"
+  "CMakeFiles/kernel_model.dir/kernel_model.cpp.o.d"
+  "kernel_model"
+  "kernel_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

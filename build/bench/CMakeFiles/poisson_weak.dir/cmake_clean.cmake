@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poisson_weak.dir/poisson_weak.cpp.o"
+  "CMakeFiles/poisson_weak.dir/poisson_weak.cpp.o.d"
+  "poisson_weak"
+  "poisson_weak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poisson_weak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

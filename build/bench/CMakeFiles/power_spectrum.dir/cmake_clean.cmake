@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_spectrum.dir/power_spectrum.cpp.o"
+  "CMakeFiles/power_spectrum.dir/power_spectrum.cpp.o.d"
+  "power_spectrum"
+  "power_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

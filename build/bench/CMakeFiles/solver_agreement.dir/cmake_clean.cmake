@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_agreement.dir/solver_agreement.cpp.o"
+  "CMakeFiles/solver_agreement.dir/solver_agreement.cpp.o.d"
+  "solver_agreement"
+  "solver_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

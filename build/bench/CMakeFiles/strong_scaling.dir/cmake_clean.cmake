@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strong_scaling.dir/strong_scaling.cpp.o"
+  "CMakeFiles/strong_scaling.dir/strong_scaling.cpp.o.d"
+  "strong_scaling"
+  "strong_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strong_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

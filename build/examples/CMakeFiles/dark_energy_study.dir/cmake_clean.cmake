@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dark_energy_study.dir/dark_energy_study.cpp.o"
+  "CMakeFiles/dark_energy_study.dir/dark_energy_study.cpp.o.d"
+  "dark_energy_study"
+  "dark_energy_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dark_energy_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

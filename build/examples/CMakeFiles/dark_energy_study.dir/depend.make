@@ -1,0 +1,2 @@
+# Empty dependencies file for dark_energy_study.
+# This may be replaced when dependencies are built.

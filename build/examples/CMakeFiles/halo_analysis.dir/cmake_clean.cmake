@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/halo_analysis.dir/halo_analysis.cpp.o"
+  "CMakeFiles/halo_analysis.dir/halo_analysis.cpp.o.d"
+  "halo_analysis"
+  "halo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/halo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

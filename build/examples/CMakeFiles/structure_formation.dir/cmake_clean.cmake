@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_formation.dir/structure_formation.cpp.o"
+  "CMakeFiles/structure_formation.dir/structure_formation.cpp.o.d"
+  "structure_formation"
+  "structure_formation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_formation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_comm.dir/cart.cpp.o"
+  "CMakeFiles/hacc_comm.dir/cart.cpp.o.d"
+  "CMakeFiles/hacc_comm.dir/comm.cpp.o"
+  "CMakeFiles/hacc_comm.dir/comm.cpp.o.d"
+  "libhacc_comm.a"
+  "libhacc_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

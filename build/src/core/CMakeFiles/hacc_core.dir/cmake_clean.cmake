@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_core.dir/domain.cpp.o"
+  "CMakeFiles/hacc_core.dir/domain.cpp.o.d"
+  "CMakeFiles/hacc_core.dir/simulation.cpp.o"
+  "CMakeFiles/hacc_core.dir/simulation.cpp.o.d"
+  "libhacc_core.a"
+  "libhacc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

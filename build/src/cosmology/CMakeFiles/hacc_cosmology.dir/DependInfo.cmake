@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cosmology/analysis.cpp" "src/cosmology/CMakeFiles/hacc_cosmology.dir/analysis.cpp.o" "gcc" "src/cosmology/CMakeFiles/hacc_cosmology.dir/analysis.cpp.o.d"
+  "/root/repo/src/cosmology/background.cpp" "src/cosmology/CMakeFiles/hacc_cosmology.dir/background.cpp.o" "gcc" "src/cosmology/CMakeFiles/hacc_cosmology.dir/background.cpp.o.d"
+  "/root/repo/src/cosmology/halo_finder.cpp" "src/cosmology/CMakeFiles/hacc_cosmology.dir/halo_finder.cpp.o" "gcc" "src/cosmology/CMakeFiles/hacc_cosmology.dir/halo_finder.cpp.o.d"
+  "/root/repo/src/cosmology/initial_conditions.cpp" "src/cosmology/CMakeFiles/hacc_cosmology.dir/initial_conditions.cpp.o" "gcc" "src/cosmology/CMakeFiles/hacc_cosmology.dir/initial_conditions.cpp.o.d"
+  "/root/repo/src/cosmology/power_spectrum.cpp" "src/cosmology/CMakeFiles/hacc_cosmology.dir/power_spectrum.cpp.o" "gcc" "src/cosmology/CMakeFiles/hacc_cosmology.dir/power_spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hacc_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hacc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/tree/CMakeFiles/hacc_tree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_cosmology.dir/analysis.cpp.o"
+  "CMakeFiles/hacc_cosmology.dir/analysis.cpp.o.d"
+  "CMakeFiles/hacc_cosmology.dir/background.cpp.o"
+  "CMakeFiles/hacc_cosmology.dir/background.cpp.o.d"
+  "CMakeFiles/hacc_cosmology.dir/halo_finder.cpp.o"
+  "CMakeFiles/hacc_cosmology.dir/halo_finder.cpp.o.d"
+  "CMakeFiles/hacc_cosmology.dir/initial_conditions.cpp.o"
+  "CMakeFiles/hacc_cosmology.dir/initial_conditions.cpp.o.d"
+  "CMakeFiles/hacc_cosmology.dir/power_spectrum.cpp.o"
+  "CMakeFiles/hacc_cosmology.dir/power_spectrum.cpp.o.d"
+  "libhacc_cosmology.a"
+  "libhacc_cosmology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_cosmology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hacc_cosmology.
+# This may be replaced when dependencies are built.

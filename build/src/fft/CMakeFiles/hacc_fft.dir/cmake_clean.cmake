@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_fft.dir/fft1d.cpp.o"
+  "CMakeFiles/hacc_fft.dir/fft1d.cpp.o.d"
+  "CMakeFiles/hacc_fft.dir/fft3d_local.cpp.o"
+  "CMakeFiles/hacc_fft.dir/fft3d_local.cpp.o.d"
+  "CMakeFiles/hacc_fft.dir/pencil.cpp.o"
+  "CMakeFiles/hacc_fft.dir/pencil.cpp.o.d"
+  "CMakeFiles/hacc_fft.dir/slab.cpp.o"
+  "CMakeFiles/hacc_fft.dir/slab.cpp.o.d"
+  "libhacc_fft.a"
+  "libhacc_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhacc_fft.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_io.dir/image.cpp.o"
+  "CMakeFiles/hacc_io.dir/image.cpp.o.d"
+  "CMakeFiles/hacc_io.dir/snapshot.cpp.o"
+  "CMakeFiles/hacc_io.dir/snapshot.cpp.o.d"
+  "libhacc_io.a"
+  "libhacc_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mesh/cic.cpp" "src/mesh/CMakeFiles/hacc_mesh.dir/cic.cpp.o" "gcc" "src/mesh/CMakeFiles/hacc_mesh.dir/cic.cpp.o.d"
+  "/root/repo/src/mesh/grid.cpp" "src/mesh/CMakeFiles/hacc_mesh.dir/grid.cpp.o" "gcc" "src/mesh/CMakeFiles/hacc_mesh.dir/grid.cpp.o.d"
+  "/root/repo/src/mesh/kernels.cpp" "src/mesh/CMakeFiles/hacc_mesh.dir/kernels.cpp.o" "gcc" "src/mesh/CMakeFiles/hacc_mesh.dir/kernels.cpp.o.d"
+  "/root/repo/src/mesh/poisson.cpp" "src/mesh/CMakeFiles/hacc_mesh.dir/poisson.cpp.o" "gcc" "src/mesh/CMakeFiles/hacc_mesh.dir/poisson.cpp.o.d"
+  "/root/repo/src/mesh/remap.cpp" "src/mesh/CMakeFiles/hacc_mesh.dir/remap.cpp.o" "gcc" "src/mesh/CMakeFiles/hacc_mesh.dir/remap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hacc_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

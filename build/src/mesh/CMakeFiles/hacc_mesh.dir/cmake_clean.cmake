@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_mesh.dir/cic.cpp.o"
+  "CMakeFiles/hacc_mesh.dir/cic.cpp.o.d"
+  "CMakeFiles/hacc_mesh.dir/grid.cpp.o"
+  "CMakeFiles/hacc_mesh.dir/grid.cpp.o.d"
+  "CMakeFiles/hacc_mesh.dir/kernels.cpp.o"
+  "CMakeFiles/hacc_mesh.dir/kernels.cpp.o.d"
+  "CMakeFiles/hacc_mesh.dir/poisson.cpp.o"
+  "CMakeFiles/hacc_mesh.dir/poisson.cpp.o.d"
+  "CMakeFiles/hacc_mesh.dir/remap.cpp.o"
+  "CMakeFiles/hacc_mesh.dir/remap.cpp.o.d"
+  "libhacc_mesh.a"
+  "libhacc_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_p3m.dir/chaining_mesh.cpp.o"
+  "CMakeFiles/hacc_p3m.dir/chaining_mesh.cpp.o.d"
+  "libhacc_p3m.a"
+  "libhacc_p3m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_p3m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_perfmodel.dir/kernel_model.cpp.o"
+  "CMakeFiles/hacc_perfmodel.dir/kernel_model.cpp.o.d"
+  "CMakeFiles/hacc_perfmodel.dir/scaling_model.cpp.o"
+  "CMakeFiles/hacc_perfmodel.dir/scaling_model.cpp.o.d"
+  "libhacc_perfmodel.a"
+  "libhacc_perfmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_perfmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tree/direct.cpp" "src/tree/CMakeFiles/hacc_tree.dir/direct.cpp.o" "gcc" "src/tree/CMakeFiles/hacc_tree.dir/direct.cpp.o.d"
+  "/root/repo/src/tree/force_kernel.cpp" "src/tree/CMakeFiles/hacc_tree.dir/force_kernel.cpp.o" "gcc" "src/tree/CMakeFiles/hacc_tree.dir/force_kernel.cpp.o.d"
+  "/root/repo/src/tree/force_matcher.cpp" "src/tree/CMakeFiles/hacc_tree.dir/force_matcher.cpp.o" "gcc" "src/tree/CMakeFiles/hacc_tree.dir/force_matcher.cpp.o.d"
+  "/root/repo/src/tree/multi_tree.cpp" "src/tree/CMakeFiles/hacc_tree.dir/multi_tree.cpp.o" "gcc" "src/tree/CMakeFiles/hacc_tree.dir/multi_tree.cpp.o.d"
+  "/root/repo/src/tree/rcb_tree.cpp" "src/tree/CMakeFiles/hacc_tree.dir/rcb_tree.cpp.o" "gcc" "src/tree/CMakeFiles/hacc_tree.dir/rcb_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/hacc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/hacc_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/mesh/CMakeFiles/hacc_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/hacc_fft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

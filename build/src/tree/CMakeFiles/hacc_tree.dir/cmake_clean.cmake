@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_tree.dir/direct.cpp.o"
+  "CMakeFiles/hacc_tree.dir/direct.cpp.o.d"
+  "CMakeFiles/hacc_tree.dir/force_kernel.cpp.o"
+  "CMakeFiles/hacc_tree.dir/force_kernel.cpp.o.d"
+  "CMakeFiles/hacc_tree.dir/force_matcher.cpp.o"
+  "CMakeFiles/hacc_tree.dir/force_matcher.cpp.o.d"
+  "CMakeFiles/hacc_tree.dir/multi_tree.cpp.o"
+  "CMakeFiles/hacc_tree.dir/multi_tree.cpp.o.d"
+  "CMakeFiles/hacc_tree.dir/rcb_tree.cpp.o"
+  "CMakeFiles/hacc_tree.dir/rcb_tree.cpp.o.d"
+  "libhacc_tree.a"
+  "libhacc_tree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

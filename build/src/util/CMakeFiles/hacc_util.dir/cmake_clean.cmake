@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hacc_util.dir/rng.cpp.o"
+  "CMakeFiles/hacc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hacc_util.dir/stats.cpp.o"
+  "CMakeFiles/hacc_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hacc_util.dir/table.cpp.o"
+  "CMakeFiles/hacc_util.dir/table.cpp.o.d"
+  "CMakeFiles/hacc_util.dir/timer.cpp.o"
+  "CMakeFiles/hacc_util.dir/timer.cpp.o.d"
+  "libhacc_util.a"
+  "libhacc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hacc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosmology_test.dir/cosmology_test.cpp.o"
+  "CMakeFiles/cosmology_test.dir/cosmology_test.cpp.o.d"
+  "cosmology_test"
+  "cosmology_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosmology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_tree_test.dir/multi_tree_test.cpp.o"
+  "CMakeFiles/multi_tree_test.dir/multi_tree_test.cpp.o.d"
+  "multi_tree_test"
+  "multi_tree_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

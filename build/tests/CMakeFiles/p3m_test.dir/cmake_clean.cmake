@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3m_test.dir/p3m_test.cpp.o"
+  "CMakeFiles/p3m_test.dir/p3m_test.cpp.o.d"
+  "p3m_test"
+  "p3m_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3m_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_test "/root/repo/build/tests/util_test")
+set_tests_properties(util_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(comm_test "/root/repo/build/tests/comm_test")
+set_tests_properties(comm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(fft_test "/root/repo/build/tests/fft_test")
+set_tests_properties(fft_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mesh_test "/root/repo/build/tests/mesh_test")
+set_tests_properties(mesh_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(tree_test "/root/repo/build/tests/tree_test")
+set_tests_properties(tree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(p3m_test "/root/repo/build/tests/p3m_test")
+set_tests_properties(p3m_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cosmology_test "/root/repo/build/tests/cosmology_test")
+set_tests_properties(cosmology_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(io_test "/root/repo/build/tests/io_test")
+set_tests_properties(io_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(perfmodel_test "/root/repo/build/tests/perfmodel_test")
+set_tests_properties(perfmodel_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(multi_tree_test "/root/repo/build/tests/multi_tree_test")
+set_tests_properties(multi_tree_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(analysis_test "/root/repo/build/tests/analysis_test")
+set_tests_properties(analysis_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;hacc_add_test;/root/repo/tests/CMakeLists.txt;0;")
