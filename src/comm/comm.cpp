@@ -47,6 +47,17 @@ void Comm::send_bytes(int dest, int tag,
   mailbox_of(dest).deliver(std::move(msg));
 }
 
+void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& bytes) const {
+  HACC_CHECK(valid());
+  HACC_CHECK_MSG(dest >= 0 && dest < size(), "send: bad destination rank");
+  Message msg;
+  msg.context = context_;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload = std::move(bytes);
+  mailbox_of(dest).deliver(std::move(msg));
+}
+
 std::vector<std::byte> Comm::recv_bytes(int source, int tag) const {
   HACC_CHECK(valid());
   HACC_CHECK_MSG(source >= 0 && source < size(), "recv: bad source rank");
@@ -79,18 +90,29 @@ void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
   for (int dist = 1; dist < p; dist <<= 1) {
     if (vrank & dist) recv_dist = dist;
   }
+  std::vector<std::byte> owned;
   if (vrank != 0) {
     const int parent = ((vrank - recv_dist) + root) % p;
-    auto bytes = recv_bytes(parent, kTagBcast);
-    HACC_CHECK(bytes.size() == data.size());
-    std::copy(bytes.begin(), bytes.end(), data.begin());
+    owned = recv_bytes(parent, kTagBcast);
+    HACC_CHECK(owned.size() == data.size());
+    std::copy(owned.begin(), owned.end(), data.begin());
   }
-  // Forward to children: distances above our own parent distance.
+  // Forward to children: distances above our own parent distance. The last
+  // forward of a non-root rank moves the received payload instead of
+  // copying it (rvalue send_bytes overload).
+  int last_child = -1;
+  for (int dist = (recv_dist == 0 ? 1 : recv_dist << 1); dist < p;
+       dist <<= 1) {
+    if (vrank + dist < p) last_child = ((vrank + dist) + root) % p;
+  }
   for (int dist = (recv_dist == 0 ? 1 : recv_dist << 1); dist < p;
        dist <<= 1) {
     if (vrank + dist < p) {
       const int child = ((vrank + dist) + root) % p;
-      send_bytes(child, kTagBcast, data);
+      if (child == last_child && !owned.empty())
+        send_bytes(child, kTagBcast, std::move(owned));
+      else
+        send_bytes(child, kTagBcast, data);
     }
   }
 }

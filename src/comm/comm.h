@@ -47,6 +47,10 @@ class Comm {
   /// Buffered send of raw bytes to `dest` (rank in this communicator).
   void send_bytes(int dest, int tag, std::span<const std::byte> bytes) const;
 
+  /// Buffered send that *moves* the payload into the destination mailbox —
+  /// no intermediate copy when the caller already owns the buffer.
+  void send_bytes(int dest, int tag, std::vector<std::byte>&& bytes) const;
+
   /// Blocking receive from `source`; returns the payload.
   std::vector<std::byte> recv_bytes(int source, int tag) const;
 
@@ -161,6 +165,18 @@ class Comm {
   std::vector<T> alltoallv(std::span<const T> send,
                            std::span<const std::size_t> send_counts,
                            std::vector<std::size_t>& recv_counts) const;
+
+  /// alltoallv into caller-owned storage: `recv_buf` is resized (never
+  /// shrunk below its capacity) and filled with the concatenated
+  /// contributions from ranks 0..P-1. Reusing the same `recv_buf` across
+  /// calls makes the exchange allocation-free on the caller side once its
+  /// capacity has grown to steady state. The self-addressed block is copied
+  /// directly, bypassing the mailbox.
+  template <typename T>
+  void alltoallv_into(std::span<const T> send,
+                      std::span<const std::size_t> send_counts,
+                      std::vector<T>& recv_buf,
+                      std::vector<std::size_t>& recv_counts) const;
 
   /// Split into sub-communicators by color (ranks with the same color end up
   /// in the same new communicator, ordered by key then by old rank).
@@ -296,34 +312,65 @@ template <typename T>
 std::vector<T> Comm::alltoallv(std::span<const T> send_buf,
                                std::span<const std::size_t> send_counts,
                                std::vector<std::size_t>& recv_counts) const {
+  std::vector<T> out;
+  alltoallv_into(send_buf, send_counts, out, recv_counts);
+  return out;
+}
+
+template <typename T>
+void Comm::alltoallv_into(std::span<const T> send_buf,
+                          std::span<const std::size_t> send_counts,
+                          std::vector<T>& recv_buf,
+                          std::vector<std::size_t>& recv_counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
   const int p = size();
   HACC_CHECK(send_counts.size() == static_cast<std::size_t>(p));
-  std::vector<std::size_t> offsets(p + 1, 0);
-  for (int r = 0; r < p; ++r) offsets[r + 1] = offsets[r] + send_counts[r];
-  HACC_CHECK(offsets[p] == send_buf.size());
 
-  // Exchange counts first (pairwise), then payloads; shifted-ring schedule
-  // spreads traffic and avoids hotspots (cf. pencil-FFT transposes).
-  recv_counts.assign(p, 0);
-  std::vector<std::vector<T>> received(p);
+  // Exchange counts first (pairwise, same shifted-ring schedule as the
+  // payloads — the per-source FIFO rule keeps each count ahead of its
+  // payload), then size the receive buffer once and place every incoming
+  // payload directly at its final offset. No per-peer staging vectors, no
+  // concatenation pass. Offsets are recomputed by O(P) partial sums instead
+  // of a scratch prefix array so the steady state stays allocation-free.
+  recv_counts.resize(static_cast<std::size_t>(p));
+  recv_counts[static_cast<std::size_t>(rank_)] =
+      send_counts[static_cast<std::size_t>(rank_)];
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    send_value(dst, detail::kTagAlltoall,
+               send_counts[static_cast<std::size_t>(dst)]);
+    recv_counts[static_cast<std::size_t>(src)] =
+        recv_value<std::size_t>(src, detail::kTagAlltoall);
+  }
+  std::size_t send_total = 0, recv_total = 0;
+  for (int r = 0; r < p; ++r) {
+    send_total += send_counts[static_cast<std::size_t>(r)];
+    recv_total += recv_counts[static_cast<std::size_t>(r)];
+  }
+  HACC_CHECK(send_total == send_buf.size());
+  recv_buf.resize(recv_total);
+
   for (int s = 0; s < p; ++s) {
     const int dst = (rank_ + s) % p;
     const int src = (rank_ - s + p) % p;
-    send_value(dst, detail::kTagAlltoall, send_counts[dst]);
-    recv_counts[src] = recv_value<std::size_t>(src, detail::kTagAlltoall);
-    send(dst, detail::kTagAlltoall,
-         send_buf.subspan(offsets[dst], send_counts[dst]));
-    received[src].resize(recv_counts[src]);
-    recv(src, detail::kTagAlltoall, std::span<T>(received[src]));
+    std::size_t soff = 0;
+    for (int r = 0; r < dst; ++r) soff += send_counts[static_cast<std::size_t>(r)];
+    std::size_t roff = 0;
+    for (int r = 0; r < src; ++r) roff += recv_counts[static_cast<std::size_t>(r)];
+    const std::size_t scount = send_counts[static_cast<std::size_t>(dst)];
+    const std::size_t rcount = recv_counts[static_cast<std::size_t>(src)];
+    if (s == 0) {
+      // Self-addressed block: straight memcpy, no mailbox round-trip.
+      if (scount > 0)
+        std::memcpy(recv_buf.data() + roff, send_buf.data() + soff,
+                    scount * sizeof(T));
+    } else {
+      send(dst, detail::kTagAlltoall, send_buf.subspan(soff, scount));
+      recv(src, detail::kTagAlltoall,
+           std::span<T>(recv_buf.data() + roff, rcount));
+    }
   }
-  std::size_t total = 0;
-  for (int r = 0; r < p; ++r) total += recv_counts[r];
-  std::vector<T> out;
-  out.reserve(total);
-  for (int r = 0; r < p; ++r)
-    out.insert(out.end(), received[r].begin(), received[r].end());
-  return out;
 }
 
 }  // namespace hacc::comm

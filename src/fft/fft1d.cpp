@@ -43,6 +43,10 @@ struct Fft1D::Impl {
   // Prime factorization of n, smallest first (mixed-radix path).
   std::vector<std::size_t> factors;
 
+  // Half-length complex plan for the two-for-one real transform (even n
+  // only): an n-point r2c runs as one n/2-point c2c plus an O(n) untangle.
+  std::unique_ptr<Fft1D> half;
+
   // Bluestein state (only when !smooth): convolution length m (power of 2),
   // chirp[j] = exp(-i pi j^2 / n), and the forward FFT of the padded
   // conjugate chirp.
@@ -167,6 +171,7 @@ Fft1D::Fft1D(std::size_t n) : n_(n), smooth_(is_smooth(n)) {
   } else {
     impl_->build_bluestein();
   }
+  if (n % 2 == 0 && n >= 2) impl_->half = std::make_unique<Fft1D>(n / 2);
 }
 
 Fft1D::~Fft1D() = default;
@@ -201,6 +206,80 @@ void Fft1D::transform_strided(Complex* data, std::size_t stride,
   for (std::size_t j = 0; j < n_; ++j) line[j] = data[j * stride];
   transform(line.data(), dir);
   for (std::size_t j = 0; j < n_; ++j) data[j * stride] = line[j];
+}
+
+void Fft1D::forward_r2c(const double* in, Complex* out) const {
+  if (n_ == 1) {
+    out[0] = Complex(in[0], 0.0);
+    return;
+  }
+  if (impl_->half == nullptr) {
+    // Odd length: full complex transform, keep the low half-spectrum.
+    thread_local std::vector<Complex> full;
+    full.resize(n_);
+    for (std::size_t j = 0; j < n_; ++j) full[j] = Complex(in[j], 0.0);
+    transform(full.data(), Direction::kForward);
+    std::copy(full.begin(),
+              full.begin() + static_cast<std::ptrdiff_t>(half_size()),
+              out);
+    return;
+  }
+  // Two-for-one: pack adjacent reals into one complex line of length h,
+  // transform, then untangle the even/odd sub-spectra:
+  //   X[k] = Ze[k] + W_n^k Zo[k],  k = 0..h  (indices into Z mod h), with
+  //   Ze[k] = (Z[k] + conj(Z[h-k]))/2,  Zo[k] = (Z[k] - conj(Z[h-k]))/(2i).
+  const std::size_t h = n_ / 2;
+  thread_local std::vector<Complex> z;
+  z.resize(h);
+  for (std::size_t j = 0; j < h; ++j)
+    z[j] = Complex(in[2 * j], in[2 * j + 1]);
+  impl_->half->transform(z.data(), Direction::kForward);
+  for (std::size_t k = 0; k <= h; ++k) {
+    const Complex zk = z[k % h];
+    const Complex zm = std::conj(z[(h - k) % h]);
+    const Complex even = 0.5 * (zk + zm);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zm);
+    out[k] = even + impl_->twiddle[k] * odd;
+  }
+}
+
+void Fft1D::inverse_c2r(const Complex* in, double* out) const {
+  if (n_ == 1) {
+    out[0] = in[0].real();
+    return;
+  }
+  if (impl_->half == nullptr) {
+    // Odd length: rebuild the Hermitian full spectrum and transform.
+    thread_local std::vector<Complex> full;
+    full.resize(n_);
+    const std::size_t hs = half_size();
+    for (std::size_t k = 0; k < hs; ++k) full[k] = in[k];
+    for (std::size_t k = hs; k < n_; ++k) full[k] = std::conj(in[n_ - k]);
+    inverse_scaled(full.data());
+    for (std::size_t j = 0; j < n_; ++j) out[j] = full[j].real();
+    return;
+  }
+  // Inverse of the two-for-one untangle:
+  //   Z[k] = Ze[k] + i Zo[k], with
+  //   Ze[k] = (X[k] + conj(X[h-k]))/2,
+  //   Zo[k] = (X[k] - conj(X[h-k]))/2 * conj(W_n^k),
+  // then one scaled inverse half-length transform; the packed line holds
+  // the even samples in its real parts and the odd ones in its imaginaries.
+  const std::size_t h = n_ / 2;
+  thread_local std::vector<Complex> z;
+  z.resize(h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex xk = in[k];
+    const Complex xm = std::conj(in[h - k]);
+    const Complex even = 0.5 * (xk + xm);
+    const Complex odd = 0.5 * (xk - xm) * std::conj(impl_->twiddle[k]);
+    z[k] = even + Complex(0.0, 1.0) * odd;
+  }
+  impl_->half->inverse_scaled(z.data());
+  for (std::size_t j = 0; j < h; ++j) {
+    out[2 * j] = z[j].real();
+    out[2 * j + 1] = z[j].imag();
+  }
 }
 
 void Fft1D::inverse_scaled(Complex* data) const {

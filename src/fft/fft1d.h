@@ -54,6 +54,25 @@ class Fft1D {
   /// Inverse transform including the 1/n normalization.
   void inverse_scaled(Complex* data) const;
 
+  /// Number of independent complex modes of an n-point real transform:
+  /// n/2 + 1 (the Hermitian half-spectrum along this axis).
+  std::size_t half_size() const noexcept { return n_ / 2 + 1; }
+
+  /// Real-to-complex forward transform: `in` holds n reals, `out` receives
+  /// the half_size() low-frequency modes of the unscaled forward DFT (the
+  /// remaining modes follow from X[n-k] = conj(X[k])). For even n this runs
+  /// one complex transform of length n/2 (the classic two-for-one real
+  /// trick), roughly halving the flops; odd lengths fall back to a full
+  /// complex transform. `in` and `out` must not alias. Safe to call
+  /// concurrently on one shared plan (thread-local scratch).
+  void forward_r2c(const double* in, Complex* out) const;
+
+  /// Complex-to-real inverse of forward_r2c, including the 1/n
+  /// normalization: half_size() modes in, n reals out. The input is assumed
+  /// Hermitian (imaginary parts of the k=0 and, for even n, k=n/2 modes are
+  /// ignored). `in` and `out` must not alias.
+  void inverse_c2r(const Complex* in, double* out) const;
+
   /// True if n factors entirely into primes <= 31 (mixed-radix path);
   /// false means the Bluestein path is used.
   bool smooth() const noexcept { return smooth_; }

@@ -1,16 +1,28 @@
 #include "fft/pencil.h"
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 #include "comm/cart.h"
+#include "util/timer.h"
 
 namespace hacc::fft {
+
+namespace {
+
+/// Minimum elements moved per pack/unpack loop before OpenMP threading is
+/// worth the fork overhead.
+constexpr std::size_t kThreadElems = 32768;
+
+}  // namespace
 
 PencilFft3D::PencilFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
                          std::size_t nz, int p1, int p2)
     : nx_(nx),
       ny_(ny),
       nz_(nz),
+      nzh_(nz / 2 + 1),
       p1_(p1),
       p2_(p2),
       q1_(world.rank() / p2),
@@ -38,6 +50,25 @@ PencilFft3D::PencilFft3D(comm::Comm& world, std::size_t nx, std::size_t ny,
                    block_range(nz, p2, q2_)};
   spectral_box_ = Box3D{Range{0, nx}, block_range(ny, p1, q1_),
                         block_range(nz, p2, q2_)};
+  mid_box_h_ = Box3D{block_range(nx, p1, q1_), Range{0, ny},
+                     block_range(nzh_, p2, q2_)};
+  spectral_box_h_ = Box3D{Range{0, nx}, block_range(ny, p1, q1_),
+                          block_range(nzh_, p2, q2_)};
+
+  // Size the persistent workspace to the largest layout this plan can pass
+  // through, so no steady-state call ever grows a buffer.
+  max_vol_ = std::max({real_box_.volume(), mid_box_.volume(),
+                       spectral_box_.volume(),
+                       real_box_.x.extent() * real_box_.y.extent() * nzh_,
+                       mid_box_h_.volume(), spectral_box_h_.volume()});
+  send_.reserve(max_vol_);
+  recv_.reserve(max_vol_);
+  const auto pmax = static_cast<std::size_t>(std::max(p1_, p2_));
+  counts_.reserve(pmax);
+  rcounts_.reserve(pmax);
+  peer_lo_.reserve(pmax);
+  peer_ext_.reserve(pmax);
+  peer_base_.reserve(pmax);
 }
 
 PencilFft3D PencilFft3D::balanced(comm::Comm& world, std::size_t nx,
@@ -46,206 +77,327 @@ PencilFft3D PencilFft3D::balanced(comm::Comm& world, std::size_t nx,
   return PencilFft3D(world, nx, ny, nz, dims[0], dims[1]);
 }
 
-// T1: (nxl, nyl, Nz) -> (nxl, Ny, nzl). Row subcomm (size p2). Every peer d
-// receives our z-slab block_range(nz, p2, d); we receive each peer's local
-// y range.
-void PencilFft3D::transpose_z_to_y(std::vector<Complex>& data) const {
+// T1: (nxl, nyl, NZ) -> (nxl, Ny, nzl). Row subcomm (size p2). Every peer d
+// receives our z-slab block_range(nzf, p2, d); we receive each peer's local
+// y range. Pack runs are the per-(x,y) z-slab segments; unpack runs are
+// whole z-lines of the y-pencil.
+void PencilFft3D::transpose_z_to_y(std::vector<Complex>& data,
+                                   std::size_t nzf) {
+  Timer t;
   const std::size_t nxl = real_box_.x.extent();
   const std::size_t nyl = real_box_.y.extent();
-  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nzl = local_z(nzf);
+  const std::size_t rows = nxl * nyl;
+  const auto p = static_cast<std::size_t>(p2_);
 
-  std::vector<Complex> send;
-  send.reserve(data.size());
-  std::vector<std::size_t> counts(static_cast<std::size_t>(p2_));
-  for (int d = 0; d < p2_; ++d) {
-    const Range zr = block_range(nz_, p2_, d);
-    counts[static_cast<std::size_t>(d)] = nxl * nyl * zr.extent();
-    for (std::size_t x = 0; x < nxl; ++x)
-      for (std::size_t y = 0; y < nyl; ++y) {
-        const Complex* line = &data[(x * nyl + y) * nz_];
-        send.insert(send.end(), line + zr.lo, line + zr.hi);
-      }
+  counts_.resize(p);
+  peer_lo_.resize(p);
+  peer_ext_.resize(p);
+  peer_base_.resize(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range zr = block_range(nzf, p2_, static_cast<int>(d));
+    peer_lo_[d] = zr.lo;
+    peer_ext_[d] = zr.extent();
+    peer_base_[d] = rows * zr.lo;
+    counts_[d] = rows * zr.extent();
   }
-  std::vector<std::size_t> rcounts;
-  auto recv = row_comm_.alltoallv(std::span<const Complex>(send),
-                                  std::span<const std::size_t>(counts),
-                                  rcounts);
-  // Unpack: from peer s we get its y-block [ys, ye) x our z-block, ordered
-  // (x, y, z).
-  data.assign(nxl * ny_ * nzl, Complex(0, 0));
-  std::size_t off = 0;
-  for (int s = 0; s < p2_; ++s) {
-    const Range yr = block_range(ny_, p2_, s);
-    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
-               nxl * yr.extent() * nzl);
-    for (std::size_t x = 0; x < nxl; ++x)
-      for (std::size_t y = yr.lo; y < yr.hi; ++y)
-        for (std::size_t z = 0; z < nzl; ++z)
-          data[(x * ny_ + y) * nzl + z] = recv[off++];
+  send_.resize(rows * nzf);
+#pragma omp parallel for schedule(static) if (rows * nzf >= kThreadElems)
+  for (std::size_t r = 0; r < rows; ++r) {
+    const Complex* line = data.data() + r * nzf;
+    for (std::size_t d = 0; d < p; ++d) {
+      if (peer_ext_[d] == 0) continue;
+      std::memcpy(send_.data() + peer_base_[d] + r * peer_ext_[d],
+                  line + peer_lo_[d], peer_ext_[d] * sizeof(Complex));
+    }
   }
+  stats_.bytes_moved += send_.size() * sizeof(Complex);
+  row_comm_.alltoallv_into(std::span<const Complex>(send_),
+                           std::span<const std::size_t>(counts_), recv_,
+                           rcounts_);
+
+  // Unpack: from peer s we get its y-block x our z-block, ordered (x, y, z).
+  data.resize(nxl * ny_ * nzl);
+  for (std::size_t s = 0; s < p; ++s) {
+    const Range yr = block_range(ny_, p2_, static_cast<int>(s));
+    const std::size_t yext = yr.extent();
+    HACC_CHECK(rcounts_[s] == nxl * yext * nzl);
+    if (nzl == 0 || yext == 0) continue;
+    const std::size_t roff = nxl * yr.lo * nzl;
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (nxl * yext * nzl >= kThreadElems)
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t yi = 0; yi < yext; ++yi)
+        std::memcpy(data.data() + (x * ny_ + yr.lo + yi) * nzl,
+                    recv_.data() + roff + (x * yext + yi) * nzl,
+                    nzl * sizeof(Complex));
+  }
+  stats_.transpose_seconds += t.elapsed();
 }
 
-// Inverse of T1: (nxl, Ny, nzl) -> (nxl, nyl, Nz).
-void PencilFft3D::transpose_y_to_z(std::vector<Complex>& data) const {
+// Inverse of T1: (nxl, Ny, nzl) -> (nxl, nyl, NZ). Pack runs are the
+// contiguous per-(x, peer) y-slabs; unpack runs the per-(x,y) z segments.
+void PencilFft3D::transpose_y_to_z(std::vector<Complex>& data,
+                                   std::size_t nzf) {
+  Timer t;
   const std::size_t nxl = real_box_.x.extent();
   const std::size_t nyl = real_box_.y.extent();
-  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nzl = local_z(nzf);
+  const auto p = static_cast<std::size_t>(p2_);
 
-  std::vector<Complex> send;
-  send.reserve(data.size());
-  std::vector<std::size_t> counts(static_cast<std::size_t>(p2_));
-  for (int d = 0; d < p2_; ++d) {
-    const Range yr = block_range(ny_, p2_, d);
-    counts[static_cast<std::size_t>(d)] = nxl * yr.extent() * nzl;
-    for (std::size_t x = 0; x < nxl; ++x)
-      for (std::size_t y = yr.lo; y < yr.hi; ++y) {
-        const Complex* line = &data[(x * ny_ + y) * nzl];
-        send.insert(send.end(), line, line + nzl);
-      }
+  counts_.resize(p);
+  peer_lo_.resize(p);
+  peer_ext_.resize(p);
+  peer_base_.resize(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range yr = block_range(ny_, p2_, static_cast<int>(d));
+    peer_lo_[d] = yr.lo;
+    peer_ext_[d] = yr.extent();
+    peer_base_[d] = nxl * yr.lo * nzl;
+    counts_[d] = nxl * yr.extent() * nzl;
   }
-  std::vector<std::size_t> rcounts;
-  auto recv = row_comm_.alltoallv(std::span<const Complex>(send),
-                                  std::span<const std::size_t>(counts),
-                                  rcounts);
-  data.assign(nxl * nyl * nz_, Complex(0, 0));
-  std::size_t off = 0;
-  for (int s = 0; s < p2_; ++s) {
-    const Range zr = block_range(nz_, p2_, s);
-    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
-               nxl * nyl * zr.extent());
+  send_.resize(nxl * ny_ * nzl);
+  if (nzl > 0) {
+#pragma omp parallel for schedule(static) \
+    if (nxl * ny_ * nzl >= kThreadElems)
+    for (std::size_t x = 0; x < nxl; ++x)
+      for (std::size_t d = 0; d < p; ++d)
+        std::memcpy(send_.data() + peer_base_[d] + x * peer_ext_[d] * nzl,
+                    data.data() + (x * ny_ + peer_lo_[d]) * nzl,
+                    peer_ext_[d] * nzl * sizeof(Complex));
+  }
+  stats_.bytes_moved += send_.size() * sizeof(Complex);
+  row_comm_.alltoallv_into(std::span<const Complex>(send_),
+                           std::span<const std::size_t>(counts_), recv_,
+                           rcounts_);
+
+  // Unpack: from peer s we get our (x, y) block of its z-slab.
+  data.resize(nxl * nyl * nzf);
+  for (std::size_t s = 0; s < p; ++s) {
+    const Range zr = block_range(nzf, p2_, static_cast<int>(s));
+    const std::size_t zext = zr.extent();
+    HACC_CHECK(rcounts_[s] == nxl * nyl * zext);
+    if (zext == 0) continue;
+    const std::size_t roff = nxl * nyl * zr.lo;
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (nxl * nyl * zext >= kThreadElems)
     for (std::size_t x = 0; x < nxl; ++x)
       for (std::size_t y = 0; y < nyl; ++y)
-        for (std::size_t z = zr.lo; z < zr.hi; ++z)
-          data[(x * nyl + y) * nz_ + z] = recv[off++];
+        std::memcpy(data.data() + (x * nyl + y) * nzf + zr.lo,
+                    recv_.data() + roff + (x * nyl + y) * zext,
+                    zext * sizeof(Complex));
   }
+  stats_.transpose_seconds += t.elapsed();
 }
 
 // T2: (nxl, Ny, nzl) -> (Nx, nyl2, nzl). Column subcomm (size p1). Peer d
-// receives our x-block x its spectral y-block.
-void PencilFft3D::transpose_y_to_x(std::vector<Complex>& data) const {
+// receives our x-block x its spectral y-block. The receive side needs no
+// unpack at all: peer blocks concatenate directly into the x-pencil layout,
+// so the exchange lands in `data` in final order.
+void PencilFft3D::transpose_y_to_x(std::vector<Complex>& data,
+                                   std::size_t nzf) {
+  Timer t;
   const std::size_t nxl = mid_box_.x.extent();
-  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nzl = local_z(nzf);
   const std::size_t nyl2 = spectral_box_.y.extent();
+  const auto p = static_cast<std::size_t>(p1_);
 
-  std::vector<Complex> send;
-  send.reserve(data.size());
-  std::vector<std::size_t> counts(static_cast<std::size_t>(p1_));
-  for (int d = 0; d < p1_; ++d) {
-    const Range yr = block_range(ny_, p1_, d);
-    counts[static_cast<std::size_t>(d)] = nxl * yr.extent() * nzl;
+  counts_.resize(p);
+  peer_lo_.resize(p);
+  peer_ext_.resize(p);
+  peer_base_.resize(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range yr = block_range(ny_, p1_, static_cast<int>(d));
+    peer_lo_[d] = yr.lo;
+    peer_ext_[d] = yr.extent();
+    peer_base_[d] = nxl * yr.lo * nzl;
+    counts_[d] = nxl * yr.extent() * nzl;
+  }
+  send_.resize(nxl * ny_ * nzl);
+  if (nzl > 0) {
+#pragma omp parallel for schedule(static) \
+    if (nxl * ny_ * nzl >= kThreadElems)
     for (std::size_t x = 0; x < nxl; ++x)
-      for (std::size_t y = yr.lo; y < yr.hi; ++y) {
-        const Complex* line = &data[(x * ny_ + y) * nzl];
-        send.insert(send.end(), line, line + nzl);
-      }
+      for (std::size_t d = 0; d < p; ++d)
+        std::memcpy(send_.data() + peer_base_[d] + x * peer_ext_[d] * nzl,
+                    data.data() + (x * ny_ + peer_lo_[d]) * nzl,
+                    peer_ext_[d] * nzl * sizeof(Complex));
   }
-  std::vector<std::size_t> rcounts;
-  auto recv = col_comm_.alltoallv(std::span<const Complex>(send),
-                                  std::span<const std::size_t>(counts),
-                                  rcounts);
-  data.assign(nx_ * nyl2 * nzl, Complex(0, 0));
-  std::size_t off = 0;
-  for (int s = 0; s < p1_; ++s) {
-    const Range xr = block_range(nx_, p1_, s);
-    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
-               xr.extent() * nyl2 * nzl);
-    for (std::size_t x = xr.lo; x < xr.hi; ++x)
-      for (std::size_t y = 0; y < nyl2; ++y)
-        for (std::size_t z = 0; z < nzl; ++z)
-          data[(x * nyl2 + y) * nzl + z] = recv[off++];
+  stats_.bytes_moved += send_.size() * sizeof(Complex);
+  col_comm_.alltoallv_into(std::span<const Complex>(send_),
+                           std::span<const std::size_t>(counts_), data,
+                           rcounts_);
+  for (std::size_t s = 0; s < p; ++s) {
+    const Range xr = block_range(nx_, p1_, static_cast<int>(s));
+    HACC_CHECK(rcounts_[s] == xr.extent() * nyl2 * nzl);
   }
+  stats_.transpose_seconds += t.elapsed();
 }
 
-// Inverse of T2: (Nx, nyl2, nzl) -> (nxl, Ny, nzl).
-void PencilFft3D::transpose_x_to_y(std::vector<Complex>& data) const {
+// Inverse of T2: (Nx, nyl2, nzl) -> (nxl, Ny, nzl). The send side needs no
+// pack: each peer's x-block is already one contiguous slice of the
+// x-pencil, so `data` itself is the send buffer.
+void PencilFft3D::transpose_x_to_y(std::vector<Complex>& data,
+                                   std::size_t nzf) {
+  Timer t;
   const std::size_t nxl = mid_box_.x.extent();
-  const std::size_t nzl = mid_box_.z.extent();
+  const std::size_t nzl = local_z(nzf);
   const std::size_t nyl2 = spectral_box_.y.extent();
+  const auto p = static_cast<std::size_t>(p1_);
 
-  std::vector<Complex> send;
-  send.reserve(data.size());
-  std::vector<std::size_t> counts(static_cast<std::size_t>(p1_));
-  for (int d = 0; d < p1_; ++d) {
-    const Range xr = block_range(nx_, p1_, d);
-    counts[static_cast<std::size_t>(d)] = xr.extent() * nyl2 * nzl;
-    for (std::size_t x = xr.lo; x < xr.hi; ++x)
-      for (std::size_t y = 0; y < nyl2; ++y) {
-        const Complex* line = &data[(x * nyl2 + y) * nzl];
-        send.insert(send.end(), line, line + nzl);
-      }
+  counts_.resize(p);
+  for (std::size_t d = 0; d < p; ++d) {
+    const Range xr = block_range(nx_, p1_, static_cast<int>(d));
+    counts_[d] = xr.extent() * nyl2 * nzl;
   }
-  std::vector<std::size_t> rcounts;
-  auto recv = col_comm_.alltoallv(std::span<const Complex>(send),
-                                  std::span<const std::size_t>(counts),
-                                  rcounts);
-  data.assign(nxl * ny_ * nzl, Complex(0, 0));
-  std::size_t off = 0;
-  for (int s = 0; s < p1_; ++s) {
-    const Range yr = block_range(ny_, p1_, s);
-    HACC_CHECK(rcounts[static_cast<std::size_t>(s)] ==
-               nxl * yr.extent() * nzl);
+  stats_.bytes_moved += data.size() * sizeof(Complex);
+  col_comm_.alltoallv_into(std::span<const Complex>(data),
+                           std::span<const std::size_t>(counts_), recv_,
+                           rcounts_);
+
+  // Unpack: from peer s we get our x-block of its y-slab, ordered (x, y, z);
+  // each (x, peer) chunk is one contiguous run.
+  data.resize(nxl * ny_ * nzl);
+  for (std::size_t s = 0; s < p; ++s) {
+    const Range yr = block_range(ny_, p1_, static_cast<int>(s));
+    const std::size_t yext = yr.extent();
+    HACC_CHECK(rcounts_[s] == nxl * yext * nzl);
+    if (nzl == 0 || yext == 0) continue;
+    const std::size_t roff = nxl * yr.lo * nzl;
+#pragma omp parallel for schedule(static) \
+    if (nxl * yext * nzl >= kThreadElems)
     for (std::size_t x = 0; x < nxl; ++x)
-      for (std::size_t y = yr.lo; y < yr.hi; ++y)
-        for (std::size_t z = 0; z < nzl; ++z)
-          data[(x * ny_ + y) * nzl + z] = recv[off++];
+      std::memcpy(data.data() + (x * ny_ + yr.lo) * nzl,
+                  recv_.data() + roff + x * yext * nzl,
+                  yext * nzl * sizeof(Complex));
   }
+  stats_.transpose_seconds += t.elapsed();
 }
 
-void PencilFft3D::fft_y(std::vector<Complex>& data, Direction dir) const {
+void PencilFft3D::fft_y(std::vector<Complex>& data, Direction dir,
+                        std::size_t nzl) {
   // y-pencil layout (nxl, Ny, nzl): y lines have stride nzl.
+  Timer t;
   const std::size_t nxl = mid_box_.x.extent();
-  const std::size_t nzl = mid_box_.z.extent();
-  std::vector<Complex> line(ny_);
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (nxl * nzl >= 64 && ny_ >= 32)
   for (std::size_t x = 0; x < nxl; ++x)
     for (std::size_t z = 0; z < nzl; ++z) {
-      Complex* base = &data[x * ny_ * nzl + z];
+      thread_local std::vector<Complex> line;
+      line.resize(ny_);
+      Complex* base = data.data() + x * ny_ * nzl + z;
       for (std::size_t y = 0; y < ny_; ++y) line[y] = base[y * nzl];
       fft_y_plan_.transform(line.data(), dir);
       for (std::size_t y = 0; y < ny_; ++y) base[y * nzl] = line[y];
     }
+  stats_.fft_seconds += t.elapsed();
 }
 
-void PencilFft3D::fft_x(std::vector<Complex>& data, Direction dir) const {
+void PencilFft3D::fft_x(std::vector<Complex>& data, Direction dir,
+                        std::size_t nzl) {
   // x-pencil layout (Nx, nyl2, nzl): x lines have stride nyl2*nzl.
+  Timer t;
   const std::size_t nyl2 = spectral_box_.y.extent();
-  const std::size_t nzl = spectral_box_.z.extent();
   const std::size_t stride = nyl2 * nzl;
-  std::vector<Complex> line(nx_);
+#pragma omp parallel for collapse(2) schedule(static) \
+    if (nyl2 * nzl >= 64 && nx_ >= 32)
   for (std::size_t y = 0; y < nyl2; ++y)
     for (std::size_t z = 0; z < nzl; ++z) {
-      Complex* base = &data[y * nzl + z];
+      thread_local std::vector<Complex> line;
+      line.resize(nx_);
+      Complex* base = data.data() + y * nzl + z;
       for (std::size_t x = 0; x < nx_; ++x) line[x] = base[x * stride];
       fft_x_plan_.transform(line.data(), dir);
       for (std::size_t x = 0; x < nx_; ++x) base[x * stride] = line[x];
     }
+  stats_.fft_seconds += t.elapsed();
 }
 
-void PencilFft3D::forward(std::vector<Complex>& data) const {
+void PencilFft3D::forward(std::vector<Complex>& data) {
   HACC_CHECK_MSG(data.size() == real_box_.volume(),
                  "pencil forward: input must be the local z-pencil");
-  fft_z_plan_.transform_batch(data.data(),
-                              real_box_.x.extent() * real_box_.y.extent(),
-                              Direction::kForward);
-  transpose_z_to_y(data);
-  fft_y(data, Direction::kForward);
-  transpose_y_to_x(data);
-  fft_x(data, Direction::kForward);
+  data.reserve(max_vol_);
+  {
+    Timer t;
+    fft_z_plan_.transform_batch(data.data(),
+                                real_box_.x.extent() * real_box_.y.extent(),
+                                Direction::kForward);
+    stats_.fft_seconds += t.elapsed();
+  }
+  transpose_z_to_y(data, nz_);
+  fft_y(data, Direction::kForward, local_z(nz_));
+  transpose_y_to_x(data, nz_);
+  fft_x(data, Direction::kForward, local_z(nz_));
+  ++stats_.transforms;
 }
 
-void PencilFft3D::inverse(std::vector<Complex>& data) const {
+void PencilFft3D::inverse(std::vector<Complex>& data) {
   HACC_CHECK_MSG(data.size() == spectral_box_.volume(),
                  "pencil inverse: input must be the local x-pencil");
-  fft_x(data, Direction::kInverse);
-  transpose_x_to_y(data);
-  fft_y(data, Direction::kInverse);
-  transpose_y_to_z(data);
-  fft_z_plan_.transform_batch(data.data(),
-                              real_box_.x.extent() * real_box_.y.extent(),
-                              Direction::kInverse);
-  const double scale =
-      1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_) *
-             static_cast<double>(nz_));
-  for (auto& v : data) v *= scale;
+  data.reserve(max_vol_);
+  fft_x(data, Direction::kInverse, local_z(nz_));
+  transpose_x_to_y(data, nz_);
+  fft_y(data, Direction::kInverse, local_z(nz_));
+  transpose_y_to_z(data, nz_);
+  {
+    Timer t;
+    fft_z_plan_.transform_batch(data.data(),
+                                real_box_.x.extent() * real_box_.y.extent(),
+                                Direction::kInverse);
+    const double scale =
+        1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_) *
+               static_cast<double>(nz_));
+    for (auto& v : data) v *= scale;
+    stats_.fft_seconds += t.elapsed();
+  }
+  ++stats_.transforms;
+}
+
+void PencilFft3D::forward_r2c(std::span<const double> in,
+                              std::vector<Complex>& out) {
+  HACC_CHECK_MSG(in.size() == real_box_.volume(),
+                 "pencil forward_r2c: input must be the local real z-pencil");
+  const std::size_t lines = real_box_.x.extent() * real_box_.y.extent();
+  out.reserve(max_vol_);
+  out.resize(lines * nzh_);
+  {
+    Timer t;
+#pragma omp parallel for schedule(static) if (lines >= 64 && nz_ >= 32)
+    for (std::size_t l = 0; l < lines; ++l)
+      fft_z_plan_.forward_r2c(in.data() + l * nz_, out.data() + l * nzh_);
+    stats_.fft_seconds += t.elapsed();
+  }
+  transpose_z_to_y(out, nzh_);
+  fft_y(out, Direction::kForward, local_z(nzh_));
+  transpose_y_to_x(out, nzh_);
+  fft_x(out, Direction::kForward, local_z(nzh_));
+  ++stats_.transforms;
+}
+
+void PencilFft3D::inverse_c2r(std::vector<Complex>& data,
+                              std::vector<double>& out) {
+  HACC_CHECK_MSG(data.size() == spectral_box_h_.volume(),
+                 "pencil inverse_c2r: input must be the half-spectrum "
+                 "x-pencil");
+  data.reserve(max_vol_);
+  fft_x(data, Direction::kInverse, local_z(nzh_));
+  transpose_x_to_y(data, nzh_);
+  fft_y(data, Direction::kInverse, local_z(nzh_));
+  transpose_y_to_z(data, nzh_);
+  const std::size_t lines = real_box_.x.extent() * real_box_.y.extent();
+  out.resize(lines * nz_);
+  {
+    Timer t;
+    // The z-line c2r includes the 1/Nz factor; fold in the rest here.
+#pragma omp parallel for schedule(static) if (lines >= 64 && nz_ >= 32)
+    for (std::size_t l = 0; l < lines; ++l)
+      fft_z_plan_.inverse_c2r(data.data() + l * nzh_, out.data() + l * nz_);
+    const double scale =
+        1.0 / (static_cast<double>(nx_) * static_cast<double>(ny_));
+    for (auto& v : out) v *= scale;
+    stats_.fft_seconds += t.elapsed();
+  }
+  ++stats_.transforms;
 }
 
 }  // namespace hacc::fft

@@ -7,14 +7,25 @@
 // steps, where each transposition involves only a subset of ranks (a row or
 // a column of the process grid).
 //
-// Layouts (row-major, x slowest / z fastest):
-//   real space   "z-pencil":  (Nx/p1, Ny/p2, Nz)  — x over p1, y over p2
-//   after T1     "y-pencil":  (Nx/p1, Ny, Nz/p2)
-//   spectral     "x-pencil":  (Nx, Ny/p1, Nz/p2)  — y over p1, z over p2
+// Layouts (row-major, x slowest / z fastest), with NZ = Nz for the complex
+// transform and NZ = Nz/2+1 for the real-to-complex half-spectrum:
+//   real space   "z-pencil":  (Nx/p1, Ny/p2, NZ)  — x over p1, y over p2
+//   after T1     "y-pencil":  (Nx/p1, Ny, NZ/p2)
+//   spectral     "x-pencil":  (Nx, Ny/p1, NZ/p2)  — y over p1, z over p2
 // Blocks are uneven when the process-grid dims do not divide the FFT dims.
+//
+// Data movement is allocation-free in steady state: every transpose packs
+// into a persistent send buffer with contiguous-run memcpys at precomputed
+// per-peer offsets, exchanges via Comm::alltoallv_into (persistent receive
+// buffer, self-block fast path), and unpacks with memcpys — no per-call
+// vectors, no zero-fill passes. Pack/unpack loops and the strided y/x line
+// transforms are OpenMP-threaded (Fft1D plans are safe to share across
+// threads).
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 #include "comm/comm.h"
 #include "fft/decomp.h"
@@ -37,6 +48,8 @@ class PencilFft3D {
   std::size_t nx() const noexcept { return nx_; }
   std::size_t ny() const noexcept { return ny_; }
   std::size_t nz() const noexcept { return nz_; }
+  /// Modes along z of the real transform's half-spectrum: Nz/2 + 1.
+  std::size_t nzh() const noexcept { return nzh_; }
   int p1() const noexcept { return p1_; }
   int p2() const noexcept { return p2_; }
   int grid_row() const noexcept { return q1_; }
@@ -46,31 +59,73 @@ class PencilFft3D {
   const Box3D& real_box() const noexcept { return real_box_; }
   /// The box of global spectral indices this rank owns (x-pencil).
   const Box3D& spectral_box() const noexcept { return spectral_box_; }
+  /// The box of half-spectrum indices this rank owns after forward_r2c:
+  /// x full, y blocked over p1, z blocked over [0, Nz/2+1).
+  const Box3D& spectral_box_r2c() const noexcept { return spectral_box_h_; }
 
   /// Forward transform: `data` holds the local z-pencil (real_box volume);
   /// on return it holds the local x-pencil (spectral_box volume) of the
   /// unscaled forward transform. The buffer is resized as needed.
-  void forward(std::vector<Complex>& data) const;
+  void forward(std::vector<Complex>& data);
 
   /// Inverse of `forward`, including the 1/(Nx*Ny*Nz) normalization:
   /// spectral x-pencil in, real z-pencil out.
-  void inverse(std::vector<Complex>& data) const;
+  void inverse(std::vector<Complex>& data);
+
+  /// Real-to-complex forward transform: `in` holds the local real z-pencil
+  /// (real_box volume); `out` receives the local x-pencil of the Hermitian
+  /// half-spectrum (spectral_box_r2c volume, unscaled). Versus forward()
+  /// this halves the z-transform flops, the y/x line counts, and the
+  /// transpose traffic.
+  void forward_r2c(std::span<const double> in, std::vector<Complex>& out);
+
+  /// Inverse of forward_r2c, including the 1/(Nx*Ny*Nz) normalization:
+  /// `data` holds the half-spectrum x-pencil (clobbered); `out` receives
+  /// the real z-pencil. The input is assumed Hermitian along z (true for
+  /// any field produced by forward_r2c times a Hermitian-preserving
+  /// multiplier).
+  void inverse_c2r(std::vector<Complex>& data, std::vector<double>& out);
+
+  /// Per-phase accounting accumulated across forward/inverse calls.
+  struct Stats {
+    double fft_seconds = 0;        ///< 1-D line transforms (z, y, x)
+    double transpose_seconds = 0;  ///< pack + exchange + unpack
+    std::size_t bytes_moved = 0;   ///< alltoallv payload bytes sent
+    std::size_t transforms = 0;    ///< forward/inverse calls completed
+  };
+  const Stats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = Stats{}; }
 
  private:
-  void transpose_z_to_y(std::vector<Complex>& data) const;
-  void transpose_y_to_z(std::vector<Complex>& data) const;
-  void transpose_y_to_x(std::vector<Complex>& data) const;
-  void transpose_x_to_y(std::vector<Complex>& data) const;
-  void fft_y(std::vector<Complex>& data, Direction dir) const;
-  void fft_x(std::vector<Complex>& data, Direction dir) const;
+  // All transposes are parameterized by the global z extent `nzf` of the
+  // y/x-pencil layouts (nz_ for c2c, nzh_ for r2c).
+  void transpose_z_to_y(std::vector<Complex>& data, std::size_t nzf);
+  void transpose_y_to_z(std::vector<Complex>& data, std::size_t nzf);
+  void transpose_y_to_x(std::vector<Complex>& data, std::size_t nzf);
+  void transpose_x_to_y(std::vector<Complex>& data, std::size_t nzf);
+  void fft_y(std::vector<Complex>& data, Direction dir, std::size_t nzl);
+  void fft_x(std::vector<Complex>& data, Direction dir, std::size_t nzl);
+  std::size_t local_z(std::size_t nzf) const {
+    return block_range(nzf, p2_, q2_).extent();
+  }
 
-  std::size_t nx_, ny_, nz_;
+  std::size_t nx_, ny_, nz_, nzh_;
   int p1_, p2_;
   int q1_, q2_;  // this rank's process-grid coordinates
   comm::Comm row_comm_;  // ranks sharing q1 (size p2): z<->y transposes
   comm::Comm col_comm_;  // ranks sharing q2 (size p1): y<->x transposes
   Box3D real_box_, mid_box_, spectral_box_;
+  Box3D mid_box_h_, spectral_box_h_;  // r2c (half-spectrum) variants
   Fft1D fft_x_plan_, fft_y_plan_, fft_z_plan_;
+
+  // Persistent workspace: pack/exchange buffers plus per-peer offset
+  // tables, sized once (max layout volume) so steady-state transforms make
+  // no heap allocations.
+  std::size_t max_vol_ = 0;
+  std::vector<Complex> send_, recv_;
+  std::vector<std::size_t> counts_, rcounts_;
+  std::vector<std::size_t> peer_lo_, peer_ext_, peer_base_;
+  Stats stats_;
 };
 
 }  // namespace hacc::fft

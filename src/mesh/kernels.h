@@ -44,6 +44,13 @@ struct SpectralConfig {
   int ns = 3;          ///< sinc exponent in Eq. (5)
   GreenOrder green = GreenOrder::kOrder6;
   GradientOrder gradient = GradientOrder::kSuperLanczos4;
+  /// Solve through the real-to-complex half-spectrum pipeline (the density
+  /// is real, so half the modes are redundant): ~2x fewer FFT flops and
+  /// transpose bytes. Requires the gradient kernel to vanish at the Nyquist
+  /// frequency, which holds for every discrete choice (kOrder2,
+  /// kSuperLanczos4); only the kExact reference gradient on even grids
+  /// violates it, at the Nyquist plane only.
+  bool use_r2c = true;
 };
 
 /// Signed integer mode for index m in an N-point transform: m in

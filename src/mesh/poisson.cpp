@@ -32,32 +32,40 @@ void PoissonSolver::solve(comm::Comm& world, const DistGrid& delta,
   const auto& box = delta.interior();
   const auto& dims = decomp_.grid_dims();
 
-  // Pack the interior (strip ghosts) and remap to the z-pencil layout.
-  std::vector<double> interior;
-  interior.reserve(box.volume());
+  // Pack the interior (strip ghosts) and remap to the z-pencil layout. The
+  // pencil field stays real all the way into the FFT (r2c path).
   {
     auto scope = timers_.scope("remap");
     const auto ex = static_cast<std::ptrdiff_t>(box.x.extent());
     const auto ey = static_cast<std::ptrdiff_t>(box.y.extent());
     const auto ez = static_cast<std::ptrdiff_t>(box.z.extent());
+    interior_.resize(box.volume());
+    std::size_t idx = 0;
     for (std::ptrdiff_t i = 0; i < ex; ++i)
       for (std::ptrdiff_t j = 0; j < ey; ++j)
         for (std::ptrdiff_t k = 0; k < ez; ++k)
-          interior.push_back(delta.at(i, j, k));
-    interior = remap_->forward(world, interior);
+          interior_[idx++] = delta.at(i, j, k);
+    interior_ = remap_->forward(world, interior_);
   }
 
-  // One forward FFT of the density.
-  std::vector<Complex> spectrum(interior.size());
+  // One forward FFT of the density: real-to-complex by default (the input
+  // is real, so the z half-spectrum carries all information), full complex
+  // as the cross-check reference.
+  const fft::Box3D sb =
+      config_.use_r2c ? fft_->spectral_box_r2c() : fft_->spectral_box();
   {
     auto scope = timers_.scope("fft");
-    for (std::size_t i = 0; i < interior.size(); ++i)
-      spectrum[i] = Complex(interior[i], 0.0);
-    fft_->forward(spectrum);
+    if (config_.use_r2c) {
+      fft_->forward_r2c(std::span<const double>(interior_), spectrum_);
+    } else {
+      spectrum_.resize(interior_.size());
+      for (std::size_t i = 0; i < interior_.size(); ++i)
+        spectrum_[i] = Complex(interior_[i], 0.0);
+      fft_->forward(spectrum_);
+    }
   }
 
   // Compose filter x Green's function once.
-  const fft::Box3D sb = fft_->spectral_box();
   {
     auto scope = timers_.scope("kernel");
     std::size_t idx = 0;
@@ -68,8 +76,8 @@ void PoissonSolver::solve(comm::Comm& world, const DistGrid& delta,
         for (std::size_t mz = sb.z.lo; mz < sb.z.hi; ++mz) {
           const double kz = wavenumber(mz, dims[2]);
           const std::array<double, 3> k{kx, ky, kz};
-          spectrum[idx] *= greens_function(k, config_.green) *
-                           spectral_filter(k, config_.sigma, config_.ns);
+          spectrum_[idx] *= greens_function(k, config_.green) *
+                            spectral_filter(k, config_.sigma, config_.ns);
           ++idx;
         }
       }
@@ -91,10 +99,24 @@ void PoissonSolver::solve(comm::Comm& world, const DistGrid& delta,
           grid.at(i, j, k) = block_data[idx++];
   };
 
+  // Inverse-transform `component_` into `real_out_` (r2c) or via the
+  // complex inverse plus real-part extraction (c2c reference).
+  auto inverse_to_real = [&]() {
+    auto scope = timers_.scope("fft");
+    if (config_.use_r2c) {
+      fft_->inverse_c2r(component_, real_out_);
+    } else {
+      fft_->inverse(component_);
+      real_out_.resize(component_.size());
+      for (std::size_t i = 0; i < component_.size(); ++i)
+        real_out_[i] = component_[i].real();
+    }
+  };
+
   for (int axis = 0; axis < 3; ++axis) {
-    std::vector<Complex> component(spectrum.size());
     {
       auto scope = timers_.scope("kernel");
+      component_.resize(spectrum_.size());
       std::size_t idx = 0;
       for (std::size_t mx = sb.x.lo; mx < sb.x.hi; ++mx) {
         const double kx = wavenumber(mx, dims[0]);
@@ -104,37 +126,26 @@ void PoissonSolver::solve(comm::Comm& world, const DistGrid& delta,
             const double kz = wavenumber(mz, dims[2]);
             const double kax = axis == 0 ? kx : axis == 1 ? ky : kz;
             // f = -grad(phi): note the minus sign.
-            component[idx] = spectrum[idx] * (-gradient_multiplier(
-                                                 kax, config_.gradient));
+            component_[idx] = spectrum_[idx] * (-gradient_multiplier(
+                                                   kax, config_.gradient));
             ++idx;
           }
         }
       }
     }
-    {
-      auto scope = timers_.scope("fft");
-      fft_->inverse(component);
-    }
+    inverse_to_real();
     {
       auto scope = timers_.scope("remap");
-      std::vector<double> real_part(component.size());
-      for (std::size_t i = 0; i < component.size(); ++i)
-        real_part[i] = component[i].real();
-      store_to_grid(remap_->backward(world, real_part), forces[
-          static_cast<std::size_t>(axis)]);
+      store_to_grid(remap_->backward(world, real_out_),
+                    forces[static_cast<std::size_t>(axis)]);
     }
   }
 
   if (phi != nullptr) {
-    std::vector<Complex> pot = spectrum;
-    {
-      auto scope = timers_.scope("fft");
-      fft_->inverse(pot);
-    }
+    component_ = spectrum_;
+    inverse_to_real();
     auto scope = timers_.scope("remap");
-    std::vector<double> real_part(pot.size());
-    for (std::size_t i = 0; i < pot.size(); ++i) real_part[i] = pot[i].real();
-    store_to_grid(remap_->backward(world, real_part), *phi);
+    store_to_grid(remap_->backward(world, real_out_), *phi);
   }
 }
 

@@ -59,6 +59,10 @@ class PoissonSolver {
   std::unique_ptr<fft::PencilFft3D> fft_;
   std::unique_ptr<Redistributor> remap_;
   TimerRegistry timers_;
+  // Persistent solve workspace: reused across solves so the spectral path
+  // performs no steady-state allocations beyond the remap exchanges.
+  std::vector<double> interior_, real_out_;
+  std::vector<fft::Complex> spectrum_, component_;
 };
 
 }  // namespace hacc::mesh

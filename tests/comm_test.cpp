@@ -103,6 +103,24 @@ TEST(PointToPoint, SelfSendWorks) {
   });
 }
 
+TEST(PointToPoint, MovedPayloadRoundTrip) {
+  // The rvalue send_bytes overload moves the payload into the mailbox
+  // instead of copying; the receiver must see the identical bytes.
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      std::vector<std::byte> payload(1024);
+      for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = static_cast<std::byte>(i * 7);
+      c.send_bytes(1, 9, std::move(payload));
+    } else {
+      const auto got = c.recv_bytes(0, 9);
+      ASSERT_EQ(got.size(), 1024u);
+      for (std::size_t i = 0; i < got.size(); ++i)
+        EXPECT_EQ(got[i], static_cast<std::byte>(i * 7));
+    }
+  });
+}
+
 TEST(PointToPoint, SizeMismatchThrows) {
   EXPECT_THROW(Machine::run(2,
                             [](Comm& c) {
@@ -266,6 +284,39 @@ TEST_P(CollectiveTest, AlltoallvTransposesContributions) {
       off += rcounts[static_cast<std::size_t>(src)];
     }
     EXPECT_EQ(off, got.size());
+  });
+}
+
+TEST_P(CollectiveTest, AlltoallvIntoMatchesAndReusesBuffers) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    std::vector<double> send;
+    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
+    for (int dst = 0; dst < p; ++dst) {
+      counts[static_cast<std::size_t>(dst)] =
+          static_cast<std::size_t>(dst + 1);
+      for (int k = 0; k <= dst; ++k)
+        send.push_back(c.rank() * 100.0 + dst + 0.25 * k);
+    }
+    std::vector<std::size_t> rcounts_ref;
+    const auto expect =
+        c.alltoallv(std::span<const double>(send),
+                    std::span<const std::size_t>(counts), rcounts_ref);
+    // The _into form must produce identical contents, and a second call
+    // must reuse the caller's buffers without growing them.
+    std::vector<double> recv;
+    std::vector<std::size_t> rcounts;
+    c.alltoallv_into(std::span<const double>(send),
+                     std::span<const std::size_t>(counts), recv, rcounts);
+    EXPECT_EQ(recv, expect);
+    EXPECT_EQ(rcounts, rcounts_ref);
+    const auto cap = recv.capacity();
+    const auto* ptr = recv.data();
+    c.alltoallv_into(std::span<const double>(send),
+                     std::span<const std::size_t>(counts), recv, rcounts);
+    EXPECT_EQ(recv, expect);
+    EXPECT_EQ(recv.capacity(), cap);
+    EXPECT_EQ(recv.data(), ptr);
   });
 }
 

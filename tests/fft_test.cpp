@@ -3,7 +3,10 @@
 // over sweeps of grid sizes and process-grid shapes).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <numbers>
 #include <vector>
 
@@ -15,6 +18,56 @@
 #include "fft/slab.h"
 #include "util/error.h"
 #include "util/rng.h"
+
+// ---- allocation counting ----------------------------------------------------
+//
+// Replacement global operator new/delete that count allocations while armed.
+// Used to prove the steady-state pencil transforms are allocation-free after
+// warm-up (the zero-allocation contract of the persistent FFT workspace).
+namespace alloc_hook {
+std::atomic<bool> armed{false};
+std::atomic<std::size_t> count{0};
+
+void note() {
+  if (armed.load(std::memory_order_relaxed))
+    count.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace alloc_hook
+
+// GCC does not model user-replaced global operators and flags the
+// new-from-malloc / delete-to-free pairing, which is exactly the C++
+// replacement contract here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  alloc_hook::note();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  alloc_hook::note();
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace hacc::fft {
 namespace {
@@ -110,6 +163,75 @@ TEST_P(Fft1DSizes, ParsevalHolds) {
   for (const auto& v : x) freq_energy += std::norm(v);
   EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
               1e-8 * (time_energy + 1.0));
+}
+
+// ---- 1-D real-to-complex ----------------------------------------------------
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  Philox rng(seed);
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.gaussian2(i)[0];
+  return v;
+}
+
+class Fft1DR2CSizes : public ::testing::TestWithParam<std::size_t> {};
+
+// Even (two-for-one path): powers of two, smooth composites (160 = 2^5*5 is
+// the paper's 5120 grid scaled down), 2*prime Bluestein half-plans. Odd
+// (full-plan fallback): smooth, awkward, and prime lengths.
+INSTANTIATE_TEST_SUITE_P(Sizes, Fft1DR2CSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 8, 9, 15, 16, 27,
+                                           30, 45, 64, 97, 100, 101, 128, 160,
+                                           243, 256, 337, 674, 1024));
+
+TEST_P(Fft1DR2CSizes, MatchesReferenceDft) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 314 + n);
+  std::vector<Complex> full(n);
+  for (std::size_t j = 0; j < n; ++j) full[j] = Complex(x[j], 0.0);
+  const auto expect = dft_reference(full, Direction::kForward);
+  Fft1D plan(n);
+  std::vector<Complex> half(plan.half_size());
+  plan.forward_r2c(x.data(), half.data());
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_LT(std::abs(half[k] - expect[k]),
+              1e-9 * static_cast<double>(n) + 1e-12)
+        << "n=" << n << " k=" << k;
+  }
+}
+
+TEST_P(Fft1DR2CSizes, RoundTripRestoresSignal) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 2718 + n);
+  Fft1D plan(n);
+  std::vector<Complex> half(plan.half_size());
+  std::vector<double> back(n);
+  plan.forward_r2c(x.data(), half.data());
+  plan.inverse_c2r(half.data(), back.data());
+  double m = 0;
+  for (std::size_t j = 0; j < n; ++j) m = std::max(m, std::abs(back[j] - x[j]));
+  EXPECT_LT(m, 1e-10 * static_cast<double>(n) + 1e-12) << "n=" << n;
+}
+
+TEST(Fft1DR2C, HalfSizeIsNzOver2Plus1) {
+  EXPECT_EQ(Fft1D(8).half_size(), 5u);
+  EXPECT_EQ(Fft1D(7).half_size(), 4u);
+  EXPECT_EQ(Fft1D(1).half_size(), 1u);
+}
+
+TEST(Fft1DR2C, SingleModeLandsInCorrectBin) {
+  const std::size_t n = 32, mode = 3;
+  std::vector<double> x(n);
+  for (std::size_t j = 0; j < n; ++j)
+    x[j] = std::cos(2.0 * std::numbers::pi * static_cast<double>(mode * j) /
+                    static_cast<double>(n));
+  Fft1D plan(n);
+  std::vector<Complex> half(plan.half_size());
+  plan.forward_r2c(x.data(), half.data());
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    const double expect = (k == mode) ? static_cast<double>(n) / 2.0 : 0.0;
+    EXPECT_NEAR(std::abs(half[k]), expect, 1e-9) << "k=" << k;
+  }
 }
 
 TEST(Fft1D, SmoothDetection) {
@@ -329,6 +451,126 @@ TEST_P(PencilTest, RoundTripRestoresField) {
     for (std::size_t j = 0; j < local.size(); ++j)
       m = std::max(m, std::abs(local[j] - orig[j]));
     EXPECT_LT(m, 1e-10);
+  });
+}
+
+TEST_P(PencilTest, ForwardR2CMatchesHalfSpectrum) {
+  const auto c = GetParam();
+  std::vector<double> field(c.nx * c.ny * c.nz);
+  {
+    Philox rng(423);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] = rng.gaussian2(i)[0];
+  }
+  std::vector<Complex> full(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i)
+    full[i] = Complex(field[i], 0.0);
+  const auto expect = reference_spectrum(std::move(full), c.nx, c.ny, c.nz);
+  comm::Machine::run(c.p1 * c.p2, [&](comm::Comm& world) {
+    PencilFft3D fft(world, c.nx, c.ny, c.nz, c.p1, c.p2);
+    const Box3D rb = fft.real_box();
+    std::vector<double> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = rb.y.lo; y < rb.y.hi; ++y)
+        for (std::size_t z = rb.z.lo; z < rb.z.hi; ++z)
+          local[i++] = field[(x * c.ny + y) * c.nz + z];
+    std::vector<Complex> spec;
+    fft.forward_r2c(std::span<const double>(local), spec);
+    const Box3D sb = fft.spectral_box_r2c();
+    ASSERT_EQ(spec.size(), sb.volume());
+    EXPECT_EQ(sb.z.hi, std::min(sb.z.hi, fft.nzh()));
+    i = 0;
+    for (std::size_t x = sb.x.lo; x < sb.x.hi; ++x)
+      for (std::size_t y = sb.y.lo; y < sb.y.hi; ++y)
+        for (std::size_t z = sb.z.lo; z < sb.z.hi; ++z) {
+          EXPECT_LT(std::abs(spec[i] - expect[(x * c.ny + y) * c.nz + z]),
+                    1e-8)
+              << "k=(" << x << "," << y << "," << z << ")";
+          ++i;
+        }
+  });
+}
+
+TEST_P(PencilTest, R2CRoundTripRestoresField) {
+  const auto c = GetParam();
+  std::vector<double> field(c.nx * c.ny * c.nz);
+  {
+    Philox rng(77);
+    for (std::size_t i = 0; i < field.size(); ++i)
+      field[i] = rng.gaussian2(i)[0];
+  }
+  comm::Machine::run(c.p1 * c.p2, [&](comm::Comm& world) {
+    PencilFft3D fft(world, c.nx, c.ny, c.nz, c.p1, c.p2);
+    const Box3D rb = fft.real_box();
+    std::vector<double> local(rb.volume());
+    std::size_t i = 0;
+    for (std::size_t x = rb.x.lo; x < rb.x.hi; ++x)
+      for (std::size_t y = rb.y.lo; y < rb.y.hi; ++y)
+        for (std::size_t z = rb.z.lo; z < rb.z.hi; ++z)
+          local[i++] = field[(x * c.ny + y) * c.nz + z];
+    std::vector<Complex> spec;
+    std::vector<double> back;
+    fft.forward_r2c(std::span<const double>(local), spec);
+    fft.inverse_c2r(spec, back);
+    ASSERT_EQ(back.size(), local.size());
+    double m = 0;
+    for (std::size_t j = 0; j < back.size(); ++j)
+      m = std::max(m, std::abs(back[j] - local[j]));
+    EXPECT_LT(m, 1e-10);
+  });
+}
+
+TEST(Pencil, SteadyStateTransformsDoNotAllocate) {
+  // The acceptance contract of the persistent workspace: after one warm-up
+  // pass, forward/inverse and forward_r2c/inverse_c2r perform no heap
+  // allocations. Run single-rank so the exchange takes the self-block
+  // memcpy path (multi-rank mailbox envelopes are SimMPI transport, not
+  // FFT workspace). The 16^3 grid keeps every OpenMP `if` clause false, so
+  // the measured path is exactly the serial steady-state code.
+  comm::Machine::run(1, [](comm::Comm& world) {
+    const std::size_t n = 16;
+    PencilFft3D fft(world, n, n, n, 1, 1);
+    std::vector<double> rin(n * n * n);
+    Philox rng(99);
+    for (std::size_t i = 0; i < rin.size(); ++i) rin[i] = rng.gaussian2(i)[0];
+    std::vector<Complex> data, half;
+    std::vector<double> rout;
+    for (int pass = 0; pass < 2; ++pass) {  // warm-up sizes every buffer
+      data.assign(rin.size(), Complex(1.0, 0.5));
+      fft.forward(data);
+      fft.inverse(data);
+      fft.forward_r2c(std::span<const double>(rin), half);
+      fft.inverse_c2r(half, rout);
+    }
+    alloc_hook::count.store(0);
+    alloc_hook::armed.store(true);
+    data.assign(rin.size(), Complex(1.0, 0.5));
+    fft.forward(data);
+    fft.inverse(data);
+    fft.forward_r2c(std::span<const double>(rin), half);
+    fft.inverse_c2r(half, rout);
+    alloc_hook::armed.store(false);
+    EXPECT_EQ(alloc_hook::count.load(), 0u);
+  });
+}
+
+TEST(Pencil, StatsAccumulatePhases) {
+  comm::Machine::run(4, [](comm::Comm& world) {
+    const std::size_t n = 8;
+    PencilFft3D fft(world, n, n, n, 2, 2);
+    EXPECT_EQ(fft.stats().transforms, 0u);
+    std::vector<Complex> data(fft.real_box().volume(), Complex(1, 0));
+    fft.forward(data);
+    fft.inverse(data);
+    const auto& s = fft.stats();
+    EXPECT_EQ(s.transforms, 2u);
+    EXPECT_GT(s.fft_seconds, 0.0);
+    EXPECT_GT(s.transpose_seconds, 0.0);
+    EXPECT_GT(s.bytes_moved, 0u);
+    fft.reset_stats();
+    EXPECT_EQ(fft.stats().transforms, 0u);
+    EXPECT_EQ(fft.stats().bytes_moved, 0u);
   });
 }
 

@@ -585,6 +585,66 @@ TEST_P(PoissonRanks, MultiRankMatchesSingleRank) {
   });
 }
 
+TEST_P(PoissonRanks, R2CSolveMatchesC2C) {
+  // The default r2c half-spectrum pipeline must reproduce the full complex
+  // solve to round-off: the two paths share kernels and differ only in the
+  // transform. ISSUE acceptance: <= 1e-10 relative.
+  const int nranks = GetParam();
+  const std::size_t n = 12;
+  std::vector<double> delta_global(n * n * n);
+  {
+    Philox rng(555);
+    double mean = 0;
+    for (std::size_t i = 0; i < delta_global.size(); ++i) {
+      delta_global[i] = rng.uniform2(i)[0];
+      mean += delta_global[i];
+    }
+    mean /= static_cast<double>(delta_global.size());
+    for (auto& v : delta_global) v -= mean;
+  }
+  BlockDecomp3D d = BlockDecomp3D::balanced({n, n, n}, nranks);
+  comm::Machine::run(nranks, [&](comm::Comm& c) {
+    SpectralConfig cfg_r2c;  // defaults: use_r2c = true
+    SpectralConfig cfg_c2c;
+    cfg_c2c.use_r2c = false;
+    PoissonSolver solver_r2c(c, d, cfg_r2c);
+    PoissonSolver solver_c2c(c, d, cfg_c2c);
+    DistGrid delta(d, c.rank(), 1);
+    const auto& b = delta.interior();
+    for (std::size_t x = b.x.lo; x < b.x.hi; ++x)
+      for (std::size_t y = b.y.lo; y < b.y.hi; ++y)
+        for (std::size_t z = b.z.lo; z < b.z.hi; ++z)
+          delta.at(static_cast<std::ptrdiff_t>(x - b.x.lo),
+                   static_cast<std::ptrdiff_t>(y - b.y.lo),
+                   static_cast<std::ptrdiff_t>(z - b.z.lo)) =
+              delta_global[(x * n + y) * n + z];
+    std::array<DistGrid, 3> fr{DistGrid(d, c.rank(), 1),
+                               DistGrid(d, c.rank(), 1),
+                               DistGrid(d, c.rank(), 1)};
+    std::array<DistGrid, 3> fc{DistGrid(d, c.rank(), 1),
+                               DistGrid(d, c.rank(), 1),
+                               DistGrid(d, c.rank(), 1)};
+    DistGrid phi_r(d, c.rank(), 1), phi_c(d, c.rank(), 1);
+    solver_r2c.solve(c, delta, fr, &phi_r);
+    solver_c2c.solve(c, delta, fc, &phi_c);
+    const auto ex = static_cast<std::ptrdiff_t>(b.x.extent());
+    const auto ey = static_cast<std::ptrdiff_t>(b.y.extent());
+    const auto ez = static_cast<std::ptrdiff_t>(b.z.extent());
+    for (std::ptrdiff_t i = 0; i < ex; ++i)
+      for (std::ptrdiff_t j = 0; j < ey; ++j)
+        for (std::ptrdiff_t k = 0; k < ez; ++k) {
+          for (int axis = 0; axis < 3; ++axis) {
+            const double ref = fc[static_cast<std::size_t>(axis)].at(i, j, k);
+            EXPECT_NEAR(fr[static_cast<std::size_t>(axis)].at(i, j, k), ref,
+                        1e-10 * (std::abs(ref) + 1.0))
+                << "axis=" << axis;
+          }
+          EXPECT_NEAR(phi_r.at(i, j, k), phi_c.at(i, j, k),
+                      1e-10 * (std::abs(phi_c.at(i, j, k)) + 1.0));
+        }
+  });
+}
+
 TEST(Poisson, ForceSumsToZero) {
   // The zero mode is projected out, so the net grid force must vanish
   // (momentum conservation of the PM sector).
