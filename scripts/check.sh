@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus an AddressSanitizer pass over the I/O stack.
+#
+#   scripts/check.sh [build-dir]
+#
+# 1. Configure + build the default tree and run the full ctest suite.
+# 2. Configure a second tree with -DHACC_SANITIZE=address, build only the
+#    I/O test binaries (io_test, gio_test), and run them — the checkpoint
+#    writer/reader funnels raw byte spans through threads, which is exactly
+#    where ASan earns its keep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD="${1:-build}"
+ASAN_BUILD="${BUILD}-asan"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "== tier-1: configure + build (${BUILD}) =="
+cmake -B "$BUILD" -S . >/dev/null
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "== tier-1: ctest =="
+ctest --test-dir "$BUILD" --output-on-failure -j 4
+
+echo "== asan: configure + build io_test gio_test (${ASAN_BUILD}) =="
+cmake -B "$ASAN_BUILD" -S . -DHACC_SANITIZE=address >/dev/null
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target io_test gio_test
+
+echo "== asan: io_test =="
+"$ASAN_BUILD/tests/io_test"
+echo "== asan: gio_test =="
+"$ASAN_BUILD/tests/gio_test"
+
+echo "== check.sh: all green =="

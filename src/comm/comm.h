@@ -157,6 +157,14 @@ class Comm {
   template <typename T>
   void allgather(std::span<const T> send, std::span<T> recv) const;
 
+  /// Variable-size gather (fan-in) to `root`: returns the concatenation of
+  /// every rank's contribution in rank order on root, empty elsewhere. When
+  /// `counts` is non-null it receives the per-rank element counts on root.
+  /// Used by the I/O aggregation layer.
+  template <typename T>
+  std::vector<T> gatherv(std::span<const T> send_buf, int root,
+                         std::vector<std::size_t>* counts = nullptr) const;
+
   /// Variable-size all-to-all exchange with a pairwise schedule.
   /// `send_counts[r]` elements go to rank r, taken consecutively from
   /// `send`. Returns the concatenation of contributions received from ranks
@@ -240,6 +248,7 @@ inline constexpr int kTagGather = -102;
 inline constexpr int kTagAllgather = -103;
 inline constexpr int kTagAlltoall = -104;
 inline constexpr int kTagSplit = -105;
+inline constexpr int kTagGatherv = -107;
 }  // namespace detail
 
 template <typename T>
@@ -306,6 +315,29 @@ void Comm::allgather(std::span<const T> send_buf, std::span<T> recv_buf) const {
          recv_buf.subspan(chunk * static_cast<std::size_t>(recv_block),
                           chunk));
   }
+}
+
+template <typename T>
+std::vector<T> Comm::gatherv(std::span<const T> send_buf, int root,
+                             std::vector<std::size_t>* counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::vector<T> out;
+  if (rank_ == root) {
+    if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
+    for (int r = 0; r < size(); ++r) {
+      std::vector<T> part;
+      if (r == rank_) {
+        part.assign(send_buf.begin(), send_buf.end());
+      } else {
+        part = recv_vector<T>(r, detail::kTagGatherv);
+      }
+      if (counts != nullptr) (*counts)[static_cast<std::size_t>(r)] = part.size();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  } else {
+    send(root, detail::kTagGatherv, send_buf);
+  }
+  return out;
 }
 
 template <typename T>

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <numbers>
 
-#include "io/snapshot.h"
+#include "gio/particle_io.h"
 #include "mesh/cic.h"
 
 namespace hacc::core {
@@ -275,32 +275,48 @@ tree::ParticleArray Simulation::gather_active() {
 }
 
 void Simulation::write_checkpoint(const std::string& path) {
+  auto scope = timers_.scope("checkpoint");
   // Strip passives: they are someone else's actives and get rebuilt.
   tree::ParticleArray actives;
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     if (particles_.role[i] == tree::Role::kActive)
       actives.append_from(particles_, i);
   }
-  io::SnapshotHeader h;
-  h.scale_factor = a_;
-  h.box_mpch = config_.box_mpch;
-  h.grid = config_.grid;
-  io::write_snapshot(path + ".rank" + std::to_string(world_.rank()), actives,
-                     h);
-  world_.barrier();  // checkpoint complete on all ranks
+  gio::GlobalMeta meta;
+  meta.scale_factor = a_;
+  meta.box_mpch = config_.box_mpch;
+  meta.grid = config_.grid;
+  gio::GioConfig gcfg;
+  gcfg.aggregators = config_.io_aggregators;
+  gio::write_particles(world_, path, meta, actives, gcfg);
 }
 
 void Simulation::read_checkpoint(const std::string& path) {
-  io::SnapshotHeader h = io::read_snapshot(
-      path + ".rank" + std::to_string(world_.rank()), particles_);
-  HACC_CHECK_MSG(h.grid == config_.grid && h.box_mpch == config_.box_mpch,
+  auto scope = timers_.scope("checkpoint");
+  const gio::ReadReport report =
+      gio::read_particles(world_, path, particles_);
+  if (!report.corrupt.empty()) {
+    // Restarting from zero-filled physics would be silently wrong; refuse
+    // and name the damage (the gio read itself never aborts).
+    std::string what = "checkpoint " + path + " has corrupt blocks:";
+    for (const auto& c : report.corrupt)
+      what += " [block " + std::to_string(c.block) + " var " + c.var_name +
+              "]";
+    throw Error(what);
+  }
+  HACC_CHECK_MSG(report.meta.grid == config_.grid &&
+                     report.meta.box_mpch == config_.box_mpch,
                  "checkpoint does not match the simulation configuration");
-  a_ = h.scale_factor;
+  a_ = report.meta.scale_factor;
   // Recompute how many steps the restored state corresponds to.
   const double a_init = Cosmology::a_of_z(config_.z_initial);
   const double a_final = Cosmology::a_of_z(config_.z_final);
   const double da = (a_final - a_init) / static_cast<double>(config_.steps);
   steps_taken_ = static_cast<int>(std::lround((a_ - a_init) / da));
+  // Elastic restore: the blocks just read are partitioned by file order,
+  // not by domain — route every particle to its owner, then rebuild the
+  // passive layer.
+  gio::redistribute_by_domain(world_, decomp_, particles_);
   domain_->refresh(world_, particles_);
 }
 

@@ -66,6 +66,8 @@ struct SimulationConfig {
   int tree_splits = 0;
   /// Use the OpenMP-threaded forward CIC (paper Sec. VI future work).
   bool threaded_deposit = false;
+  /// Checkpoint writer aggregation width M (gio fan-in); 0 = gio default.
+  int io_aggregators = 0;
   float softening = 0.1f;       ///< eps in (s + eps)^{-3/2} [grid units^2]
   mesh::SpectralConfig spectral{};
   cosmology::IcConfig ic{};     ///< particles_per_dim/box are overwritten
@@ -138,12 +140,17 @@ class Simulation {
   };
   EnergyDiagnostics energy();
 
-  /// Checkpoint: every rank writes its particles (actives only; replicas
-  /// are rebuilt on restore) to `<path>.rank<r>`. Collective.
+  /// Checkpoint: one self-describing gio file at `path` (actives only;
+  /// replicas are rebuilt on restore), written collectively through
+  /// config().io_aggregators writer ranks with per-block CRC64 protection
+  /// and an atomic tmp+rename publish. Collective.
   void write_checkpoint(const std::string& path);
 
-  /// Restore from a checkpoint written with the same rank count and
-  /// configuration; re-runs the overloading refresh. Collective.
+  /// Restore from a checkpoint written with the *same configuration but any
+  /// rank count*: blocks are read elastically, every CRC is verified (a
+  /// corrupt checkpoint is refused with the damaged blocks listed),
+  /// particles are redistributed to their domain owners, and the
+  /// overloading refresh rebuilds the passive layer. Collective.
   void read_checkpoint(const std::string& path);
 
  private:

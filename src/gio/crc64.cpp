@@ -1,0 +1,34 @@
+#include "gio/crc64.h"
+
+#include <array>
+
+namespace hacc::gio {
+
+namespace {
+
+// Reflected form of the ECMA-182 polynomial 0x42F0E1EBA9EA3693.
+constexpr std::uint64_t kPoly = 0xC96C5795D7870F42ULL;
+
+constexpr std::array<std::uint64_t, 256> make_table() {
+  std::array<std::uint64_t, 256> t{};
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    std::uint64_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t bytes, std::uint64_t crc) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < bytes; ++i)
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  return ~crc;
+}
+
+}  // namespace hacc::gio

@@ -1,0 +1,15 @@
+// CRC-64/XZ (reflected ECMA-182 polynomial), the checksum production
+// GenericIO attaches to every variable block. Table-driven, one pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hacc::gio {
+
+/// CRC-64/XZ over a byte range. Chain calls by passing the previous result
+/// as `crc` (the empty-range CRC is 0). Check value:
+/// crc64("123456789", 9) == 0x995dc9bbdf1939fa.
+std::uint64_t crc64(const void* data, std::size_t bytes, std::uint64_t crc = 0);
+
+}  // namespace hacc::gio

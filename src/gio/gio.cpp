@@ -1,0 +1,561 @@
+#include "gio/gio.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <memory>
+
+#include "gio/crc64.h"
+#include "io/wire.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace hacc::gio {
+
+namespace {
+
+namespace wire = hacc::io::wire;
+
+// "HACCGIO1" / "GIOFOOT1" as little-endian u64s.
+constexpr std::uint64_t kMagic = 0x314F494743434148ULL;
+constexpr std::uint64_t kFooterMagic = 0x31544F4F464F4947ULL;
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kEndianSentinel = 0x01020304;
+constexpr std::size_t kNameWidth = 24;
+constexpr std::size_t kFixedHeaderBytes = 72;
+constexpr std::size_t kFooterBytes = 16;
+constexpr std::size_t kCrcBytes = 8;
+constexpr int kDefaultAggregators = 4;
+
+constexpr int kTagGioData = -501;
+constexpr int kTagGioCrc = -502;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+File open_file(const std::string& path, const char* mode) {
+  File f(std::fopen(path.c_str(), mode));
+  HACC_CHECK_MSG(f != nullptr, "cannot open " + path);
+  return f;
+}
+
+void seek_to(std::FILE* f, std::uint64_t offset) {
+  HACC_CHECK_MSG(std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0,
+                 "seek failed");
+}
+
+std::uint64_t file_size(std::FILE* f) {
+  HACC_CHECK(std::fseek(f, 0, SEEK_END) == 0);
+  const long n = std::ftell(f);
+  HACC_CHECK(n >= 0);
+  return static_cast<std::uint64_t>(n);
+}
+
+void write_all(std::FILE* f, const void* data, std::size_t bytes) {
+  if (bytes == 0) return;  // fwrite(nullptr, ..) is UB even for 0 bytes
+  HACC_CHECK_MSG(std::fwrite(data, 1, bytes, f) == bytes, "short write");
+}
+
+bool read_all(std::FILE* f, void* data, std::size_t bytes) {
+  if (bytes == 0) return true;
+  return std::fread(data, 1, bytes, f) == bytes;
+}
+
+/// In-memory form of the header blob: everything a reader or writer needs
+/// to locate any sub-block.
+struct Layout {
+  GlobalMeta meta;
+  std::uint64_t total = 0;
+  std::vector<std::string> var_names;
+  std::vector<VarType> var_types;
+  std::vector<std::uint64_t> counts;   // rows per block
+  std::vector<std::uint64_t> offsets;  // [block * nvars + var] absolute
+  std::vector<std::uint64_t> bytes;    // data bytes, excl. CRC trailer
+  std::uint64_t header_bytes = 0;      // size of one header blob
+  std::uint64_t data_end = 0;          // == redundant header offset
+
+  std::size_t nvars() const noexcept { return var_names.size(); }
+  std::size_t nblocks() const noexcept { return counts.size(); }
+  std::size_t sub(std::size_t b, std::size_t v) const noexcept {
+    return b * nvars() + v;
+  }
+  std::uint64_t file_bytes() const noexcept {
+    return data_end + header_bytes + kFooterBytes;
+  }
+};
+
+std::uint64_t header_blob_bytes(std::size_t nvars, std::size_t nblocks) {
+  return kFixedHeaderBytes + nvars * (kNameWidth + 8) +
+         nblocks * (8 + nvars * 16) + kCrcBytes;
+}
+
+Layout build_layout(const GlobalMeta& meta,
+                    std::span<const std::uint64_t> counts,
+                    std::span<const WriteVar> vars) {
+  Layout lay;
+  lay.meta = meta;
+  lay.counts.assign(counts.begin(), counts.end());
+  for (const auto& v : vars) {
+    lay.var_names.push_back(v.name);
+    lay.var_types.push_back(v.type);
+  }
+  lay.header_bytes = header_blob_bytes(lay.nvars(), lay.nblocks());
+  std::uint64_t off = lay.header_bytes;
+  lay.offsets.resize(lay.nblocks() * lay.nvars());
+  lay.bytes.resize(lay.nblocks() * lay.nvars());
+  for (std::size_t b = 0; b < lay.nblocks(); ++b) {
+    lay.total += lay.counts[b];
+    for (std::size_t v = 0; v < lay.nvars(); ++v) {
+      const std::uint64_t nb = lay.counts[b] * var_type_size(lay.var_types[v]);
+      lay.offsets[lay.sub(b, v)] = off;
+      lay.bytes[lay.sub(b, v)] = nb;
+      off += nb + kCrcBytes;
+    }
+  }
+  lay.data_end = off;
+  return lay;
+}
+
+std::vector<std::byte> serialize_header(const Layout& lay) {
+  std::vector<std::byte> blob;
+  blob.reserve(lay.header_bytes);
+  wire::put_u64(blob, kMagic);
+  wire::put_u32(blob, kVersion);
+  wire::put_u32(blob, kEndianSentinel);
+  wire::put_u32(blob, static_cast<std::uint32_t>(lay.nvars()));
+  wire::put_u32(blob, static_cast<std::uint32_t>(lay.nblocks()));
+  wire::put_u64(blob, lay.total);
+  wire::put_f64(blob, lay.meta.scale_factor);
+  wire::put_f64(blob, lay.meta.box_mpch);
+  wire::put_u64(blob, lay.meta.grid);
+  wire::put_u64(blob, lay.header_bytes);
+  wire::put_u64(blob, lay.data_end);
+  for (std::size_t v = 0; v < lay.nvars(); ++v) {
+    wire::put_bytes_padded(blob, lay.var_names[v].data(),
+                           lay.var_names[v].size(), kNameWidth);
+    wire::put_u32(blob, static_cast<std::uint32_t>(lay.var_types[v]));
+    wire::put_u32(blob,
+                  static_cast<std::uint32_t>(var_type_size(lay.var_types[v])));
+  }
+  for (std::size_t b = 0; b < lay.nblocks(); ++b) {
+    wire::put_u64(blob, lay.counts[b]);
+    for (std::size_t v = 0; v < lay.nvars(); ++v) {
+      wire::put_u64(blob, lay.offsets[lay.sub(b, v)]);
+      wire::put_u64(blob, lay.bytes[lay.sub(b, v)]);
+    }
+  }
+  wire::put_u64(blob, crc64(blob.data(), blob.size()));
+  HACC_CHECK(blob.size() == lay.header_bytes);
+  return blob;
+}
+
+Layout parse_header(std::span<const std::byte> blob) {
+  HACC_CHECK_MSG(blob.size() >= kFixedHeaderBytes + kCrcBytes,
+                 "gio header too small");
+  wire::Cursor c(blob);
+  Layout lay;
+  HACC_CHECK_MSG(c.u64() == kMagic, "bad gio magic");
+  HACC_CHECK_MSG(c.u32() == kVersion, "unsupported gio version");
+  HACC_CHECK_MSG(c.u32() == kEndianSentinel, "gio endianness mismatch");
+  const std::uint32_t nvars = c.u32();
+  const std::uint32_t nblocks = c.u32();
+  lay.total = c.u64();
+  lay.meta.scale_factor = c.f64();
+  lay.meta.box_mpch = c.f64();
+  lay.meta.grid = c.u64();
+  lay.header_bytes = c.u64();
+  lay.data_end = c.u64();
+  HACC_CHECK_MSG(lay.header_bytes == header_blob_bytes(nvars, nblocks) &&
+                     blob.size() == lay.header_bytes,
+                 "gio header size mismatch");
+  for (std::uint32_t v = 0; v < nvars; ++v) {
+    char name[kNameWidth + 1] = {};
+    c.bytes(name, kNameWidth);
+    lay.var_names.emplace_back(name);
+    const std::uint32_t type = c.u32();
+    HACC_CHECK_MSG(type <= static_cast<std::uint32_t>(VarType::kUInt8),
+                   "unknown gio variable type");
+    lay.var_types.push_back(static_cast<VarType>(type));
+    HACC_CHECK_MSG(c.u32() == var_type_size(lay.var_types.back()),
+                   "gio element size mismatch");
+  }
+  lay.counts.resize(nblocks);
+  lay.offsets.resize(static_cast<std::size_t>(nblocks) * nvars);
+  lay.bytes.resize(static_cast<std::size_t>(nblocks) * nvars);
+  std::uint64_t total = 0;
+  for (std::uint32_t b = 0; b < nblocks; ++b) {
+    lay.counts[b] = c.u64();
+    total += lay.counts[b];
+    for (std::uint32_t v = 0; v < nvars; ++v) {
+      lay.offsets[lay.sub(b, v)] = c.u64();
+      lay.bytes[lay.sub(b, v)] = c.u64();
+    }
+  }
+  HACC_CHECK_MSG(total == lay.total, "gio block counts disagree with total");
+  return lay;
+}
+
+/// Try to load and CRC-validate a header blob at `offset`. Returns false on
+/// any inconsistency (never throws): corruption here must route the caller
+/// to the redundant copy, not abort.
+bool try_load_header(std::FILE* f, std::uint64_t offset, std::uint64_t fsize,
+                     std::vector<std::byte>& blob) {
+  if (offset + kFixedHeaderBytes + kCrcBytes > fsize) return false;
+  if (std::fseek(f, static_cast<long>(offset), SEEK_SET) != 0) return false;
+  std::vector<std::byte> fixed(kFixedHeaderBytes);
+  if (!read_all(f, fixed.data(), fixed.size())) return false;
+  wire::Cursor c(fixed);
+  if (c.u64() != kMagic) return false;
+  if (c.u32() != kVersion) return false;
+  if (c.u32() != kEndianSentinel) return false;
+  c.skip(4 + 4 + 8 + 8 + 8 + 8);  // nvars nblocks total sf box grid
+  const std::uint64_t header_bytes = c.u64();
+  if (header_bytes < kFixedHeaderBytes + kCrcBytes ||
+      offset + header_bytes > fsize)
+    return false;
+  blob.resize(header_bytes);
+  std::copy(fixed.begin(), fixed.end(), blob.begin());
+  if (!read_all(f, blob.data() + kFixedHeaderBytes,
+                header_bytes - kFixedHeaderBytes))
+    return false;
+  wire::Cursor tail(std::span<const std::byte>(blob).subspan(header_bytes -
+                                                             kCrcBytes));
+  return tail.u64() == crc64(blob.data(), header_bytes - kCrcBytes);
+}
+
+/// Load the primary header, falling back to the redundant copy via the
+/// footer. Throws only when both copies are unusable.
+std::vector<std::byte> load_header(std::FILE* f, bool& used_redundant) {
+  const std::uint64_t fsize = file_size(f);
+  std::vector<std::byte> blob;
+  if (try_load_header(f, 0, fsize, blob)) {
+    used_redundant = false;
+    return blob;
+  }
+  // Primary is corrupt: locate the redundant copy through the footer.
+  if (fsize >= kFooterBytes) {
+    std::vector<std::byte> footer(kFooterBytes);
+    if (std::fseek(f, -static_cast<long>(kFooterBytes), SEEK_END) == 0 &&
+        read_all(f, footer.data(), footer.size())) {
+      wire::Cursor c(footer);
+      const std::uint64_t redundant_offset = c.u64();
+      if (c.u64() == kFooterMagic &&
+          try_load_header(f, redundant_offset, fsize, blob)) {
+        used_redundant = true;
+        return blob;
+      }
+    }
+  }
+  throw Error("gio: both header copies are corrupt or missing");
+}
+
+/// Wire form of a CRC failure, for the global fan-in of reports.
+struct PackedCorrupt {
+  std::uint64_t block;
+  std::uint32_t var;
+  std::uint32_t pad = 0;
+};
+
+/// Aggregator group of source rank r with M writers over P ranks.
+int group_of(int r, int m, int p) {
+  return static_cast<int>(static_cast<long long>(r) * m / p);
+}
+/// First (writer) rank of aggregator group g.
+int writer_of(int g, int m, int p) {
+  return static_cast<int>((static_cast<long long>(g) * p + m - 1) / m);
+}
+
+}  // namespace
+
+std::size_t var_type_size(VarType t) {
+  switch (t) {
+    case VarType::kFloat32:
+      return 4;
+    case VarType::kUInt64:
+      return 8;
+    case VarType::kUInt8:
+      return 1;
+  }
+  throw Error("unknown VarType");
+}
+
+WriteStats write(comm::Comm& comm, const std::string& path,
+                 const GlobalMeta& meta, std::uint64_t local_count,
+                 std::span<const WriteVar> vars, const GioConfig& cfg) {
+  // Bulk data is written raw; the format defines those bytes as
+  // little-endian IEEE.
+  static_assert(std::endian::native == std::endian::little,
+                "gio bulk writes assume a little-endian host");
+  HACC_CHECK_MSG(!vars.empty(), "gio write needs at least one variable");
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    HACC_CHECK_MSG(vars[v].name.size() <= kNameWidth, "gio name too long");
+    for (std::size_t w = v + 1; w < vars.size(); ++w)
+      HACC_CHECK_MSG(vars[v].name != vars[w].name, "duplicate gio variable");
+  }
+
+  const int p = comm.size();
+  const int rank = comm.rank();
+  Timer timer;
+
+  // Every rank derives the full layout from the allgathered block counts,
+  // so offsets never need a second round of communication.
+  std::vector<std::uint64_t> counts(static_cast<std::size_t>(p));
+  comm.allgather(std::span<const std::uint64_t>(&local_count, 1),
+                 std::span<std::uint64_t>(counts));
+  const Layout lay = build_layout(meta, counts, vars);
+
+  int m = cfg.aggregators;
+  if (m <= 0) m = std::min(p, kDefaultAggregators);
+  m = std::clamp(m, 1, p);
+  const int my_group = group_of(rank, m, p);
+  const int my_writer = writer_of(my_group, m, p);
+
+  // Each source rank checksums its own sub-blocks (end-to-end: the CRC is
+  // computed before the data crosses the fan-in).
+  std::vector<std::uint64_t> crcs(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v)
+    crcs[v] = crc64(vars[v].data, local_count * var_type_size(vars[v].type));
+
+  const std::string tmp = path + ".tmp";
+  if (rank == 0) {
+    const auto blob = serialize_header(lay);
+    File f = open_file(tmp, "wb");
+    write_all(f.get(), blob.data(), blob.size());
+  }
+  comm.barrier();  // the tmp file exists before anyone opens it r+
+
+  if (rank != my_writer) {
+    // Funnel every sub-block (and its CRC) to the aggregator. Per-source
+    // FIFO ordering keeps data and CRC paired on the receive side.
+    for (std::size_t v = 0; v < vars.size(); ++v) {
+      const auto* bytes = static_cast<const std::byte*>(vars[v].data);
+      comm.send_bytes(my_writer, kTagGioData,
+                      std::span<const std::byte>(
+                          bytes, local_count * var_type_size(vars[v].type)));
+      comm.send_value(my_writer, kTagGioCrc, crcs[v]);
+    }
+  } else {
+    File f = open_file(tmp, "r+b");
+    for (int src = 0; src < p; ++src) {
+      if (group_of(src, m, p) != my_group) continue;
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        const auto b = static_cast<std::size_t>(src);
+        const std::uint64_t nbytes = lay.bytes[lay.sub(b, v)];
+        std::vector<std::byte> incoming;
+        const std::byte* data;
+        std::uint64_t crc;
+        if (src == rank) {
+          data = static_cast<const std::byte*>(vars[v].data);
+          crc = crcs[v];
+        } else {
+          incoming = comm.recv_bytes(src, kTagGioData);
+          HACC_CHECK_MSG(incoming.size() == nbytes, "gio fan-in size mismatch");
+          crc = comm.recv_value<std::uint64_t>(src, kTagGioCrc);
+          data = incoming.data();
+        }
+        seek_to(f.get(), lay.offsets[lay.sub(b, v)]);
+        write_all(f.get(), data, nbytes);
+        std::vector<std::byte> trailer;
+        wire::put_u64(trailer, crc);
+        write_all(f.get(), trailer.data(), trailer.size());
+      }
+    }
+  }
+  comm.barrier();  // all data blocks are on disk
+
+  if (rank == 0) {
+    // Redundant header + footer, then the atomic publish: the rename only
+    // happens once every rank's data is complete, so a crash mid-write
+    // leaves `<path>.tmp`, never a truncated `path`.
+    {
+      const auto blob = serialize_header(lay);
+      File f = open_file(tmp, "r+b");
+      seek_to(f.get(), lay.data_end);
+      write_all(f.get(), blob.data(), blob.size());
+      std::vector<std::byte> footer;
+      wire::put_u64(footer, lay.data_end);
+      wire::put_u64(footer, kFooterMagic);
+      write_all(f.get(), footer.data(), footer.size());
+    }
+    HACC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                   "cannot rename " + tmp + " to " + path);
+  }
+  comm.barrier();  // the published file is visible to every rank
+
+  WriteStats stats;
+  stats.file_bytes = lay.file_bytes();
+  for (std::size_t b = 0; b < lay.nblocks(); ++b)
+    for (std::size_t v = 0; v < lay.nvars(); ++v)
+      stats.payload_bytes += lay.bytes[lay.sub(b, v)];
+  stats.aggregators = m;
+  stats.seconds = timer.elapsed();
+  return stats;
+}
+
+ReadReport read(comm::Comm& comm, const std::string& path,
+                std::span<const ReadVar> vars) {
+  static_assert(std::endian::native == std::endian::little,
+                "gio bulk reads assume a little-endian host");
+  const int p = comm.size();
+  const int rank = comm.rank();
+  Timer timer;
+
+  // Rank 0 validates a header copy and broadcasts the blob; every rank
+  // parses the same bytes.
+  std::vector<std::byte> blob;
+  std::uint64_t used_redundant = 0;
+  if (rank == 0) {
+    File f = open_file(path, "rb");
+    bool redundant = false;
+    blob = load_header(f.get(), redundant);
+    used_redundant = redundant ? 1 : 0;
+  }
+  std::uint64_t blob_size = blob.size();
+  blob_size = comm.bcast_value(blob_size, 0);
+  used_redundant = comm.bcast_value(used_redundant, 0);
+  blob.resize(blob_size);
+  comm.bcast(std::span<std::byte>(blob), 0);
+  const Layout lay = parse_header(blob);
+
+  // Resolve requested variables against the file's table.
+  std::vector<std::size_t> file_var(vars.size());
+  for (std::size_t v = 0; v < vars.size(); ++v) {
+    const auto it = std::find(lay.var_names.begin(), lay.var_names.end(),
+                              vars[v].name);
+    HACC_CHECK_MSG(it != lay.var_names.end(),
+                   "gio file has no variable '" + vars[v].name + "'");
+    file_var[v] =
+        static_cast<std::size_t>(std::distance(lay.var_names.begin(), it));
+    HACC_CHECK_MSG(lay.var_types[file_var[v]] == vars[v].type,
+                   "gio variable '" + vars[v].name + "' type mismatch");
+    HACC_CHECK(vars[v].out != nullptr);
+    vars[v].out->clear();
+  }
+
+  // Contiguous block partition: reader r takes [r*B/P, (r+1)*B/P).
+  const std::uint64_t nb = lay.nblocks();
+  const auto b_lo = nb * static_cast<std::uint64_t>(rank) /
+                    static_cast<std::uint64_t>(p);
+  const auto b_hi = nb * (static_cast<std::uint64_t>(rank) + 1) /
+                    static_cast<std::uint64_t>(p);
+
+  ReadReport report;
+  report.meta = lay.meta;
+  report.total_particles = lay.total;
+  report.blocks = nb;
+  report.blocks_read = b_hi - b_lo;
+  report.used_redundant_header = used_redundant != 0;
+  for (std::size_t b = 0; b < lay.nblocks(); ++b)
+    for (std::size_t v = 0; v < lay.nvars(); ++v)
+      report.payload_bytes += lay.bytes[lay.sub(b, v)];
+
+  std::vector<PackedCorrupt> local_corrupt;
+  if (b_lo < b_hi) {
+    File f = open_file(path, "rb");
+    for (std::uint64_t b = b_lo; b < b_hi; ++b) {
+      report.local_particles += lay.counts[b];
+      for (std::size_t v = 0; v < vars.size(); ++v) {
+        const std::size_t fv = file_var[v];
+        const std::uint64_t nbytes = lay.bytes[lay.sub(b, fv)];
+        auto& out = *vars[v].out;
+        const std::size_t at = out.size();
+        out.resize(at + nbytes);
+        bool ok = std::fseek(f.get(),
+                             static_cast<long>(lay.offsets[lay.sub(b, fv)]),
+                             SEEK_SET) == 0 &&
+                  read_all(f.get(), out.data() + at, nbytes);
+        if (ok) {
+          std::byte trailer[kCrcBytes];
+          ok = read_all(f.get(), trailer, kCrcBytes);
+          if (ok) {
+            wire::Cursor c(std::span<const std::byte>(trailer, kCrcBytes));
+            ok = c.u64() == crc64(out.data() + at, nbytes);
+          }
+        }
+        if (!ok) {
+          // Skip-and-report: zero-fill the damaged sub-block and carry on.
+          std::fill(out.begin() + static_cast<std::ptrdiff_t>(at), out.end(),
+                    std::byte{0});
+          local_corrupt.push_back(
+              PackedCorrupt{b, static_cast<std::uint32_t>(fv)});
+        }
+      }
+    }
+  }
+
+  // Fan the per-rank CRC failures in to rank 0, then broadcast the combined
+  // list so the report is identical everywhere.
+  auto all = comm.gatherv(std::span<const PackedCorrupt>(local_corrupt), 0);
+  std::uint64_t n_corrupt = all.size();
+  n_corrupt = comm.bcast_value(n_corrupt, 0);
+  all.resize(n_corrupt);
+  comm.bcast(std::span<PackedCorrupt>(all), 0);
+  for (const auto& c : all) {
+    CorruptRegion r;
+    r.block = c.block;
+    r.var = c.var;
+    r.var_name = lay.var_names[c.var];
+    report.corrupt.push_back(std::move(r));
+  }
+  report.seconds = timer.elapsed();
+  return report;
+}
+
+FileInfo inspect(const std::string& path) {
+  File f = open_file(path, "rb");
+  bool redundant = false;
+  const auto blob = load_header(f.get(), redundant);
+  const Layout lay = parse_header(blob);
+  FileInfo info;
+  info.meta = lay.meta;
+  info.total_particles = lay.total;
+  info.header_bytes = lay.header_bytes;
+  info.file_bytes = lay.file_bytes();
+  info.used_redundant_header = redundant;
+  info.var_names = lay.var_names;
+  info.var_types = lay.var_types;
+  info.block_counts = lay.counts;
+  return info;
+}
+
+namespace {
+void flip_byte_at(const std::string& path, std::uint64_t offset) {
+  File f = open_file(path, "r+b");
+  HACC_CHECK_MSG(offset < file_size(f.get()), "fault offset beyond file end");
+  seek_to(f.get(), offset);
+  unsigned char c = 0;
+  HACC_CHECK(read_all(f.get(), &c, 1));
+  c ^= 0x5a;
+  seek_to(f.get(), offset);
+  write_all(f.get(), &c, 1);
+}
+}  // namespace
+
+void flip_byte_in_variable(const std::string& path, std::uint64_t block,
+                           const std::string& var_name,
+                           std::uint64_t byte_in_block) {
+  File f = open_file(path, "rb");
+  bool redundant = false;
+  const Layout lay = parse_header(load_header(f.get(), redundant));
+  f.reset();
+  const auto it =
+      std::find(lay.var_names.begin(), lay.var_names.end(), var_name);
+  HACC_CHECK_MSG(it != lay.var_names.end(), "no such gio variable");
+  const auto v =
+      static_cast<std::size_t>(std::distance(lay.var_names.begin(), it));
+  HACC_CHECK_MSG(block < lay.nblocks(), "no such gio block");
+  const std::size_t s = lay.sub(block, v);
+  HACC_CHECK_MSG(byte_in_block < lay.bytes[s], "fault beyond sub-block");
+  flip_byte_at(path, lay.offsets[s] + byte_in_block);
+}
+
+void flip_byte_in_primary_header(const std::string& path,
+                                 std::uint64_t byte_offset) {
+  flip_byte_at(path, byte_offset);
+}
+
+}  // namespace hacc::gio

@@ -1,0 +1,155 @@
+// GenericIO-style parallel particle I/O (paper Sec. V; Habib et al. 2016).
+//
+// Production HACC writes its science output through the GenericIO library:
+// a self-describing blocked format where every source rank contributes one
+// block, each block stores its variables as contiguous sub-blocks, and every
+// variable sub-block carries a CRC64 trailer so silent corruption anywhere
+// in the petabyte stream is detected at read time. Writer *aggregation*
+// funnels N ranks' blocks through M writer ranks (the MPI-IO collective
+// aggregator pattern) so the file-system sees few, large, well-formed
+// streams instead of N tiny ones.
+//
+// On-disk layout (all header fields fixed-width little-endian, written
+// field by field — see io/wire.h):
+//
+//   [header blob]                    primary copy, CRC64 trailer
+//   [block 0 var 0][crc64]           data sub-block + 8-byte CRC trailer
+//   [block 0 var 1][crc64]
+//   ...
+//   [block B-1 var V-1][crc64]
+//   [header blob]                    redundant copy (identical bytes)
+//   [footer: u64 redundant-header offset, u64 footer magic]
+//
+// The header blob is: fixed global header, V variable descriptors
+// (24-byte zero-padded name, type, element size), B block descriptors
+// (row count + per-variable absolute offset/byte-size), CRC64 of the blob.
+// Block count B is the *writer-time* rank count; readers may run with any
+// rank count and partition blocks contiguously among themselves
+// (rank-count-elastic restart).
+//
+// Failure policy: a variable sub-block whose CRC fails is zero-filled and
+// reported in ReadReport::corrupt instead of aborting the read; a corrupt
+// primary header falls back to the redundant copy located via the footer.
+// Only a file whose *both* header copies are unusable throws.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+
+namespace hacc::gio {
+
+/// Element types a variable sub-block may hold.
+enum class VarType : std::uint32_t {
+  kFloat32 = 0,
+  kUInt64 = 1,
+  kUInt8 = 2,
+};
+
+/// Bytes per element of a VarType.
+std::size_t var_type_size(VarType t);
+
+/// Simulation metadata carried in the global header.
+struct GlobalMeta {
+  double scale_factor = 0;
+  double box_mpch = 0;
+  std::uint64_t grid = 0;
+};
+
+struct GioConfig {
+  /// Writer aggregation width M: source-rank blocks are funnelled through
+  /// this many writer ranks. 0 = default (min(ranks, 4)); clamped to
+  /// [1, ranks].
+  int aggregators = 0;
+};
+
+/// One variable to write: `data` points at local_count elements of `type`.
+struct WriteVar {
+  std::string name;  ///< at most 24 bytes, unique within the file
+  VarType type = VarType::kFloat32;
+  const void* data = nullptr;
+};
+
+struct WriteStats {
+  std::uint64_t file_bytes = 0;     ///< total file size
+  std::uint64_t payload_bytes = 0;  ///< global particle payload (no headers)
+  int aggregators = 0;              ///< writer count actually used
+  double seconds = 0;               ///< wall time incl. completion barriers
+};
+
+/// Collective blocked write through M aggregator ranks. The file appears
+/// atomically: data goes to `<path>.tmp` and is renamed onto `path` only
+/// after the completion barrier, so a killed run never leaves a truncated
+/// file that parses as a current checkpoint. Throws hacc::Error on I/O
+/// failure (collective error state is NOT synchronized; callers treat a
+/// throw as fatal).
+WriteStats write(comm::Comm& comm, const std::string& path,
+                 const GlobalMeta& meta, std::uint64_t local_count,
+                 std::span<const WriteVar> vars, const GioConfig& cfg = {});
+
+/// One variable to read: bytes for this rank's share of the rows are
+/// appended to `*out` (cleared first), zero-filled where a sub-block's CRC
+/// failed.
+struct ReadVar {
+  std::string name;
+  VarType type = VarType::kFloat32;
+  std::vector<std::byte>* out = nullptr;
+};
+
+/// A variable sub-block (or file region) that failed its CRC on read.
+struct CorruptRegion {
+  std::uint64_t block = 0;  ///< writer-time source rank
+  std::uint32_t var = 0;    ///< index into the file's variable table
+  std::string var_name;
+};
+
+struct ReadReport {
+  GlobalMeta meta;
+  std::uint64_t total_particles = 0;  ///< global rows in the file
+  std::uint64_t local_particles = 0;  ///< rows delivered to this rank
+  std::uint64_t blocks = 0;           ///< blocks in the file
+  std::uint64_t blocks_read = 0;      ///< blocks assigned to this rank
+  bool used_redundant_header = false;
+  /// CRC failures, globally combined (identical on every rank).
+  std::vector<CorruptRegion> corrupt;
+  std::uint64_t payload_bytes = 0;  ///< global particle payload
+  double seconds = 0;
+};
+
+/// Collective elastic read: the file's blocks are partitioned contiguously
+/// over the reader ranks (any count). Every sub-block CRC is verified;
+/// failures are zero-filled and reported, never thrown. Throws hacc::Error
+/// only if both header copies are unusable or a requested variable is
+/// missing/mistyped.
+ReadReport read(comm::Comm& comm, const std::string& path,
+                std::span<const ReadVar> vars);
+
+/// Header summary of a file (serial; used by tests and tools).
+struct FileInfo {
+  GlobalMeta meta;
+  std::uint64_t total_particles = 0;
+  std::uint64_t header_bytes = 0;
+  std::uint64_t file_bytes = 0;
+  bool used_redundant_header = false;
+  std::vector<std::string> var_names;
+  std::vector<VarType> var_types;
+  std::vector<std::uint64_t> block_counts;
+};
+FileInfo inspect(const std::string& path);
+
+// ---- fault injection (tests prove detection/recovery) ----------------------
+
+/// XOR one byte of the given variable sub-block's data region.
+void flip_byte_in_variable(const std::string& path, std::uint64_t block,
+                           const std::string& var_name,
+                           std::uint64_t byte_in_block = 0);
+
+/// XOR one byte inside the primary header blob (the redundant copy must
+/// rescue the read).
+void flip_byte_in_primary_header(const std::string& path,
+                                 std::uint64_t byte_offset = 16);
+
+}  // namespace hacc::gio

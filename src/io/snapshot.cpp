@@ -1,13 +1,28 @@
 #include "io/snapshot.h"
 
+#include <bit>
 #include <cstdio>
+#include <limits>
 #include <memory>
+#include <vector>
 
+#include "io/wire.h"
 #include "util/error.h"
 
 namespace hacc::io {
 
 namespace {
+
+// SoA payload blocks are raw element streams, defined little-endian IEEE;
+// pin the layout so a compiler/ABI change cannot silently corrupt files.
+static_assert(std::endian::native == std::endian::little,
+              "snapshot bulk writes assume a little-endian host");
+static_assert(sizeof(float) == 4 && std::numeric_limits<float>::is_iec559,
+              "snapshot requires 32-bit IEEE float");
+static_assert(sizeof(std::uint64_t) == 8);
+static_assert(sizeof(tree::Role) == 1,
+              "snapshot role block requires a 1-byte Role");
+
 struct FileCloser {
   void operator()(std::FILE* f) const noexcept {
     if (f != nullptr) std::fclose(f);
@@ -26,6 +41,33 @@ void read_bytes(std::FILE* f, void* data, std::size_t bytes,
   HACC_CHECK_MSG(std::fread(data, 1, bytes, f) == bytes, "short read");
   sum = fnv1a(data, bytes, sum);
 }
+
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8 + 8 + 8 + 8;
+
+std::vector<std::byte> serialize_header(const SnapshotHeader& h) {
+  std::vector<std::byte> blob;
+  blob.reserve(kHeaderBytes);
+  wire::put_u64(blob, h.magic);
+  wire::put_u32(blob, h.version);
+  wire::put_u64(blob, h.count);
+  wire::put_f64(blob, h.scale_factor);
+  wire::put_f64(blob, h.box_mpch);
+  wire::put_u64(blob, h.grid);
+  return blob;
+}
+
+SnapshotHeader parse_header(std::span<const std::byte> blob) {
+  wire::Cursor c(blob);
+  SnapshotHeader h;
+  h.magic = c.u64();
+  h.version = c.u32();
+  h.count = c.u64();
+  h.scale_factor = c.f64();
+  h.box_mpch = c.f64();
+  h.grid = c.u64();
+  return h;
+}
+
 }  // namespace
 
 std::uint64_t fnv1a(const void* data, std::size_t bytes, std::uint64_t seed) {
@@ -44,26 +86,37 @@ void write_snapshot(const std::string& path,
   HACC_CHECK(particles.consistent());
   SnapshotHeader h = header;
   h.count = particles.size();
-  File f(std::fopen(path.c_str(), "wb"));
-  HACC_CHECK_MSG(f != nullptr, "cannot open " + path + " for writing");
-  std::uint64_t sum = 0xcbf29ce484222325ULL;
-  write_bytes(f.get(), &h, sizeof(h), sum);
-  const std::size_t n = particles.size();
-  auto block = [&](const auto& v) {
-    write_bytes(f.get(), v.data(), n * sizeof(v[0]), sum);
-  };
-  if (n > 0) {
-    block(particles.x);
-    block(particles.y);
-    block(particles.z);
-    block(particles.vx);
-    block(particles.vy);
-    block(particles.vz);
-    block(particles.mass);
-    block(particles.id);
-    block(particles.role);
+  // Atomic publish: a crash mid-write leaves `<path>.tmp`, never a
+  // truncated snapshot that parses as current.
+  const std::string tmp = path + ".tmp";
+  {
+    File f(std::fopen(tmp.c_str(), "wb"));
+    HACC_CHECK_MSG(f != nullptr, "cannot open " + tmp + " for writing");
+    std::uint64_t sum = 0xcbf29ce484222325ULL;
+    const auto blob = serialize_header(h);
+    write_bytes(f.get(), blob.data(), blob.size(), sum);
+    const std::size_t n = particles.size();
+    auto block = [&](const auto& v) {
+      write_bytes(f.get(), v.data(), n * sizeof(v[0]), sum);
+    };
+    if (n > 0) {
+      block(particles.x);
+      block(particles.y);
+      block(particles.z);
+      block(particles.vx);
+      block(particles.vy);
+      block(particles.vz);
+      block(particles.mass);
+      block(particles.id);
+      block(particles.role);
+    }
+    std::vector<std::byte> trailer;
+    wire::put_u64(trailer, sum);
+    HACC_CHECK(std::fwrite(trailer.data(), 1, trailer.size(), f.get()) ==
+               trailer.size());
   }
-  HACC_CHECK(std::fwrite(&sum, 1, sizeof(sum), f.get()) == sizeof(sum));
+  HACC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot rename " + tmp + " to " + path);
 }
 
 SnapshotHeader read_snapshot(const std::string& path,
@@ -71,10 +124,11 @@ SnapshotHeader read_snapshot(const std::string& path,
   File f(std::fopen(path.c_str(), "rb"));
   HACC_CHECK_MSG(f != nullptr, "cannot open " + path);
   std::uint64_t sum = 0xcbf29ce484222325ULL;
-  SnapshotHeader h;
-  read_bytes(f.get(), &h, sizeof(h), sum);
+  std::vector<std::byte> blob(kHeaderBytes);
+  read_bytes(f.get(), blob.data(), blob.size(), sum);
+  const SnapshotHeader h = parse_header(blob);
   HACC_CHECK_MSG(h.magic == SnapshotHeader{}.magic, "bad snapshot magic");
-  HACC_CHECK_MSG(h.version == 1, "unsupported snapshot version");
+  HACC_CHECK_MSG(h.version == 2, "unsupported snapshot version");
   particles.clear();
   const auto n = static_cast<std::size_t>(h.count);
   particles.x.resize(n);
@@ -100,10 +154,11 @@ SnapshotHeader read_snapshot(const std::string& path,
     block(particles.id);
     block(particles.role);
   }
-  std::uint64_t stored = 0;
-  HACC_CHECK(std::fread(&stored, 1, sizeof(stored), f.get()) ==
-             sizeof(stored));
-  HACC_CHECK_MSG(stored == sum, "snapshot checksum mismatch");
+  std::vector<std::byte> trailer(8);
+  HACC_CHECK(std::fread(trailer.data(), 1, trailer.size(), f.get()) ==
+             trailer.size());
+  HACC_CHECK_MSG(wire::Cursor(trailer).u64() == sum,
+                 "snapshot checksum mismatch");
   HACC_CHECK(particles.consistent());
   return h;
 }

@@ -5,6 +5,13 @@
 // single-file format: fixed header, SoA blocks (so readers can pull one
 // component without touching the rest), and an FNV-1a checksum trailer for
 // corruption detection.
+//
+// Version 2: the header is serialized field by field with fixed-width
+// little-endian writes (io/wire.h) instead of a raw struct dump, so files
+// are portable across compilers/ABIs, and the writer publishes atomically
+// (write `<path>.tmp`, rename on success). Parallel checkpoints use the
+// gio/ subsystem; this single-file path remains for rank-local tooling and
+// analysis dumps.
 #pragma once
 
 #include <cstdint>
@@ -16,14 +23,15 @@ namespace hacc::io {
 
 struct SnapshotHeader {
   std::uint64_t magic = 0x48414343534e4150ULL;  // "HACCSNAP"
-  std::uint32_t version = 1;
+  std::uint32_t version = 2;
   std::uint64_t count = 0;
   double scale_factor = 0;
   double box_mpch = 0;
   std::uint64_t grid = 0;
 };
 
-/// Write active+passive particles as-is. Throws hacc::Error on I/O failure.
+/// Write active+passive particles as-is. The file appears atomically
+/// (tmp + rename). Throws hacc::Error on I/O failure.
 void write_snapshot(const std::string& path,
                     const tree::ParticleArray& particles,
                     const SnapshotHeader& header);

@@ -246,6 +246,30 @@ TEST_P(CollectiveTest, GatherToEveryRoot) {
   });
 }
 
+TEST_P(CollectiveTest, GathervConcatenatesVariableContributions) {
+  const int p = GetParam();
+  Machine::run(p, [&](Comm& c) {
+    // Rank r contributes r elements (rank 0 none): the fan-in used by the
+    // gio aggregation layer.
+    std::vector<int> mine;
+    for (int i = 0; i < c.rank(); ++i) mine.push_back(c.rank() * 100 + i);
+    std::vector<std::size_t> counts;
+    const auto all = c.gatherv(std::span<const int>(mine), 0, &counts);
+    if (c.rank() == 0) {
+      ASSERT_EQ(counts.size(), static_cast<std::size_t>(p));
+      std::size_t at = 0;
+      for (int r = 0; r < p; ++r) {
+        EXPECT_EQ(counts[static_cast<std::size_t>(r)],
+                  static_cast<std::size_t>(r));
+        for (int i = 0; i < r; ++i) EXPECT_EQ(all[at++], r * 100 + i);
+      }
+      EXPECT_EQ(all.size(), at);
+    } else {
+      EXPECT_TRUE(all.empty());
+    }
+  });
+}
+
 TEST_P(CollectiveTest, Allgather) {
   const int p = GetParam();
   Machine::run(p, [&](Comm& c) {

@@ -3,7 +3,9 @@
 // Simulation driver's basic mechanics.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstring>
 #include <filesystem>
 #include <map>
 #include <set>
@@ -11,6 +13,7 @@
 #include "comm/comm.h"
 #include "core/domain.h"
 #include "core/simulation.h"
+#include "gio/gio.h"
 #include "util/rng.h"
 
 namespace hacc::core {
@@ -325,8 +328,8 @@ TEST(Simulation, CheckpointRestartReproducesRun) {
       for (std::size_t i = 0; i < all.size(); ++i)
         resumed[all.id[i]] = {all.x[i], all.y[i], all.z[i]};
     }
-    std::filesystem::remove(path + ".rank" + std::to_string(c.rank()));
   });
+  std::filesystem::remove(path);
   ASSERT_EQ(straight.size(), resumed.size());
   for (const auto& [id, pos] : straight) {
     const auto& r = resumed.at(id);
@@ -355,8 +358,117 @@ TEST(Simulation, ReadCheckpointRejectsMismatchedConfig) {
     other.grid = 24;  // different grid: must be refused
     Simulation sim2(c, cosmo, other);
     EXPECT_THROW(sim2.read_checkpoint(path), Error);
-    std::filesystem::remove(path + ".rank0");
+    std::filesystem::remove(path);
   });
+}
+
+TEST(Simulation, CheckpointIsRankCountElastic) {
+  // Satellite of the gio subsystem: a checkpoint written on 4 ranks must
+  // restore bit-identically on 1, 2 and 8 ranks, and a subsequent step must
+  // reproduce the uninterrupted run's power spectrum.
+  SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 16;
+  cfg.box_mpch = 32.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cfg.steps = 3;
+  cfg.subcycles = 2;
+  cfg.overload = 3.0;
+  cfg.io_aggregators = 2;  // exercise a non-trivial fan-in
+  cosmology::Cosmology cosmo;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hacc_ckpt_elastic").string();
+
+  // Uninterrupted 4-rank reference: state at the checkpoint (bit patterns)
+  // and the power spectrum one step later.
+  std::map<std::uint64_t, std::array<std::uint32_t, 6>> at_ckpt;
+  std::vector<cosmology::PowerBin> ref_spectrum;
+  auto bits = [](float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+  };
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.step();
+    sim.step();
+    sim.write_checkpoint(path);
+    auto all = sim.gather_active();
+    if (c.rank() == 0) {
+      for (std::size_t i = 0; i < all.size(); ++i)
+        at_ckpt[all.id[i]] = {bits(all.x[i]),  bits(all.y[i]),
+                              bits(all.z[i]),  bits(all.vx[i]),
+                              bits(all.vy[i]), bits(all.vz[i])};
+    }
+    sim.step();
+    auto ps = sim.power_spectrum(16);
+    if (c.rank() == 0) ref_spectrum = ps;
+  });
+  ASSERT_EQ(at_ckpt.size(), 16u * 16 * 16);
+
+  for (int ranks : {1, 2, 8}) {
+    std::map<std::uint64_t, std::array<std::uint32_t, 6>> restored;
+    std::vector<cosmology::PowerBin> spectrum;
+    comm::Machine::run(ranks, [&](comm::Comm& c) {
+      Simulation sim(c, cosmo, cfg);
+      sim.read_checkpoint(path);
+      EXPECT_EQ(sim.steps_taken(), 2);
+      auto all = sim.gather_active();
+      if (c.rank() == 0) {
+        for (std::size_t i = 0; i < all.size(); ++i)
+          restored[all.id[i]] = {bits(all.x[i]),  bits(all.y[i]),
+                                 bits(all.z[i]),  bits(all.vx[i]),
+                                 bits(all.vy[i]), bits(all.vz[i])};
+      }
+      sim.step();
+      auto ps = sim.power_spectrum(16);
+      if (c.rank() == 0) spectrum = ps;
+    });
+    // Bit-identical restore of every particle, at any rank count.
+    ASSERT_EQ(restored.size(), at_ckpt.size()) << ranks << " ranks";
+    for (const auto& [id, f] : at_ckpt)
+      ASSERT_EQ(restored.at(id), f) << "id " << id << " @ " << ranks;
+    // One further step reproduces the uninterrupted spectrum (different
+    // rank counts change only the float summation order).
+    ASSERT_EQ(spectrum.size(), ref_spectrum.size());
+    for (std::size_t b = 0; b < spectrum.size(); ++b) {
+      EXPECT_EQ(spectrum[b].modes, ref_spectrum[b].modes);
+      if (ref_spectrum[b].modes == 0) continue;
+      EXPECT_NEAR(spectrum[b].power, ref_spectrum[b].power,
+                  1e-3 * std::abs(ref_spectrum[b].power) + 1e-12)
+          << "bin " << b << " @ " << ranks << " ranks";
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Simulation, ReadCheckpointRefusesCorruptBlocks) {
+  SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 8;
+  cfg.overload = 3.0;
+  cosmology::Cosmology cosmo;
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hacc_ckpt_corrupt").string();
+  comm::Machine::run(2, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.write_checkpoint(path);
+  });
+  gio::flip_byte_in_variable(path, 1, "vx", 7);
+  comm::Machine::run(2, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    try {
+      sim.read_checkpoint(path);
+      FAIL() << "corrupt checkpoint must be refused";
+    } catch (const Error& e) {
+      // The refusal names the damaged block so operators can react.
+      EXPECT_NE(std::string(e.what()).find("vx"), std::string::npos);
+    }
+  });
+  std::filesystem::remove(path);
 }
 
 TEST(Simulation, TimersCoverTheExpectedPhases) {

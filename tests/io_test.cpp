@@ -102,6 +102,32 @@ TEST(Snapshot, RejectsBadMagic) {
   fs::remove(path);
 }
 
+TEST(Snapshot, HeaderIsFixedWidthLittleEndianAndWriteIsAtomic) {
+  const std::string path = temp_path("hacc_snap_wire.bin");
+  auto p = sample_particles(3);
+  SnapshotHeader h;
+  h.scale_factor = 1.0;
+  write_snapshot(path, p, h);
+  // Atomic publish: the staging file must be gone.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+  // The header is defined little-endian field by field (44 bytes), not a
+  // struct dump: magic, then version 2 immediately after (no padding).
+  std::ifstream f(path, std::ios::binary);
+  unsigned char head[12];
+  f.read(reinterpret_cast<char*>(head), sizeof(head));
+  std::uint64_t magic = 0;
+  for (int i = 0; i < 8; ++i)
+    magic |= static_cast<std::uint64_t>(head[i]) << (8 * i);
+  EXPECT_EQ(magic, SnapshotHeader{}.magic);
+  std::uint32_t version = 0;
+  for (int i = 0; i < 4; ++i)
+    version |= static_cast<std::uint32_t>(head[8 + i]) << (8 * i);
+  EXPECT_EQ(version, 2u);
+  const std::size_t payload = 3 * (7 * 4 + 8 + 1);
+  EXPECT_EQ(fs::file_size(path), 44 + payload + 8);
+  fs::remove(path);
+}
+
 TEST(Fnv, KnownVector) {
   // FNV-1a of "a" from the reference implementation.
   EXPECT_EQ(fnv1a("a", 1), 0xaf63dc4c8601ec8cULL);
