@@ -1,0 +1,129 @@
+// Per-step phase breakdown: the paper's Sec. III operating-point table
+// (force kernel / tree walk+build / FFT / CIC / refresh / comm) measured on
+// a real multi-rank Simulation::run through the observability ledger.
+//
+// Runs a small PPTreePM simulation on 4 SimMPI ranks with the run ledger
+// enabled, prints the reduced per-phase table (mean over ranks, percent of
+// step wall, max/mean imbalance) plus the paper-style rollup per step, and
+// emits every StepRecord to BENCH_step.json: step wall min/mean/max,
+// time-per-substep-per-particle (Table II's weak-scaling invariant),
+// momentum drift, the breakdown, and the comm byte counters.
+//
+// Environment knobs: HACC_STEP_RANKS, HACC_STEP_GRID, HACC_STEP_NP,
+// HACC_STEP_STEPS, HACC_STEP_SUBCYCLES; set HACC_STEP_TRACE=<path> to also
+// write the merged Chrome trace (open in Perfetto, or summarize with
+// scripts/trace_summary.py).
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "obs/ledger.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace hacc;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+double counter_mean(const obs::StepRecord& rec, const char* name) {
+  auto it = rec.counters.find(name);
+  return it == rec.counters.end() ? 0.0 : it->second.mean;
+}
+
+void write_json(const char* path, const std::vector<obs::StepRecord>& records,
+                int ranks, const core::SimulationConfig& cfg) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"step_breakdown\",\n"
+               "  \"ranks\": %d, \"grid\": %zu, \"particles_per_dim\": %zu, "
+               "\"subcycles\": %d,\n  \"samples\": [\n",
+               ranks, cfg.grid, cfg.particles_per_dim, cfg.subcycles);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"step\": %d, \"z\": %.4f, "
+        "\"wall_s\": {\"min\": %.6f, \"mean\": %.6f, \"max\": %.6f}, "
+        "\"t_per_substep_per_particle\": %.6e, \"momentum_drift\": %.6e, "
+        "\"kernel_s\": %.6f, \"walk_build_s\": %.6f, \"fft_s\": %.6f, "
+        "\"cic_s\": %.6f, \"refresh_s\": %.6f, \"comm_s\": %.6f, "
+        "\"other_s\": %.6f, \"alltoall_bytes_per_rank\": %.0f, "
+        "\"peak_rss_bytes\": %zu}%s\n",
+        r.step, r.z, r.wall.min, r.wall.mean, r.wall.max,
+        r.t_per_substep_per_particle, r.momentum_drift,
+        r.breakdown.at("kernel"), r.breakdown.at("walk_build"),
+        r.breakdown.at("fft"), r.breakdown.at("cic"),
+        r.breakdown.at("refresh"), r.breakdown.at("comm"),
+        r.breakdown.at("other"),
+        counter_mean(r, "comm.alltoall.bytes_sent"),
+        static_cast<std::size_t>(r.peak_rss_bytes),
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote %zu samples to %s\n", records.size(), path);
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = env_int("HACC_STEP_RANKS", 4);
+  core::SimulationConfig cfg;
+  cfg.grid = static_cast<std::size_t>(env_int("HACC_STEP_GRID", 32));
+  cfg.particles_per_dim =
+      static_cast<std::size_t>(env_int("HACC_STEP_NP", 24));
+  cfg.steps = env_int("HACC_STEP_STEPS", 3);
+  cfg.subcycles = env_int("HACC_STEP_SUBCYCLES", 3);
+  cfg.overload = 2.0;
+  cfg.ledger_path = "BENCH_step_ledger.jsonl";
+  if (const char* trace = std::getenv("HACC_STEP_TRACE")) cfg.trace_path = trace;
+  cosmology::Cosmology cosmo;
+
+  std::printf(
+      "Per-step phase breakdown: %d ranks, %zu^3 grid, %zu^3 particles, "
+      "%d steps x %d subcycles\n\n",
+      ranks, cfg.grid, cfg.particles_per_dim, cfg.steps, cfg.subcycles);
+
+  std::vector<obs::StepRecord> records;
+  comm::Machine::run(ranks, [&](comm::Comm& c) {
+    core::Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();  // prints the reduced phase table on rank 0
+    if (c.rank() == 0) records = sim.ledger().records();
+  });
+
+  // Paper-style rollup per step (Sec. III: kernel dominates, then walk).
+  Table t({"step", "z", "wall [s]", "kernel", "walk+build", "fft", "cic",
+           "refresh", "comm", "other", "t/substep/part [s]"});
+  for (const auto& r : records) {
+    auto pct = [&](const char* k) {
+      return r.wall.mean > 0
+                 ? Table::fixed(100.0 * r.breakdown.at(k) / r.wall.mean, 1) +
+                       "%"
+                 : std::string("-");
+    };
+    char tpp[32];
+    std::snprintf(tpp, sizeof(tpp), "%.2e", r.t_per_substep_per_particle);
+    t.add_row({Table::integer(r.step), Table::fixed(r.z, 2),
+               Table::fixed(r.wall.mean, 3), pct("kernel"), pct("walk_build"),
+               pct("fft"), pct("cic"), pct("refresh"), pct("comm"),
+               pct("other"), tpp});
+  }
+  std::printf("\nPaper-style rollup (percent of step wall):\n");
+  t.print(std::cout);
+
+  write_json("BENCH_step.json", records, ranks, cfg);
+  return 0;
+}

@@ -8,6 +8,11 @@
 #    I/O test binaries (io_test, gio_test), and run them — the checkpoint
 #    writer/reader funnels raw byte spans through threads, which is exactly
 #    where ASan earns its keep.
+# 3. Configure a third tree with -DHACC_SANITIZE=thread and run obs_test and
+#    comm_test — the tracer ring, the counter atomics and the comm telemetry
+#    thread-locals are all shared across SimMPI rank threads and OpenMP
+#    workers, so TSan gates every data-race regression in the observability
+#    layer.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,5 +36,15 @@ echo "== asan: io_test =="
 "$ASAN_BUILD/tests/io_test"
 echo "== asan: gio_test =="
 "$ASAN_BUILD/tests/gio_test"
+
+TSAN_BUILD="${BUILD}-tsan"
+echo "== tsan: configure + build obs_test comm_test (${TSAN_BUILD}) =="
+cmake -B "$TSAN_BUILD" -S . -DHACC_SANITIZE=thread >/dev/null
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target obs_test comm_test
+
+echo "== tsan: obs_test =="
+"$TSAN_BUILD/tests/obs_test"
+echo "== tsan: comm_test =="
+"$TSAN_BUILD/tests/comm_test"
 
 echo "== check.sh: all green =="

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace_event JSON produced by the obs tracer.
+
+Usage: scripts/trace_summary.py TRACE.json [-n TOP] [--per-rank]
+
+Reads the trace array written by obs::write_merged_trace (or
+Tracer::write_chrome_trace), aggregates the "X" (complete) events by phase
+name, and prints the top-N phases by total time: call count, total/mean
+milliseconds, and share of the summed span time. With --per-rank the same
+table is broken out per pid (= SimMPI rank), which makes load imbalance
+visible straight from the trace without opening Perfetto.
+
+Stdlib only.
+"""
+
+import argparse
+import collections
+import json
+import sys
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    if isinstance(data, dict):  # Chrome's object form: {"traceEvents": [...]}
+        data = data.get("traceEvents", [])
+    if not isinstance(data, list):
+        raise SystemExit(f"{path}: expected a trace_event array")
+    return [e for e in data if isinstance(e, dict) and e.get("ph") == "X"]
+
+
+def aggregate(events, key):
+    agg = collections.defaultdict(lambda: [0, 0.0])  # key -> [count, total_us]
+    for e in events:
+        a = agg[key(e)]
+        a[0] += 1
+        a[1] += float(e.get("dur", 0.0))
+    return agg
+
+
+def print_table(rows, header):
+    widths = [max(len(str(r[i])) for r in [header] + rows) for i in range(len(header))]
+    for r in [header, ["-" * w for w in widths]] + rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(r, widths)))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("trace", help="Chrome trace_event JSON file")
+    ap.add_argument("-n", "--top", type=int, default=15,
+                    help="show the top N phases (default 15)")
+    ap.add_argument("--per-rank", action="store_true",
+                    help="break the summary out per pid (rank)")
+    args = ap.parse_args()
+
+    events = load_events(args.trace)
+    if not events:
+        print(f"{args.trace}: no complete ('X') events")
+        return
+
+    ranks = sorted({e.get("pid", 0) for e in events})
+    total_us = sum(float(e.get("dur", 0.0)) for e in events)
+    print(f"{args.trace}: {len(events)} spans across {len(ranks)} rank(s)")
+
+    key = (lambda e: (e.get("pid", 0), e.get("name", "?"))) if args.per_rank \
+        else (lambda e: e.get("name", "?"))
+    agg = aggregate(events, key)
+    top = sorted(agg.items(), key=lambda kv: kv[1][1], reverse=True)[: args.top]
+
+    rows = []
+    for k, (count, us) in top:
+        name = f"rank{k[0]}:{k[1]}" if args.per_rank else k
+        share = 100.0 * us / total_us if total_us > 0 else 0.0
+        rows.append([name, count, f"{us / 1000.0:.3f}",
+                     f"{us / 1000.0 / count:.4f}", f"{share:.1f}%"])
+    print_table(rows, ["phase", "calls", "total ms", "mean ms", "share"])
+
+    if not args.per_rank and len(ranks) > 1:
+        # Imbalance hint: total span time per rank.
+        per_rank = aggregate(events, lambda e: e.get("pid", 0))
+        times = {r: v[1] for r, v in per_rank.items()}
+        mean = sum(times.values()) / len(times)
+        worst = max(times.values())
+        print(f"\nper-rank span time: mean {mean/1000.0:.3f} ms, "
+              f"max {worst/1000.0:.3f} ms "
+              f"(imbalance {worst/mean:.2f})" if mean > 0 else "")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

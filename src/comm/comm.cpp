@@ -44,6 +44,7 @@ void Comm::send_bytes(int dest, int tag,
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(bytes.begin(), bytes.end());
+  telemetry::on_send(msg.payload.size());
   mailbox_of(dest).deliver(std::move(msg));
 }
 
@@ -55,13 +56,17 @@ void Comm::send_bytes(int dest, int tag, std::vector<std::byte>&& bytes) const {
   msg.source = rank_;
   msg.tag = tag;
   msg.payload = std::move(bytes);
+  telemetry::on_send(msg.payload.size());
   mailbox_of(dest).deliver(std::move(msg));
 }
 
 std::vector<std::byte> Comm::recv_bytes(int source, int tag) const {
   HACC_CHECK(valid());
   HACC_CHECK_MSG(source >= 0 && source < size(), "recv: bad source rank");
-  return mailbox_of(rank_).receive(context_, source, tag).payload;
+  std::vector<std::byte> payload =
+      mailbox_of(rank_).receive(context_, source, tag).payload;
+  telemetry::on_recv(payload.size());
+  return payload;
 }
 
 Mailbox& Comm::mailbox_of(int rank_in_comm) const {
@@ -70,6 +75,7 @@ Mailbox& Comm::mailbox_of(int rank_in_comm) const {
 
 void Comm::barrier() const {
   // Dissemination barrier: log2(P) rounds of buffered send + blocking recv.
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kBarrier);
   constexpr int kTagBarrier = -100;
   const int p = size();
   std::byte token{0};
@@ -82,6 +88,7 @@ void Comm::barrier() const {
 }
 
 void Comm::bcast_bytes(std::span<std::byte> data, int root) const {
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kBcast);
   constexpr int kTagBcast = -99;
   const int p = size();
   const int vrank = (rank_ - root + p) % p;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "comm/message.h"
+#include "comm/telemetry.h"
 #include "util/error.h"
 
 namespace hacc::comm {
@@ -137,6 +138,7 @@ class Comm {
   template <typename T>
   T exscan_sum(T value) const {
     static_assert(std::is_trivially_copyable_v<T>);
+    telemetry::OpGuard telemetry_guard(telemetry::Op::kScan);
     constexpr int kTagScan = -106;
     T prefix{};
     if (rank_ > 0) prefix = recv_value<T>(rank_ - 1, kTagScan);
@@ -254,6 +256,7 @@ inline constexpr int kTagGatherv = -107;
 template <typename T>
 void Comm::reduce(std::span<T> data, ReduceOp op, int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kReduce);
   // Rotate ranks so `root` acts as rank 0 of the binomial tree.
   const int p = size();
   const int vrank = (rank_ - root + p) % p;
@@ -276,6 +279,7 @@ template <typename T>
 void Comm::gather(std::span<const T> send_buf, std::span<T> recv_buf,
                   int root) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kGather);
   if (rank_ == root) {
     HACC_CHECK(recv_buf.size() ==
                send_buf.size() * static_cast<std::size_t>(size()));
@@ -296,6 +300,7 @@ void Comm::gather(std::span<const T> send_buf, std::span<T> recv_buf,
 template <typename T>
 void Comm::allgather(std::span<const T> send_buf, std::span<T> recv_buf) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kAllgather);
   const int p = size();
   const std::size_t chunk = send_buf.size();
   HACC_CHECK(recv_buf.size() == chunk * static_cast<std::size_t>(p));
@@ -321,6 +326,7 @@ template <typename T>
 std::vector<T> Comm::gatherv(std::span<const T> send_buf, int root,
                              std::vector<std::size_t>* counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kGatherv);
   std::vector<T> out;
   if (rank_ == root) {
     if (counts != nullptr) counts->assign(static_cast<std::size_t>(size()), 0);
@@ -355,6 +361,7 @@ void Comm::alltoallv_into(std::span<const T> send_buf,
                           std::vector<T>& recv_buf,
                           std::vector<std::size_t>& recv_counts) const {
   static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kAlltoall);
   const int p = size();
   HACC_CHECK(send_counts.size() == static_cast<std::size_t>(p));
 

@@ -3,9 +3,17 @@
 #include <cmath>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace hacc::core {
 
 namespace {
+
+const NameId kTrcRefresh = intern_name("refresh");
+const NameId kCtrMigrated = obs::counter_id("refresh.migrated");
+const NameId kCtrRefreshed = obs::counter_id("refresh.particles");
+const NameId kGaugeActive = obs::gauge_id("refresh.active");
+const NameId kGaugePassive = obs::gauge_id("refresh.passive");
 
 /// Wire format for particle exchange (trivially copyable).
 struct PackedParticle {
@@ -51,6 +59,7 @@ std::array<std::size_t, 2> OverloadDomain::census(
 
 RefreshStats OverloadDomain::refresh(comm::Comm& comm,
                                      tree::ParticleArray& particles) const {
+  obs::TraceScope trace(kTrcRefresh);
   const auto& dims = decomp_.grid_dims();
   const auto& topo = decomp_.topology();
   const int p = comm.size();
@@ -179,6 +188,10 @@ RefreshStats OverloadDomain::refresh(comm::Comm& comm,
   stats.active = counts2[0];
   stats.passive = counts2[1];
   stats.migrated = migrated;
+  obs::add_counter(kCtrMigrated, stats.migrated);
+  obs::add_counter(kCtrRefreshed, stats.active + stats.passive);
+  obs::set_gauge(kGaugeActive, stats.active);
+  obs::set_gauge(kGaugePassive, stats.passive);
   return stats;
 }
 

@@ -1,14 +1,40 @@
 #include "core/simulation.h"
 
+#include <algorithm>
 #include <cmath>
+#include <iostream>
 #include <numbers>
 
 #include "gio/particle_io.h"
 #include "mesh/cic.h"
+#include "obs/obs.h"
+#include "obs/reduce.h"
 
 namespace hacc::core {
 
 using cosmology::Cosmology;
+
+namespace {
+
+// Pre-interned phase ids: scope() on a string re-probes the intern table;
+// these run every (sub)step.
+const NameId kPhaseStep = intern_name(TimerRegistry::kRootPhase);
+const NameId kPhaseInit = intern_name("init");
+const NameId kPhaseCic = intern_name("cic");
+const NameId kPhaseGridExchange = intern_name("grid-exchange");
+const NameId kPhasePoisson = intern_name("poisson");
+const NameId kPhaseLrKick = intern_name("lr-kick");
+const NameId kPhaseTreeBuild = intern_name("tree-build");
+const NameId kPhaseSrKernel = intern_name("sr-kernel");
+const NameId kPhaseStream = intern_name("stream");
+const NameId kPhaseRefresh = intern_name("refresh");
+const NameId kPhaseCheckpoint = intern_name("checkpoint");
+
+const NameId kCtrInteractions = obs::counter_id("tree.pp_interactions");
+const NameId kCtrWalkVisits = obs::counter_id("tree.walk_visits");
+const NameId kGaugePeakRss = obs::gauge_id("mem.peak_rss_bytes");
+
+}  // namespace
 
 Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
                        const SimulationConfig& config)
@@ -59,7 +85,8 @@ Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
 }
 
 void Simulation::initialize() {
-  auto scope = timers_.scope("init");
+  obs::Binding binding(&tracer_, &counters_);
+  auto scope = timers_.scope(kPhaseInit);
   cosmology::IcConfig ic = config_.ic;
   ic.particles_per_dim = config_.particles_per_dim;
   ic.box_mpch = config_.box_mpch;
@@ -74,7 +101,7 @@ void Simulation::initialize() {
 mesh::DistGrid Simulation::density_contrast() {
   mesh::DistGrid rho(decomp_, world_.rank(), grid_ghost_);
   {
-    auto scope = timers_.scope("cic");
+    auto scope = timers_.scope(kPhaseCic);
     // Deposit *active* particles only (passives are someone else's mass).
     std::vector<float> xs, ys, zs;
     xs.reserve(particles_.size());
@@ -93,7 +120,7 @@ mesh::DistGrid Simulation::density_contrast() {
     }
   }
   {
-    auto scope = timers_.scope("grid-exchange");
+    auto scope = timers_.scope(kPhaseGridExchange);
     rho.fold_ghosts(world_);
   }
   mesh::to_density_contrast(rho, world_);
@@ -107,15 +134,15 @@ void Simulation::long_range_kick(double a0, double a1) {
       mesh::DistGrid(decomp_, world_.rank(), grid_ghost_),
       mesh::DistGrid(decomp_, world_.rank(), grid_ghost_)};
   {
-    auto scope = timers_.scope("poisson");
+    auto scope = timers_.scope(kPhasePoisson);
     poisson_->solve(world_, delta, force);
   }
   {
-    auto scope = timers_.scope("grid-exchange");
+    auto scope = timers_.scope(kPhaseGridExchange);
     for (auto& f : force) f.fill_ghosts(world_);
   }
   // Kick every local particle (active and passive).
-  auto scope = timers_.scope("lr-kick");
+  auto scope = timers_.scope(kPhaseLrKick);
   const double factor = 1.5 * cosmo_.omega_m * cosmo_.kick_factor(a0, a1);
   std::vector<float> gx(particles_.size()), gy(particles_.size()),
       gz(particles_.size());
@@ -146,15 +173,17 @@ void Simulation::apply_short_kick(double coeff) {
       // Multiple trees per rank (Sec. VI): parallel builds, same physics.
       std::unique_ptr<tree::MultiTree> forest;
       {
-        auto scope = timers_.scope("tree-build");
+        auto scope = timers_.scope(kPhaseTreeBuild);
         forest = std::make_unique<tree::MultiTree>(
             particles_, tree::MultiTreeConfig{
                             config_.tree_splits,
                             tree::RcbConfig{config_.leaf_size}});
       }
-      auto scope = timers_.scope("sr-kernel");
+      auto scope = timers_.scope(kPhaseSrKernel);
       stats_ = tree::compute_short_range_multi(*forest, kernel_, sr_ax_,
                                                sr_ay_, sr_az_, mass_scale_);
+      obs::add_counter(kCtrInteractions, stats_.interactions);
+      obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
       const auto c2 = static_cast<float>(coeff);
       for (std::size_t i = 0; i < particles_.size(); ++i) {
         particles_.vx[i] += c2 * sr_ax_[i];
@@ -165,17 +194,21 @@ void Simulation::apply_short_kick(double coeff) {
     }
     std::unique_ptr<tree::RcbTree> rcb;
     {
-      auto scope = timers_.scope("tree-build");
+      auto scope = timers_.scope(kPhaseTreeBuild);
       rcb = std::make_unique<tree::RcbTree>(
           particles_, tree::RcbConfig{config_.leaf_size});
     }
-    auto scope = timers_.scope("sr-kernel");
+    auto scope = timers_.scope(kPhaseSrKernel);
     stats_ = tree::compute_short_range(*rcb, kernel_, sr_ax_, sr_ay_, sr_az_,
                                        mass_scale_);
+    obs::add_counter(kCtrInteractions, stats_.interactions);
+    obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
   } else {
-    auto scope = timers_.scope("sr-kernel");
+    auto scope = timers_.scope(kPhaseSrKernel);
     stats_ = p3m::compute_short_range_p3m(particles_, kernel_, sr_ax_, sr_ay_,
                                           sr_az_, mass_scale_);
+    obs::add_counter(kCtrInteractions, stats_.interactions);
+    obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
   }
   const auto c = static_cast<float>(coeff);
   for (std::size_t i = 0; i < particles_.size(); ++i) {
@@ -186,7 +219,7 @@ void Simulation::apply_short_kick(double coeff) {
 }
 
 void Simulation::drift(double factor) {
-  auto scope = timers_.scope("stream");
+  auto scope = timers_.scope(kPhaseStream);
   const auto f = static_cast<float>(factor);
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     particles_.x[i] += f * particles_.vx[i];
@@ -214,6 +247,8 @@ void Simulation::short_range_subcycles(double a0, double a1) {
 }
 
 void Simulation::step() {
+  obs::Binding binding(&tracer_, &counters_);
+  auto step_scope = timers_.scope(kPhaseStep);
   const double a0 = a_;
   const double a_final = Cosmology::a_of_z(config_.z_final);
   const double a_init = Cosmology::a_of_z(config_.z_initial);
@@ -225,7 +260,7 @@ void Simulation::step() {
   short_range_subcycles(a0, a1);  // (M_sr(t/n_c))^{n_c}
   long_range_kick(am, a1);        // M_lr(t/2)
   {
-    auto scope = timers_.scope("refresh");
+    auto scope = timers_.scope(kPhaseRefresh);
     domain_->refresh(world_, particles_);
   }
   a_ = a1;
@@ -233,7 +268,106 @@ void Simulation::step() {
 }
 
 void Simulation::run() {
-  for (int s = 0; s < config_.steps; ++s) step();
+  const bool ledger_on = !config_.ledger_path.empty();
+  const bool trace_on = !config_.trace_path.empty();
+  if (trace_on) tracer_.set_enabled(true);
+  if (ledger_on) {
+    // Reset the delta baselines so constructor/initialize() phases and
+    // counters do not leak into the first step's record.
+    (void)ledger_phase_deltas();
+    (void)ledger_counter_samples();
+  }
+  for (int s = 0; s < config_.steps; ++s) {
+    step();
+    if (ledger_on) record_step_ledger();
+  }
+  if (ledger_on && world_.rank() == 0) {
+    ledger_.write_jsonl(config_.ledger_path);
+    ledger_.print_phase_table(std::cout);
+  }
+  if (trace_on) obs::write_merged_trace(world_, tracer_, config_.trace_path);
+}
+
+std::vector<std::pair<NameId, double>> Simulation::ledger_phase_deltas() {
+  std::vector<std::pair<NameId, double>> out;
+  auto emit = [&](NameId id, double total_now) {
+    if (prev_phase_seconds_.size() <= id)
+      prev_phase_seconds_.resize(static_cast<std::size_t>(id) + 1, 0.0);
+    const double delta = total_now - prev_phase_seconds_[id];
+    prev_phase_seconds_[id] = total_now;
+    if (delta > 0) out.emplace_back(id, delta);
+  };
+  for (const auto& t : timers_.totals()) emit(t.id, t.seconds);
+  // The Poisson solver's internal registry uses bare names ("remap", "fft",
+  // "kernel"); re-key them under a "poisson." prefix so the ledger keeps
+  // solver-internal and driver phases apart.
+  for (const auto& t : poisson_->timers().totals()) {
+    const std::string prefixed = "poisson." + std::string(name_of(t.id));
+    emit(intern_name(prefixed), t.seconds);
+  }
+  return out;
+}
+
+std::vector<std::pair<NameId, double>> Simulation::ledger_counter_samples() {
+  counters_.set(kGaugePeakRss, obs::peak_rss_bytes());
+  std::vector<std::pair<NameId, double>> out;
+  for (const auto& s : counters_.snapshot()) {
+    if (obs::kind_of(s.id) == obs::CounterKind::kGauge) {
+      out.emplace_back(s.id, static_cast<double>(s.value));
+      continue;
+    }
+    if (prev_counters_.size() <= s.id)
+      prev_counters_.resize(static_cast<std::size_t>(s.id) + 1, 0);
+    const std::uint64_t delta = s.value - prev_counters_[s.id];
+    prev_counters_[s.id] = s.value;
+    if (delta != 0) out.emplace_back(s.id, static_cast<double>(delta));
+  }
+  return out;
+}
+
+void Simulation::record_step_ledger() {
+  // Deliberately *not* bound to the counters: the ledger's own reductions
+  // would otherwise pollute the next step's comm deltas.
+  const auto phase_samples = ledger_phase_deltas();
+  const auto counter_samples = ledger_counter_samples();
+  const std::array<double, 3> momentum = total_momentum();
+  if (!momentum0_) momentum0_ = momentum;
+  const auto phases = obs::reduce_samples(
+      world_, std::span<const std::pair<NameId, double>>(phase_samples));
+  const auto counters = obs::reduce_samples(
+      world_, std::span<const std::pair<NameId, double>>(counter_samples));
+  if (world_.rank() != 0) return;  // reductions land on the root only
+
+  obs::StepRecord rec;
+  rec.step = steps_taken_;
+  rec.a = a_;
+  rec.z = current_z();
+  rec.momentum = momentum;
+  double drift = 0;
+  for (int d = 0; d < 3; ++d)
+    drift = std::max(drift, std::abs(momentum[static_cast<std::size_t>(d)] -
+                                     (*momentum0_)[static_cast<std::size_t>(d)]));
+  rec.momentum_drift = drift;
+  for (const auto& r : phases) {
+    const obs::PhaseStat ps{r.min, r.mean, r.max, r.imbalance()};
+    if (r.name == kPhaseStep)
+      rec.wall = ps;
+    else
+      rec.phases.emplace(std::string(name_of(r.name)), ps);
+  }
+  for (const auto& r : counters) {
+    const obs::PhaseStat ps{r.min, r.mean, r.max, r.imbalance()};
+    if (r.name == kGaugePeakRss)
+      rec.peak_rss_bytes = static_cast<std::uint64_t>(r.max);
+    rec.counters.emplace(std::string(name_of(r.name)), ps);
+  }
+  const double np_total =
+      std::pow(static_cast<double>(config_.particles_per_dim), 3);
+  if (rec.wall.mean > 0 && np_total > 0)
+    rec.t_per_substep_per_particle =
+        rec.wall.mean / static_cast<double>(config_.subcycles) / np_total;
+  rec.breakdown = obs::paper_breakdown(rec.phases, rec.wall.mean);
+  ledger_.append(std::move(rec));
 }
 
 std::vector<cosmology::PowerBin> Simulation::power_spectrum(
@@ -275,7 +409,8 @@ tree::ParticleArray Simulation::gather_active() {
 }
 
 void Simulation::write_checkpoint(const std::string& path) {
-  auto scope = timers_.scope("checkpoint");
+  obs::Binding binding(&tracer_, &counters_);
+  auto scope = timers_.scope(kPhaseCheckpoint);
   // Strip passives: they are someone else's actives and get rebuilt.
   tree::ParticleArray actives;
   for (std::size_t i = 0; i < particles_.size(); ++i) {
@@ -292,7 +427,8 @@ void Simulation::write_checkpoint(const std::string& path) {
 }
 
 void Simulation::read_checkpoint(const std::string& path) {
-  auto scope = timers_.scope("checkpoint");
+  obs::Binding binding(&tracer_, &counters_);
+  auto scope = timers_.scope(kPhaseCheckpoint);
   const gio::ReadReport report =
       gio::read_particles(world_, path, particles_);
   if (!report.corrupt.empty()) {

@@ -35,6 +35,9 @@
 #include "cosmology/initial_conditions.h"
 #include "cosmology/power_spectrum.h"
 #include "mesh/poisson.h"
+#include "obs/counters.h"
+#include "obs/ledger.h"
+#include "obs/trace.h"
 #include "p3m/chaining_mesh.h"
 #include "tree/force_matcher.h"
 #include "tree/multi_tree.h"
@@ -72,6 +75,13 @@ struct SimulationConfig {
   mesh::SpectralConfig spectral{};
   cosmology::IcConfig ic{};     ///< particles_per_dim/box are overwritten
   std::uint64_t seed = 2012;
+  /// When non-empty, run() reduces a per-step StepRecord across ranks and
+  /// rank 0 writes the run ledger (JSONL, one object per step) here, plus a
+  /// phase table to stdout. Empty = no extra collectives per step.
+  std::string ledger_path;
+  /// When non-empty, run() enables the per-rank tracer and rank 0 writes a
+  /// merged Chrome trace_event JSON (pid = rank) here at end of run.
+  std::string trace_path;
 };
 
 class Simulation {
@@ -126,6 +136,21 @@ class Simulation {
   /// Interaction statistics of the last short-range evaluation.
   const tree::InteractionStats& last_stats() const noexcept { return stats_; }
 
+  /// This rank's event tracer / counter registry. step() binds both to the
+  /// calling thread, so all instrumented layers (comm, fft, tree, gio)
+  /// record here while the simulation runs.
+  obs::Tracer& tracer() noexcept { return tracer_; }
+  obs::Counters& counters() noexcept { return counters_; }
+
+  /// The per-step run ledger (populated by run() when config().ledger_path
+  /// is set, or explicitly via record_step_ledger()).
+  const obs::Ledger& ledger() const noexcept { return ledger_; }
+
+  /// Reduce this step's telemetry across ranks and append a StepRecord on
+  /// rank 0 (no-op record elsewhere). Collective; called by run() after
+  /// every step when config().ledger_path is non-empty.
+  void record_step_ledger();
+
   /// Sum of momenta over active particles (collective; conservation checks).
   std::array<double, 3> total_momentum();
 
@@ -159,6 +184,13 @@ class Simulation {
   void apply_short_kick(double coeff);
   void drift(double factor);
 
+  /// Per-phase seconds since the previous call (sim + "poisson."-prefixed
+  /// solver phases); advances the baseline.
+  std::vector<std::pair<NameId, double>> ledger_phase_deltas();
+  /// Counter deltas (gauges: absolute values) since the previous call;
+  /// advances the baseline.
+  std::vector<std::pair<NameId, double>> ledger_counter_samples();
+
   comm::Comm world_;
   cosmology::Cosmology cosmo_;
   SimulationConfig config_;
@@ -175,6 +207,14 @@ class Simulation {
   tree::InteractionStats stats_;
   // Scratch short-range force accumulators.
   std::vector<float> sr_ax_, sr_ay_, sr_az_;
+  // Observability: per-rank sinks, the run ledger, and the delta baselines
+  // record_step_ledger() differences against.
+  obs::Tracer tracer_;
+  obs::Counters counters_;
+  obs::Ledger ledger_;
+  std::optional<std::array<double, 3>> momentum0_;
+  std::vector<double> prev_phase_seconds_;     // indexed by NameId
+  std::vector<std::uint64_t> prev_counters_;   // indexed by NameId
 };
 
 }  // namespace hacc::core

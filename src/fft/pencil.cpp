@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "comm/cart.h"
+#include "obs/obs.h"
 #include "util/timer.h"
 
 namespace hacc::fft {
@@ -14,6 +15,14 @@ namespace {
 /// Minimum elements moved per pack/unpack loop before OpenMP threading is
 /// worth the fork overhead.
 constexpr std::size_t kThreadElems = 32768;
+
+// Telemetry ids, interned once at static init.
+const NameId kCtrTransposeBytes = obs::counter_id("fft.transpose.bytes");
+const NameId kCtrTransforms = obs::counter_id("fft.transforms");
+const NameId kTrcForward = intern_name("fft.forward");
+const NameId kTrcInverse = intern_name("fft.inverse");
+const NameId kTrcForwardR2c = intern_name("fft.forward_r2c");
+const NameId kTrcInverseC2r = intern_name("fft.inverse_c2r");
 
 }  // namespace
 
@@ -112,6 +121,7 @@ void PencilFft3D::transpose_z_to_y(std::vector<Complex>& data,
     }
   }
   stats_.bytes_moved += send_.size() * sizeof(Complex);
+  obs::add_counter(kCtrTransposeBytes, send_.size() * sizeof(Complex));
   row_comm_.alltoallv_into(std::span<const Complex>(send_),
                            std::span<const std::size_t>(counts_), recv_,
                            rcounts_);
@@ -167,6 +177,7 @@ void PencilFft3D::transpose_y_to_z(std::vector<Complex>& data,
                     peer_ext_[d] * nzl * sizeof(Complex));
   }
   stats_.bytes_moved += send_.size() * sizeof(Complex);
+  obs::add_counter(kCtrTransposeBytes, send_.size() * sizeof(Complex));
   row_comm_.alltoallv_into(std::span<const Complex>(send_),
                            std::span<const std::size_t>(counts_), recv_,
                            rcounts_);
@@ -224,6 +235,7 @@ void PencilFft3D::transpose_y_to_x(std::vector<Complex>& data,
                     peer_ext_[d] * nzl * sizeof(Complex));
   }
   stats_.bytes_moved += send_.size() * sizeof(Complex);
+  obs::add_counter(kCtrTransposeBytes, send_.size() * sizeof(Complex));
   col_comm_.alltoallv_into(std::span<const Complex>(send_),
                            std::span<const std::size_t>(counts_), data,
                            rcounts_);
@@ -251,6 +263,7 @@ void PencilFft3D::transpose_x_to_y(std::vector<Complex>& data,
     counts_[d] = xr.extent() * nyl2 * nzl;
   }
   stats_.bytes_moved += data.size() * sizeof(Complex);
+  obs::add_counter(kCtrTransposeBytes, data.size() * sizeof(Complex));
   col_comm_.alltoallv_into(std::span<const Complex>(data),
                            std::span<const std::size_t>(counts_), recv_,
                            rcounts_);
@@ -314,6 +327,8 @@ void PencilFft3D::fft_x(std::vector<Complex>& data, Direction dir,
 }
 
 void PencilFft3D::forward(std::vector<Complex>& data) {
+  obs::TraceScope trace(kTrcForward);
+  obs::add_counter(kCtrTransforms, 1);
   HACC_CHECK_MSG(data.size() == real_box_.volume(),
                  "pencil forward: input must be the local z-pencil");
   data.reserve(max_vol_);
@@ -332,6 +347,8 @@ void PencilFft3D::forward(std::vector<Complex>& data) {
 }
 
 void PencilFft3D::inverse(std::vector<Complex>& data) {
+  obs::TraceScope trace(kTrcInverse);
+  obs::add_counter(kCtrTransforms, 1);
   HACC_CHECK_MSG(data.size() == spectral_box_.volume(),
                  "pencil inverse: input must be the local x-pencil");
   data.reserve(max_vol_);
@@ -355,6 +372,8 @@ void PencilFft3D::inverse(std::vector<Complex>& data) {
 
 void PencilFft3D::forward_r2c(std::span<const double> in,
                               std::vector<Complex>& out) {
+  obs::TraceScope trace(kTrcForwardR2c);
+  obs::add_counter(kCtrTransforms, 1);
   HACC_CHECK_MSG(in.size() == real_box_.volume(),
                  "pencil forward_r2c: input must be the local real z-pencil");
   const std::size_t lines = real_box_.x.extent() * real_box_.y.extent();
@@ -376,6 +395,8 @@ void PencilFft3D::forward_r2c(std::span<const double> in,
 
 void PencilFft3D::inverse_c2r(std::vector<Complex>& data,
                               std::vector<double>& out) {
+  obs::TraceScope trace(kTrcInverseC2r);
+  obs::add_counter(kCtrTransforms, 1);
   HACC_CHECK_MSG(data.size() == spectral_box_h_.volume(),
                  "pencil inverse_c2r: input must be the half-spectrum "
                  "x-pencil");

@@ -5,11 +5,19 @@
 #include <cstring>
 #include <limits>
 
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace hacc::gio {
 
 namespace {
+
+const NameId kTrcWrite = intern_name("gio.write");
+const NameId kTrcRead = intern_name("gio.read");
+const NameId kCtrBytesWritten = obs::counter_id("gio.bytes_written");
+const NameId kCtrBytesRead = obs::counter_id("gio.bytes_read");
+const NameId kCtrParticlesWritten =
+    obs::counter_id("gio.particles_written");
 
 // The SoA arrays are dumped as raw element streams; pin down the layout the
 // format assumes so a compiler/ABI change cannot silently corrupt files.
@@ -45,7 +53,15 @@ WriteStats write_particles(comm::Comm& comm, const std::string& path,
     vars.push_back(WriteVar{kFloatVars[i], VarType::kFloat32, floats[i]});
   vars.push_back(WriteVar{"id", VarType::kUInt64, p.id.data()});
   vars.push_back(WriteVar{"role", VarType::kUInt8, p.role.data()});
-  return write(comm, path, meta, p.size(), vars, cfg);
+  obs::TraceScope trace(kTrcWrite);
+  const WriteStats stats = write(comm, path, meta, p.size(), vars, cfg);
+  // file_bytes/payload_bytes are global; attribute the local share instead
+  // so cross-rank counter sums remain meaningful.
+  std::size_t local_bytes = 0;
+  for (const auto& v : vars) local_bytes += p.size() * var_type_size(v.type);
+  obs::add_counter(kCtrBytesWritten, local_bytes);
+  obs::add_counter(kCtrParticlesWritten, p.size());
+  return stats;
 }
 
 ReadReport read_particles(comm::Comm& comm, const std::string& path,
@@ -57,6 +73,7 @@ ReadReport read_particles(comm::Comm& comm, const std::string& path,
     vars.push_back(ReadVar{kFloatVars[i], VarType::kFloat32, &fbytes[i]});
   vars.push_back(ReadVar{"id", VarType::kUInt64, &id_bytes});
   vars.push_back(ReadVar{"role", VarType::kUInt8, &role_bytes});
+  obs::TraceScope trace(kTrcRead);
   const ReadReport report = read(comm, path, vars);
 
   const std::size_t n = static_cast<std::size_t>(report.local_particles);
@@ -75,6 +92,9 @@ ReadReport read_particles(comm::Comm& comm, const std::string& path,
   out.role.resize(n);
   std::memcpy(out.role.data(), role_bytes.data(), role_bytes.size());
   HACC_CHECK(out.consistent());
+  std::size_t local_bytes = id_bytes.size() + role_bytes.size();
+  for (const auto& b : fbytes) local_bytes += b.size();
+  obs::add_counter(kCtrBytesRead, local_bytes);
   return report;
 }
 

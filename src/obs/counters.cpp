@@ -1,0 +1,58 @@
+#include "obs/counters.h"
+
+#include <mutex>
+
+namespace hacc::obs {
+
+namespace {
+
+struct KindTable {
+  std::mutex mu;
+  std::vector<std::uint8_t> kinds;  // indexed by NameId; default kCounter
+};
+
+KindTable& kind_table() {
+  static KindTable t;
+  return t;
+}
+
+NameId intern_with_kind(std::string_view name, CounterKind kind) {
+  const NameId id = intern_name(name);
+  KindTable& t = kind_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  if (id >= t.kinds.size()) t.kinds.resize(id + 1, 0);
+  t.kinds[id] = static_cast<std::uint8_t>(kind);
+  return id;
+}
+
+}  // namespace
+
+NameId counter_id(std::string_view name) {
+  return intern_with_kind(name, CounterKind::kCounter);
+}
+
+NameId gauge_id(std::string_view name) {
+  return intern_with_kind(name, CounterKind::kGauge);
+}
+
+CounterKind kind_of(NameId id) {
+  KindTable& t = kind_table();
+  std::lock_guard<std::mutex> lock(t.mu);
+  return id < t.kinds.size() ? static_cast<CounterKind>(t.kinds[id])
+                             : CounterKind::kCounter;
+}
+
+std::vector<Counters::Sample> Counters::snapshot() const {
+  std::vector<Sample> out;
+  for (std::size_t id = 0; id < kMaxSlots; ++id) {
+    const std::uint64_t v = slots_[id].load(std::memory_order_relaxed);
+    if (v != 0) out.push_back(Sample{static_cast<NameId>(id), v});
+  }
+  return out;
+}
+
+void Counters::clear() noexcept {
+  for (auto& s : slots_) s.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hacc::obs

@@ -1,0 +1,72 @@
+// Per-rank counter registry: monotonic counters and latest-value gauges.
+//
+// Counter identity is an interned NameId shared with the global name table
+// (util/names.h); counter_id()/gauge_id() additionally record the kind so
+// downstream consumers (the ledger) know whether to difference per step
+// (counters) or report the absolute value (gauges). Slots are atomics, so
+// any thread bound to the same Counters — the rank thread plus OpenMP
+// workers or test threads — may bump concurrently; adds are relaxed
+// fetch_adds with no allocation ever.
+//
+// Taxonomy in use (see DESIGN.md §observability for the full table):
+//   comm.<op>.bytes_sent / msgs_sent / bytes_recv / msgs_recv / calls
+//   fft.transpose.bytes, fft.transforms
+//   tree.pp_interactions, tree.walk_visits
+//   refresh.migrated + refresh.active / refresh.passive (gauges)
+//   gio.bytes_written, gio.bytes_read
+//   mem.peak_rss_bytes (gauge)
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "util/names.h"
+
+namespace hacc::obs {
+
+enum class CounterKind : std::uint8_t {
+  kCounter,  ///< monotonic; per-step deltas are meaningful
+  kGauge,    ///< latest value; report absolute
+};
+
+/// Intern a monotonic counter name; idempotent.
+NameId counter_id(std::string_view name);
+/// Intern a gauge name; idempotent.
+NameId gauge_id(std::string_view name);
+/// The registered kind of an id (kCounter for plain interned names).
+CounterKind kind_of(NameId id);
+
+class Counters {
+ public:
+  /// Ids at or above this are silently dropped (the taxonomy is static and
+  /// tiny; the cap exists so the slot table can be a flat atomic array).
+  static constexpr std::size_t kMaxSlots = 4096;
+
+  void add(NameId id, std::uint64_t delta) noexcept {
+    if (id < kMaxSlots && delta != 0)
+      slots_[id].fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(NameId id, std::uint64_t value) noexcept {
+    if (id < kMaxSlots) slots_[id].store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t value(NameId id) const noexcept {
+    return id < kMaxSlots ? slots_[id].load(std::memory_order_relaxed) : 0;
+  }
+
+  struct Sample {
+    NameId id;
+    std::uint64_t value;
+  };
+  /// Every nonzero slot.
+  std::vector<Sample> snapshot() const;
+
+  void clear() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kMaxSlots> slots_{};
+};
+
+}  // namespace hacc::obs

@@ -1,0 +1,19 @@
+// Minimal JSON emission helpers shared by the tracer and the run ledger.
+// Emission only — parsing lives in the consumers (scripts/trace_summary.py,
+// tests' mini validator).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace hacc::obs {
+
+/// `s` with JSON string escaping applied (quotes, backslash, control
+/// characters); no surrounding quotes.
+std::string json_escape(std::string_view s);
+
+/// A finite double formatted as a JSON number (shortest round-trip-ish
+/// "%.9g"); NaN/inf degrade to 0 (JSON has no encoding for them).
+std::string json_number(double v);
+
+}  // namespace hacc::obs

@@ -1,0 +1,134 @@
+#include "obs/ledger.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "obs/json.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace hacc::obs {
+
+namespace {
+
+double phase_mean(const std::map<std::string, PhaseStat>& phases,
+                  const std::string& name) {
+  auto it = phases.find(name);
+  return it == phases.end() ? 0.0 : it->second.mean;
+}
+
+void append_stat(std::string& out, const char* key, const PhaseStat& s) {
+  out += '"';
+  out += key;
+  out += "\":{\"min\":" + json_number(s.min) +
+         ",\"mean\":" + json_number(s.mean) +
+         ",\"max\":" + json_number(s.max) +
+         ",\"imbalance\":" + json_number(s.imbalance) + "}";
+}
+
+void append_stat_map(std::string& out, const char* key,
+                     const std::map<std::string, PhaseStat>& m) {
+  out += '"';
+  out += key;
+  out += "\":{";
+  bool first = true;
+  for (const auto& [name, s] : m) {
+    if (!first) out += ',';
+    first = false;
+    append_stat(out, json_escape(name).c_str(), s);
+  }
+  out += '}';
+}
+
+}  // namespace
+
+std::map<std::string, double> paper_breakdown(
+    const std::map<std::string, PhaseStat>& phases, double wall_mean) {
+  std::map<std::string, double> b;
+  b["kernel"] = phase_mean(phases, "sr-kernel");
+  b["walk_build"] = phase_mean(phases, "tree-build");
+  b["fft"] = phase_mean(phases, "poisson.fft");
+  b["cic"] = phase_mean(phases, "cic") + phase_mean(phases, "lr-kick");
+  b["refresh"] = phase_mean(phases, "refresh");
+  b["comm"] =
+      phase_mean(phases, "grid-exchange") + phase_mean(phases, "poisson.remap");
+  double named = 0;
+  for (const auto& [k, v] : b) named += v;
+  b["other"] = std::max(0.0, wall_mean - named);
+  return b;
+}
+
+std::string Ledger::to_jsonl() const {
+  std::string out;
+  for (const StepRecord& r : records_) {
+    std::string line = "{";
+    line += "\"step\":" + std::to_string(r.step);
+    line += ",\"a\":" + json_number(r.a);
+    line += ",\"z\":" + json_number(r.z);
+    line += ',';
+    append_stat(line, "wall_s", r.wall);
+    line += ",\"t_per_substep_per_particle\":" +
+            json_number(r.t_per_substep_per_particle);
+    line += ",\"momentum\":[" + json_number(r.momentum[0]) + ',' +
+            json_number(r.momentum[1]) + ',' + json_number(r.momentum[2]) +
+            ']';
+    line += ",\"momentum_drift\":" + json_number(r.momentum_drift);
+    line += ',';
+    append_stat_map(line, "phases", r.phases);
+    line += ',';
+    append_stat_map(line, "counters", r.counters);
+    line += ",\"breakdown\":{";
+    bool first = true;
+    for (const auto& [name, v] : r.breakdown) {
+      if (!first) line += ',';
+      first = false;
+      line += '"' + json_escape(name) + "\":" + json_number(v);
+    }
+    line += '}';
+    line += ",\"peak_rss_bytes\":" + std::to_string(r.peak_rss_bytes);
+    line += "}\n";
+    out += line;
+  }
+  return out;
+}
+
+void Ledger::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  HACC_CHECK_MSG(f != nullptr, "cannot open ledger file " + path);
+  const std::string body = to_jsonl();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+}
+
+void Ledger::print_phase_table(std::ostream& os) const {
+  if (records_.empty()) return;
+  // Sum mean seconds per phase over all steps; track worst step imbalance.
+  std::map<std::string, std::pair<double, double>> agg;  // name -> {s, imbal}
+  double wall = 0;
+  for (const StepRecord& r : records_) {
+    wall += r.wall.mean;
+    for (const auto& [name, s] : r.phases) {
+      auto& a = agg[name];
+      a.first += s.mean;
+      a.second = std::max(a.second, s.imbalance);
+    }
+  }
+  std::vector<std::pair<std::string, std::pair<double, double>>> rows(
+      agg.begin(), agg.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.first > b.second.first;
+  });
+
+  Table t({"phase", "mean seconds", "% of step wall", "max imbalance"});
+  for (const auto& [name, a] : rows) {
+    t.add_row({name, Table::fixed(a.first, 4),
+               wall > 0 ? Table::fixed(100.0 * a.first / wall, 1) : "0",
+               Table::fixed(a.second, 2)});
+  }
+  os << "Per-phase breakdown over " << records_.size()
+     << " steps (mean over ranks; imbalance = max/mean):\n";
+  t.print(os);
+}
+
+}  // namespace hacc::obs

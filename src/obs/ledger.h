@@ -1,0 +1,83 @@
+// Per-step run ledger: the paper's evaluation tables, one JSON object per
+// step.
+//
+// Each StepRecord is the fully reduced telemetry of one Simulation::step —
+// per-phase min/mean/max seconds over ranks, the paper-style breakdown
+// rollup (kernel / walk+build / fft / cic / refresh / comm), time per
+// substep per particle (the paper's headline weak-scaling invariant,
+// Table II), momentum drift, counter deltas, and peak RSS. Simulation::run
+// appends one record per step and writes `ledger.jsonl` on rank 0 plus a
+// human-readable phase table at end of run; bench/step_breakdown turns the
+// same records into BENCH_step.json for the perf trajectory.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/reduce.h"
+
+namespace hacc::obs {
+
+/// Seconds (or a counter value) reduced over ranks.
+struct PhaseStat {
+  double min = 0;
+  double mean = 0;
+  double max = 0;
+  double imbalance = 0;  ///< max/mean (0 when mean is 0)
+};
+
+/// One Simulation::step worth of telemetry, reduced across ranks.
+struct StepRecord {
+  int step = 0;       ///< 1-based step index after the step completed
+  double a = 0;       ///< scale factor after the step
+  double z = 0;       ///< redshift after the step
+  PhaseStat wall;     ///< the "step" root phase (wall seconds)
+  /// wall.mean / subcycles / global particle count — Table II's invariant.
+  double t_per_substep_per_particle = 0;
+  std::array<double, 3> momentum{};  ///< global active momentum sum
+  /// max component deviation from the first recorded step's momentum.
+  double momentum_drift = 0;
+  /// Per-phase seconds this step (timer deltas), keyed by phase name;
+  /// PoissonSolver-internal phases appear prefixed ("poisson.fft", ...).
+  std::map<std::string, PhaseStat> phases;
+  /// Counter deltas this step (gauges carry absolute values).
+  std::map<std::string, PhaseStat> counters;
+  /// Paper-style rollup of `phases` (mean seconds): kernel, walk_build,
+  /// fft, cic, refresh, comm, other.
+  std::map<std::string, double> breakdown;
+  std::uint64_t peak_rss_bytes = 0;  ///< max over ranks
+};
+
+/// Roll a phase map up into the paper's Sec. III categories:
+///   kernel     = sr-kernel            walk_build = tree-build
+///   fft        = poisson.fft          cic        = cic + lr-kick
+///   refresh    = refresh              comm       = grid-exchange +
+///                                                  poisson.remap
+///   other      = wall_mean - sum of the above (stream, spectral kernel
+///                multiply, untimed gaps)
+std::map<std::string, double> paper_breakdown(
+    const std::map<std::string, PhaseStat>& phases, double wall_mean);
+
+class Ledger {
+ public:
+  void append(StepRecord record) { records_.push_back(std::move(record)); }
+  const std::vector<StepRecord>& records() const noexcept { return records_; }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// The full ledger as JSONL (one JSON object per line).
+  std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+
+  /// End-of-run phase table: per phase, mean seconds summed over steps,
+  /// percent of summed wall, and the worst per-step imbalance.
+  void print_phase_table(std::ostream& os) const;
+
+ private:
+  std::vector<StepRecord> records_;
+};
+
+}  // namespace hacc::obs

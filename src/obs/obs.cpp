@@ -1,0 +1,55 @@
+#include "obs/obs.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace hacc::obs {
+
+namespace {
+thread_local Tracer* g_tracer = nullptr;
+thread_local Counters* g_counters = nullptr;
+
+void hook_complete(void* ctx, NameId name, std::uint64_t t0_ns,
+                   std::uint64_t dur_ns) {
+  static_cast<Tracer*>(ctx)->complete(name, t0_ns, dur_ns);
+}
+}  // namespace
+
+Tracer* tracer() noexcept { return g_tracer; }
+Counters* counters() noexcept { return g_counters; }
+
+Binding::Binding(Tracer* tracer, Counters* counters) noexcept
+    : prev_tracer_(g_tracer), prev_counters_(g_counters) {
+  g_tracer = tracer;
+  g_counters = counters;
+  if (tracer != nullptr) {
+    hook_.complete = &hook_complete;
+    hook_.ctx = tracer;
+    prev_hook_ = util::set_trace_hook(&hook_);
+  } else {
+    prev_hook_ = util::set_trace_hook(nullptr);
+  }
+}
+
+Binding::~Binding() {
+  util::set_trace_hook(prev_hook_);
+  g_tracer = prev_tracer_;
+  g_counters = prev_counters_;
+}
+
+std::uint64_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::uint64_t>(ru.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace hacc::obs

@@ -1,0 +1,82 @@
+// Thread binding: how instrumented code finds the current rank's tracer
+// and counters.
+//
+// The obs sinks are *owned* by whoever observes (Simulation owns one
+// tracer + counter set per rank; tests own their own) and *found* by
+// instrumented code through thread-locals: comm::Comm, the FFT, the tree
+// kernels etc. call obs::add_counter()/TraceScope, which resolve to the
+// sinks bound to the calling thread, or to nothing — allocation-free and
+// branch-cheap — when no Binding is live. This keeps the comm and solver
+// layers free of any plumbing through constructors, and makes every
+// library usable untraced (tests, benches) at zero cost.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/counters.h"
+#include "obs/trace.h"
+#include "util/telemetry.h"
+
+namespace hacc::obs {
+
+/// The calling thread's bound tracer/counters, or nullptr.
+Tracer* tracer() noexcept;
+Counters* counters() noexcept;
+
+/// RAII: binds `tracer`/`counters` (either may be null) to the calling
+/// thread and installs the util::TraceHook so TimerRegistry scopes feed the
+/// tracer; restores the previous binding on destruction. Bindings nest.
+class Binding {
+ public:
+  Binding(Tracer* tracer, Counters* counters) noexcept;
+  ~Binding();
+  Binding(const Binding&) = delete;
+  Binding& operator=(const Binding&) = delete;
+
+ private:
+  Tracer* prev_tracer_;
+  Counters* prev_counters_;
+  const util::TraceHook* prev_hook_;
+  util::TraceHook hook_{};
+};
+
+/// Trace-only RAII span through the thread-bound tracer; a no-op (and
+/// allocation-free) when none is bound or tracing is disabled.
+class TraceScope {
+ public:
+  explicit TraceScope(NameId name) noexcept
+      : t_(tracer()), name_(name), t0_ns_(0) {
+    if (t_ != nullptr && t_->enabled())
+      t0_ns_ = util::now_ns();
+    else
+      t_ = nullptr;
+  }
+  ~TraceScope() {
+    if (t_ != nullptr) t_->complete(name_, t0_ns_, util::now_ns() - t0_ns_);
+  }
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  Tracer* t_;
+  NameId name_;
+  std::uint64_t t0_ns_;
+};
+
+/// Bump a counter / set a gauge on the thread-bound Counters (no-op when
+/// none is bound).
+inline void add_counter(NameId id, std::uint64_t delta) noexcept {
+  if (Counters* c = counters()) c->add(id, delta);
+}
+inline void set_gauge(NameId id, std::uint64_t value) noexcept {
+  if (Counters* c = counters()) c->set(id, value);
+}
+/// Record an instant event on the thread-bound tracer.
+inline void instant(NameId name) {
+  if (Tracer* t = tracer()) t->instant(name);
+}
+
+/// Peak resident set size of this process in bytes (0 if unavailable).
+std::uint64_t peak_rss_bytes();
+
+}  // namespace hacc::obs

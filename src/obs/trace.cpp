@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace hacc::obs {
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  HACC_CHECK_MSG(capacity > 0, "Tracer capacity must be positive");
+  ring_.resize(capacity_);   // preallocate: recording never reallocates
+  tids_.reserve(64);
+}
+
+std::uint32_t Tracer::tid_slot_locked() {
+  const std::thread::id me = std::this_thread::get_id();
+  for (std::size_t i = 0; i < tids_.size(); ++i)
+    if (tids_[i] == me) return static_cast<std::uint32_t>(i);
+  tids_.push_back(me);
+  return static_cast<std::uint32_t>(tids_.size() - 1);
+}
+
+void Tracer::complete(NameId name, std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& e = ring_[head_ % capacity_];
+  e.name = name;
+  e.type = Type::kComplete;
+  e.tid = tid_slot_locked();
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  ++head_;
+}
+
+void Tracer::instant(NameId name) {
+  if (!enabled()) return;
+  const std::uint64_t now = util::now_ns();
+  std::lock_guard<std::mutex> lock(mu_);
+  Event& e = ring_[head_ % capacity_];
+  e.name = name;
+  e.type = Type::kInstant;
+  e.tid = tid_slot_locked();
+  e.ts_ns = now;
+  e.dur_ns = 0;
+  ++head_;
+}
+
+std::vector<Tracer::Event> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  const std::uint64_t retained = head_ < capacity_ ? head_ : capacity_;
+  out.reserve(retained);
+  for (std::uint64_t i = head_ - retained; i < head_; ++i)
+    out.push_back(ring_[i % capacity_]);
+  return out;
+}
+
+std::uint64_t Tracer::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_ < capacity_ ? 0 : head_ - capacity_;
+}
+
+std::string Tracer::events_json(int pid) const {
+  const std::vector<Event> events = snapshot();
+  std::string out;
+  out.reserve(events.size() * 96);
+  char buf[256];
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    if (i > 0) out += ",\n";
+    // Chrome trace_event timestamps are microseconds.
+    const double ts_us = static_cast<double>(e.ts_ns) / 1000.0;
+    if (e.type == Type::kComplete) {
+      const double dur_us = static_cast<double>(e.dur_ns) / 1000.0;
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+                    "\"dur\":%.3f,\"pid\":%d,\"tid\":%u}",
+                    json_escape(name_of(e.name)).c_str(), ts_us, dur_us, pid,
+                    e.tid);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,"
+                    "\"s\":\"t\",\"pid\":%d,\"tid\":%u}",
+                    json_escape(name_of(e.name)).c_str(), ts_us, pid, e.tid);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+void Tracer::write_chrome_trace(const std::string& path, int pid) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  HACC_CHECK_MSG(f != nullptr, "cannot open trace file " + path);
+  const std::string body = events_json(pid);
+  std::fprintf(f, "[\n%s\n]\n", body.c_str());
+  std::fclose(f);
+}
+
+}  // namespace hacc::obs

@@ -1,0 +1,87 @@
+// Low-overhead per-rank event tracer.
+//
+// A fixed-capacity ring of begin/end ("complete") and instant events, each
+// stamped with an interned name, a small thread id, and nanoseconds on the
+// process-wide steady clock (util::now_ns — shared by all SimMPI ranks, so
+// merged traces are time-coherent). Recording is mutex-serialized (the ring
+// is shared by the rank thread and any OpenMP/test threads that bind to
+// it) and allocation-free per event; when tracing is disabled the cost is
+// one relaxed atomic load.
+//
+// Export is Chrome trace_event JSON (the array form), which Perfetto and
+// chrome://tracing accept directly: each rank becomes a "pid", each
+// recording thread a "tid".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/names.h"
+#include "util/telemetry.h"
+
+namespace hacc::obs {
+
+class Tracer {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  enum class Type : std::uint8_t {
+    kComplete,  ///< a span: ts + dur ("ph":"X")
+    kInstant,   ///< a point: ts only ("ph":"i")
+  };
+
+  struct Event {
+    NameId name = 0;
+    Type type = Type::kComplete;
+    std::uint32_t tid = 0;       ///< dense per-tracer thread index
+    std::uint64_t ts_ns = 0;     ///< begin, process-epoch nanoseconds
+    std::uint64_t dur_ns = 0;    ///< 0 for instants
+  };
+
+  /// The ring holds the most recent `capacity` events; older ones are
+  /// overwritten (dropped() counts them).
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  /// Runtime toggle. Disabled tracers drop events at a single atomic load.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Record a completed span (no-op while disabled).
+  void complete(NameId name, std::uint64_t ts_ns, std::uint64_t dur_ns);
+  /// Record an instant event at now (no-op while disabled).
+  void instant(NameId name);
+
+  /// Events currently retained, oldest first.
+  std::vector<Event> snapshot() const;
+  /// Events offered while enabled / overwritten by ring wrap-around.
+  std::uint64_t recorded() const;
+  std::uint64_t dropped() const;
+
+  /// The retained events as comma-separated Chrome trace_event objects with
+  /// "pid": pid — a fragment, to be wrapped in [...] (optionally
+  /// concatenated with other ranks' fragments; see obs::write_merged_trace).
+  std::string events_json(int pid) const;
+
+  /// Write this tracer alone as a complete, valid trace array.
+  void write_chrome_trace(const std::string& path, int pid = 0) const;
+
+ private:
+  std::uint32_t tid_slot_locked();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::size_t capacity_;
+  std::vector<Event> ring_;            // preallocated to capacity_
+  std::uint64_t head_ = 0;             // total events written
+  std::vector<std::thread::id> tids_;  // dense thread-id interning
+};
+
+}  // namespace hacc::obs

@@ -5,7 +5,13 @@
 #include <limits>
 #include <vector>
 
+#include "obs/obs.h"
+
 namespace hacc::p3m {
+
+namespace {
+const NameId kTrcKernel = intern_name("sr-kernel");
+}  // namespace
 
 using tree::InteractionStats;
 using tree::NeighborList;
@@ -38,6 +44,7 @@ InteractionStats compute_short_range_p3m(const ParticleArray& p,
                                          std::span<float> az,
                                          float mass_scale,
                                          const P3mConfig& config) {
+  obs::TraceScope trace(kTrcKernel);
   const std::size_t n = p.size();
   HACC_CHECK(ax.size() == n && ay.size() == n && az.size() == n);
   HACC_CHECK_MSG(config.cell_size >= kernel.rmax,

@@ -3,9 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace hacc::tree {
 
 namespace {
+
+const NameId kTrcBuild = intern_name("tree-build");
+const NameId kTrcKernel = intern_name("sr-kernel");
 
 struct Block {
   std::uint32_t first, count;
@@ -15,6 +20,7 @@ struct Block {
 
 MultiTree::MultiTree(ParticleArray& particles, MultiTreeConfig config)
     : particles_(&particles) {
+  obs::TraceScope trace(kTrcBuild);
   HACC_CHECK(config.splits >= 0 && config.splits <= 8);
   const auto n = static_cast<std::uint32_t>(particles.size());
 
@@ -108,6 +114,7 @@ InteractionStats compute_short_range_multi(const MultiTree& forest,
                                            std::span<float> ay,
                                            std::span<float> az,
                                            float mass_scale) {
+  obs::TraceScope trace(kTrcKernel);
   const ParticleArray& p = forest.particles();
   HACC_CHECK(ax.size() == p.size() && ay.size() == p.size() &&
              az.size() == p.size());

@@ -1,0 +1,53 @@
+#include "util/names.h"
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "util/error.h"
+
+namespace hacc {
+
+namespace {
+
+struct Interner {
+  std::mutex mu;
+  std::deque<std::string> storage;  // deque: element addresses are stable
+  // Heterogeneous comparator so lookups take string_view without building
+  // a temporary std::string.
+  std::map<std::string_view, NameId> index;
+};
+
+Interner& interner() {
+  static Interner i;
+  return i;
+}
+
+}  // namespace
+
+NameId intern_name(std::string_view name) {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  auto it = in.index.find(name);
+  if (it != in.index.end()) return it->second;
+  in.storage.emplace_back(name);
+  const auto id = static_cast<NameId>(in.storage.size() - 1);
+  in.index.emplace(std::string_view(in.storage.back()), id);
+  return id;
+}
+
+std::string_view name_of(NameId id) {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  HACC_CHECK_MSG(id < in.storage.size(), "name_of: unknown NameId");
+  return std::string_view(in.storage[id]);
+}
+
+std::size_t interned_name_count() {
+  Interner& in = interner();
+  std::lock_guard<std::mutex> lock(in.mu);
+  return in.storage.size();
+}
+
+}  // namespace hacc

@@ -5,12 +5,17 @@
 // awkward odd sizes) via parameterized tests.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <numeric>
+#include <span>
 #include <vector>
 
 #include "comm/cart.h"
 #include "comm/comm.h"
+#include "comm/telemetry.h"
+#include "obs/counters.h"
+#include "obs/obs.h"
 #include "util/error.h"
 
 namespace hacc::comm {
@@ -448,6 +453,130 @@ TEST(Cart3D, PaperGeometries) {
     const int mid = topo.size() / 2;
     EXPECT_EQ(topo.rank_of(topo.coords(mid)), mid);
   }
+}
+
+// ---- telemetry: collective byte counters ------------------------------------
+//
+// The accounting contract (comm/telemetry.h): every payload that crosses the
+// mailbox is counted under the innermost collective's op class, including
+// zero-byte messages and control traffic (the alltoallv count pre-exchange);
+// self-addressed fast-path copies are NOT counted.
+
+TEST(Telemetry, P2pByteCountersMatchPayloadsExactly) {
+  Machine::run(2, [](Comm& c) {
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    const std::vector<double> payload(17, 1.0);
+    if (c.rank() == 0) {
+      c.send(1, 7, std::span<const double>(payload));
+      c.send_value(1, 8, 42);
+    } else {
+      (void)c.recv_vector<double>(0, 7);
+      (void)c.recv_value<int>(0, 8);
+    }
+    const auto& ids = telemetry::ids(telemetry::Op::kP2p);
+    if (c.rank() == 0) {
+      EXPECT_EQ(counters.value(ids.bytes_sent), 17 * sizeof(double) + sizeof(int));
+      EXPECT_EQ(counters.value(ids.msgs_sent), 2u);
+      EXPECT_EQ(counters.value(ids.bytes_recv), 0u);
+    } else {
+      EXPECT_EQ(counters.value(ids.bytes_recv), 17 * sizeof(double) + sizeof(int));
+      EXPECT_EQ(counters.value(ids.msgs_recv), 2u);
+      EXPECT_EQ(counters.value(ids.bytes_sent), 0u);
+    }
+  });
+}
+
+TEST(Telemetry, AlltoallvByteCountersMatchACraftedExchange) {
+  // Rank r sends r+1 doubles to every OTHER rank (the self block bypasses
+  // the mailbox and must not be counted). Expected per rank, P = 4:
+  //   payload bytes sent  = 3 * (r+1) * sizeof(double)
+  //   control bytes sent  = 3 * sizeof(size_t)      (count pre-exchange)
+  //   messages sent       = 3 counts + 3 payloads = 6
+  //   payload bytes recv  = sum_{s != r} (s+1) * sizeof(double)
+  Machine::run(4, [](Comm& c) {
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    const int p = c.size();
+    const std::size_t mine = static_cast<std::size_t>(c.rank()) + 1;
+    std::vector<std::size_t> send_counts(static_cast<std::size_t>(p), mine);
+    std::vector<double> send(mine * static_cast<std::size_t>(p),
+                             static_cast<double>(c.rank()));
+    std::vector<std::size_t> recv_counts;
+    const auto recv = c.alltoallv(std::span<const double>(send),
+                                  std::span<const std::size_t>(send_counts),
+                                  recv_counts);
+    EXPECT_EQ(recv.size(), 1u + 2u + 3u + 4u);
+
+    const auto& ids = telemetry::ids(telemetry::Op::kAlltoall);
+    const std::uint64_t expect_sent =
+        3 * mine * sizeof(double) + 3 * sizeof(std::size_t);
+    std::uint64_t expect_recv = 3 * sizeof(std::size_t);
+    for (int s = 0; s < p; ++s)
+      if (s != c.rank())
+        expect_recv += (static_cast<std::uint64_t>(s) + 1) * sizeof(double);
+    EXPECT_EQ(counters.value(ids.bytes_sent), expect_sent);
+    EXPECT_EQ(counters.value(ids.bytes_recv), expect_recv);
+    EXPECT_EQ(counters.value(ids.msgs_sent), 6u);
+    EXPECT_EQ(counters.value(ids.msgs_recv), 6u);
+    EXPECT_EQ(counters.value(ids.calls), 1u);
+    // Nothing leaked into the p2p class.
+    EXPECT_EQ(counters.value(telemetry::ids(telemetry::Op::kP2p).bytes_sent),
+              0u);
+  });
+}
+
+TEST(Telemetry, ZeroCountBlocksStillCountAsMessages) {
+  // All counts zero: the pairwise schedule still moves (P-1) empty payloads
+  // plus (P-1) control counts in each direction.
+  Machine::run(3, [](Comm& c) {
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    std::vector<std::size_t> send_counts(3, 0);
+    std::vector<std::size_t> recv_counts;
+    (void)c.alltoallv(std::span<const double>(),
+                      std::span<const std::size_t>(send_counts), recv_counts);
+    const auto& ids = telemetry::ids(telemetry::Op::kAlltoall);
+    EXPECT_EQ(counters.value(ids.bytes_sent), 2 * sizeof(std::size_t));
+    EXPECT_EQ(counters.value(ids.msgs_sent), 4u);  // 2 counts + 2 empty blocks
+  });
+}
+
+TEST(Telemetry, BcastBytesSumToTreeTraffic) {
+  // A binomial broadcast of B bytes over P ranks moves exactly (P-1)*B
+  // payload bytes in total; verify by summing per-rank counters outside the
+  // bindings.
+  constexpr int kRanks = 8;
+  constexpr std::size_t kElems = 25;
+  std::array<std::uint64_t, kRanks> sent{}, msgs{};
+  Machine::run(kRanks, [&](Comm& c) {
+    obs::Counters counters;
+    {
+      obs::Binding binding(nullptr, &counters);
+      std::vector<float> data(kElems, c.rank() == 2 ? 3.5f : 0.0f);
+      c.bcast(std::span<float>(data), /*root=*/2);
+      for (float v : data) EXPECT_EQ(v, 3.5f);
+    }
+    const auto& ids = telemetry::ids(telemetry::Op::kBcast);
+    sent[static_cast<std::size_t>(c.rank())] = counters.value(ids.bytes_sent);
+    msgs[static_cast<std::size_t>(c.rank())] = counters.value(ids.msgs_sent);
+    EXPECT_EQ(counters.value(ids.calls), 1u);
+  });
+  std::uint64_t total_sent = 0, total_msgs = 0;
+  for (int r = 0; r < kRanks; ++r) {
+    total_sent += sent[static_cast<std::size_t>(r)];
+    total_msgs += msgs[static_cast<std::size_t>(r)];
+  }
+  EXPECT_EQ(total_sent, (kRanks - 1) * kElems * sizeof(float));
+  EXPECT_EQ(total_msgs, kRanks - 1);
+}
+
+TEST(Telemetry, UnboundRanksCountNothing) {
+  Machine::run(2, [](Comm& c) {
+    // No Binding: every counter hook must be a no-op, not a crash.
+    c.barrier();
+    c.allreduce_value(1.0, ReduceOp::kSum);
+  });
 }
 
 }  // namespace

@@ -1,0 +1,661 @@
+// Tests for the observability subsystem: tracer ring + Chrome JSON export,
+// counter registry and kinds, thread binding, cross-rank reduction, the
+// per-step run ledger, and the end-to-end Simulation::run acceptance
+// criteria (ledger phase coverage, merged trace validity).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+// ---- allocation counting ----------------------------------------------------
+//
+// Replacement global operator new/delete that count allocations while armed.
+// Used to prove the disabled/unbound observability paths never allocate —
+// the "<2% overhead when off" contract is enforced structurally: no
+// allocation, no lock, just a thread-local load and a branch.
+namespace alloc_hook {
+std::atomic<bool> armed{false};
+std::atomic<std::size_t> count{0};
+
+void note() {
+  if (armed.load(std::memory_order_relaxed))
+    count.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace alloc_hook
+
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  alloc_hook::note();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  alloc_hook::note();
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "obs/counters.h"
+#include "obs/json.h"
+#include "obs/ledger.h"
+#include "obs/obs.h"
+#include "obs/reduce.h"
+#include "obs/trace.h"
+#include "util/names.h"
+#include "util/timer.h"
+
+namespace hacc::obs {
+namespace {
+
+// ---- a minimal JSON validator ----------------------------------------------
+//
+// Enough of RFC 8259 to prove the exported traces and ledger lines are
+// well-formed without a JSON library: values, objects, arrays, strings with
+// escapes, numbers, literals. Returns true iff the whole input is one valid
+// JSON value (plus surrounding whitespace).
+class JsonValidator {
+ public:
+  static bool valid(std::string_view text) {
+    JsonValidator v(text);
+    return v.value() && (v.skip_ws(), v.pos_ == text.size());
+  }
+
+ private:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"')) return false;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+        const char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() || !std::isxdigit(text_[pos_]))
+              return false;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' && e != 'f' &&
+                   e != 'n' && e != 'r' && e != 't') {
+          return false;
+        }
+      } else if (static_cast<unsigned char>(text_[pos_]) < 0x20) {
+        return false;
+      }
+      ++pos_;
+    }
+    return pos_ < text_.size() && text_[pos_++] == '"';
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(text_[pos_]) || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+  bool value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      if (eat('}')) return true;
+      do {
+        skip_ws();
+        if (!string() || !eat(':') || !value()) return false;
+      } while (eat(','));
+      return eat('}');
+    }
+    if (c == '[') {
+      ++pos_;
+      if (eat(']')) return true;
+      do {
+        if (!value()) return false;
+      } while (eat(','));
+      return eat(']');
+    }
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    return number();
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Json, EscapeAndNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_TRUE(JsonValidator::valid("\"" + json_escape("\x01\t weird") + "\""));
+  EXPECT_TRUE(JsonValidator::valid(json_number(1.25e-9)));
+  EXPECT_EQ(json_number(std::nan("")), "0");  // non-finite must stay valid
+}
+
+TEST(Names, InternIsIdempotentAndStable) {
+  const NameId a = intern_name("obs-test-phase");
+  const NameId b = intern_name("obs-test-phase");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(name_of(a), "obs-test-phase");
+  EXPECT_NE(a, intern_name("obs-test-other"));
+}
+
+// ---- tracer -----------------------------------------------------------------
+
+TEST(Tracer, RecordsCompleteAndInstantEventsInOrder) {
+  Tracer t(64);
+  t.set_enabled(true);
+  const NameId na = intern_name("trc-a"), nb = intern_name("trc-b");
+  t.complete(na, 1000, 500);
+  t.instant(nb);
+  t.complete(nb, 2000, 100);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, na);
+  EXPECT_EQ(events[0].type, Tracer::Type::kComplete);
+  EXPECT_EQ(events[0].ts_ns, 1000u);
+  EXPECT_EQ(events[0].dur_ns, 500u);
+  EXPECT_EQ(events[1].type, Tracer::Type::kInstant);
+  EXPECT_EQ(events[2].ts_ns, 2000u);
+  EXPECT_EQ(t.recorded(), 3u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, DisabledTracerRecordsNothing) {
+  Tracer t(64);
+  t.complete(intern_name("trc-x"), 0, 1);
+  t.instant(intern_name("trc-x"));
+  EXPECT_TRUE(t.snapshot().empty());
+  EXPECT_EQ(t.recorded(), 0u);
+}
+
+TEST(Tracer, RingKeepsTheMostRecentEvents) {
+  Tracer t(4);
+  t.set_enabled(true);
+  const NameId n = intern_name("trc-ring");
+  for (std::uint64_t i = 0; i < 10; ++i) t.complete(n, i, 1);
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first: timestamps 6,7,8,9 survive.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(events[i].ts_ns, 6 + i);
+  EXPECT_EQ(t.recorded(), 10u);
+  EXPECT_EQ(t.dropped(), 6u);
+}
+
+TEST(Tracer, ThreadsGetDistinctDenseTids) {
+  Tracer t;
+  t.set_enabled(true);
+  const NameId n = intern_name("trc-threads");
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i)
+    threads.emplace_back([&] { t.complete(n, 0, 1); });
+  for (auto& th : threads) th.join();
+  t.complete(n, 0, 1);  // this thread too
+  std::set<std::uint32_t> tids;
+  for (const auto& e : t.snapshot()) tids.insert(e.tid);
+  EXPECT_EQ(tids.size(), 5u);
+  for (std::uint32_t tid : tids) EXPECT_LT(tid, 5u);  // dense indices
+}
+
+TEST(Tracer, ExportsValidChromeTraceJson) {
+  Tracer t;
+  t.set_enabled(true);
+  t.complete(intern_name("span \"quoted\""), 1500, 2500);
+  t.instant(intern_name("marker"));
+  const std::string json = "[" + t.events_json(/*pid=*/7) + "]";
+  EXPECT_TRUE(JsonValidator::valid(json)) << json;
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":7"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+
+  const std::string path = temp_path("obs_single_trace.json");
+  t.write_chrome_trace(path, /*pid=*/3);
+  const std::string body = read_file(path);
+  EXPECT_TRUE(JsonValidator::valid(body)) << body;
+  std::remove(path.c_str());
+}
+
+TEST(Tracer, ConcurrentRecordingProducesValidJson) {
+  Tracer t;
+  t.set_enabled(true);
+  const NameId n = intern_name("trc-race");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 4; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < 200; ++i)
+        t.complete(n, static_cast<std::uint64_t>(w * 1000 + i), 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(t.recorded(), 800u);
+  EXPECT_TRUE(JsonValidator::valid("[" + t.events_json(0) + "]"));
+}
+
+// ---- counters ---------------------------------------------------------------
+
+TEST(Counters, AddSetValueSnapshot) {
+  Counters c;
+  const NameId ctr = counter_id("obs-test.ctr");
+  const NameId g = gauge_id("obs-test.gauge");
+  c.add(ctr, 3);
+  c.add(ctr, 4);
+  c.set(g, 99);
+  c.set(g, 42);
+  EXPECT_EQ(c.value(ctr), 7u);
+  EXPECT_EQ(c.value(g), 42u);
+  EXPECT_EQ(kind_of(ctr), CounterKind::kCounter);
+  EXPECT_EQ(kind_of(g), CounterKind::kGauge);
+
+  bool saw_ctr = false;
+  for (const auto& s : c.snapshot()) {
+    if (s.id == ctr) {
+      saw_ctr = true;
+      EXPECT_EQ(s.value, 7u);
+    }
+  }
+  EXPECT_TRUE(saw_ctr);
+  c.clear();
+  EXPECT_EQ(c.value(ctr), 0u);
+}
+
+TEST(Counters, ConcurrentAddsDoNotLoseCounts) {
+  Counters c;
+  const NameId ctr = counter_id("obs-test.race");
+  std::vector<std::thread> threads;
+  for (int w = 0; w < 8; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) c.add(ctr, 1);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(ctr), 80000u);
+}
+
+// ---- binding + zero-allocation disabled paths -------------------------------
+
+TEST(Binding, NestsAndRestores) {
+  EXPECT_EQ(tracer(), nullptr);
+  EXPECT_EQ(counters(), nullptr);
+  Tracer t1, t2;
+  Counters c1;
+  {
+    Binding outer(&t1, &c1);
+    EXPECT_EQ(tracer(), &t1);
+    EXPECT_EQ(counters(), &c1);
+    {
+      Binding inner(&t2, nullptr);
+      EXPECT_EQ(tracer(), &t2);
+      EXPECT_EQ(counters(), nullptr);
+    }
+    EXPECT_EQ(tracer(), &t1);
+    EXPECT_EQ(counters(), &c1);
+  }
+  EXPECT_EQ(tracer(), nullptr);
+}
+
+TEST(Binding, TimerScopesFeedTheBoundTracer) {
+  Tracer t;
+  t.set_enabled(true);
+  TimerRegistry reg;
+  const NameId phase = intern_name("obs-test.hook-phase");
+  {
+    Binding binding(&t, nullptr);
+    auto scope = reg.scope(phase);
+  }
+  const auto events = t.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, phase);
+  EXPECT_EQ(events[0].type, Tracer::Type::kComplete);
+  EXPECT_GT(reg.total(phase), 0.0);
+
+  // Outside the binding the same scope records time but no events.
+  { auto scope = reg.scope(phase); }
+  EXPECT_EQ(t.snapshot().size(), 1u);
+}
+
+TEST(Observability, DisabledPathsAllocateNothing) {
+  const NameId phase = intern_name("obs-test.noalloc");
+  const NameId ctr = counter_id("obs-test.noalloc.ctr");
+  Tracer t;  // disabled
+  Counters c;
+  TimerRegistry reg;
+  { auto warm = reg.scope(phase); }  // grow the registry's entry table once
+  c.add(ctr, 1);
+
+  // Unbound: TraceScope / add_counter / timer scopes must be free.
+  alloc_hook::count.store(0);
+  alloc_hook::armed.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    TraceScope trace(phase);
+    add_counter(ctr, 7);
+    set_gauge(ctr, 7);
+    auto scope = reg.scope(phase);
+  }
+  alloc_hook::armed.store(false);
+  EXPECT_EQ(alloc_hook::count.load(), 0u);
+
+  // Bound but tracing disabled: counters hit atomics, tracer drops events —
+  // still no allocation.
+  Binding binding(&t, &c);
+  alloc_hook::count.store(0);
+  alloc_hook::armed.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    TraceScope trace(phase);
+    add_counter(ctr, 7);
+    auto scope = reg.scope(phase);
+  }
+  alloc_hook::armed.store(false);
+  EXPECT_EQ(alloc_hook::count.load(), 0u);
+
+  // Bound and *enabled*: the preallocated ring still records without
+  // allocating per event.
+  t.set_enabled(true);
+  alloc_hook::count.store(0);
+  alloc_hook::armed.store(true);
+  for (int i = 0; i < 1000; ++i) {
+    TraceScope trace(phase);
+    add_counter(ctr, 7);
+  }
+  alloc_hook::armed.store(false);
+  EXPECT_EQ(alloc_hook::count.load(), 0u);
+}
+
+TEST(Observability, PeakRssIsReported) {
+  EXPECT_GT(peak_rss_bytes(), 0u);
+}
+
+// ---- cross-rank reduction ---------------------------------------------------
+
+TEST(Reduce, CounterReduceAcrossFourRanksIsExact) {
+  const NameId everyone = counter_id("obs-test.reduce.everyone");
+  const NameId only0 = counter_id("obs-test.reduce.only0");
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    Counters mine;
+    mine.add(everyone, static_cast<std::uint64_t>(c.rank()) + 1);  // 1,2,3,4
+    if (c.rank() == 0) mine.add(only0, 8);
+    const auto rows = reduce_counters(c, mine);
+    if (c.rank() != 0) {
+      EXPECT_TRUE(rows.empty());
+      return;
+    }
+    const Reduced* ev = nullptr;
+    const Reduced* o0 = nullptr;
+    for (const auto& r : rows) {
+      if (r.name == everyone) ev = &r;
+      if (r.name == only0) o0 = &r;
+    }
+    ASSERT_NE(ev, nullptr);
+    EXPECT_DOUBLE_EQ(ev->min, 1.0);
+    EXPECT_DOUBLE_EQ(ev->max, 4.0);
+    EXPECT_DOUBLE_EQ(ev->sum, 10.0);
+    EXPECT_DOUBLE_EQ(ev->mean, 2.5);
+    EXPECT_DOUBLE_EQ(ev->imbalance(), 1.6);
+    // A value only one rank reports: the other ranks contribute zero.
+    ASSERT_NE(o0, nullptr);
+    EXPECT_DOUBLE_EQ(o0->min, 0.0);
+    EXPECT_DOUBLE_EQ(o0->max, 8.0);
+    EXPECT_DOUBLE_EQ(o0->mean, 2.0);
+    EXPECT_DOUBLE_EQ(o0->imbalance(), 4.0);
+  });
+}
+
+TEST(Reduce, TimerReduceSortsByDescendingMean) {
+  const NameId big = intern_name("obs-test.reduce.big");
+  const NameId small = intern_name("obs-test.reduce.small");
+  comm::Machine::run(3, [&](comm::Comm& c) {
+    TimerRegistry reg;
+    reg.add(big, 10.0 + c.rank());
+    reg.add(small, 0.5);
+    const auto rows = reduce_timers(c, reg);
+    if (c.rank() != 0) return;
+    ASSERT_EQ(rows.size(), 2u);
+    EXPECT_EQ(rows[0].name, big);
+    EXPECT_DOUBLE_EQ(rows[0].min, 10.0);
+    EXPECT_DOUBLE_EQ(rows[0].max, 12.0);
+    EXPECT_DOUBLE_EQ(rows[0].mean, 11.0);
+    EXPECT_EQ(rows[1].name, small);
+    EXPECT_DOUBLE_EQ(rows[1].imbalance(), 1.0);
+  });
+}
+
+TEST(Reduce, MergedTraceCarriesEveryRankAsAPid) {
+  const std::string path = temp_path("obs_merged_trace.json");
+  const NameId n = intern_name("obs-test.merged");
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    Tracer t;
+    t.set_enabled(true);
+    for (int i = 0; i <= c.rank(); ++i)
+      t.complete(n, static_cast<std::uint64_t>(i) * 1000, 10);
+    write_merged_trace(c, t, path);
+  });
+  const std::string body = read_file(path);
+  ASSERT_FALSE(body.empty());
+  EXPECT_TRUE(JsonValidator::valid(body)) << body.substr(0, 200);
+  for (int pid = 0; pid < 4; ++pid) {
+    EXPECT_NE(body.find("\"pid\":" + std::to_string(pid)), std::string::npos)
+        << "rank " << pid << " missing from merged trace";
+  }
+  std::remove(path.c_str());
+}
+
+// ---- ledger -----------------------------------------------------------------
+
+TEST(Ledger, PaperBreakdownRollsUpPhases) {
+  std::map<std::string, PhaseStat> phases;
+  auto put = [&](const char* name, double mean) {
+    PhaseStat s;
+    s.mean = mean;
+    phases[name] = s;
+  };
+  put("sr-kernel", 8.0);
+  put("tree-build", 1.0);
+  put("poisson.fft", 0.5);
+  put("cic", 0.2);
+  put("lr-kick", 0.1);
+  put("refresh", 0.4);
+  put("grid-exchange", 0.3);
+  put("poisson.remap", 0.2);
+  const auto b = paper_breakdown(phases, /*wall_mean=*/11.0);
+  EXPECT_DOUBLE_EQ(b.at("kernel"), 8.0);
+  EXPECT_DOUBLE_EQ(b.at("walk_build"), 1.0);
+  EXPECT_DOUBLE_EQ(b.at("fft"), 0.5);
+  EXPECT_DOUBLE_EQ(b.at("cic"), 0.3);
+  EXPECT_DOUBLE_EQ(b.at("refresh"), 0.4);
+  EXPECT_DOUBLE_EQ(b.at("comm"), 0.5);
+  EXPECT_NEAR(b.at("other"), 11.0 - 10.7, 1e-12);
+}
+
+TEST(Ledger, JsonlSchemaRoundTrip) {
+  Ledger ledger;
+  StepRecord rec;
+  rec.step = 3;
+  rec.a = 0.5;
+  rec.z = 1.0;
+  rec.wall = PhaseStat{0.9, 1.0, 1.2, 1.2};
+  rec.t_per_substep_per_particle = 1.25e-7;
+  rec.momentum = {1.0, -2.0, 3.0};
+  rec.momentum_drift = 4.5e-6;
+  rec.phases["sr-kernel"] = PhaseStat{0.7, 0.8, 0.9, 1.125};
+  rec.counters["comm.alltoall.bytes_sent"] = PhaseStat{100, 150, 200, 1.33};
+  rec.breakdown["kernel"] = 0.8;
+  rec.peak_rss_bytes = 123456789;
+  ledger.append(rec);
+  rec.step = 4;
+  ledger.append(rec);
+
+  const std::string jsonl = ledger.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(JsonValidator::valid(line)) << line;
+    for (const char* key :
+         {"\"step\"", "\"a\"", "\"z\"", "\"wall_s\"",
+          "\"t_per_substep_per_particle\"", "\"momentum\"",
+          "\"momentum_drift\"", "\"phases\"", "\"counters\"", "\"breakdown\"",
+          "\"peak_rss_bytes\""}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key;
+    }
+  }
+  EXPECT_EQ(n, 2);
+
+  const std::string path = temp_path("obs_ledger.jsonl");
+  ledger.write_jsonl(path);
+  EXPECT_EQ(read_file(path), jsonl);
+  std::remove(path.c_str());
+
+  std::ostringstream table;
+  ledger.print_phase_table(table);
+  EXPECT_NE(table.str().find("sr-kernel"), std::string::npos);
+}
+
+// ---- end-to-end: Simulation::run produces the run ledger --------------------
+
+TEST(SimulationLedger, FourRankRunWritesLedgerAndTrace) {
+  const std::string ledger_path = temp_path("obs_sim_ledger.jsonl");
+  const std::string trace_path = temp_path("obs_sim_trace.json");
+  core::SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 12;
+  cfg.steps = 2;
+  cfg.subcycles = 2;
+  cfg.overload = 2.0;
+  cfg.ledger_path = ledger_path;
+  cfg.trace_path = trace_path;
+  cosmology::Cosmology cosmo;
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    core::Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();
+    if (c.rank() != 0) {
+      EXPECT_TRUE(sim.ledger().empty());
+      return;
+    }
+    const auto& records = sim.ledger().records();
+    ASSERT_EQ(records.size(), 2u);
+    const double np_total = std::pow(static_cast<double>(cfg.particles_per_dim), 3);
+    for (const auto& rec : records) {
+      EXPECT_GT(rec.wall.mean, 0.0);
+      EXPECT_GE(rec.wall.max, rec.wall.mean);
+      EXPECT_GE(rec.wall.mean, rec.wall.min);
+      EXPECT_GE(rec.wall.imbalance, 1.0);
+      // Acceptance: the top-level phases account for >= 90% of step wall.
+      double phase_sum = 0;
+      for (const char* phase :
+           {"cic", "grid-exchange", "poisson", "lr-kick", "stream",
+            "tree-build", "sr-kernel", "refresh"}) {
+        auto it = rec.phases.find(phase);
+        if (it != rec.phases.end()) phase_sum += it->second.mean;
+      }
+      EXPECT_GE(phase_sum, 0.9 * rec.wall.mean);
+      EXPECT_LE(phase_sum, 1.02 * rec.wall.mean);  // phases nest inside step
+      // Table II's invariant is wall/subcycles/np^3.
+      EXPECT_NEAR(rec.t_per_substep_per_particle,
+                  rec.wall.mean / cfg.subcycles / np_total,
+                  1e-12 * rec.wall.mean);
+      // The instrumented layers fed counters during the step.
+      EXPECT_GT(rec.counters.count("tree.pp_interactions"), 0u);
+      EXPECT_GT(rec.counters.count("fft.transpose.bytes"), 0u);
+      EXPECT_GT(rec.counters.count("comm.alltoall.bytes_sent"), 0u);
+      EXPECT_GT(rec.peak_rss_bytes, 0u);
+      // The poisson-internal phases arrive prefixed.
+      EXPECT_GT(rec.phases.count("poisson.fft"), 0u);
+      EXPECT_GT(rec.breakdown.at("kernel"), 0.0);
+    }
+    // Momentum drift is measured against the first step's momentum.
+    EXPECT_DOUBLE_EQ(records[0].momentum_drift, 0.0);
+  });
+
+  // Ledger file: one valid JSON object per line.
+  const std::string jsonl = read_file(ledger_path);
+  ASSERT_FALSE(jsonl.empty());
+  std::istringstream lines(jsonl);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_TRUE(JsonValidator::valid(line)) << line.substr(0, 120);
+  }
+  EXPECT_EQ(n, 2);
+
+  // Merged trace: a valid Chrome trace array with all four ranks as pids
+  // and at least one complete event.
+  const std::string trace = read_file(trace_path);
+  ASSERT_FALSE(trace.empty());
+  EXPECT_TRUE(JsonValidator::valid(trace)) << trace.substr(0, 200);
+  EXPECT_NE(trace.find("\"ph\":\"X\""), std::string::npos);
+  for (int pid = 0; pid < 4; ++pid)
+    EXPECT_NE(trace.find("\"pid\":" + std::to_string(pid)), std::string::npos);
+  std::remove(ledger_path.c_str());
+  std::remove(trace_path.c_str());
+}
+
+}  // namespace
+}  // namespace hacc::obs
