@@ -1,0 +1,185 @@
+// Fault-tolerance cost model: what does surviving failures cost per step?
+//
+// At the paper's scale (Sec. V) the mean time between failures is shorter
+// than a campaign, so every production step pays a defensive-checkpoint tax
+// and every failure pays a detect-and-restore latency. This bench measures
+// both on the SimMPI runtime and emits BENCH_recovery.json:
+//
+//   1. Checkpoint tax — each scheduled checkpoint is written twice, with
+//      and without write-then-verify (GioConfig::verify_after_write), so
+//      the verification overhead is isolated from raw write cost and
+//      amortized into a per-step figure.
+//   2. Recovery drill — a Supervisor run with a scheduled rank kill near
+//      the end: detect-to-resume latency (failure caught -> resumed machine
+//      running, including the newest-first chain re-verification) straight
+//      from the SupervisorReport.
+//
+// Environment knobs: HACC_REC_RANKS, HACC_REC_GRID, HACC_REC_NP,
+// HACC_REC_STEPS, HACC_REC_EVERY.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+#include "comm/comm.h"
+#include "comm/fault.h"
+#include "core/simulation.h"
+#include "core/supervisor.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hacc;
+namespace fs = std::filesystem;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct CheckpointTax {
+  int checkpoints = 0;
+  double mean_step_s = 0;            ///< plain stepping cost
+  double mean_write_s = 0;           ///< checkpoint write, no verification
+  double mean_write_verified_s = 0;  ///< write-then-verify
+  double verify_per_checkpoint_s() const {
+    return mean_write_verified_s - mean_write_s;
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int ranks = env_int("HACC_REC_RANKS", 4);
+  const int every = env_int("HACC_REC_EVERY", 2);
+  core::SimulationConfig cfg;
+  cfg.grid = static_cast<std::size_t>(env_int("HACC_REC_GRID", 32));
+  cfg.particles_per_dim = static_cast<std::size_t>(env_int("HACC_REC_NP", 24));
+  cfg.steps = env_int("HACC_REC_STEPS", 6);
+  cfg.subcycles = 3;
+  cfg.overload = 3.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cosmology::Cosmology cosmo;
+
+  const std::string dir = (fs::temp_directory_path() / "hacc_bench_recovery").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::printf(
+      "Recovery cost model: %d ranks, %zu^3 grid, %zu^3 particles, %d steps, "
+      "checkpoint every %d\n\n",
+      ranks, cfg.grid, cfg.particles_per_dim, cfg.steps, every);
+
+  // --- 1. checkpoint tax: the same deterministic run twice, checkpointing
+  // on schedule — once with write-then-verify off, once on. Identical
+  // trajectories (same seed), so the timing difference is the verification.
+  CheckpointTax tax;
+  const auto tax_run = [&](bool verify, double& mean_step, double& mean_write,
+                           int& ckpts_out) {
+    core::SimulationConfig run_cfg = cfg;
+    run_cfg.checkpoint_verify = verify;
+    double step_s = 0, write_s = 0;
+    int ckpts = 0;
+    comm::Machine::run(ranks, [&](comm::Comm& c) {
+      core::Simulation sim(c, cosmo, run_cfg);
+      sim.initialize();
+      for (int s = 1; s <= run_cfg.steps; ++s) {
+        Timer t;
+        sim.step();
+        if (c.rank() == 0) step_s += t.elapsed();
+        if (s % every == 0 || s == run_cfg.steps) {
+          Timer w;
+          sim.write_checkpoint(dir + "/tax_" + std::to_string(s) + ".gio");
+          if (c.rank() == 0) {
+            write_s += w.elapsed();
+            ++ckpts;
+          }
+        }
+      }
+    });
+    mean_step = step_s / run_cfg.steps;
+    mean_write = write_s / std::max(ckpts, 1);
+    ckpts_out = ckpts;
+  };
+  double unused_step = 0;
+  tax_run(false, tax.mean_step_s, tax.mean_write_s, tax.checkpoints);
+  tax_run(true, unused_step, tax.mean_write_verified_s, tax.checkpoints);
+
+  const double per_ckpt = tax.verify_per_checkpoint_s();
+  const double per_step =
+      per_ckpt * static_cast<double>(tax.checkpoints) / cfg.steps;
+  const double pct_of_step =
+      tax.mean_step_s > 0 ? 100.0 * per_step / tax.mean_step_s : 0;
+
+  Table t({"metric", "seconds"});
+  t.add_row({"mean step", Table::fixed(tax.mean_step_s, 4)});
+  t.add_row({"mean checkpoint write", Table::fixed(tax.mean_write_s, 4)});
+  t.add_row({"mean write-then-verify", Table::fixed(tax.mean_write_verified_s, 4)});
+  t.add_row({"verify overhead / checkpoint", Table::fixed(per_ckpt, 4)});
+  t.add_row({"verify overhead / step", Table::fixed(per_step, 4)});
+  std::printf("Checkpoint tax (%d checkpoints over %d steps):\n",
+              tax.checkpoints, cfg.steps);
+  t.print(std::cout);
+  std::printf("verify overhead: %.2f%% of step wall\n\n", pct_of_step);
+
+  // --- 2. recovery drill: kill a rank near the end of a supervised run and
+  // measure the detect -> resume path.
+  core::SupervisorConfig scfg;
+  scfg.sim = cfg;
+  scfg.nranks = ranks;
+  scfg.checkpoint_dir = dir + "/drill";
+  scfg.checkpoint_every = every;
+  scfg.keep = 2;
+  scfg.max_retries = 2;
+  comm::FaultPlan plan;
+  plan.kill_at_step(/*rank=*/ranks - 1, /*step=*/std::max(cfg.steps - 1, 1));
+  scfg.machine.fault_plan = &plan;
+
+  core::Supervisor sup(cosmo, scfg);
+  const core::SupervisorReport rep = sup.run();
+
+  Table r({"metric", "value"});
+  r.add_row({"completed", rep.completed ? "yes" : "no"});
+  r.add_row({"attempts", Table::integer(rep.attempts)});
+  r.add_row({"restores", Table::integer(rep.restores)});
+  r.add_row({"failed-attempt wall [s]", Table::fixed(rep.failed_attempt_seconds, 4)});
+  r.add_row({"chain re-verify [s]", Table::fixed(rep.verify_seconds, 4)});
+  r.add_row({"detect -> resume [s]", Table::fixed(rep.detect_to_resume_seconds, 4)});
+  std::printf("Recovery drill (kill rank %d at step %d):\n", ranks - 1,
+              std::max(cfg.steps - 1, 1));
+  r.print(std::cout);
+
+  std::FILE* f = std::fopen("BENCH_recovery.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_recovery.json for writing\n");
+    fs::remove_all(dir);
+    return 1;
+  }
+  std::fprintf(
+      f,
+      "{\n  \"bench\": \"recovery\",\n"
+      "  \"ranks\": %d, \"grid\": %zu, \"particles_per_dim\": %zu, "
+      "\"steps\": %d, \"checkpoint_every\": %d,\n"
+      "  \"checkpoint_tax\": {\"checkpoints\": %d, \"mean_step_s\": %.6f, "
+      "\"mean_write_s\": %.6f, \"mean_write_verified_s\": %.6f, "
+      "\"verify_overhead_per_checkpoint_s\": %.6f, "
+      "\"verify_overhead_per_step_s\": %.6f, "
+      "\"verify_overhead_pct_of_step\": %.3f},\n"
+      "  \"recovery_drill\": {\"completed\": %s, \"attempts\": %d, "
+      "\"restores\": %d, \"failed_attempt_s\": %.6f, "
+      "\"chain_verify_s\": %.6f, \"detect_to_resume_s\": %.6f}\n}\n",
+      ranks, cfg.grid, cfg.particles_per_dim, cfg.steps, every,
+      tax.checkpoints, tax.mean_step_s, tax.mean_write_s,
+      tax.mean_write_verified_s, per_ckpt, per_step, pct_of_step,
+      rep.completed ? "true" : "false", rep.attempts, rep.restores,
+      rep.failed_attempt_seconds, rep.verify_seconds,
+      rep.detect_to_resume_seconds);
+  std::fclose(f);
+  std::printf("\nWrote BENCH_recovery.json\n");
+
+  fs::remove_all(dir);
+  return rep.completed ? 0 : 1;
+}

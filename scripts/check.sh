@@ -13,6 +13,11 @@
 #    thread-locals are all shared across SimMPI rank threads and OpenMP
 #    workers, so TSan gates every data-race regression in the observability
 #    layer.
+# 4. Fault matrix: the fault-injection and detection suites (rank kills,
+#    dropped/corrupted messages, crafted deadlocks, supervised recovery)
+#    under BOTH sanitizers — faults exercise the abort/unwind paths that
+#    normal runs never touch, which is where stale pointers and racy
+#    shutdowns hide.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,5 +51,21 @@ echo "== tsan: obs_test =="
 "$TSAN_BUILD/tests/obs_test"
 echo "== tsan: comm_test =="
 "$TSAN_BUILD/tests/comm_test"
+
+# Fault matrix: injection/detection/recovery suites under both sanitizers.
+FAULT_FILTER='FaultInjection.*:Detection.*:GioVerify.*:FaultMatrix.*:Supervisor.*:CheckpointSet.*:*HealthCheck*'
+echo "== fault matrix: build (asan core_test integration_test, tsan core_test integration_test) =="
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target core_test integration_test
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target core_test integration_test
+
+echo "== fault matrix: asan =="
+"$ASAN_BUILD/tests/gio_test" --gtest_filter="$FAULT_FILTER"
+"$ASAN_BUILD/tests/core_test" --gtest_filter="$FAULT_FILTER"
+"$ASAN_BUILD/tests/integration_test" --gtest_filter="$FAULT_FILTER"
+
+echo "== fault matrix: tsan =="
+"$TSAN_BUILD/tests/comm_test" --gtest_filter="$FAULT_FILTER"
+"$TSAN_BUILD/tests/core_test" --gtest_filter="$FAULT_FILTER"
+"$TSAN_BUILD/tests/integration_test" --gtest_filter="$FAULT_FILTER"
 
 echo "== check.sh: all green =="

@@ -24,9 +24,33 @@
 namespace hacc::comm {
 
 class MachineState;
+class FaultPlan;
 
 /// Reduction operators supported by reduce/allreduce/scan.
 enum class ReduceOp { kSum, kMin, kMax };
+
+/// Thrown out of a blocking receive whose deadline expired. The what()
+/// string is the full who-waits-on-whom stuck-rank report (every rank's
+/// pending peer, tag, op class, and wall seconds), so a distributed hang
+/// turns into a diagnosis instead of a frozen job.
+class DeadlockError : public Error {
+ public:
+  explicit DeadlockError(const std::string& report) : Error(report) {}
+};
+
+/// Runtime knobs of one simulated machine (Machine::run).
+struct MachineOptions {
+  /// Deadline for every blocking receive (collectives included), in
+  /// seconds. On expiry the waiting rank throws DeadlockError carrying the
+  /// stuck-rank report instead of hanging forever. 0 = wait forever.
+  double recv_timeout_s = 0;
+  /// Compute an end-to-end FNV-1a checksum per message at the send site and
+  /// verify it at the receive site; a mismatch (e.g. an injected bit-flip
+  /// in transit) throws and aborts the machine with a diagnosis.
+  bool verify_payloads = false;
+  /// Deterministic fault schedule to install on every rank (see fault.h).
+  FaultPlan* fault_plan = nullptr;
+};
 
 /// A group of ranks with an isolated message context (like MPI_Comm).
 ///
@@ -207,6 +231,9 @@ class Comm {
         group_(std::make_shared<std::vector<int>>(std::move(group))) {}
 
   void bcast_bytes(std::span<std::byte> data, int root) const;
+  /// Common send path: checksum (when verify_payloads), telemetry, fault
+  /// hooks (drop/corrupt), then mailbox delivery.
+  void deliver_bytes(int dest, int tag, std::vector<std::byte>&& payload) const;
   Mailbox& mailbox_of(int rank_in_comm) const;
   const std::vector<int>& group() const { return *group_; }
 
@@ -221,8 +248,15 @@ class Machine {
  public:
   /// Spawn `nranks` threads, call fn(comm) on each with a world
   /// communicator, join. Exceptions thrown by any rank are rethrown
-  /// (first by rank order) after all threads have been joined.
+  /// (first by rank order) after all threads have been joined; when a rank
+  /// fails, every other rank's blocking receive throws Aborted carrying
+  /// the failing rank's message (clean collective abort, no hang).
   static void run(int nranks, const std::function<void(Comm&)>& fn);
+
+  /// As above with runtime options: receive deadlines (deadlock detection),
+  /// payload verification, and a fault-injection plan.
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  const MachineOptions& options);
 };
 
 // ---- templated collective implementations ---------------------------------

@@ -1,0 +1,148 @@
+#include "comm/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace hacc::comm {
+
+namespace {
+
+thread_local FaultPlan* g_plan = nullptr;
+thread_local int g_rank = -1;
+thread_local int g_step = 0;
+
+/// Match-and-count: true when `spec` should fire for this event. Advances
+/// the spec's seen/fired counters; the caller performs the fault action.
+bool fire(fault::Spec& spec) {
+  const int seen = spec.seen.fetch_add(1, std::memory_order_relaxed);
+  if (seen != spec.nth && spec.nth >= 0) return false;
+  const int fired = spec.fires.fetch_add(1, std::memory_order_relaxed);
+  if (spec.max_fires >= 0 && fired >= spec.max_fires) return false;
+  return true;
+}
+
+bool tag_matches(const fault::Spec& spec, int tag) {
+  return spec.tag == fault::kAnyTag || spec.tag == tag;
+}
+
+}  // namespace
+
+fault::Spec& FaultPlan::add(int rank, fault::Kind kind) {
+  fault::Spec& s = specs_.emplace_back();
+  s.rank = rank;
+  s.kind = kind;
+  return s;
+}
+
+FaultPlan& FaultPlan::kill_at_step(int rank, int step) {
+  fault::Spec& s = add(rank, fault::Kind::kKillAtStep);
+  s.step = step;
+  return *this;
+}
+
+FaultPlan& FaultPlan::stall_recv(int rank, double seconds, int nth, int tag) {
+  fault::Spec& s = add(rank, fault::Kind::kStallRecv);
+  s.stall_seconds = seconds;
+  s.nth = nth;
+  s.tag = tag;
+  return *this;
+}
+
+FaultPlan& FaultPlan::drop_send(int rank, int tag, int nth) {
+  fault::Spec& s = add(rank, fault::Kind::kDropSend);
+  s.tag = tag;
+  s.nth = nth;
+  return *this;
+}
+
+FaultPlan& FaultPlan::corrupt_send(int rank, int tag, int nth) {
+  fault::Spec& s = add(rank, fault::Kind::kCorruptSend);
+  s.tag = tag;
+  s.nth = nth;
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_collective(int rank, telemetry::Op op, int nth) {
+  fault::Spec& s = add(rank, fault::Kind::kFailCollective);
+  s.op = op;
+  s.nth = nth;
+  return *this;
+}
+
+FaultPlan& FaultPlan::repeat(int times) {
+  HACC_CHECK_MSG(!specs_.empty(), "repeat() needs a preceding fault spec");
+  specs_.back().max_fires = times;
+  specs_.back().nth = -1;  // every matching event, not just the nth
+  return *this;
+}
+
+namespace fault {
+
+Scope::Scope(FaultPlan* plan, int rank) noexcept
+    : prev_plan_(g_plan), prev_rank_(g_rank) {
+  g_plan = plan;
+  g_rank = rank;
+  g_step = 0;
+}
+
+Scope::~Scope() {
+  g_plan = prev_plan_;
+  g_rank = prev_rank_;
+}
+
+bool active() noexcept { return g_plan != nullptr; }
+
+void set_step(int step) {
+  g_step = step;
+  if (g_plan == nullptr) return;
+  for (Spec& s : g_plan->specs()) {
+    if (s.rank != g_rank || s.kind != Kind::kKillAtStep || s.step != step)
+      continue;
+    const int fired = s.fires.fetch_add(1, std::memory_order_relaxed);
+    if (s.max_fires >= 0 && fired >= s.max_fires) continue;
+    throw RankKilled("fault injection: rank " + std::to_string(g_rank) +
+                     " killed at step " + std::to_string(step));
+  }
+}
+
+int current_step() noexcept { return g_step; }
+
+bool on_send(int tag, std::vector<std::byte>& payload) {
+  if (g_plan == nullptr) return true;
+  for (Spec& s : g_plan->specs()) {
+    if (s.rank != g_rank || !tag_matches(s, tag)) continue;
+    if (s.kind == Kind::kDropSend) {
+      if (fire(s)) return false;
+    } else if (s.kind == Kind::kCorruptSend) {
+      if (fire(s) && !payload.empty())
+        payload[payload.size() / 2] ^= std::byte{0x40};
+    }
+  }
+  return true;
+}
+
+void on_recv(int /*source*/, int tag) {
+  if (g_plan == nullptr) return;
+  for (Spec& s : g_plan->specs()) {
+    if (s.rank != g_rank || s.kind != Kind::kStallRecv || !tag_matches(s, tag))
+      continue;
+    if (fire(s))
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(s.stall_seconds));
+  }
+}
+
+void on_collective(telemetry::Op op) {
+  if (g_plan == nullptr) return;
+  for (Spec& s : g_plan->specs()) {
+    if (s.rank != g_rank || s.kind != Kind::kFailCollective || s.op != op)
+      continue;
+    if (fire(s))
+      throw Error(std::string("fault injection: collective ") +
+                  telemetry::op_name(op) + " failed on rank " +
+                  std::to_string(g_rank));
+  }
+}
+
+}  // namespace fault
+}  // namespace hacc::comm

@@ -1,0 +1,142 @@
+// Deterministic rank-fault injection for the SimMPI runtime.
+//
+// At the paper's scale the mean time between failures is shorter than a
+// campaign, so the runtime must *provably* detect and survive rank faults —
+// and the only way to prove it is to inject them on demand. A FaultPlan is a
+// list of per-rank fault specs (kill at step N, stall a receive, drop or
+// bit-flip a message in transit, fail a collective entry) that
+// Machine::run installs on each rank thread; the comm layer consults the
+// plan at its send/recv/collective sites through the thread-local hooks
+// below. Every spec is one-shot by default and keeps its fired-state in the
+// plan itself, so a kill at step 5 fires exactly once even across the
+// repeated Machine::run attempts a Supervisor makes while recovering —
+// which is exactly the semantics of a real node dying once.
+//
+// All hooks are no-ops (a thread-local null check) when no plan is
+// installed, so production paths pay nothing.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "comm/telemetry.h"
+#include "util/error.h"
+
+namespace hacc::comm {
+
+/// Thrown on the victim rank when a kill fault fires (models the rank's
+/// process dying). Peers observe it as an Aborted carrying this message.
+class RankKilled : public Error {
+ public:
+  explicit RankKilled(const std::string& what) : Error(what) {}
+};
+
+namespace fault {
+
+/// Matches any tag in a send/recv fault spec.
+inline constexpr int kAnyTag = std::numeric_limits<int>::min();
+
+enum class Kind : int {
+  kKillAtStep,      ///< throw RankKilled when set_step(step) is reached
+  kStallRecv,       ///< sleep before the nth matching receive
+  kDropSend,        ///< silently drop the nth matching send in transit
+  kCorruptSend,     ///< bit-flip a payload byte of the nth matching send
+  kFailCollective,  ///< throw on the nth collective entry of an op class
+};
+
+struct Spec {
+  int rank = -1;  ///< machine (world) rank the fault applies to
+  Kind kind = Kind::kKillAtStep;
+  int step = -1;        ///< kKillAtStep: fire when this step begins
+  int tag = kAnyTag;    ///< send/recv faults: required tag (kAnyTag = any)
+  int nth = 0;          ///< fire on the nth (0-based) matching event
+  double stall_seconds = 0;
+  telemetry::Op op = telemetry::Op::kBarrier;  ///< kFailCollective class
+  int max_fires = 1;    ///< one-shot by default; <0 = unlimited
+  std::atomic<int> fires{0};  ///< times this spec has fired (survives runs)
+  std::atomic<int> seen{0};   ///< matching events observed (drives `nth`)
+};
+
+}  // namespace fault
+
+/// A deterministic, test-drivable fault schedule shared by all ranks of a
+/// Machine::run. Build it with the chained helpers, pass it through
+/// MachineOptions. Spec state (fired counters) lives in the plan, so the
+/// same plan can supervise several consecutive Machine::run attempts.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Kill `rank` when fault::set_step(step) is called on it.
+  FaultPlan& kill_at_step(int rank, int step);
+  /// Sleep `seconds` before `rank`'s nth receive matching `tag`.
+  FaultPlan& stall_recv(int rank, double seconds, int nth = 0,
+                        int tag = fault::kAnyTag);
+  /// Drop `rank`'s nth send matching `tag` (the receiver never sees it).
+  FaultPlan& drop_send(int rank, int tag = fault::kAnyTag, int nth = 0);
+  /// Bit-flip a byte of `rank`'s nth send matching `tag` *after* the
+  /// payload checksum is computed — models wire/memory corruption that
+  /// MachineOptions::verify_payloads must catch.
+  FaultPlan& corrupt_send(int rank, int tag = fault::kAnyTag, int nth = 0);
+  /// Throw on `rank`'s nth collective entry of class `op`.
+  FaultPlan& fail_collective(int rank, telemetry::Op op, int nth = 0);
+
+  /// Make the most recently added spec repeatable (`times` < 0: forever).
+  FaultPlan& repeat(int times);
+
+  std::deque<fault::Spec>& specs() noexcept { return specs_; }
+  const std::deque<fault::Spec>& specs() const noexcept { return specs_; }
+  bool empty() const noexcept { return specs_.empty(); }
+
+ private:
+  fault::Spec& add(int rank, fault::Kind kind);
+  // deque: Spec holds atomics (non-movable); deque grows without moving.
+  std::deque<fault::Spec> specs_;
+};
+
+namespace fault {
+
+/// RAII: installs `plan` (may be null) for machine rank `rank` on the
+/// calling thread. Machine::run wraps each rank function in one.
+class Scope {
+ public:
+  Scope(FaultPlan* plan, int rank) noexcept;
+  ~Scope();
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  FaultPlan* prev_plan_;
+  int prev_rank_;
+};
+
+/// True when a plan is installed on this thread.
+bool active() noexcept;
+
+/// Announce that step `step` is about to run on this rank (drivers call it
+/// once per step on every rank). Fires any due kKillAtStep spec by throwing
+/// RankKilled.
+void set_step(int step);
+/// The last step announced via set_step (0 before any).
+int current_step() noexcept;
+
+/// Send-side hook: may corrupt `payload` in place (kCorruptSend) or return
+/// false to drop the message entirely (kDropSend).
+[[nodiscard]] bool on_send(int tag, std::vector<std::byte>& payload);
+
+/// Receive-side hook: applies kStallRecv delays.
+void on_recv(int source, int tag);
+
+/// Collective-entry hook (called by telemetry::OpGuard): fires
+/// kFailCollective by throwing hacc::Error.
+void on_collective(telemetry::Op op);
+
+}  // namespace fault
+}  // namespace hacc::comm

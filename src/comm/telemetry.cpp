@@ -3,6 +3,8 @@
 #include <array>
 #include <string>
 
+#include "comm/fault.h"
+
 namespace hacc::comm::telemetry {
 
 namespace {
@@ -38,9 +40,14 @@ const OpIds& ids(Op op) noexcept {
   return id_table()[static_cast<std::size_t>(op)];
 }
 
+const char* op_name(Op op) noexcept {
+  return kOpNames[static_cast<std::size_t>(op)];
+}
+
 Op current_op() noexcept { return g_op; }
 
-OpGuard::OpGuard(Op op) noexcept : prev_(g_op) {
+OpGuard::OpGuard(Op op) : prev_(g_op) {
+  fault::on_collective(op);  // may throw an injected collective failure
   g_op = op;
   obs::add_counter(ids(op).calls, 1);
 }

@@ -46,13 +46,19 @@ struct OpIds {
 };
 const OpIds& ids(Op op) noexcept;
 
+/// Short human-readable class name ("p2p", "bcast", ...); used by the
+/// stuck-rank report and fault-injection messages.
+const char* op_name(Op op) noexcept;
+
 /// The calling thread's current attribution class (kP2p by default).
 Op current_op() noexcept;
 
 /// RAII: attributes nested sends/recvs to `op` and bumps its calls counter.
+/// Also the single fault-injection site for collectives: the constructor
+/// runs fault::on_collective(op), which may throw on an injected failure.
 class OpGuard {
  public:
-  explicit OpGuard(Op op) noexcept;
+  explicit OpGuard(Op op);
   ~OpGuard();
   OpGuard(const OpGuard&) = delete;
   OpGuard& operator=(const OpGuard&) = delete;

@@ -128,6 +128,11 @@ RefreshStats OverloadDomain::refresh(comm::Comm& comm,
   }
   for (auto& v : outbound) v.clear();
 
+  // The array holds exactly the actives at this point; sorting them by id
+  // makes phases 2/3 — and every force summation until the next refresh —
+  // independent of arrival/removal history (restart reproducibility).
+  if (canonical_order_) particles.sort_by_id();
+
   // Phase 2: for every neighbor image, queue shifted passive replicas.
   // An image is a neighbor rank viewed at a periodic offset: its domain box
   // shifted by (sx, sy, sz) in {-N, 0, +N}^3 so that it is adjacent to ours.

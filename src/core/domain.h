@@ -63,11 +63,21 @@ class OverloadDomain {
   /// Count (active, passive) without modifying anything.
   std::array<std::size_t, 2> census(const tree::ParticleArray& p) const;
 
+  /// When set, refresh() re-sorts the actives into canonical (id) order
+  /// after migrant delivery, before replicas are rebuilt. This decouples
+  /// the particle ordering — and with it every float summation order
+  /// downstream — from the arrival/removal history, so a run restored from
+  /// a checkpoint (which permutes particles through the elastic read and
+  /// redistribution) evolves bit-for-bit like the uninterrupted one.
+  void set_canonical_order(bool on) noexcept { canonical_order_ = on; }
+  bool canonical_order() const noexcept { return canonical_order_; }
+
  private:
   mesh::BlockDecomp3D decomp_;
   int rank_;
   fft::Box3D box_;
   double overload_;
+  bool canonical_order_ = false;
 };
 
 }  // namespace hacc::core

@@ -50,6 +50,7 @@ Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
 
   domain_ = std::make_unique<OverloadDomain>(decomp_, world.rank(),
                                              config.overload);
+  domain_->set_canonical_order(config.canonical_order);
   poisson_ = std::make_unique<mesh::PoissonSolver>(world, decomp_,
                                                    config.spectral);
   // Ghost layer: passive particles live up to `overload` outside the
@@ -272,6 +273,11 @@ void Simulation::run() {
   const bool trace_on = !config_.trace_path.empty();
   if (trace_on) tracer_.set_enabled(true);
   if (ledger_on) {
+    // Stream records as they are produced (one fsync'd JSONL line per
+    // step) instead of writing the file at end of run: a crashed run keeps
+    // every completed step's record on disk.
+    if (world_.rank() == 0 && !ledger_.streaming())
+      ledger_.stream_to(config_.ledger_path);
     // Reset the delta baselines so constructor/initialize() phases and
     // counters do not leak into the first step's record.
     (void)ledger_phase_deltas();
@@ -281,10 +287,7 @@ void Simulation::run() {
     step();
     if (ledger_on) record_step_ledger();
   }
-  if (ledger_on && world_.rank() == 0) {
-    ledger_.write_jsonl(config_.ledger_path);
-    ledger_.print_phase_table(std::cout);
-  }
+  if (ledger_on && world_.rank() == 0) ledger_.print_phase_table(std::cout);
   if (trace_on) obs::write_merged_trace(world_, tracer_, config_.trace_path);
 }
 
@@ -423,6 +426,7 @@ void Simulation::write_checkpoint(const std::string& path) {
   meta.grid = config_.grid;
   gio::GioConfig gcfg;
   gcfg.aggregators = config_.io_aggregators;
+  gcfg.verify_after_write = config_.checkpoint_verify;
   gio::write_particles(world_, path, meta, actives, gcfg);
 }
 
@@ -499,6 +503,54 @@ std::array<double, 3> Simulation::total_momentum() {
   }
   world_.allreduce(std::span<double>(sum), comm::ReduceOp::kSum);
   return sum;
+}
+
+std::string Simulation::HealthReport::describe(double max_drift) const {
+  std::string what;
+  if (!finite) what += "non-finite particle state; ";
+  if (!counts_ok())
+    what += "active particle count " + std::to_string(active) + " != " +
+            std::to_string(expected) + "; ";
+  if (max_drift > 0 && momentum_drift > max_drift)
+    what += "momentum drift " + std::to_string(momentum_drift) +
+            " exceeds budget " + std::to_string(max_drift) + "; ";
+  if (!what.empty()) what.resize(what.size() - 2);  // trailing "; "
+  return what;
+}
+
+Simulation::HealthReport Simulation::health_check() {
+  const auto finite = [](float v) { return std::isfinite(v); };
+  // Local scan, then ONE 5-wide allreduce: {nonfinite particles, actives,
+  // momentum x/y/z}.
+  std::array<double, 5> agg{0, 0, 0, 0, 0};
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] != tree::Role::kActive) continue;
+    agg[1] += 1.0;
+    if (!finite(particles_.x[i]) || !finite(particles_.y[i]) ||
+        !finite(particles_.z[i]) || !finite(particles_.vx[i]) ||
+        !finite(particles_.vy[i]) || !finite(particles_.vz[i]) ||
+        !finite(particles_.mass[i]))
+      agg[0] += 1.0;
+    agg[2] += particles_.vx[i];
+    agg[3] += particles_.vy[i];
+    agg[4] += particles_.vz[i];
+  }
+  world_.allreduce(std::span<double>(agg), comm::ReduceOp::kSum);
+
+  HealthReport report;
+  report.finite = agg[0] == 0;
+  report.active = static_cast<std::uint64_t>(agg[1]);
+  const double np = static_cast<double>(config_.particles_per_dim);
+  report.expected = static_cast<std::uint64_t>(np * np * np);
+  report.momentum = {agg[2], agg[3], agg[4]};
+  if (!momentum0_) momentum0_ = report.momentum;
+  for (int d = 0; d < 3; ++d) {
+    const auto sd = static_cast<std::size_t>(d);
+    report.momentum_drift = std::max(
+        report.momentum_drift,
+        std::abs(report.momentum[sd] - (*momentum0_)[sd]));
+  }
+  return report;
 }
 
 }  // namespace hacc::core

@@ -71,6 +71,17 @@ struct SimulationConfig {
   bool threaded_deposit = false;
   /// Checkpoint writer aggregation width M (gio fan-in); 0 = gio default.
   int io_aggregators = 0;
+  /// Write-then-verify checkpoints: rank 0 re-reads and CRC-validates the
+  /// tmp file before the atomic rename publishes it (gio
+  /// GioConfig::verify_after_write). A checkpoint that cannot be read back
+  /// clean is refused instead of published.
+  bool checkpoint_verify = true;
+  /// Keep particles in canonical (id) order at every refresh, so float
+  /// summation order — and the whole trajectory — is independent of
+  /// arrival/removal history. Required for bit-for-bit restart
+  /// reproducibility (a restore permutes particles); costs one O(n log n)
+  /// sort per refresh.
+  bool canonical_order = true;
   float softening = 0.1f;       ///< eps in (s + eps)^{-3/2} [grid units^2]
   mesh::SpectralConfig spectral{};
   cosmology::IcConfig ic{};     ///< particles_per_dim/box are overwritten
@@ -145,6 +156,9 @@ class Simulation {
   /// The per-step run ledger (populated by run() when config().ledger_path
   /// is set, or explicitly via record_step_ledger()).
   const obs::Ledger& ledger() const noexcept { return ledger_; }
+  /// Mutable access for drivers (the Supervisor streams events into it and
+  /// re-opens the sink in append mode across recovery attempts).
+  obs::Ledger& mutable_ledger() noexcept { return ledger_; }
 
   /// Reduce this step's telemetry across ranks and append a StepRecord on
   /// rank 0 (no-op record elsewhere). Collective; called by run() after
@@ -153,6 +167,29 @@ class Simulation {
 
   /// Sum of momenta over active particles (collective; conservation checks).
   std::array<double, 3> total_momentum();
+
+  /// Cross-rank state invariants, combined in ONE allreduce: a NaN/inf scan
+  /// over active particle state, the global active count against the
+  /// configured particle total, the global momentum sum and its drift from
+  /// the first recorded value. The Supervisor runs this after every step —
+  /// a checkpoint of sick state would poison recovery. Collective;
+  /// identical result on every rank.
+  struct HealthReport {
+    bool finite = true;          ///< no NaN/inf in any active's state
+    std::uint64_t active = 0;    ///< global active particle count
+    std::uint64_t expected = 0;  ///< configured particles_per_dim^3
+    std::array<double, 3> momentum{};
+    double momentum_drift = 0;   ///< max |component - first recorded|
+    bool counts_ok() const noexcept { return active == expected; }
+    /// Healthy under a drift budget (<= 0 disables the drift test).
+    bool ok(double max_drift = 0) const noexcept {
+      return finite && counts_ok() &&
+             (max_drift <= 0 || momentum_drift <= max_drift);
+    }
+    /// Human-readable diagnosis of what failed ("" when ok()).
+    std::string describe(double max_drift = 0) const;
+  };
+  HealthReport health_check();
 
   /// Cosmic energy (Layzer-Irvine) diagnostics over active particles.
   /// kinetic  T = sum p^2 / (2 a^2),

@@ -1,0 +1,229 @@
+#include "core/supervisor.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <optional>
+#include <thread>
+
+#include "comm/fault.h"
+#include "gio/gio.h"
+#include "obs/ledger.h"
+#include "util/error.h"
+#include "util/timer.h"
+
+namespace hacc::core {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr const char* kCkptPrefix = "ckpt_";
+constexpr const char* kCkptSuffix = ".gio";
+}  // namespace
+
+CheckpointSet::CheckpointSet(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(std::max(keep, 1)) {}
+
+std::string CheckpointSet::path_for_step(int step) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06d%s", kCkptPrefix, step,
+                kCkptSuffix);
+  return dir_ + "/" + name;
+}
+
+std::string CheckpointSet::latest_path() const { return dir_ + "/latest"; }
+
+void CheckpointSet::publish(int step) {
+  // Atomic pointer update: the `latest` file always names a checkpoint
+  // that was completely written and verified, never a partial state.
+  const std::string tmp = latest_path() + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    HACC_CHECK_MSG(f != nullptr, "cannot write " + tmp);
+    const std::string body = std::to_string(step) + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fflush(f);
+    ::fsync(fileno(f));
+    std::fclose(f);
+  }
+  HACC_CHECK_MSG(std::rename(tmp.c_str(), latest_path().c_str()) == 0,
+                 "cannot publish " + latest_path());
+  // Rotate: drop everything older than the last `keep_` checkpoints.
+  const std::vector<int> steps = existing();
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < steps.size(); ++i)
+    std::remove(path_for_step(steps[i]).c_str());
+}
+
+int CheckpointSet::latest() const {
+  std::FILE* f = std::fopen(latest_path().c_str(), "rb");
+  if (f == nullptr) return -1;
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return -1;
+  return std::atoi(buf);
+}
+
+std::vector<int> CheckpointSet::existing() const {
+  std::vector<int> steps;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    const std::string name = entry.path().filename().string();
+    const std::size_t plen = std::char_traits<char>::length(kCkptPrefix);
+    const std::size_t slen = std::char_traits<char>::length(kCkptSuffix);
+    if (name.size() <= plen + slen || name.compare(0, plen, kCkptPrefix) != 0 ||
+        name.compare(name.size() - slen, slen, kCkptSuffix) != 0)
+      continue;
+    const std::string digits = name.substr(plen, name.size() - plen - slen);
+    if (digits.find_first_not_of("0123456789") != std::string::npos) continue;
+    steps.push_back(std::atoi(digits.c_str()));
+  }
+  std::sort(steps.rbegin(), steps.rend());
+  return steps;
+}
+
+Supervisor::Supervisor(const cosmology::Cosmology& cosmo,
+                       SupervisorConfig config)
+    : cosmo_(cosmo),
+      config_(std::move(config)),
+      checkpoints_(config_.checkpoint_dir, config_.keep) {
+  HACC_CHECK_MSG(!config_.checkpoint_dir.empty(),
+                 "Supervisor needs a checkpoint directory");
+  HACC_CHECK(config_.checkpoint_every >= 1 && config_.nranks >= 1);
+  fs::create_directories(config_.checkpoint_dir);
+}
+
+void Supervisor::record_event(const std::string& kind, int step, int attempt,
+                              const std::string& detail) {
+  if (config_.sim.ledger_path.empty()) return;
+  obs::Ledger::append_event_to(config_.sim.ledger_path,
+                               obs::EventRecord{kind, step, attempt, detail});
+}
+
+void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
+                           int attempt) {
+  Simulation sim(comm, cosmo_, config_.sim);
+  const bool ledger_on = !config_.sim.ledger_path.empty();
+  const bool root = comm.rank() == 0;
+  if (ledger_on && root) {
+    // Attempt 0 owns the file; recovery attempts append below the records
+    // the failed attempt already made durable.
+    sim.mutable_ledger().stream_to(config_.sim.ledger_path,
+                                   /*append=*/attempt > 0);
+    sim.mutable_ledger().append_event(obs::EventRecord{
+        "attempt_start", -1, attempt,
+        restore_path.empty() ? std::string("cold start")
+                             : "restore from " + restore_path});
+  }
+  if (restore_path.empty()) {
+    sim.initialize();
+  } else {
+    sim.read_checkpoint(restore_path);
+  }
+
+  while (sim.steps_taken() < config_.sim.steps) {
+    // Announce the step to fault injection: a scheduled kill fires here, on
+    // the victim rank, exactly once across all supervisor attempts.
+    comm::fault::set_step(sim.steps_taken() + 1);
+    sim.step();
+    if (ledger_on) sim.record_step_ledger();
+
+    // Health guards before the state can be checkpointed: a checkpoint of
+    // sick state would poison every later recovery. The report is
+    // identical on all ranks, so all ranks throw (or none).
+    const Simulation::HealthReport health = sim.health_check();
+    if (!health.ok(config_.max_momentum_drift)) {
+      const std::string what =
+          "health check failed after step " +
+          std::to_string(sim.steps_taken()) + ": " +
+          health.describe(config_.max_momentum_drift);
+      if (ledger_on && root)
+        sim.mutable_ledger().append_event(obs::EventRecord{
+            "health_check_failed", sim.steps_taken(), attempt, what});
+      throw Error(what);
+    }
+
+    const int s = sim.steps_taken();
+    if (s % config_.checkpoint_every == 0 || s == config_.sim.steps) {
+      const std::string path = checkpoints_.path_for_step(s);
+      sim.write_checkpoint(path);  // write-then-verify inside (collective)
+      if (root) {
+        checkpoints_.publish(s);
+        if (ledger_on)
+          sim.mutable_ledger().append_event(
+              obs::EventRecord{"checkpoint", s, attempt, path});
+      }
+      comm.barrier();  // pointer update + rotation visible everywhere
+    }
+  }
+  if (on_finished) on_finished(sim, comm);
+}
+
+SupervisorReport Supervisor::run() {
+  report_ = SupervisorReport{};
+  std::optional<Timer> recover_timer;  // starts when a failure is detected
+  for (int attempt = 0;; ++attempt) {
+    report_.attempts = attempt + 1;
+    std::string restore;
+    if (attempt > 0) {
+      // Re-verify the chain newest-first: a checkpoint that was good when
+      // written can be damaged on disk afterwards, and `latest` may point
+      // at exactly that file. Restore from the first one that still reads
+      // back clean.
+      Timer verify_timer;
+      for (const int step : checkpoints_.existing()) {
+        const std::string path = checkpoints_.path_for_step(step);
+        const gio::VerifyReport vr = gio::verify_file(path);
+        if (vr.ok) {
+          restore = path;
+          record_event("restore", step, attempt, path);
+          break;
+        }
+        record_event("checkpoint_rejected", step, attempt,
+                     path + (vr.header_ok ? ": sub-block CRC mismatch"
+                                          : ": header unreadable"));
+      }
+      report_.verify_seconds += verify_timer.elapsed();
+      if (restore.empty())
+        record_event("restore_cold", -1, attempt,
+                     "no usable checkpoint; restarting from initial "
+                     "conditions");
+    }
+    if (recover_timer) {
+      report_.detect_to_resume_seconds = recover_timer->elapsed();
+      recover_timer.reset();
+    }
+
+    Timer attempt_timer;
+    try {
+      comm::Machine::run(
+          config_.nranks,
+          [&](comm::Comm& comm) { rank_main(comm, restore, attempt); },
+          config_.machine);
+      report_.completed = true;
+      report_.final_step = config_.sim.steps;
+      record_event("run_complete", config_.sim.steps, attempt, "");
+      return report_;
+    } catch (const std::exception& e) {
+      report_.failed_attempt_seconds += attempt_timer.elapsed();
+      report_.last_error = e.what();
+      recover_timer.emplace();
+      record_event("attempt_failed", -1, attempt, e.what());
+      if (attempt >= config_.max_retries) {
+        record_event("giveup", -1, attempt, "retry budget exhausted");
+        return report_;
+      }
+      ++report_.restores;
+      if (config_.retry_backoff_s > 0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(
+            config_.retry_backoff_s * (attempt + 1)));
+      }
+      if (between_attempts) between_attempts(attempt);
+    }
+  }
+}
+
+}  // namespace hacc::core

@@ -1,0 +1,128 @@
+// Supervised checkpoint-restart recovery (paper Sec. V).
+//
+// At the paper's scale — 1.6M ranks, multi-day campaigns — the mean time
+// between failures is shorter than a run, so production HACC wraps the
+// stepping loop in checkpoint/restart: periodic defensive checkpoints, and
+// on failure an automatic restore from the newest checkpoint that still
+// reads back clean. This module reproduces that control loop over the
+// SimMPI runtime:
+//
+//   attempt:  restore newest *verified* checkpoint (or cold-start from ICs)
+//             -> step; after each step run the cross-rank health check and
+//                write a rotated, write-then-verified checkpoint on schedule
+//   failure:  any rank death / deadlock timeout / payload corruption /
+//             health violation aborts the machine with a diagnosis
+//   recover:  re-verify the checkpoint chain newest-first (a checkpoint can
+//             be damaged *after* it was written), restore from the first
+//             good one, resume; capped retries with linear backoff.
+//
+// Every decision is recorded as an event line in the run ledger, fsync'd
+// before the run proceeds, so the recovery history survives the failures it
+// documents. With SimulationConfig::canonical_order on (the default), a
+// recovered run is bit-for-bit identical to an uninterrupted one.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "core/simulation.h"
+#include "cosmology/background.h"
+
+namespace hacc::core {
+
+/// The rotated checkpoint chain of one run: `dir/ckpt_<step>.gio` files,
+/// a `dir/latest` pointer (atomically updated via tmp+rename), and last-K
+/// pruning. Path bookkeeping is serial; the checkpoint files themselves are
+/// written collectively by Simulation::write_checkpoint.
+class CheckpointSet {
+ public:
+  CheckpointSet(std::string dir, int keep);
+
+  const std::string& dir() const noexcept { return dir_; }
+  int keep() const noexcept { return keep_; }
+
+  std::string path_for_step(int step) const;
+  std::string latest_path() const;  ///< the `latest` pointer file
+
+  /// Record `step` as the newest checkpoint: atomically rewrite `latest`
+  /// (tmp+rename, fsync'd) and unlink checkpoints beyond the last `keep`.
+  /// Call on one rank only, after the checkpoint file is published.
+  void publish(int step);
+
+  /// Step named by the `latest` pointer, or -1 when absent/unreadable.
+  int latest() const;
+
+  /// Steps of all existing checkpoint files in `dir`, newest first. Scans
+  /// the directory, not the pointer: recovery must see checkpoints even
+  /// when `latest` itself was lost or points at a damaged file.
+  std::vector<int> existing() const;
+
+ private:
+  std::string dir_;
+  int keep_;
+};
+
+struct SupervisorConfig {
+  SimulationConfig sim;    ///< sim.steps is the run target
+  int nranks = 4;          ///< SimMPI machine width
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;  ///< steps between defensive checkpoints
+  int keep = 2;              ///< checkpoint rotation depth (last K)
+  int max_retries = 3;       ///< recovery attempts after the first run
+  double retry_backoff_s = 0;  ///< sleep attempt*backoff before retrying
+  /// Health budget: max momentum-component drift from the first recorded
+  /// value before the state is declared sick (<= 0 disables).
+  double max_momentum_drift = 0;
+  /// Runtime options for every attempt (receive deadline, payload
+  /// verification, fault plan).
+  comm::MachineOptions machine;
+};
+
+struct SupervisorReport {
+  bool completed = false;  ///< the run reached sim.steps
+  int attempts = 0;        ///< machine launches (1 = no failure)
+  int restores = 0;        ///< warm restarts from a checkpoint
+  int final_step = 0;
+  std::string last_error;  ///< diagnosis of the last failed attempt ("")
+  /// Wall seconds of failed attempts (failure detection latency included).
+  double failed_attempt_seconds = 0;
+  /// Wall seconds spent re-verifying the checkpoint chain before restores.
+  double verify_seconds = 0;
+  /// Wall seconds from the last failure being detected to the resumed
+  /// machine running (verification + backoff; the bench's headline).
+  double detect_to_resume_seconds = 0;
+};
+
+/// Drives a whole simulation to completion across failures. Construct,
+/// optionally set the test hooks, call run().
+class Supervisor {
+ public:
+  Supervisor(const cosmology::Cosmology& cosmo, SupervisorConfig config);
+
+  /// Test hook: called after attempt `attempt` failed, before the next
+  /// attempt picks its restore candidate — the window in which real-world
+  /// damage (e.g. a checkpoint corrupted on disk) is injected in tests.
+  std::function<void(int attempt)> between_attempts;
+  /// Test hook: called on every rank at the end of the successful attempt,
+  /// with the machine still up (gather final state, assert invariants).
+  std::function<void(Simulation&, comm::Comm&)> on_finished;
+
+  SupervisorReport run();
+
+  const CheckpointSet& checkpoints() const noexcept { return checkpoints_; }
+
+ private:
+  void rank_main(comm::Comm& comm, const std::string& restore_path,
+                 int attempt);
+  void record_event(const std::string& kind, int step, int attempt,
+                    const std::string& detail);
+
+  cosmology::Cosmology cosmo_;
+  SupervisorConfig config_;
+  CheckpointSet checkpoints_;
+  SupervisorReport report_;
+};
+
+}  // namespace hacc::core

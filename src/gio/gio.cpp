@@ -367,6 +367,7 @@ WriteStats write(comm::Comm& comm, const std::string& path,
   }
   comm.barrier();  // all data blocks are on disk
 
+  double verify_seconds = 0;
   if (rank == 0) {
     // Redundant header + footer, then the atomic publish: the rename only
     // happens once every rank's data is complete, so a crash mid-write
@@ -381,6 +382,24 @@ WriteStats write(comm::Comm& comm, const std::string& path,
       wire::put_u64(footer, kFooterMagic);
       write_all(f.get(), footer.data(), footer.size());
     }
+    if (cfg.verify_after_write) {
+      // Read the tmp file back through the normal validation path before
+      // publishing it. On failure the tmp file stays behind for forensics
+      // and `path` still names the previous good file.
+      const VerifyReport vr = verify_file(tmp);
+      verify_seconds = vr.seconds;
+      if (!vr.ok) {
+        std::string what = "gio: write verification failed for " + tmp;
+        if (!vr.header_ok) {
+          what += " (header unreadable)";
+        } else {
+          for (const auto& c : vr.corrupt)
+            what += " (block " + std::to_string(c.block) + " var '" +
+                    c.var_name + "' CRC mismatch)";
+        }
+        throw Error(what);
+      }
+    }
     HACC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
                    "cannot rename " + tmp + " to " + path);
   }
@@ -393,6 +412,7 @@ WriteStats write(comm::Comm& comm, const std::string& path,
       stats.payload_bytes += lay.bytes[lay.sub(b, v)];
   stats.aggregators = m;
   stats.seconds = timer.elapsed();
+  stats.verify_seconds = verify_seconds;
   return stats;
 }
 
@@ -501,6 +521,53 @@ ReadReport read(comm::Comm& comm, const std::string& path,
     r.var_name = lay.var_names[c.var];
     report.corrupt.push_back(std::move(r));
   }
+  report.seconds = timer.elapsed();
+  return report;
+}
+
+VerifyReport verify_file(const std::string& path) {
+  Timer timer;
+  VerifyReport report;
+  Layout lay;
+  {
+    File f(std::fopen(path.c_str(), "rb"));
+    if (f == nullptr) {
+      report.seconds = timer.elapsed();
+      return report;  // missing file: not verifiable, ok stays false
+    }
+    try {
+      bool redundant = false;
+      lay = parse_header(load_header(f.get(), redundant));
+      report.used_redundant_header = redundant;
+      report.header_ok = true;
+    } catch (const Error&) {
+      report.seconds = timer.elapsed();
+      return report;  // both header copies unusable
+    }
+    report.total_particles = lay.total;
+    report.blocks = lay.nblocks();
+    std::vector<std::byte> buf;
+    for (std::size_t b = 0; b < lay.nblocks(); ++b) {
+      for (std::size_t v = 0; v < lay.nvars(); ++v) {
+        const std::uint64_t nbytes = lay.bytes[lay.sub(b, v)];
+        buf.resize(nbytes + kCrcBytes);
+        bool ok = std::fseek(f.get(),
+                             static_cast<long>(lay.offsets[lay.sub(b, v)]),
+                             SEEK_SET) == 0 &&
+                  read_all(f.get(), buf.data(), buf.size());
+        if (ok) {
+          wire::Cursor c(std::span<const std::byte>(buf).subspan(nbytes));
+          ok = c.u64() == crc64(buf.data(), nbytes);
+        }
+        if (!ok) {
+          report.corrupt.push_back(CorruptRegion{
+              b, static_cast<std::uint32_t>(v), lay.var_names[v]});
+        }
+        report.bytes_scanned += nbytes;
+      }
+    }
+  }
+  report.ok = report.header_ok && report.corrupt.empty();
   report.seconds = timer.elapsed();
   return report;
 }

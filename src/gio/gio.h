@@ -64,6 +64,12 @@ struct GioConfig {
   /// this many writer ranks. 0 = default (min(ranks, 4)); clamped to
   /// [1, ranks].
   int aggregators = 0;
+  /// Write-then-verify: after all data is on disk but *before* the atomic
+  /// rename publishes it, rank 0 re-reads the tmp file and re-checks the
+  /// header and every sub-block CRC. A checkpoint that cannot be read back
+  /// clean is worthless — better to fail the write (tmp file left behind
+  /// for forensics, previous checkpoint still current) than to publish it.
+  bool verify_after_write = false;
 };
 
 /// One variable to write: `data` points at local_count elements of `type`.
@@ -78,6 +84,7 @@ struct WriteStats {
   std::uint64_t payload_bytes = 0;  ///< global particle payload (no headers)
   int aggregators = 0;              ///< writer count actually used
   double seconds = 0;               ///< wall time incl. completion barriers
+  double verify_seconds = 0;        ///< read-back verification (rank 0)
 };
 
 /// Collective blocked write through M aggregator ranks. The file appears
@@ -139,6 +146,26 @@ struct FileInfo {
   std::vector<std::uint64_t> block_counts;
 };
 FileInfo inspect(const std::string& path);
+
+/// Full-file integrity scan result (see verify_file).
+struct VerifyReport {
+  bool ok = false;  ///< header usable AND every sub-block CRC clean
+  bool header_ok = false;
+  bool used_redundant_header = false;
+  std::uint64_t total_particles = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t bytes_scanned = 0;
+  /// Sub-blocks whose CRC failed (empty when ok).
+  std::vector<CorruptRegion> corrupt;
+  double seconds = 0;
+};
+
+/// Serial full-file integrity scan: validate a header copy, then re-read
+/// every variable sub-block and check its CRC64 trailer. Never throws on
+/// corruption — an unusable file simply reports ok == false. Used by the
+/// write-then-verify path and by the Supervisor to pick the newest *good*
+/// checkpoint before restoring.
+VerifyReport verify_file(const std::string& path);
 
 // ---- fault injection (tests prove detection/recovery) ----------------------
 

@@ -1,5 +1,7 @@
 #include "obs/ledger.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <ostream>
@@ -59,37 +61,89 @@ std::map<std::string, double> paper_breakdown(
   return b;
 }
 
+std::string step_record_json(const StepRecord& r) {
+  std::string line = "{";
+  line += "\"step\":" + std::to_string(r.step);
+  line += ",\"a\":" + json_number(r.a);
+  line += ",\"z\":" + json_number(r.z);
+  line += ',';
+  append_stat(line, "wall_s", r.wall);
+  line += ",\"t_per_substep_per_particle\":" +
+          json_number(r.t_per_substep_per_particle);
+  line += ",\"momentum\":[" + json_number(r.momentum[0]) + ',' +
+          json_number(r.momentum[1]) + ',' + json_number(r.momentum[2]) + ']';
+  line += ",\"momentum_drift\":" + json_number(r.momentum_drift);
+  line += ',';
+  append_stat_map(line, "phases", r.phases);
+  line += ',';
+  append_stat_map(line, "counters", r.counters);
+  line += ",\"breakdown\":{";
+  bool first = true;
+  for (const auto& [name, v] : r.breakdown) {
+    if (!first) line += ',';
+    first = false;
+    line += '"' + json_escape(name) + "\":" + json_number(v);
+  }
+  line += '}';
+  line += ",\"peak_rss_bytes\":" + std::to_string(r.peak_rss_bytes);
+  line += '}';
+  return line;
+}
+
+std::string event_record_json(const EventRecord& e) {
+  std::string line = "{\"event\":\"" + json_escape(e.kind) + '"';
+  if (e.step >= 0) line += ",\"step\":" + std::to_string(e.step);
+  if (e.attempt >= 0) line += ",\"attempt\":" + std::to_string(e.attempt);
+  if (!e.detail.empty())
+    line += ",\"detail\":\"" + json_escape(e.detail) + '"';
+  line += '}';
+  return line;
+}
+
+Ledger::~Ledger() {
+  if (sink_ != nullptr) std::fclose(sink_);
+}
+
+void Ledger::stream_to(const std::string& path, bool append) {
+  if (sink_ != nullptr) std::fclose(sink_);
+  sink_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  HACC_CHECK_MSG(sink_ != nullptr, "cannot open ledger file " + path);
+}
+
+void Ledger::stream_line(const std::string& line) {
+  if (sink_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), sink_);
+  std::fputc('\n', sink_);
+  // Flush + fsync per line: the ledger must survive exactly the failures
+  // the Supervisor recovers from, so every record is durable before the
+  // step that follows it runs.
+  std::fflush(sink_);
+  ::fsync(fileno(sink_));
+}
+
+void Ledger::append(StepRecord record) {
+  stream_line(step_record_json(record));
+  records_.push_back(std::move(record));
+}
+
+void Ledger::append_event(EventRecord event) {
+  stream_line(event_record_json(event));
+  events_.push_back(std::move(event));
+}
+
+void Ledger::append_event_to(const std::string& path, const EventRecord& e) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  HACC_CHECK_MSG(f != nullptr, "cannot open ledger file " + path);
+  const std::string line = event_record_json(e) + '\n';
+  std::fwrite(line.data(), 1, line.size(), f);
+  std::fflush(f);
+  ::fsync(fileno(f));
+  std::fclose(f);
+}
+
 std::string Ledger::to_jsonl() const {
   std::string out;
-  for (const StepRecord& r : records_) {
-    std::string line = "{";
-    line += "\"step\":" + std::to_string(r.step);
-    line += ",\"a\":" + json_number(r.a);
-    line += ",\"z\":" + json_number(r.z);
-    line += ',';
-    append_stat(line, "wall_s", r.wall);
-    line += ",\"t_per_substep_per_particle\":" +
-            json_number(r.t_per_substep_per_particle);
-    line += ",\"momentum\":[" + json_number(r.momentum[0]) + ',' +
-            json_number(r.momentum[1]) + ',' + json_number(r.momentum[2]) +
-            ']';
-    line += ",\"momentum_drift\":" + json_number(r.momentum_drift);
-    line += ',';
-    append_stat_map(line, "phases", r.phases);
-    line += ',';
-    append_stat_map(line, "counters", r.counters);
-    line += ",\"breakdown\":{";
-    bool first = true;
-    for (const auto& [name, v] : r.breakdown) {
-      if (!first) line += ',';
-      first = false;
-      line += '"' + json_escape(name) + "\":" + json_number(v);
-    }
-    line += '}';
-    line += ",\"peak_rss_bytes\":" + std::to_string(r.peak_rss_bytes);
-    line += "}\n";
-    out += line;
-  }
+  for (const StepRecord& r : records_) out += step_record_json(r) + '\n';
   return out;
 }
 

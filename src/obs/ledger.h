@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
 #include <iosfwd>
 #include <map>
 #include <string>
@@ -62,22 +63,62 @@ struct StepRecord {
 std::map<std::string, double> paper_breakdown(
     const std::map<std::string, PhaseStat>& phases, double wall_mean);
 
+/// A run lifecycle event (checkpoint written/verified, rank killed, restore,
+/// resume, health-check failure, ...) interleaved with step records in the
+/// streamed ledger as `{"event":...}` JSONL lines. The fault-tolerance
+/// audit trail: after a crash the ledger shows exactly what the Supervisor
+/// saw and did.
+struct EventRecord {
+  std::string kind;    ///< e.g. "checkpoint", "restore", "rank_failed"
+  int step = -1;       ///< step the event refers to (-1 = n/a)
+  int attempt = -1;    ///< supervisor attempt number (-1 = n/a)
+  std::string detail;  ///< free-form human-readable context
+};
+
+/// One StepRecord / EventRecord as a single JSONL line (no trailing '\n').
+std::string step_record_json(const StepRecord& r);
+std::string event_record_json(const EventRecord& e);
+
 class Ledger {
  public:
-  void append(StepRecord record) { records_.push_back(std::move(record)); }
+  Ledger() = default;
+  ~Ledger();
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Stream every subsequent append/append_event to `path`, one fsync'd
+  /// JSONL line each — a crash loses at most the line being written, so the
+  /// ledger survives the failures the Supervisor recovers from. `append`
+  /// continues an existing file (restart); otherwise it is truncated.
+  void stream_to(const std::string& path, bool append = false);
+  bool streaming() const noexcept { return sink_ != nullptr; }
+
+  void append(StepRecord record);
+  void append_event(EventRecord event);
   const std::vector<StepRecord>& records() const noexcept { return records_; }
+  const std::vector<EventRecord>& events() const noexcept { return events_; }
   bool empty() const noexcept { return records_.empty(); }
 
-  /// The full ledger as JSONL (one JSON object per line).
+  /// The full ledger as JSONL (one JSON object per line; step records only,
+  /// in append order — events are only carried by the stream and events()).
   std::string to_jsonl() const;
   void write_jsonl(const std::string& path) const;
+
+  /// Durably append one event line to `path` without a Ledger instance;
+  /// used by drivers for events that happen outside Machine::run (e.g. the
+  /// Supervisor deciding to restore between attempts).
+  static void append_event_to(const std::string& path, const EventRecord& e);
 
   /// End-of-run phase table: per phase, mean seconds summed over steps,
   /// percent of summed wall, and the worst per-step imbalance.
   void print_phase_table(std::ostream& os) const;
 
  private:
+  void stream_line(const std::string& line);
+
   std::vector<StepRecord> records_;
+  std::vector<EventRecord> events_;
+  std::FILE* sink_ = nullptr;
 };
 
 }  // namespace hacc::obs

@@ -11,8 +11,11 @@
 // paper Fig. 4).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <numeric>
 #include <span>
+#include <vector>
 
 #include "util/aligned.h"
 #include "util/error.h"
@@ -103,6 +106,30 @@ class ParticleArray {
     role.pop_back();
   }
 
+  /// Sort particles by ascending (id, role). Establishes a *canonical
+  /// order* independent of arrival/removal history, which makes float
+  /// summation order — and therefore the whole run — reproducible across
+  /// restarts (remove_unordered and message arrival otherwise permute the
+  /// array). Ids are globally unique per role, so the order is total.
+  void sort_by_id() {
+    std::vector<std::size_t> order(size());
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (id[a] != id[b]) return id[a] < id[b];
+      return static_cast<std::uint8_t>(role[a]) <
+             static_cast<std::uint8_t>(role[b]);
+    });
+    gather(x, order);
+    gather(y, order);
+    gather(z, order);
+    gather(vx, order);
+    gather(vy, order);
+    gather(vz, order);
+    gather(mass, order);
+    gather(id, order);
+    gather(role, order);
+  }
+
   /// Consistency check: every array has the same length.
   bool consistent() const noexcept {
     const std::size_t n = x.size();
@@ -116,6 +143,16 @@ class ParticleArray {
   aligned_vector<float> mass;
   aligned_vector<std::uint64_t> id;
   aligned_vector<Role> role;
+
+ private:
+  template <typename T>
+  static void gather(aligned_vector<T>& v,
+                     const std::vector<std::size_t>& order) {
+    aligned_vector<T> out;
+    out.reserve(v.size());
+    for (const std::size_t i : order) out.push_back(v[i]);
+    v = std::move(out);
+  }
 };
 
 }  // namespace hacc::tree

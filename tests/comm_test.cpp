@@ -7,12 +7,14 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <span>
 #include <vector>
 
 #include "comm/cart.h"
 #include "comm/comm.h"
+#include "comm/fault.h"
 #include "comm/telemetry.h"
 #include "obs/counters.h"
 #include "obs/obs.h"
@@ -577,6 +579,204 @@ TEST(Telemetry, UnboundRanksCountNothing) {
     c.barrier();
     c.allreduce_value(1.0, ReduceOp::kSum);
   });
+}
+
+// ---- fault injection -------------------------------------------------------
+
+TEST(FaultInjection, KillAtStepFiresExactlyOnceAcrossRuns) {
+  FaultPlan plan;
+  plan.kill_at_step(1, 5);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+
+  auto stepper = [](Comm& c) {
+    for (int s = 1; s <= 6; ++s) {
+      fault::set_step(s);
+      c.barrier();
+    }
+  };
+  try {
+    Machine::run(4, stepper, opts);
+    FAIL() << "expected the injected kill to abort the machine";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("rank 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("step 5"), std::string::npos) << what;
+  }
+  // One-shot semantics: the same plan supervising a second run must not
+  // re-kill (a node dies once; the restarted run replays step 5 cleanly).
+  Machine::run(4, stepper, opts);
+}
+
+TEST(FaultInjection, DropSendIsOneShot) {
+  FaultPlan plan;
+  plan.drop_send(/*rank=*/0, /*tag=*/5);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value(1, 5, 111);  // dropped in transit
+      c.send_value(1, 5, 222);  // arrives
+    } else {
+      EXPECT_EQ(c.recv_value<int>(0, 5), 222);
+    }
+  }, opts);
+}
+
+TEST(FaultInjection, CorruptSendCaughtByPayloadVerification) {
+  FaultPlan plan;
+  plan.corrupt_send(/*rank=*/0, /*tag=*/9);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  opts.verify_payloads = true;
+  try {
+    Machine::run(2, [](Comm& c) {
+      if (c.rank() == 0) {
+        const std::array<double, 8> payload{1, 2, 3, 4, 5, 6, 7, 8};
+        c.send(1, 9, std::span<const double>(payload));
+      } else {
+        (void)c.recv_vector<double>(0, 9);
+      }
+    }, opts);
+    FAIL() << "expected the checksum mismatch to abort the machine";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("payload corruption"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultInjection, CorruptSendInvisibleWithoutVerification) {
+  // The same fault without verify_payloads: the flipped byte sails through
+  // (this is the silent-corruption scenario verification exists for).
+  FaultPlan plan;
+  plan.corrupt_send(/*rank=*/0, /*tag=*/9);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) {
+      c.send_value<std::uint64_t>(1, 9, 0);
+    } else {
+      EXPECT_NE(c.recv_value<std::uint64_t>(0, 9), 0u);
+    }
+  }, opts);
+}
+
+TEST(FaultInjection, StallRecvDelaysCompletion) {
+  FaultPlan plan;
+  plan.stall_recv(/*rank=*/1, /*seconds=*/0.1);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  const auto t0 = std::chrono::steady_clock::now();
+  Machine::run(2, [](Comm& c) {
+    if (c.rank() == 0) c.send_value(1, 3, 7);
+    if (c.rank() == 1) EXPECT_EQ(c.recv_value<int>(0, 3), 7);
+  }, opts);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GE(elapsed, 0.1);
+}
+
+TEST(FaultInjection, FailCollectiveNamesOpAndRank) {
+  FaultPlan plan;
+  plan.fail_collective(/*rank=*/2, telemetry::Op::kBcast);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  try {
+    Machine::run(4, [](Comm& c) {
+      (void)c.bcast_value(42, 0);
+      c.barrier();
+    }, opts);
+    FAIL() << "expected the injected collective failure to abort";
+  } catch (const std::exception& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bcast"), std::string::npos) << what;
+    EXPECT_NE(what.find("rank 2"), std::string::npos) << what;
+  }
+}
+
+TEST(FaultInjection, HooksAreNoOpsWithoutPlan) {
+  Machine::run(2, [](Comm& c) {
+    EXPECT_FALSE(fault::active());
+    fault::set_step(3);  // must not throw
+    EXPECT_EQ(fault::current_step(), 3);
+    c.barrier();
+  });
+}
+
+// ---- deadlock / failure detection ------------------------------------------
+
+TEST(Detection, CraftedDeadlockProducesStuckRankReport) {
+  // Both ranks receive first (classic head-to-head deadlock) on distinct
+  // tags. The deadline must expire and the report must name BOTH ranks and
+  // both pending tags — this is the acceptance test for the stuck-rank
+  // diagnosis.
+  MachineOptions opts;
+  opts.recv_timeout_s = 0.25;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    Machine::run(2, [](Comm& c) {
+      if (c.rank() == 0) {
+        (void)c.recv_bytes(1, /*tag=*/11);
+        c.send_value(1, 22, 1);
+      } else {
+        (void)c.recv_bytes(0, /*tag=*/22);
+        c.send_value(0, 11, 1);
+      }
+    }, opts);
+    FAIL() << "expected the deadlock to be detected";
+  } catch (const DeadlockError& e) {
+    const std::string report = e.what();
+    EXPECT_NE(report.find("stuck-rank report"), std::string::npos) << report;
+    EXPECT_NE(report.find("rank 0"), std::string::npos) << report;
+    EXPECT_NE(report.find("rank 1"), std::string::npos) << report;
+    EXPECT_NE(report.find("tag=11"), std::string::npos) << report;
+    EXPECT_NE(report.find("tag=22"), std::string::npos) << report;
+  }
+  // Detected within the deadline (plus slack), not after a hang.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_LT(elapsed, 5.0);
+}
+
+TEST(Detection, TimeoutDoesNotFireOnHealthyTraffic) {
+  MachineOptions opts;
+  opts.recv_timeout_s = 5.0;
+  opts.verify_payloads = true;
+  Machine::run(4, [](Comm& c) {
+    // Checksummed collectives under a deadline: everything must pass.
+    EXPECT_EQ(c.allreduce_value(c.rank() + 1, ReduceOp::kSum), 10);
+    c.barrier();
+    EXPECT_EQ(c.bcast_value(c.rank() == 2 ? 99 : 0, 2), 99);
+  }, opts);
+}
+
+TEST(Detection, AbortCarriesFailingRankCauseToPeers) {
+  // A rank failure must surface on *other* ranks as an Aborted carrying the
+  // failing rank's diagnosis, not a generic shutdown.
+  std::string cause_seen_by_rank0;
+  try {
+    Machine::run(4, [&](Comm& c) {
+      if (c.rank() == 2) throw Error("boom: simulated defect");
+      if (c.rank() == 0) {
+        try {
+          (void)c.recv_bytes(1, /*tag=*/77);
+        } catch (const Aborted& a) {
+          cause_seen_by_rank0 = a.what();
+          throw;
+        }
+      }
+      c.barrier();
+    });
+    FAIL() << "expected the machine to abort";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+  }
+  EXPECT_NE(cause_seen_by_rank0.find("rank 2 failed"), std::string::npos)
+      << cause_seen_by_rank0;
+  EXPECT_NE(cause_seen_by_rank0.find("boom"), std::string::npos)
+      << cause_seen_by_rank0;
 }
 
 }  // namespace

@@ -7,12 +7,16 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <set>
+
+#include <fstream>
 
 #include "comm/comm.h"
 #include "core/domain.h"
 #include "core/simulation.h"
+#include "core/supervisor.h"
 #include "gio/gio.h"
 #include "util/rng.h"
 
@@ -489,6 +493,137 @@ TEST(Simulation, TimersCoverTheExpectedPhases) {
     }
     EXPECT_GT(sim.last_stats().interactions, 0u);
   });
+}
+
+TEST(Simulation, HealthCheckPassesOnHealthyStateAndFlagsDamage) {
+  SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 12;
+  cfg.box_mpch = 32.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cfg.steps = 2;
+  cfg.subcycles = 2;
+  cfg.overload = 3.0;
+  cosmology::Cosmology cosmo;
+  comm::Machine::run(2, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.step();
+
+    Simulation::HealthReport h = sim.health_check();
+    EXPECT_TRUE(h.ok());
+    EXPECT_TRUE(h.finite);
+    EXPECT_EQ(h.active, 12u * 12u * 12u);
+    EXPECT_TRUE(h.counts_ok());
+    EXPECT_EQ(h.describe(), "");
+    // First call records the momentum baseline; an immediate re-check has
+    // zero drift, so even a tight budget passes.
+    h = sim.health_check();
+    EXPECT_EQ(h.momentum_drift, 0.0);
+    EXPECT_TRUE(h.ok(1e-12));
+
+    // Damage one rank's state: every rank must see the identical diagnosis
+    // (the check is one collective allreduce).
+    auto& p = sim.mutable_particles();
+    std::size_t hit = p.size();
+    if (c.rank() == 1) {
+      for (std::size_t i = 0; i < p.size(); ++i)
+        if (p.role[i] == tree::Role::kActive) {
+          hit = i;
+          p.vx[i] = std::numeric_limits<float>::quiet_NaN();
+          break;
+        }
+    }
+    h = sim.health_check();
+    EXPECT_FALSE(h.finite);
+    EXPECT_FALSE(h.ok());
+    EXPECT_NE(h.describe().find("non-finite"), std::string::npos);
+    if (hit < p.size()) p.vx[hit] = 0.0f;  // heal for the count test
+
+    // Lose an active on rank 0: the global count invariant trips.
+    if (c.rank() == 0) {
+      for (std::size_t i = 0; i < p.size(); ++i)
+        if (p.role[i] == tree::Role::kActive) {
+          p.role[i] = tree::Role::kPassive;
+          break;
+        }
+    }
+    h = sim.health_check();
+    EXPECT_FALSE(h.counts_ok());
+    EXPECT_EQ(h.active, 12u * 12u * 12u - 1);
+    EXPECT_NE(h.describe().find("count"), std::string::npos);
+  });
+}
+
+TEST(CheckpointSet, RotationAndLatestPointer) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hacc_ckpt_set").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  CheckpointSet set(dir, /*keep=*/2);
+
+  EXPECT_EQ(set.latest(), -1);  // no pointer yet
+  EXPECT_TRUE(set.existing().empty());
+
+  const auto touch = [&](int step) {
+    std::ofstream(set.path_for_step(step)) << "x";
+  };
+  touch(2);
+  set.publish(2);
+  EXPECT_EQ(set.latest(), 2);
+  touch(4);
+  set.publish(4);
+  touch(6);
+  set.publish(6);
+
+  // Rotation keeps only the newest `keep` files; the pointer tracks the
+  // newest; existing() lists newest first from the directory itself.
+  EXPECT_EQ(set.latest(), 6);
+  EXPECT_EQ(set.existing(), (std::vector<int>{6, 4}));
+  EXPECT_FALSE(std::filesystem::exists(set.path_for_step(2)));
+  EXPECT_TRUE(std::filesystem::exists(set.path_for_step(4)));
+
+  // Foreign files in the directory are ignored by the scan.
+  std::ofstream(dir + "/ckpt_junk.gio") << "x";
+  std::ofstream(dir + "/notes.txt") << "x";
+  EXPECT_EQ(set.existing(), (std::vector<int>{6, 4}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Supervisor, CompletesCleanRunWithRotatedCheckpoints) {
+  SupervisorConfig scfg;
+  scfg.sim.grid = 16;
+  scfg.sim.particles_per_dim = 12;
+  scfg.sim.box_mpch = 32.0;
+  scfg.sim.z_initial = 30.0;
+  scfg.sim.z_final = 10.0;
+  scfg.sim.steps = 3;
+  scfg.sim.subcycles = 2;
+  scfg.sim.overload = 3.0;
+  scfg.nranks = 2;
+  scfg.checkpoint_every = 1;
+  scfg.keep = 2;
+  scfg.checkpoint_dir =
+      (std::filesystem::temp_directory_path() / "hacc_sup_clean").string();
+  std::filesystem::remove_all(scfg.checkpoint_dir);
+  cosmology::Cosmology cosmo;
+
+  Supervisor sup(cosmo, scfg);
+  int finished_step = -1;
+  sup.on_finished = [&](Simulation& sim, comm::Comm& c) {
+    if (c.rank() == 0) finished_step = sim.steps_taken();
+  };
+  const SupervisorReport report = sup.run();
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.restores, 0);
+  EXPECT_EQ(report.final_step, 3);
+  EXPECT_EQ(report.last_error, "");
+  EXPECT_EQ(finished_step, 3);
+  EXPECT_EQ(sup.checkpoints().latest(), 3);
+  EXPECT_EQ(sup.checkpoints().existing(), (std::vector<int>{3, 2}));
+  std::filesystem::remove_all(scfg.checkpoint_dir);
 }
 
 }  // namespace

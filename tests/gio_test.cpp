@@ -379,5 +379,55 @@ TEST(Gio, EmptyRanksAndZeroTotalAreFine) {
   fs::remove(path);
 }
 
+TEST(GioVerify, CleanFilePassesFullScan) {
+  const std::string path = temp_path("hacc_gio_verify_ok.gio");
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    const ParticleArray p = rank_particles(c.rank(), 100, 32);
+    GioConfig cfg;
+    cfg.verify_after_write = true;  // write path verifies before publish
+    const auto stats = write_particles(c, path, GlobalMeta{}, p, cfg);
+    if (c.rank() == 0) {
+      EXPECT_GT(stats.verify_seconds, 0.0);
+    }
+  });
+  const VerifyReport vr = verify_file(path);
+  EXPECT_TRUE(vr.ok);
+  EXPECT_TRUE(vr.header_ok);
+  EXPECT_FALSE(vr.used_redundant_header);
+  EXPECT_EQ(vr.blocks, 4u);
+  EXPECT_EQ(vr.total_particles, 400u);
+  EXPECT_TRUE(vr.corrupt.empty());
+  EXPECT_GT(vr.bytes_scanned, 0u);
+  fs::remove(path);
+}
+
+TEST(GioVerify, FlippedByteIsLocatedByScan) {
+  const std::string path = temp_path("hacc_gio_verify_bad.gio");
+  comm::Machine::run(2, [&](comm::Comm& c) {
+    write_particles(c, path, GlobalMeta{}, rank_particles(c.rank(), 50, 32));
+  });
+  flip_byte_in_variable(path, /*block=*/1, "vy", /*byte_in_block=*/13);
+  const VerifyReport vr = verify_file(path);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_TRUE(vr.header_ok);  // only a data sub-block is damaged
+  ASSERT_EQ(vr.corrupt.size(), 1u);
+  EXPECT_EQ(vr.corrupt[0].block, 1u);
+  EXPECT_EQ(vr.corrupt[0].var_name, "vy");
+  fs::remove(path);
+}
+
+TEST(GioVerify, MissingAndHeaderlessFilesReportNotOk) {
+  EXPECT_FALSE(verify_file(temp_path("hacc_gio_no_such_file.gio")).ok);
+  const std::string path = temp_path("hacc_gio_verify_junk.gio");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a gio file at all";
+  }
+  const VerifyReport vr = verify_file(path);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_FALSE(vr.header_ok);
+  fs::remove(path);
+}
+
 }  // namespace
 }  // namespace hacc::gio

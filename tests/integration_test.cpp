@@ -10,12 +10,21 @@
 //   * the measured P(k) must grow as D+^2 in the linear regime.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <map>
 #include <numbers>
+#include <string>
 
 #include "comm/comm.h"
+#include "comm/fault.h"
 #include "core/simulation.h"
+#include "core/supervisor.h"
+#include "gio/gio.h"
 #include "mesh/cic.h"
 
 namespace hacc::core {
@@ -364,6 +373,134 @@ TEST(Clustering, VarianceGrowsUnderGravity) {
     const double var1 = var_of();
     EXPECT_GT(var1, 10.0 * var0);
   });
+}
+
+TEST(FaultMatrix, KilledRankAndCorruptCheckpointRecoverBitForBit) {
+  // The full recovery story in one scenario (paper Sec. V: checkpoint-
+  // restart as the survival strategy at 1.6M-rank scale):
+  //   1. rank 2 dies at step 5 of 6 (scheduled kill),
+  //   2. while the machine is down, the newest checkpoint (step 4) is
+  //      corrupted on disk,
+  //   3. the Supervisor must reject the damaged file, restore from the
+  //      previous good checkpoint (step 2), and finish the run —
+  // and the recovered run must match an uninterrupted reference run
+  // BIT-FOR-BIT at the final step (canonical ordering makes float
+  // summation order restart-invariant).
+  namespace fs = std::filesystem;
+  SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 16;
+  cfg.box_mpch = 32.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cfg.steps = 6;
+  cfg.subcycles = 2;
+  cfg.overload = 3.0;
+  cosmology::Cosmology cosmo;
+  const int nranks = 4;
+
+  const auto bits = [](float f) {
+    std::uint32_t u;
+    std::memcpy(&u, &f, 4);
+    return u;
+  };
+  using Bits = std::array<std::uint32_t, 6>;
+  std::map<std::uint64_t, Bits> reference, recovered;
+  const auto collect = [&](Simulation& sim, comm::Comm& c,
+                           std::map<std::uint64_t, Bits>& out) {
+    auto all = sim.gather_active();
+    if (c.rank() != 0) return;
+    for (std::size_t i = 0; i < all.size(); ++i)
+      out[all.id[i]] = {bits(all.x[i]),  bits(all.y[i]),  bits(all.z[i]),
+                        bits(all.vx[i]), bits(all.vy[i]), bits(all.vz[i])};
+  };
+
+  // Uninterrupted reference run.
+  comm::Machine::run(nranks, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();
+    collect(sim, c, reference);
+  });
+
+  SupervisorConfig scfg;
+  scfg.sim = cfg;
+  scfg.sim.ledger_path =
+      (fs::temp_directory_path() / "hacc_fault_ledger.jsonl").string();
+  scfg.nranks = nranks;
+  scfg.checkpoint_dir =
+      (fs::temp_directory_path() / "hacc_fault_matrix").string();
+  scfg.checkpoint_every = 2;
+  scfg.keep = 2;
+  scfg.max_retries = 3;
+  fs::remove_all(scfg.checkpoint_dir);
+  fs::remove(scfg.sim.ledger_path);
+
+  comm::FaultPlan plan;
+  plan.kill_at_step(/*rank=*/2, /*step=*/5);
+  scfg.machine.fault_plan = &plan;
+  // Paranoia mode: end-to-end payload checksums and a receive deadline must
+  // not fire on the healthy portions of the run.
+  scfg.machine.verify_payloads = true;
+  scfg.machine.recv_timeout_s = 60;
+
+  Supervisor sup(cosmo, scfg);
+  int corrupted = 0;
+  sup.between_attempts = [&](int attempt) {
+    if (attempt != 0) return;
+    // The machine is down; damage the newest checkpoint on disk. `latest`
+    // now points at a file that no longer reads back clean.
+    const auto steps = sup.checkpoints().existing();
+    ASSERT_FALSE(steps.empty());
+    EXPECT_EQ(steps.front(), 4);
+    gio::flip_byte_in_variable(sup.checkpoints().path_for_step(steps.front()),
+                               /*block=*/0, "x", /*byte_in_block=*/11);
+    ++corrupted;
+  };
+  sup.on_finished = [&](Simulation& sim, comm::Comm& c) {
+    collect(sim, c, recovered);
+  };
+  const SupervisorReport report = sup.run();
+
+  EXPECT_TRUE(report.completed);
+  EXPECT_EQ(report.attempts, 2);   // one failure, one successful recovery
+  EXPECT_EQ(report.restores, 1);
+  EXPECT_EQ(report.final_step, cfg.steps);
+  EXPECT_EQ(corrupted, 1);
+  // The failed attempt's diagnosis names the victim rank and the step.
+  EXPECT_NE(report.last_error.find("rank 2"), std::string::npos)
+      << report.last_error;
+  EXPECT_NE(report.last_error.find("step 5"), std::string::npos)
+      << report.last_error;
+  EXPECT_GT(report.verify_seconds, 0.0);
+  EXPECT_GT(report.detect_to_resume_seconds, 0.0);
+
+  // Bit-for-bit: every particle of the recovered run matches the reference.
+  ASSERT_EQ(reference.size(), recovered.size());
+  std::size_t mismatches = 0;
+  for (const auto& [id, ref] : reference) {
+    const auto it = recovered.find(id);
+    ASSERT_NE(it, recovered.end()) << "id " << id;
+    if (it->second != ref) ++mismatches;
+  }
+  EXPECT_EQ(mismatches, 0u);
+
+  // The fsync'd ledger tells the whole story, including the records the
+  // failed attempt made durable before dying.
+  std::ifstream in(scfg.sim.ledger_path);
+  ASSERT_TRUE(in.good());
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  for (const char* kind :
+       {"attempt_start", "checkpoint", "attempt_failed",
+        "checkpoint_rejected", "restore", "run_complete"}) {
+    EXPECT_NE(text.find(std::string("\"event\":\"") + kind + '"'),
+              std::string::npos)
+        << kind << "\n" << text;
+  }
+
+  fs::remove_all(scfg.checkpoint_dir);
+  fs::remove(scfg.sim.ledger_path);
 }
 
 }  // namespace
