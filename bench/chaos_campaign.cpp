@@ -1,0 +1,264 @@
+// Chaos campaign throughput: how expensive is surviving a hostile run?
+//
+// Replays the seeded fault-campaign generator from tests/chaos_test.cpp as
+// a measurement harness instead of an assertion harness: N campaigns of
+// randomized rank kills, corrupted/dropped sends, receive stalls, collective
+// failures, and post-write checkpoint damage, each run under an elastic
+// Supervisor. Emits BENCH_chaos.json with per-campaign outcomes and the
+// aggregate picture a capacity planner wants:
+//
+//   * termination/completion/give-up counts across the sweep;
+//   * attempts, restores, shrinks, and final-width distribution;
+//   * detect-to-resume latency stats across every recovery;
+//   * campaign wall time vs. a clean unfaulted run (the "chaos tax").
+//
+// Environment knobs: HACC_CHAOS_CAMPAIGNS (default 20), HACC_CHAOS_SEED
+// (default 20120), HACC_CHAOS_RANKS (default 4).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "comm/comm.h"
+#include "comm/fault.h"
+#include "core/simulation.h"
+#include "core/supervisor.h"
+#include "gio/gio.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace hacc;
+namespace fs = std::filesystem;
+
+int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+core::SimulationConfig chaos_config() {
+  core::SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 12;
+  cfg.box_mpch = 32.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cfg.steps = 4;
+  cfg.subcycles = 2;
+  cfg.overload = 3.0;
+  return cfg;
+}
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  bool completed = false;
+  int attempts = 0;
+  int restores = 0;
+  int shrinks = 0;
+  int final_width = 0;
+  int faults_planned = 0;
+  int checkpoints_damaged = 0;
+  double wall_s = 0;
+  double detect_to_resume_s = 0;
+};
+
+/// Same campaign generator as ChaosCampaign.SeededCampaignsAllTerminate...:
+/// identical seed -> identical FaultPlan and Supervisor knobs, so a bench
+/// run reproduces exactly what the test suite certified.
+CampaignResult run_campaign(std::uint64_t seed, int ranks,
+                            const core::SimulationConfig& cfg,
+                            const cosmology::Cosmology& cosmo) {
+  Philox philox(seed, /*stream=*/0xC4A05);
+  Philox::Stream rng(philox);
+
+  core::SupervisorConfig scfg;
+  scfg.sim = cfg;
+  scfg.nranks = ranks;
+  scfg.elastic.rule = rng.uniform() < 0.5 ? core::ElasticRule::kShrinkByFailed
+                                          : core::ElasticRule::kHalve;
+  scfg.elastic.min_ranks = 1 + static_cast<int>(rng.index(2));
+  scfg.checkpoint_dir =
+      (fs::temp_directory_path() / ("hacc_bench_chaos_" + std::to_string(seed)))
+          .string();
+  scfg.checkpoint_every = 1 + static_cast<int>(rng.index(2));
+  scfg.keep = 2;
+  scfg.max_retries = 4;
+  scfg.max_momentum_drift = 1e-2;
+  scfg.machine.verify_payloads = true;
+  scfg.machine.recv_timeout_s = 3.0;
+  fs::remove_all(scfg.checkpoint_dir);
+
+  CampaignResult out;
+  out.seed = seed;
+  comm::FaultPlan plan;
+  const int kills = 1 + static_cast<int>(rng.index(2));
+  for (int k = 0; k < kills; ++k) {
+    plan.kill_at_step(static_cast<int>(rng.index(4)),
+                      1 + static_cast<int>(rng.index(
+                              static_cast<std::uint64_t>(cfg.steps))));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.4) {
+    plan.corrupt_send(static_cast<int>(rng.index(4)), comm::fault::kAnyTag,
+                      static_cast<int>(rng.index(64)));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.3) {
+    plan.drop_send(static_cast<int>(rng.index(4)), comm::fault::kAnyTag,
+                   static_cast<int>(rng.index(64)));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.3) {
+    plan.stall_recv(static_cast<int>(rng.index(4)), /*seconds=*/0.2,
+                    static_cast<int>(rng.index(64)));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.3) {
+    plan.fail_collective(static_cast<int>(rng.index(4)),
+                         rng.uniform() < 0.5 ? comm::telemetry::Op::kBarrier
+                                             : comm::telemetry::Op::kAlltoall,
+                         static_cast<int>(rng.index(16)));
+    ++out.faults_planned;
+  }
+  scfg.machine.fault_plan = &plan;
+
+  core::Supervisor sup(cosmo, scfg);
+  sup.between_attempts = [&](int /*attempt*/) {
+    if (rng.uniform() >= 0.4) return;
+    const auto steps = sup.checkpoints().existing();
+    if (steps.empty()) return;
+    gio::flip_byte_in_variable(sup.checkpoints().path_for_step(steps.front()),
+                               /*block=*/0, "x",
+                               /*byte_in_block=*/rng.index(256));
+    ++out.checkpoints_damaged;
+  };
+
+  Timer wall;
+  const core::SupervisorReport rep = sup.run();
+  out.wall_s = wall.elapsed();
+  out.completed = rep.completed;
+  out.attempts = rep.attempts;
+  out.restores = rep.restores;
+  out.shrinks = rep.shrinks;
+  out.final_width = rep.final_width;
+  out.detect_to_resume_s = rep.detect_to_resume_seconds;
+  fs::remove_all(scfg.checkpoint_dir);
+  return out;
+}
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0;
+  double s = 0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+}  // namespace
+
+int main() {
+  const int campaigns = env_int("HACC_CHAOS_CAMPAIGNS", 20);
+  const auto base_seed =
+      static_cast<std::uint64_t>(env_int("HACC_CHAOS_SEED", 20120));
+  const int ranks = env_int("HACC_CHAOS_RANKS", 4);
+
+  const core::SimulationConfig cfg = chaos_config();
+  cosmology::Cosmology cosmo;
+
+  // Clean unfaulted baseline: what a campaign costs when nothing goes wrong.
+  Timer clean_timer;
+  comm::Machine::run(ranks, [&](comm::Comm& c) {
+    core::Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();
+    (void)c;
+  });
+  const double clean_s = clean_timer.elapsed();
+
+  std::printf("Chaos campaign bench: %d campaigns, base seed %llu, %d ranks\n",
+              campaigns, static_cast<unsigned long long>(base_seed), ranks);
+  std::printf("clean unfaulted run: %.3f s\n\n", clean_s);
+
+  std::vector<CampaignResult> results;
+  int completed = 0, shrunk = 0, total_faults = 0, total_damage = 0;
+  std::vector<double> walls, resumes;
+  for (int i = 0; i < campaigns; ++i) {
+    const CampaignResult r =
+        run_campaign(base_seed + static_cast<std::uint64_t>(i), ranks, cfg,
+                     cosmo);
+    results.push_back(r);
+    completed += r.completed ? 1 : 0;
+    shrunk += r.shrinks > 0 ? 1 : 0;
+    total_faults += r.faults_planned;
+    total_damage += r.checkpoints_damaged;
+    walls.push_back(r.wall_s);
+    if (r.restores > 0) resumes.push_back(r.detect_to_resume_s);
+  }
+
+  const double mean_wall = mean(walls);
+  Table t({"metric", "value"});
+  t.add_row({"campaigns", Table::integer(campaigns)});
+  t.add_row({"completed", Table::integer(completed)});
+  t.add_row({"gave up", Table::integer(campaigns - completed)});
+  t.add_row({"campaigns that shrank", Table::integer(shrunk)});
+  t.add_row({"faults planned", Table::integer(total_faults)});
+  t.add_row({"checkpoints damaged", Table::integer(total_damage)});
+  t.add_row({"mean campaign wall [s]", Table::fixed(mean_wall, 3)});
+  t.add_row({"p90 campaign wall [s]", Table::fixed(percentile(walls, 0.9), 3)});
+  t.add_row({"mean detect->resume [s]", Table::fixed(mean(resumes), 4)});
+  t.add_row({"chaos tax vs clean",
+             Table::fixed(clean_s > 0 ? mean_wall / clean_s : 0, 2) + "x"});
+  t.print(std::cout);
+
+  std::FILE* f = std::fopen("BENCH_chaos.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open BENCH_chaos.json for writing\n");
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"chaos\",\n"
+               "  \"campaigns\": %d, \"base_seed\": %llu, \"ranks\": %d,\n"
+               "  \"clean_run_s\": %.6f,\n"
+               "  \"completed\": %d, \"gave_up\": %d, \"shrank\": %d,\n"
+               "  \"faults_planned\": %d, \"checkpoints_damaged\": %d,\n"
+               "  \"mean_campaign_wall_s\": %.6f, \"p90_campaign_wall_s\": "
+               "%.6f,\n"
+               "  \"mean_detect_to_resume_s\": %.6f,\n"
+               "  \"chaos_tax_vs_clean\": %.3f,\n"
+               "  \"per_campaign\": [",
+               campaigns, static_cast<unsigned long long>(base_seed), ranks,
+               clean_s, completed, campaigns - completed, shrunk, total_faults,
+               total_damage, mean_wall, percentile(walls, 0.9), mean(resumes),
+               clean_s > 0 ? mean_wall / clean_s : 0);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(f,
+                 "%s\n    {\"seed\": %llu, \"completed\": %s, \"attempts\": "
+                 "%d, \"restores\": %d, \"shrinks\": %d, \"final_width\": %d, "
+                 "\"faults_planned\": %d, \"checkpoints_damaged\": %d, "
+                 "\"wall_s\": %.6f, \"detect_to_resume_s\": %.6f}",
+                 i == 0 ? "" : ",", static_cast<unsigned long long>(r.seed),
+                 r.completed ? "true" : "false", r.attempts, r.restores,
+                 r.shrinks, r.final_width, r.faults_planned,
+                 r.checkpoints_damaged, r.wall_s, r.detect_to_resume_s);
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nWrote BENCH_chaos.json\n");
+
+  // Terminating at all is the bench's own bar; a mostly-failing sweep means
+  // the recovery stack regressed.
+  return completed * 3 >= campaigns * 2 ? 0 : 1;
+}

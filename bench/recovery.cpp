@@ -13,6 +13,11 @@
 //      the end: detect-to-resume latency (failure caught -> resumed machine
 //      running, including the newest-first chain re-verification) straight
 //      from the SupervisorReport.
+//   3. Elastic drill — the same kill handled by the shrink_by_failed
+//      policy instead of a fixed-width retry: detect-to-resume at reduced
+//      width vs. the same-width drill, and steps/sec before vs. after the
+//      shrink (from SupervisorReport::step_stats), i.e. the throughput
+//      price of continuing degraded instead of waiting for a replacement.
 //
 // Environment knobs: HACC_REC_RANKS, HACC_REC_GRID, HACC_REC_NP,
 // HACC_REC_STEPS, HACC_REC_EVERY.
@@ -152,6 +157,55 @@ int main() {
               std::max(cfg.steps - 1, 1));
   r.print(std::cout);
 
+  // --- 3. elastic drill: identical kill, but the Supervisor shrinks to
+  // ranks-1 instead of retrying at full width. Compares detect-to-resume
+  // against the fixed-width drill and reports the degraded throughput.
+  core::SupervisorConfig ecfg = scfg;
+  ecfg.checkpoint_dir = dir + "/elastic";
+  ecfg.elastic.rule = core::ElasticRule::kShrinkByFailed;
+  ecfg.elastic.min_ranks = 1;
+  comm::FaultPlan eplan;
+  eplan.kill_at_step(/*rank=*/ranks - 1, /*step=*/std::max(cfg.steps - 1, 1));
+  ecfg.machine.fault_plan = &eplan;
+
+  core::Supervisor esup(cosmo, ecfg);
+  const core::SupervisorReport erep = esup.run();
+
+  double pre_sps = 0, post_sps = 0;
+  for (const auto& ws : erep.step_stats) {
+    if (ws.width == ranks)
+      pre_sps = ws.steps_per_sec();
+    else if (ws.width == erep.final_width)
+      post_sps = ws.steps_per_sec();
+  }
+  const double degraded_pct =
+      pre_sps > 0 ? 100.0 * (pre_sps - post_sps) / pre_sps : 0;
+
+  Table e({"metric", "value"});
+  e.add_row({"completed", erep.completed ? "yes" : "no"});
+  e.add_row({"final width", Table::integer(erep.final_width)});
+  e.add_row({"shrinks", Table::integer(erep.shrinks)});
+  e.add_row({"detect -> resume, same width [s]",
+             Table::fixed(rep.detect_to_resume_seconds, 4)});
+  e.add_row({"detect -> resume, elastic [s]",
+             Table::fixed(erep.detect_to_resume_seconds, 4)});
+  e.add_row({"steps/sec before shrink", Table::fixed(pre_sps, 3)});
+  e.add_row({"steps/sec after shrink", Table::fixed(post_sps, 3)});
+  std::printf("\nElastic drill (same kill, shrink_by_failed):\n");
+  e.print(std::cout);
+  std::printf("throughput lost to degraded width: %.1f%%\n", degraded_pct);
+
+  std::string width_stats_json;
+  for (const auto& ws : erep.step_stats) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"width\": %d, \"steps\": %d, \"step_seconds\": %.6f, "
+                  "\"steps_per_sec\": %.6f}",
+                  width_stats_json.empty() ? "" : ", ", ws.width, ws.steps,
+                  ws.step_seconds, ws.steps_per_sec());
+    width_stats_json += buf;
+  }
+
   std::FILE* f = std::fopen("BENCH_recovery.json", "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open BENCH_recovery.json for writing\n");
@@ -170,16 +224,26 @@ int main() {
       "\"verify_overhead_pct_of_step\": %.3f},\n"
       "  \"recovery_drill\": {\"completed\": %s, \"attempts\": %d, "
       "\"restores\": %d, \"failed_attempt_s\": %.6f, "
-      "\"chain_verify_s\": %.6f, \"detect_to_resume_s\": %.6f}\n}\n",
+      "\"chain_verify_s\": %.6f, \"detect_to_resume_s\": %.6f},\n"
+      "  \"elastic_drill\": {\"completed\": %s, \"attempts\": %d, "
+      "\"restores\": %d, \"shrinks\": %d, \"final_width\": %d, "
+      "\"detect_to_resume_s\": %.6f, "
+      "\"steps_per_sec_before_shrink\": %.6f, "
+      "\"steps_per_sec_after_shrink\": %.6f, "
+      "\"throughput_lost_pct\": %.3f, "
+      "\"width_stats\": [%s]}\n}\n",
       ranks, cfg.grid, cfg.particles_per_dim, cfg.steps, every,
       tax.checkpoints, tax.mean_step_s, tax.mean_write_s,
       tax.mean_write_verified_s, per_ckpt, per_step, pct_of_step,
       rep.completed ? "true" : "false", rep.attempts, rep.restores,
       rep.failed_attempt_seconds, rep.verify_seconds,
-      rep.detect_to_resume_seconds);
+      rep.detect_to_resume_seconds, erep.completed ? "true" : "false",
+      erep.attempts, erep.restores, erep.shrinks, erep.final_width,
+      erep.detect_to_resume_seconds, pre_sps, post_sps, degraded_pct,
+      width_stats_json.c_str());
   std::fclose(f);
   std::printf("\nWrote BENCH_recovery.json\n");
 
   fs::remove_all(dir);
-  return rep.completed ? 0 : 1;
+  return (rep.completed && erep.completed) ? 0 : 1;
 }

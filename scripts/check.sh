@@ -18,6 +18,11 @@
 #    under BOTH sanitizers — faults exercise the abort/unwind paths that
 #    normal runs never touch, which is where stale pointers and racy
 #    shutdowns hide.
+# 5. Chaos campaign: a small fixed-seed subset of the randomized elastic
+#    recovery campaigns (tests/chaos_test.cpp) under both sanitizers — the
+#    shrink/relaunch/restore path tears machines down mid-flight and
+#    re-launches them narrower, which is prime territory for use-after-free
+#    (ASan) and teardown races (TSan).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,5 +72,17 @@ echo "== fault matrix: tsan =="
 "$TSAN_BUILD/tests/comm_test" --gtest_filter="$FAULT_FILTER"
 "$TSAN_BUILD/tests/core_test" --gtest_filter="$FAULT_FILTER"
 "$TSAN_BUILD/tests/integration_test" --gtest_filter="$FAULT_FILTER"
+
+# Chaos campaign: elastic shrink + a seeded campaign subset. Fixed seeds
+# (HACC_CHAOS_SEED base, 5 campaigns) keep the sanitizer passes deterministic
+# and within CI budget; the full 20-campaign sweep runs unsanitized in ctest.
+echo "== chaos: build (asan + tsan chaos_test) =="
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target chaos_test
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target chaos_test
+
+echo "== chaos: asan =="
+HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20120 "$ASAN_BUILD/tests/chaos_test"
+echo "== chaos: tsan =="
+HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20125 "$TSAN_BUILD/tests/chaos_test"
 
 echo "== check.sh: all green =="

@@ -319,7 +319,13 @@ void Machine::run(int nranks, const std::function<void(Comm&)>& fn) {
 
 void Machine::run(int nranks, const std::function<void(Comm&)>& fn,
                   const MachineOptions& options) {
+  run(nranks, fn, options, nullptr);
+}
+
+void Machine::run(int nranks, const std::function<void(Comm&)>& fn,
+                  const MachineOptions& options, MachineReport* report) {
   HACC_CHECK_MSG(nranks > 0, "Machine::run needs at least one rank");
+  if (report != nullptr) *report = MachineReport{};
   MachineState state(nranks, options);
   std::vector<int> world(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) world[static_cast<std::size_t>(r)] = r;
@@ -329,7 +335,7 @@ void Machine::run(int nranks, const std::function<void(Comm&)>& fn,
   threads.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     threads.emplace_back([&, r] {
-      fault::Scope fault_scope(options.fault_plan, r);
+      fault::Scope fault_scope(options.fault_plan, r, nranks);
       Comm comm(&state, /*context=*/0, r, world);
       try {
         fn(comm);
@@ -346,19 +352,35 @@ void Machine::run(int nranks, const std::function<void(Comm&)>& fn,
     });
   }
   for (auto& t : threads) t.join();
-  // Report the primary failure, preferring a real error over the Aborted
-  // exceptions it induced in peer ranks.
-  std::exception_ptr aborted;
-  for (auto& e : errors) {
+  // Post-mortem + primary failure: a rank whose own exception is an Aborted
+  // merely observed a peer's death; everything else is a root cause. The
+  // rethrow prefers a root cause over the Aborted it induced.
+  std::exception_ptr primary, aborted;
+  for (int r = 0; r < nranks; ++r) {
+    auto& e = errors[static_cast<std::size_t>(r)];
     if (!e) continue;
     try {
       std::rethrow_exception(e);
     } catch (const Aborted&) {
       aborted = e;
+    } catch (const std::exception& ex) {
+      if (report != nullptr) {
+        report->failed_ranks.push_back(r);
+        if (dynamic_cast<const DeadlockError*>(&ex) != nullptr)
+          report->deadlock = true;
+        if (report->first_error.empty()) report->first_error = ex.what();
+      }
+      if (!primary) primary = e;
     } catch (...) {
-      std::rethrow_exception(e);
+      if (report != nullptr) {
+        report->failed_ranks.push_back(r);
+        if (report->first_error.empty())
+          report->first_error = "unknown exception";
+      }
+      if (!primary) primary = e;
     }
   }
+  if (primary) std::rethrow_exception(primary);
   if (aborted) std::rethrow_exception(aborted);
 }
 

@@ -243,6 +243,21 @@ class Comm {
   std::shared_ptr<std::vector<int>> group_;  // comm rank -> machine rank
 };
 
+/// Post-mortem of one Machine::run: which ranks originated failures (as
+/// opposed to being collaterally aborted by a peer's death) and what kind.
+/// A recovery driver uses this to choose a relaunch width: an elastic
+/// policy shrinking "by failed ranks" needs to know how many ranks actually
+/// died, not how many receives they took down with them.
+struct MachineReport {
+  /// Ranks whose own exception was a root cause (rank order). Ranks that
+  /// merely observed a peer's death (Aborted) are not listed.
+  std::vector<int> failed_ranks;
+  /// At least one root cause was a receive-deadline expiry (DeadlockError) —
+  /// a hang diagnosis rather than a rank death.
+  bool deadlock = false;
+  std::string first_error;  ///< what() of the primary failure ("" = none)
+};
+
 /// Runs an SPMD function over N ranks, each on its own thread.
 class Machine {
  public:
@@ -257,6 +272,12 @@ class Machine {
   /// payload verification, and a fault-injection plan.
   static void run(int nranks, const std::function<void(Comm&)>& fn,
                   const MachineOptions& options);
+
+  /// As above, additionally filling `report` (when non-null) with the
+  /// failure post-mortem *before* the primary exception is rethrown, so a
+  /// supervising driver can diagnose the failure it just caught.
+  static void run(int nranks, const std::function<void(Comm&)>& fn,
+                  const MachineOptions& options, MachineReport* report);
 };
 
 // ---- templated collective implementations ---------------------------------

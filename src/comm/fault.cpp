@@ -9,7 +9,17 @@ namespace {
 
 thread_local FaultPlan* g_plan = nullptr;
 thread_local int g_rank = -1;
+thread_local int g_width = 0;
 thread_local int g_step = 0;
+
+/// The machine rank a spec fires on at the installed width: specs naming a
+/// rank the shrunken machine no longer has fold onto a surviving rank, so a
+/// chaos campaign planned at the launch width keeps applying pressure after
+/// every elastic shrink.
+int victim_rank(const fault::Spec& spec) {
+  if (spec.rank < 0 || g_width <= 0) return spec.rank;
+  return spec.rank % g_width;
+}
 
 /// Match-and-count: true when `spec` should fire for this event. Advances
 /// the spec's seen/fired counters; the caller performs the fault action.
@@ -78,16 +88,18 @@ FaultPlan& FaultPlan::repeat(int times) {
 
 namespace fault {
 
-Scope::Scope(FaultPlan* plan, int rank) noexcept
-    : prev_plan_(g_plan), prev_rank_(g_rank) {
+Scope::Scope(FaultPlan* plan, int rank, int width) noexcept
+    : prev_plan_(g_plan), prev_rank_(g_rank), prev_width_(g_width) {
   g_plan = plan;
   g_rank = rank;
+  g_width = width;
   g_step = 0;
 }
 
 Scope::~Scope() {
   g_plan = prev_plan_;
   g_rank = prev_rank_;
+  g_width = prev_width_;
 }
 
 bool active() noexcept { return g_plan != nullptr; }
@@ -96,7 +108,8 @@ void set_step(int step) {
   g_step = step;
   if (g_plan == nullptr) return;
   for (Spec& s : g_plan->specs()) {
-    if (s.rank != g_rank || s.kind != Kind::kKillAtStep || s.step != step)
+    if (victim_rank(s) != g_rank || s.kind != Kind::kKillAtStep ||
+        s.step != step)
       continue;
     const int fired = s.fires.fetch_add(1, std::memory_order_relaxed);
     if (s.max_fires >= 0 && fired >= s.max_fires) continue;
@@ -110,7 +123,7 @@ int current_step() noexcept { return g_step; }
 bool on_send(int tag, std::vector<std::byte>& payload) {
   if (g_plan == nullptr) return true;
   for (Spec& s : g_plan->specs()) {
-    if (s.rank != g_rank || !tag_matches(s, tag)) continue;
+    if (victim_rank(s) != g_rank || !tag_matches(s, tag)) continue;
     if (s.kind == Kind::kDropSend) {
       if (fire(s)) return false;
     } else if (s.kind == Kind::kCorruptSend) {
@@ -124,7 +137,8 @@ bool on_send(int tag, std::vector<std::byte>& payload) {
 void on_recv(int /*source*/, int tag) {
   if (g_plan == nullptr) return;
   for (Spec& s : g_plan->specs()) {
-    if (s.rank != g_rank || s.kind != Kind::kStallRecv || !tag_matches(s, tag))
+    if (victim_rank(s) != g_rank || s.kind != Kind::kStallRecv ||
+        !tag_matches(s, tag))
       continue;
     if (fire(s))
       std::this_thread::sleep_for(
@@ -135,7 +149,8 @@ void on_recv(int /*source*/, int tag) {
 void on_collective(telemetry::Op op) {
   if (g_plan == nullptr) return;
   for (Spec& s : g_plan->specs()) {
-    if (s.rank != g_rank || s.kind != Kind::kFailCollective || s.op != op)
+    if (victim_rank(s) != g_rank || s.kind != Kind::kFailCollective ||
+        s.op != op)
       continue;
     if (fire(s))
       throw Error(std::string("fault injection: collective ") +

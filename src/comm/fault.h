@@ -50,7 +50,11 @@ enum class Kind : int {
 };
 
 struct Spec {
-  int rank = -1;  ///< machine (world) rank the fault applies to
+  int rank = -1;  ///< machine (world) rank the fault applies to; when the
+                  ///< machine runs *narrower* than the rank named here (an
+                  ///< elastic shrink), the fault is remapped to
+                  ///< rank % width so a campaign planned at the launch
+                  ///< width keeps exercising the survivors
   Kind kind = Kind::kKillAtStep;
   int step = -1;        ///< kKillAtStep: fire when this step begins
   int tag = kAnyTag;    ///< send/recv faults: required tag (kAnyTag = any)
@@ -104,10 +108,13 @@ class FaultPlan {
 namespace fault {
 
 /// RAII: installs `plan` (may be null) for machine rank `rank` on the
-/// calling thread. Machine::run wraps each rank function in one.
+/// calling thread of a `width`-rank machine. Machine::run wraps each rank
+/// function in one. The width drives the elastic remapping: a spec naming
+/// rank >= width fires on rank % width instead, so one FaultPlan stays
+/// meaningful across the shrinking relaunches an elastic Supervisor makes.
 class Scope {
  public:
-  Scope(FaultPlan* plan, int rank) noexcept;
+  Scope(FaultPlan* plan, int rank, int width) noexcept;
   ~Scope();
   Scope(const Scope&) = delete;
   Scope& operator=(const Scope&) = delete;
@@ -115,6 +122,7 @@ class Scope {
  private:
   FaultPlan* prev_plan_;
   int prev_rank_;
+  int prev_width_;
 };
 
 /// True when a plan is installed on this thread.

@@ -1,5 +1,6 @@
 #include "core/supervisor.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -22,6 +23,17 @@ namespace fs = std::filesystem;
 namespace {
 constexpr const char* kCkptPrefix = "ckpt_";
 constexpr const char* kCkptSuffix = ".gio";
+
+/// Durably record a completed rename in its directory: the fsync of the
+/// renamed *file* makes the bytes durable, but the directory entry created
+/// by the rename lives in the directory's own metadata — without this a
+/// power loss can roll the rename back and leave a stale (or no) pointer.
+void fsync_directory(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: not all filesystems allow dir opens
+  ::fsync(fd);
+  ::close(fd);
+}
 }  // namespace
 
 CheckpointSet::CheckpointSet(std::string dir, int keep)
@@ -51,6 +63,7 @@ void CheckpointSet::publish(int step) {
   }
   HACC_CHECK_MSG(std::rename(tmp.c_str(), latest_path().c_str()) == 0,
                  "cannot publish " + latest_path());
+  fsync_directory(dir_);  // make the rename itself crash-durable
   // Rotate: drop everything older than the last `keep_` checkpoints.
   const std::vector<int> steps = existing();
   for (std::size_t i = static_cast<std::size_t>(keep_); i < steps.size(); ++i)
@@ -85,15 +98,57 @@ std::vector<int> CheckpointSet::existing() const {
   return steps;
 }
 
+int ElasticPolicy::next_width(int width, int failed_ranks,
+                              int failures_at_width) const {
+  if (rule == ElasticRule::kSameWidth) return width;
+  if (failures_at_width < failures_before_shrink) return width;
+  int next = width;
+  switch (rule) {
+    case ElasticRule::kSameWidth:
+      break;
+    case ElasticRule::kShrinkByFailed:
+      next = width - std::max(failed_ranks, 1);
+      break;
+    case ElasticRule::kHalve:
+      next = width / 2;
+      break;
+  }
+  return std::clamp(next, std::max(min_ranks, 1), width);
+}
+
+const char* elastic_rule_name(ElasticRule rule) {
+  switch (rule) {
+    case ElasticRule::kSameWidth: return "same_width";
+    case ElasticRule::kShrinkByFailed: return "shrink_by_failed";
+    case ElasticRule::kHalve: return "halve";
+  }
+  return "?";
+}
+
 Supervisor::Supervisor(const cosmology::Cosmology& cosmo,
                        SupervisorConfig config)
     : cosmo_(cosmo),
       config_(std::move(config)),
-      checkpoints_(config_.checkpoint_dir, config_.keep) {
+      checkpoints_(config_.checkpoint_dir, config_.keep),
+      width_(config_.nranks) {
   HACC_CHECK_MSG(!config_.checkpoint_dir.empty(),
                  "Supervisor needs a checkpoint directory");
   HACC_CHECK(config_.checkpoint_every >= 1 && config_.nranks >= 1);
+  HACC_CHECK_MSG(config_.elastic.min_ranks >= 1 &&
+                     config_.elastic.min_ranks <= config_.nranks,
+                 "ElasticPolicy::min_ranks must be in [1, nranks]");
+  HACC_CHECK(config_.elastic.failures_before_shrink >= 1);
   fs::create_directories(config_.checkpoint_dir);
+}
+
+void Supervisor::note_step(int width, double seconds) {
+  for (auto& s : report_.step_stats) {
+    if (s.width != width) continue;
+    ++s.steps;
+    s.step_seconds += seconds;
+    return;
+  }
+  report_.step_stats.push_back({width, 1, seconds});
 }
 
 void Supervisor::record_event(const std::string& kind, int step, int attempt,
@@ -128,7 +183,11 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
     // Announce the step to fault injection: a scheduled kill fires here, on
     // the victim rank, exactly once across all supervisor attempts.
     comm::fault::set_step(sim.steps_taken() + 1);
+    Timer step_timer;
     sim.step();
+    // Per-width throughput: the degradation cost of a shrink (attempts are
+    // serial, so the rank-0 thread is the only writer).
+    if (root) note_step(comm.size(), step_timer.elapsed());
     if (ledger_on) sim.record_step_ledger();
 
     // Health guards before the state can be checkpointed: a checkpoint of
@@ -164,10 +223,15 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
 
 SupervisorReport Supervisor::run() {
   report_ = SupervisorReport{};
+  width_ = config_.nranks;
+  int failures_at_width = 0;
   std::optional<Timer> recover_timer;  // starts when a failure is detected
   for (int attempt = 0;; ++attempt) {
     report_.attempts = attempt + 1;
+    report_.width_history.push_back(width_);
+    report_.final_width = width_;
     std::string restore;
+    int restore_step = -1;
     if (attempt > 0) {
       // Re-verify the chain newest-first: a checkpoint that was good when
       // written can be damaged on disk afterwards, and `latest` may point
@@ -179,6 +243,7 @@ SupervisorReport Supervisor::run() {
         const gio::VerifyReport vr = gio::verify_file(path);
         if (vr.ok) {
           restore = path;
+          restore_step = step;
           record_event("restore", step, attempt, path);
           break;
         }
@@ -191,6 +256,11 @@ SupervisorReport Supervisor::run() {
         record_event("restore_cold", -1, attempt,
                      "no usable checkpoint; restarting from initial "
                      "conditions");
+      // Audit trail: every recovery attempt names the width it resumes at,
+      // so a shrinking campaign's degradation history reads straight off
+      // the ledger.
+      record_event("resume_at_width", restore_step, attempt,
+                   "width " + std::to_string(width_));
     }
     if (recover_timer) {
       report_.detect_to_resume_seconds = recover_timer->elapsed();
@@ -198,11 +268,11 @@ SupervisorReport Supervisor::run() {
     }
 
     Timer attempt_timer;
+    comm::MachineReport machine_report;
     try {
       comm::Machine::run(
-          config_.nranks,
-          [&](comm::Comm& comm) { rank_main(comm, restore, attempt); },
-          config_.machine);
+          width_, [&](comm::Comm& comm) { rank_main(comm, restore, attempt); },
+          config_.machine, &machine_report);
       report_.completed = true;
       report_.final_step = config_.sim.steps;
       record_event("run_complete", config_.sim.steps, attempt, "");
@@ -217,6 +287,26 @@ SupervisorReport Supervisor::run() {
         return report_;
       }
       ++report_.restores;
+      // Elastic policy: shrink instead of retrying at a width that keeps
+      // failing. The failed-rank count comes from the machine post-mortem
+      // (root causes only, not collateral aborts).
+      ++failures_at_width;
+      const int failed =
+          std::max<int>(1, static_cast<int>(machine_report.failed_ranks.size()));
+      const int next =
+          config_.elastic.next_width(width_, failed, failures_at_width);
+      if (next < width_) {
+        ++report_.shrinks;
+        record_event(
+            "shrink", restore_step, attempt,
+            "width " + std::to_string(width_) + " -> " + std::to_string(next) +
+                " (" + elastic_rule_name(config_.elastic.rule) + ", " +
+                std::to_string(failed) + " failed rank(s), " +
+                std::to_string(failures_at_width) + " failure(s) at width " +
+                std::to_string(width_) + ")");
+        width_ = next;
+        failures_at_width = 0;
+      }
       if (config_.retry_backoff_s > 0) {
         std::this_thread::sleep_for(std::chrono::duration<double>(
             config_.retry_backoff_s * (attempt + 1)));

@@ -16,6 +16,19 @@
 //             be damaged *after* it was written), restore from the first
 //             good one, resume; capped retries with linear backoff.
 //
+// Elastic degraded mode: at scale the realistic failure mode is *losing
+// capacity* — a replacement partition at the same width may simply not be
+// there, and the campaign must keep making progress on fewer ranks rather
+// than stall. When an ElasticPolicy other than kSameWidth is configured,
+// the recovery step relaunches the machine at a reduced width chosen by the
+// policy; the rank-count-elastic gio read path restores the last good
+// checkpoint onto the new width (blocks re-partitioned, particles routed to
+// their new domain owners by one alltoallv), the Cartesian decomposition and
+// overload zones are rebuilt for the new width by the Simulation
+// constructor, and the run resumes. Every width transition is recorded as
+// fsync'd ledger events ("shrink", "resume_at_width"), so the degradation
+// history of a campaign is auditable after the fact.
+//
 // Every decision is recorded as an event line in the run ledger, fsync'd
 // before the run proceeds, so the recovery history survives the failures it
 // documents. With SimulationConfig::canonical_order on (the default), a
@@ -47,8 +60,10 @@ class CheckpointSet {
   std::string latest_path() const;  ///< the `latest` pointer file
 
   /// Record `step` as the newest checkpoint: atomically rewrite `latest`
-  /// (tmp+rename, fsync'd) and unlink checkpoints beyond the last `keep`.
-  /// Call on one rank only, after the checkpoint file is published.
+  /// (tmp+rename, both the file and the containing directory fsync'd — the
+  /// rename itself must survive a power loss, not just the bytes) and
+  /// unlink checkpoints beyond the last `keep`. Call on one rank only,
+  /// after the checkpoint file is published.
   void publish(int step);
 
   /// Step named by the `latest` pointer, or -1 when absent/unreadable.
@@ -64,9 +79,40 @@ class CheckpointSet {
   int keep_;
 };
 
+/// How the Supervisor picks the relaunch width after a failed attempt.
+enum class ElasticRule {
+  kSameWidth,       ///< always retry at the launch width (PR 4 behavior)
+  kShrinkByFailed,  ///< drop as many ranks as actually died this attempt
+  kHalve,           ///< halve the width (coarse but fast convergence)
+};
+
+/// Elastic degraded-mode policy: when and how far to shrink. The policy is
+/// consulted once per failed attempt; it never grows the width back (a
+/// shrink models capacity that is gone for the rest of the campaign).
+struct ElasticPolicy {
+  ElasticRule rule = ElasticRule::kSameWidth;
+  /// Hard floor: never relaunch below this many ranks.
+  int min_ranks = 1;
+  /// Consecutive failures tolerated at a width before the policy shrinks;
+  /// 1 = shrink on the first failure. A same-width transient (e.g. one
+  /// corrupted message) then gets `failures_before_shrink - 1` full-width
+  /// retries before capacity is given up.
+  int failures_before_shrink = 1;
+
+  /// Width of the next attempt after `failures_at_width` consecutive
+  /// failures at `width`, of which `failed_ranks` ranks were root causes in
+  /// the latest attempt (>= 1; collateral aborts are not counted).
+  int next_width(int width, int failed_ranks, int failures_at_width) const;
+};
+
+/// Stable name of a rule ("same_width", "shrink_by_failed", "halve").
+const char* elastic_rule_name(ElasticRule rule);
+
 struct SupervisorConfig {
   SimulationConfig sim;    ///< sim.steps is the run target
-  int nranks = 4;          ///< SimMPI machine width
+  int nranks = 4;          ///< SimMPI machine width (the launch width)
+  /// Degraded-mode recovery: how to reduce the width after failures.
+  ElasticPolicy elastic;
   std::string checkpoint_dir;
   int checkpoint_every = 1;  ///< steps between defensive checkpoints
   int keep = 2;              ///< checkpoint rotation depth (last K)
@@ -93,6 +139,22 @@ struct SupervisorReport {
   /// Wall seconds from the last failure being detected to the resumed
   /// machine running (verification + backoff; the bench's headline).
   double detect_to_resume_seconds = 0;
+  // ---- elastic degraded-mode accounting ----
+  int final_width = 0;  ///< rank count of the last attempt
+  int shrinks = 0;      ///< width reductions taken by the policy
+  /// Rank count of each attempt, in attempt order (size == attempts).
+  std::vector<int> width_history;
+  /// Per-width stepping throughput, first-use order: the degradation cost
+  /// of running on fewer ranks (steps/sec before vs after a shrink).
+  struct WidthStepStats {
+    int width = 0;
+    int steps = 0;          ///< steps completed at this width (all attempts)
+    double step_seconds = 0;  ///< rank-0 wall seconds inside those steps
+    double steps_per_sec() const noexcept {
+      return step_seconds > 0 ? steps / step_seconds : 0;
+    }
+  };
+  std::vector<WidthStepStats> step_stats;
 };
 
 /// Drives a whole simulation to completion across failures. Construct,
@@ -118,11 +180,15 @@ class Supervisor {
                  int attempt);
   void record_event(const std::string& kind, int step, int attempt,
                     const std::string& detail);
+  /// Accumulate one completed step into the per-width throughput stats
+  /// (called on the rank-0 thread only; attempts are serial).
+  void note_step(int width, double seconds);
 
   cosmology::Cosmology cosmo_;
   SupervisorConfig config_;
   CheckpointSet checkpoints_;
   SupervisorReport report_;
+  int width_ = 0;  ///< rank count of the current/next attempt
 };
 
 }  // namespace hacc::core

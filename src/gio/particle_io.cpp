@@ -113,6 +113,22 @@ void redistribute_by_domain(comm::Comm& comm,
     return static_cast<std::size_t>(w);
   };
 
+  // Elastic-restore hardening: a particle with a non-finite coordinate has
+  // no owner cell (fmod(NaN) stays NaN and the cast below would be UB).
+  // Checkpoints are CRC-verified, so this means damaged *state*, not a
+  // damaged file — refuse with a diagnosis the recovery loop can act on
+  // (restore an older checkpoint) instead of routing garbage.
+  std::size_t unroutable = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (!std::isfinite(p.x[i]) || !std::isfinite(p.y[i]) ||
+        !std::isfinite(p.z[i]))
+      ++unroutable;
+  }
+  HACC_CHECK_MSG(unroutable == 0,
+                 "redistribute_by_domain: " + std::to_string(unroutable) +
+                     " particle(s) with non-finite coordinates on rank " +
+                     std::to_string(comm.rank()));
+
   std::vector<std::vector<PackedParticle>> outbound(
       static_cast<std::size_t>(nranks));
   for (std::size_t i = 0; i < p.size(); ++i) {

@@ -591,6 +591,41 @@ TEST(CheckpointSet, RotationAndLatestPointer) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointSet, RecoversFromMissingLatestPointer) {
+  // A power-loss-style crash can lose the `latest` pointer entirely (the
+  // rename not yet durable in the directory — publish() fsyncs the
+  // directory to close exactly that window, but an already-written tree
+  // may predate it). Recovery must not depend on the pointer: existing()
+  // scans the directory itself, so the checkpoint chain is still found and
+  // ordered newest first.
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hacc_ckpt_nolatest").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  CheckpointSet set(dir, /*keep=*/3);
+
+  const auto touch = [&](int step) {
+    std::ofstream(set.path_for_step(step)) << "x";
+  };
+  touch(2);
+  set.publish(2);
+  touch(5);
+  set.publish(5);
+  ASSERT_EQ(set.latest(), 5);
+
+  // The crash: `latest` is gone; the checkpoint files survived.
+  ASSERT_TRUE(std::filesystem::remove(set.latest_path()));
+  EXPECT_EQ(set.latest(), -1);
+  EXPECT_EQ(set.existing(), (std::vector<int>{5, 2}));
+
+  // The next publish re-creates the pointer and keeps rotating.
+  touch(7);
+  set.publish(7);
+  EXPECT_EQ(set.latest(), 7);
+  EXPECT_EQ(set.existing(), (std::vector<int>{7, 5, 2}));
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Supervisor, CompletesCleanRunWithRotatedCheckpoints) {
   SupervisorConfig scfg;
   scfg.sim.grid = 16;
