@@ -73,6 +73,12 @@ echo "== fault matrix: tsan =="
 "$TSAN_BUILD/tests/core_test" --gtest_filter="$FAULT_FILTER"
 "$TSAN_BUILD/tests/integration_test" --gtest_filter="$FAULT_FILTER"
 
+# Fused overload exchange under TSan: refresh() packs on the caller thread
+# but neighbor_alltoallv crosses SimMPI rank threads, so the OverloadRanks
+# suite is the race gate for the single-exchange refresh path.
+echo "== tsan: fused overload exchange =="
+"$TSAN_BUILD/tests/core_test" --gtest_filter='*Overload*'
+
 # Chaos campaign: elastic shrink + a seeded campaign subset. Fixed seeds
 # (HACC_CHAOS_SEED base, 5 campaigns) keep the sanitizer passes deterministic
 # and within CI budget; the full 20-campaign sweep runs unsanitized in ctest.
@@ -84,5 +90,13 @@ echo "== chaos: asan =="
 HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20120 "$ASAN_BUILD/tests/chaos_test"
 echo "== chaos: tsan =="
 HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20125 "$TSAN_BUILD/tests/chaos_test"
+
+# Perf gate (advisory): if bench JSON from a previous bench_all.sh run is
+# lying around, diff it against the committed baseline. Warns only — set
+# HACC_PERF_STRICT=1 to make a >10% regression fail the gate.
+if [[ -f "$BUILD/BENCH_step.json" || -f "$BUILD/BENCH_kernel.json" ]]; then
+  echo "== perf gate (advisory) =="
+  python3 scripts/perf_gate.py "$BUILD"
+fi
 
 echo "== check.sh: all green =="

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff fresh bench JSON against the committed baseline.
+
+    scripts/perf_gate.py [build-dir] [--baseline bench/baseline.json]
+                         [--threshold 0.10] [--write-baseline]
+
+Reads BENCH_step.json and BENCH_kernel.json from the build directory and
+compares the headline throughput metrics against the baseline:
+
+    step.steps_per_sec        whole-step throughput (higher is better)
+    kernel.batched_gflops     tile-batched kernel flop rate (higher is better)
+    kernel.speedup            batched-over-scalar ratio (higher is better)
+    kernel.fraction_of_peak   host-normalized rate — robust to machine drift
+
+A metric more than --threshold (default 10%) below baseline prints a
+PERF REGRESSION warning; the exit code stays 0 unless HACC_PERF_STRICT=1,
+because absolute rates drift with host load and the baseline may have been
+recorded on different hardware. --write-baseline records the current
+numbers as the new baseline (commit the file to move the bar).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def load(path):
+    if not os.path.exists(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def step_metrics(data):
+    if not data:
+        return {}
+    samples = data.get("samples", [])
+    walls = [s["wall_s"]["mean"] for s in samples if s["wall_s"]["mean"] > 0]
+    if not walls:
+        return {}
+    # Skip the first step (tree/FFT warmup) when there is more than one.
+    steady = walls[1:] if len(walls) > 1 else walls
+    return {"step.steps_per_sec": len(steady) / sum(steady)}
+
+
+def kernel_metrics(data):
+    if not data:
+        return {}
+    out = {}
+    for src, dst in [("best_batched_gflops", "kernel.batched_gflops"),
+                     ("best_speedup", "kernel.speedup"),
+                     ("best_fraction_of_peak", "kernel.fraction_of_peak")]:
+        if src in data:
+            out[dst] = data[src]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("build", nargs="?", default="build")
+    ap.add_argument("--baseline", default="bench/baseline.json")
+    ap.add_argument("--threshold", type=float, default=0.10)
+    ap.add_argument("--write-baseline", action="store_true")
+    args = ap.parse_args()
+
+    current = {}
+    current.update(step_metrics(load(os.path.join(args.build, "BENCH_step.json"))))
+    current.update(kernel_metrics(load(os.path.join(args.build, "BENCH_kernel.json"))))
+
+    if not current:
+        print("perf_gate: no BENCH_step.json / BENCH_kernel.json in "
+              f"{args.build}/ — nothing to gate")
+        return 0
+
+    if args.write_baseline:
+        os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
+        with open(args.baseline, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"perf_gate: wrote baseline {args.baseline}")
+        for k in sorted(current):
+            print(f"  {k:28s} {current[k]:.4f}")
+        return 0
+
+    baseline = load(args.baseline)
+    if baseline is None:
+        print(f"perf_gate: no baseline at {args.baseline} — run with "
+              "--write-baseline to record one")
+        return 0
+
+    regressions = []
+    print(f"perf_gate: current vs {args.baseline} "
+          f"(warn below -{args.threshold:.0%})")
+    for key in sorted(baseline):
+        base = baseline[key]
+        cur = current.get(key)
+        if cur is None:
+            print(f"  {key:28s} baseline {base:10.4f}  current    MISSING")
+            regressions.append(key)
+            continue
+        delta = (cur - base) / base if base else 0.0
+        flag = ""
+        if delta < -args.threshold:
+            flag = "  << PERF REGRESSION"
+            regressions.append(key)
+        print(f"  {key:28s} baseline {base:10.4f}  current {cur:10.4f}  "
+              f"({delta:+.1%}){flag}")
+    for key in sorted(set(current) - set(baseline)):
+        print(f"  {key:28s} (not in baseline) current {current[key]:10.4f}")
+
+    if regressions:
+        print(f"perf_gate: WARNING — {len(regressions)} metric(s) regressed "
+              f"more than {args.threshold:.0%}: {', '.join(regressions)}")
+        if os.environ.get("HACC_PERF_STRICT") == "1":
+            return 1
+    else:
+        print("perf_gate: all metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

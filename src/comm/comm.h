@@ -212,6 +212,24 @@ class Comm {
                       std::vector<T>& recv_buf,
                       std::vector<std::size_t>& recv_counts) const;
 
+  /// Sparse variable-size exchange over a fixed neighbor list (like
+  /// MPI_Neighbor_alltoallv): `neighbors` holds the distinct peer ranks
+  /// (this rank itself may appear; its block is memcpy'd directly), and
+  /// `send_counts[s]` elements go to `neighbors[s]`, taken consecutively
+  /// from `send`. Fills `recv_buf` with the concatenation of the blocks
+  /// received from the same neighbors in list order and `recv_counts` with
+  /// their sizes. The neighbor lists must be symmetric across ranks (r
+  /// lists q iff q lists r) — e.g. a distance-based stencil. One payload
+  /// message per directed pair and *no* count round (counts are inferred
+  /// from message lengths), so the cost scales with the neighbor count,
+  /// not the world size.
+  template <typename T>
+  void neighbor_alltoallv(std::span<const int> neighbors,
+                          std::span<const T> send,
+                          std::span<const std::size_t> send_counts,
+                          std::vector<T>& recv_buf,
+                          std::vector<std::size_t>& recv_counts) const;
+
   /// Split into sub-communicators by color (ranks with the same color end up
   /// in the same new communicator, ordered by key then by old rank).
   /// color < 0 means "not in any group": returns an invalid Comm.
@@ -306,6 +324,7 @@ inline constexpr int kTagAllgather = -103;
 inline constexpr int kTagAlltoall = -104;
 inline constexpr int kTagSplit = -105;
 inline constexpr int kTagGatherv = -107;
+inline constexpr int kTagNeighbor = -108;
 }  // namespace detail
 
 template <typename T>
@@ -463,6 +482,57 @@ void Comm::alltoallv_into(std::span<const T> send_buf,
       send(dst, detail::kTagAlltoall, send_buf.subspan(soff, scount));
       recv(src, detail::kTagAlltoall,
            std::span<T>(recv_buf.data() + roff, rcount));
+    }
+  }
+}
+
+template <typename T>
+void Comm::neighbor_alltoallv(std::span<const int> neighbors,
+                              std::span<const T> send_buf,
+                              std::span<const std::size_t> send_counts,
+                              std::vector<T>& recv_buf,
+                              std::vector<std::size_t>& recv_counts) const {
+  static_assert(std::is_trivially_copyable_v<T>);
+  telemetry::OpGuard telemetry_guard(telemetry::Op::kNeighborAlltoall);
+  const std::size_t k = neighbors.size();
+  HACC_CHECK(send_counts.size() == k);
+
+  // Buffered sends to every non-self neighbor first (deadlock-free), then
+  // blocking receives in list order; the per-(source, tag) FIFO keeps
+  // successive calls from interleaving.
+  std::size_t soff = 0, self_off = 0, self_count = 0;
+  for (std::size_t s = 0; s < k; ++s) {
+    const std::size_t c = send_counts[s];
+    if (neighbors[s] == rank_) {
+      self_off = soff;
+      self_count = c;
+    } else {
+      send(neighbors[s], detail::kTagNeighbor, send_buf.subspan(soff, c));
+    }
+    soff += c;
+  }
+  HACC_CHECK(soff == send_buf.size());
+
+  recv_counts.resize(k);
+  recv_buf.clear();
+  for (std::size_t s = 0; s < k; ++s) {
+    if (neighbors[s] == rank_) {
+      // Self block: straight memcpy bypassing the mailbox (not counted by
+      // telemetry — it never crosses a rank boundary).
+      const std::size_t at = recv_buf.size();
+      recv_buf.resize(at + self_count);
+      if (self_count > 0)
+        std::memcpy(recv_buf.data() + at, send_buf.data() + self_off,
+                    self_count * sizeof(T));
+      recv_counts[s] = self_count;
+    } else {
+      const auto bytes = recv_bytes(neighbors[s], detail::kTagNeighbor);
+      HACC_CHECK(bytes.size() % sizeof(T) == 0);
+      const std::size_t c = bytes.size() / sizeof(T);
+      const std::size_t at = recv_buf.size();
+      recv_buf.resize(at + c);
+      if (c > 0) std::memcpy(recv_buf.data() + at, bytes.data(), bytes.size());
+      recv_counts[s] = c;
     }
   }
 }

@@ -11,7 +11,7 @@ namespace {
 
 constexpr std::array<const char*, static_cast<int>(Op::kOpCount)> kOpNames = {
     "p2p",    "barrier", "bcast",   "reduce", "gather",
-    "allgather", "gatherv", "alltoall", "scan"};
+    "allgather", "gatherv", "alltoall", "scan", "nbr_alltoall"};
 
 std::array<OpIds, static_cast<int>(Op::kOpCount)> build_ids() {
   std::array<OpIds, static_cast<int>(Op::kOpCount)> table{};

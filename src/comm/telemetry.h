@@ -36,6 +36,7 @@ enum class Op : int {
   kGatherv,
   kAlltoall,
   kScan,
+  kNeighborAlltoall,
   kOpCount,
 };
 

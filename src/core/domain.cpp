@@ -1,6 +1,7 @@
 #include "core/domain.h"
 
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "obs/obs.h"
@@ -14,13 +15,6 @@ const NameId kCtrMigrated = obs::counter_id("refresh.migrated");
 const NameId kCtrRefreshed = obs::counter_id("refresh.particles");
 const NameId kGaugeActive = obs::gauge_id("refresh.active");
 const NameId kGaugePassive = obs::gauge_id("refresh.passive");
-
-/// Wire format for particle exchange (trivially copyable).
-struct PackedParticle {
-  float x, y, z, vx, vy, vz, mass;
-  std::uint32_t role;
-  std::uint64_t id;
-};
 
 }  // namespace
 
@@ -37,6 +31,89 @@ OverloadDomain::OverloadDomain(const mesh::BlockDecomp3D& decomp, int rank,
     HACC_CHECK_MSG(
         overload_ <= static_cast<double>(n / static_cast<std::size_t>(p)),
         "overload depth exceeds the smallest domain extent");
+  }
+  build_images(rank_, my_images_);
+  build_stencil();
+}
+
+void OverloadDomain::build_images(int owner,
+                                  std::array<Image, 26>& out) const {
+  const auto& dims = decomp_.grid_dims();
+  const auto& topo = decomp_.topology();
+  const auto coords = topo.coords(owner);
+  std::size_t w = 0;
+  for (int ox = -1; ox <= 1; ++ox) {
+    for (int oy = -1; oy <= 1; ++oy) {
+      for (int oz = -1; oz <= 1; ++oz) {
+        if (ox == 0 && oy == 0 && oz == 0) continue;
+        const std::array<int, 3> offset{ox, oy, oz};
+        std::array<int, 3> ncoord{};
+        Image& im = out[w++];
+        for (int d = 0; d < 3; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          ncoord[sd] = coords[sd] + offset[sd];
+          const int pd = topo.dims()[sd];
+          im.shift[sd] = 0.0;
+          if (ncoord[sd] < 0)
+            im.shift[sd] = -static_cast<double>(dims[sd]);
+          else if (ncoord[sd] >= pd)
+            im.shift[sd] = static_cast<double>(dims[sd]);
+        }
+        im.nbr = topo.rank_of(ncoord);
+        // The image's overload slab, in the owner's coordinate frame.
+        const auto nbox = decomp_.box_of(im.nbr);
+        const fft::Range* ranges[3] = {&nbox.x, &nbox.y, &nbox.z};
+        for (int d = 0; d < 3; ++d) {
+          const auto sd = static_cast<std::size_t>(d);
+          im.lo[sd] =
+              static_cast<double>(ranges[d]->lo) + im.shift[sd] - overload_;
+          im.hi[sd] =
+              static_cast<double>(ranges[d]->hi) + im.shift[sd] + overload_;
+        }
+      }
+    }
+  }
+}
+
+void OverloadDomain::build_stencil() {
+  const int p = decomp_.nranks();
+  const auto& dims = decomp_.grid_dims();
+  stencil_.clear();
+  slot_of_.assign(static_cast<std::size_t>(p), -1);
+  // All box bounds and shifts are integers, so the L-inf min-image distance
+  // is exact in double and the <= threshold comparison has no rounding edge
+  // (touching boxes have distance exactly 0 and always qualify).
+  const double threshold = 2.0 * overload_;
+  const fft::Range* mine[3] = {&box_.x, &box_.y, &box_.z};
+  for (int r = 0; r < p; ++r) {
+    const auto rbox = decomp_.box_of(r);
+    const fft::Range* theirs[3] = {&rbox.x, &rbox.y, &rbox.z};
+    double best = std::numeric_limits<double>::infinity();
+    for (int sx = -1; sx <= 1; ++sx) {
+      for (int sy = -1; sy <= 1; ++sy) {
+        for (int sz = -1; sz <= 1; ++sz) {
+          const std::array<int, 3> s{sx, sy, sz};
+          double dist = 0.0;
+          for (int d = 0; d < 3; ++d) {
+            const auto sd = static_cast<std::size_t>(d);
+            const double shift = static_cast<double>(s[sd]) *
+                                 static_cast<double>(dims[sd]);
+            const double alo = static_cast<double>(mine[d]->lo);
+            const double ahi = static_cast<double>(mine[d]->hi);
+            const double blo = static_cast<double>(theirs[d]->lo) + shift;
+            const double bhi = static_cast<double>(theirs[d]->hi) + shift;
+            const double gap = std::max(blo - ahi, alo - bhi);
+            if (gap > dist) dist = gap;
+          }
+          if (dist < best) best = dist;
+        }
+      }
+    }
+    if (best <= threshold) {
+      slot_of_[static_cast<std::size_t>(r)] =
+          static_cast<int>(stencil_.size());
+      stencil_.push_back(r);
+    }
   }
 }
 
@@ -61,9 +138,7 @@ RefreshStats OverloadDomain::refresh(comm::Comm& comm,
                                      tree::ParticleArray& particles) const {
   obs::TraceScope trace(kTrcRefresh);
   const auto& dims = decomp_.grid_dims();
-  const auto& topo = decomp_.topology();
-  const int p = comm.size();
-  HACC_CHECK(p == decomp_.nranks());
+  HACC_CHECK(comm.size() == decomp_.nranks());
 
   auto wrap = [&](float v, int axis) {
     const auto n = static_cast<double>(dims[static_cast<std::size_t>(axis)]);
@@ -77,25 +152,7 @@ RefreshStats OverloadDomain::refresh(comm::Comm& comm,
     return f;
   };
 
-  // Exchange helper: route per-destination packets through one all-to-all.
-  auto exchange = [&](std::vector<std::vector<PackedParticle>>& outbound) {
-    std::vector<PackedParticle> send;
-    std::vector<std::size_t> counts(static_cast<std::size_t>(p));
-    for (int r = 0; r < p; ++r) {
-      counts[static_cast<std::size_t>(r)] =
-          outbound[static_cast<std::size_t>(r)].size();
-      send.insert(send.end(), outbound[static_cast<std::size_t>(r)].begin(),
-                  outbound[static_cast<std::size_t>(r)].end());
-    }
-    std::vector<std::size_t> rcounts;
-    return comm.alltoallv(std::span<const PackedParticle>(send),
-                          std::span<const std::size_t>(counts), rcounts);
-  };
-
-  // Phase 1: drop passives, wrap actives, route leavers to their owner.
-  std::vector<std::vector<PackedParticle>> outbound(
-      static_cast<std::size_t>(p));
-  std::size_t migrated = 0;
+  // Pass 0: drop all passive replicas and wrap actives into [0, N).
   for (std::size_t i = 0; i < particles.size();) {
     if (particles.role[i] == tree::Role::kPassive) {
       particles.remove_unordered(i);
@@ -104,89 +161,118 @@ RefreshStats OverloadDomain::refresh(comm::Comm& comm,
     particles.x[i] = wrap(particles.x[i], 0);
     particles.y[i] = wrap(particles.y[i], 1);
     particles.z[i] = wrap(particles.z[i], 2);
+    ++i;
+  }
+
+  const std::size_t n = particles.size();
+  const std::size_t nslots = stencil_.size();
+  auto slot = [&](int r) {
+    const int s = slot_of_[static_cast<std::size_t>(r)];
+    HACC_CHECK_MSG(s >= 0, "particle drifted beyond the refresh stencil");
+    return static_cast<std::size_t>(s);
+  };
+
+  // Pass A: resolve every active's owner and count the packets each stencil
+  // slot will carry: a role-0 migrant packet for leavers, plus one role-1
+  // replica packet per owner image whose overload slab contains the
+  // particle. Migrant replicas are computed here, on the new owner's
+  // behalf, from *its* images — that fuses the historical second exchange
+  // into this one.
+  owners_.resize(n);
+  send_counts_.assign(nslots, 0);
+  std::array<Image, 26> mig_images;
+  std::size_t migrated = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double px = particles.x[i], py = particles.y[i],
+                 pz = particles.z[i];
+    int owner = rank_;
+    const std::array<Image, 26>* imgs = &my_images_;
     if (!owns(particles.x[i], particles.y[i], particles.z[i])) {
-      const int owner = decomp_.owner_of(
-          static_cast<std::size_t>(particles.x[i]),
-          static_cast<std::size_t>(particles.y[i]),
-          static_cast<std::size_t>(particles.z[i]));
-      outbound[static_cast<std::size_t>(owner)].push_back(PackedParticle{
+      owner = decomp_.owner_of(static_cast<std::size_t>(particles.x[i]),
+                               static_cast<std::size_t>(particles.y[i]),
+                               static_cast<std::size_t>(particles.z[i]));
+      ++migrated;
+      ++send_counts_[slot(owner)];
+      build_images(owner, mig_images);
+      imgs = &mig_images;
+    }
+    owners_[i] = owner;
+    for (const Image& im : *imgs) {
+      if (px < im.lo[0] || px >= im.hi[0] || py < im.lo[1] ||
+          py >= im.hi[1] || pz < im.lo[2] || pz >= im.hi[2])
+        continue;
+      ++send_counts_[slot(im.nbr)];
+    }
+  }
+
+  // Pass B: pack directly into the flat send buffer at precomputed cursor
+  // offsets — no per-rank staging vectors, no concatenation copy.
+  cursors_.resize(nslots);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < nslots; ++s) {
+    cursors_[s] = total;
+    total += send_counts_[s];
+  }
+  send_buf_.resize(total);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double px = particles.x[i], py = particles.y[i],
+                 pz = particles.z[i];
+    const int owner = owners_[i];
+    const std::array<Image, 26>* imgs = &my_images_;
+    if (owner != rank_) {
+      send_buf_[cursors_[slot(owner)]++] = PackedParticle{
           particles.x[i], particles.y[i], particles.z[i], particles.vx[i],
           particles.vy[i], particles.vz[i], particles.mass[i], 0,
-          particles.id[i]});
+          particles.id[i]};
+      build_images(owner, mig_images);
+      imgs = &mig_images;
+    }
+    for (const Image& im : *imgs) {
+      if (px < im.lo[0] || px >= im.hi[0] || py < im.lo[1] ||
+          py >= im.hi[1] || pz < im.lo[2] || pz >= im.hi[2])
+        continue;
+      // Position expressed in the receiver's frame.
+      send_buf_[cursors_[slot(im.nbr)]++] = PackedParticle{
+          static_cast<float>(px - im.shift[0]),
+          static_cast<float>(py - im.shift[1]),
+          static_cast<float>(pz - im.shift[2]), particles.vx[i],
+          particles.vy[i], particles.vz[i], particles.mass[i], 1,
+          particles.id[i]};
+    }
+  }
+
+  // Migrants are packed; drop them (mirroring each swap-with-last in
+  // owners_ keeps the two arrays aligned).
+  for (std::size_t i = 0; i < particles.size();) {
+    if (owners_[i] != rank_) {
       particles.remove_unordered(i);
-      ++migrated;
+      owners_[i] = owners_.back();
+      owners_.pop_back();
       continue;
     }
     ++i;
   }
-  // Deliver migrants *before* building replicas, so arrivals are replicated
-  // to their new neighbors in the same refresh.
-  for (const auto& q : exchange(outbound)) {
-    HACC_ASSERT(owns(q.x, q.y, q.z));
-    particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
-                        tree::Role::kActive);
-  }
-  for (auto& v : outbound) v.clear();
 
-  // The array holds exactly the actives at this point; sorting them by id
-  // makes phases 2/3 — and every force summation until the next refresh —
-  // independent of arrival/removal history (restart reproducibility).
-  if (canonical_order_) particles.sort_by_id();
-
-  // Phase 2: for every neighbor image, queue shifted passive replicas.
-  // An image is a neighbor rank viewed at a periodic offset: its domain box
-  // shifted by (sx, sy, sz) in {-N, 0, +N}^3 so that it is adjacent to ours.
-  const auto my_coords = topo.coords(rank_);
-  for (int ox = -1; ox <= 1; ++ox) {
-    for (int oy = -1; oy <= 1; ++oy) {
-      for (int oz = -1; oz <= 1; ++oz) {
-        if (ox == 0 && oy == 0 && oz == 0) continue;
-        const std::array<int, 3> offset{ox, oy, oz};
-        std::array<int, 3> ncoord{};
-        std::array<double, 3> shift{};
-        for (int d = 0; d < 3; ++d) {
-          const auto sd = static_cast<std::size_t>(d);
-          ncoord[sd] = my_coords[sd] + offset[sd];
-          const int pd = topo.dims()[sd];
-          shift[sd] = 0.0;
-          if (ncoord[sd] < 0)
-            shift[sd] = -static_cast<double>(dims[sd]);
-          else if (ncoord[sd] >= pd)
-            shift[sd] = static_cast<double>(dims[sd]);
-        }
-        const int nbr = topo.rank_of(ncoord);
-        const auto nbox = decomp_.box_of(nbr);
-        // The image's overload slab, in MY coordinate frame.
-        std::array<double, 3> lo{}, hi{};
-        const fft::Range* ranges[3] = {&nbox.x, &nbox.y, &nbox.z};
-        for (int d = 0; d < 3; ++d) {
-          const auto sd = static_cast<std::size_t>(d);
-          lo[sd] = static_cast<double>(ranges[d]->lo) + shift[sd] - overload_;
-          hi[sd] = static_cast<double>(ranges[d]->hi) + shift[sd] + overload_;
-        }
-        for (std::size_t i = 0; i < particles.size(); ++i) {
-          const double px = particles.x[i], py = particles.y[i],
-                       pz = particles.z[i];
-          if (px < lo[0] || px >= hi[0] || py < lo[1] || py >= hi[1] ||
-              pz < lo[2] || pz >= hi[2])
-            continue;
-          // Position expressed in the receiver's frame.
-          outbound[static_cast<std::size_t>(nbr)].push_back(PackedParticle{
-              static_cast<float>(px - shift[0]),
-              static_cast<float>(py - shift[1]),
-              static_cast<float>(pz - shift[2]), particles.vx[i],
-              particles.vy[i], particles.vz[i], particles.mass[i], 1,
-              particles.id[i]});
-        }
-      }
+  // THE exchange: one sparse neighbor_alltoallv carrying both roles.
+  comm.neighbor_alltoallv(std::span<const int>(stencil_),
+                          std::span<const PackedParticle>(send_buf_),
+                          std::span<const std::size_t>(send_counts_),
+                          recv_buf_, recv_counts_);
+  for (const PackedParticle& q : recv_buf_) {
+    if (q.role == 0) {
+      HACC_ASSERT(owns(q.x, q.y, q.z));
+      particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
+                          tree::Role::kActive);
+    } else {
+      particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
+                          tree::Role::kPassive);
     }
   }
 
-  // Phase 3: deliver the passive replicas.
-  for (const auto& q : exchange(outbound)) {
-    particles.push_back(q.x, q.y, q.z, q.vx, q.vy, q.vz, q.mass, q.id,
-                        tree::Role::kPassive);
-  }
+  // Canonical order now covers the whole array (actives and passives were
+  // delivered together), so every float summation order until the next
+  // refresh — and across restarts — is independent of arrival history.
+  if (canonical_order_) particles.sort_by_id();
 
   RefreshStats stats;
   const auto counts2 = census(particles);

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <cstdint>
+#include <vector>
 
 #include "comm/comm.h"
 #include "mesh/grid.h"
@@ -52,13 +53,31 @@ class OverloadDomain {
   bool owns(float x, float y, float z) const noexcept;
 
   /// Full overloading refresh (collective):
-  ///  1. drop all passive replicas,
-  ///  2. wrap active positions into [0, N) and migrate those that left the
-  ///     domain to their new owner (role switching at boundary crossings),
-  ///  3. rebuild the passive layer: for each of the 26 neighbor images,
-  ///     send shifted copies of actives that fall inside the image's
-  ///     overload region.
+  ///  1. drop all passive replicas and wrap active positions into [0, N),
+  ///  2. for every active, work out its (possibly new) owner and all
+  ///     passive-replica destinations — the owner's 26 neighbor images
+  ///     whose overload slab contains it — and pack role-tagged packets
+  ///     directly into one flat send buffer,
+  ///  3. perform ONE sparse neighbor_alltoallv over the refresh stencil
+  ///     (migration + replication fused: a single exchange per refresh,
+  ///     cost scaling with the neighbor count, not the world size).
+  /// Migrant replicas are computed by the *sender* on the new owner's
+  /// behalf — the decomposition is globally known — which is what makes the
+  /// historical deliver-then-replicate second round unnecessary.
   RefreshStats refresh(comm::Comm& comm, tree::ParticleArray& particles) const;
+
+  /// The sparse exchange stencil: every rank within L-inf min-image box
+  /// distance <= 2*overload of this rank's domain (touching boxes — the 26
+  /// Cartesian neighbors and self — always qualify, so the stencil is
+  /// never empty). Self is a member because a migrant's replicas, built by
+  /// the sender on the new owner's behalf, can target the sender itself;
+  /// its block never crosses a rank boundary (memcpy fast path).
+  /// 2*overload covers replicas of migrants that drifted up to one
+  /// overload depth past the boundary; refresh HACC_CHECKs at pack time
+  /// that no particle needs a rank outside it. Symmetric across ranks by
+  /// construction (the distance is symmetric and exact — integer box
+  /// bounds in double).
+  const std::vector<int>& stencil() const noexcept { return stencil_; }
 
   /// Count (active, passive) without modifying anything.
   std::array<std::size_t, 2> census(const tree::ParticleArray& p) const;
@@ -73,11 +92,40 @@ class OverloadDomain {
   bool canonical_order() const noexcept { return canonical_order_; }
 
  private:
+  /// Wire format for the fused particle exchange (trivially copyable).
+  /// `role` tags the packet: 0 = migrating active, 1 = passive replica.
+  struct PackedParticle {
+    float x, y, z, vx, vy, vz, mass;
+    std::uint32_t role;
+    std::uint64_t id;
+  };
+
+  /// One neighbor image: a rank viewed at a periodic offset, with its
+  /// overload slab [lo, hi) expressed in the sending owner's frame and the
+  /// shift to subtract when expressing a position in the receiver's frame.
+  struct Image {
+    int nbr = 0;
+    std::array<double, 3> lo{}, hi{}, shift{};
+  };
+
+  /// The 26 neighbor images of `owner`'s domain (periodic offsets of the
+  /// Cartesian topology), slabs widened by the overload depth.
+  void build_images(int owner, std::array<Image, 26>& out) const;
+  void build_stencil();
+
   mesh::BlockDecomp3D decomp_;
   int rank_;
   fft::Box3D box_;
   double overload_;
   bool canonical_order_ = false;
+  std::vector<int> stencil_;            ///< sparse exchange peers (sorted)
+  std::vector<int> slot_of_;            ///< rank -> stencil slot, -1 absent
+  std::array<Image, 26> my_images_{};   ///< this rank's images, precomputed
+  // Refresh scratch, reused across calls so the steady state allocates
+  // nothing (one OverloadDomain per rank thread; refresh is not reentrant).
+  mutable std::vector<int> owners_;
+  mutable std::vector<PackedParticle> send_buf_, recv_buf_;
+  mutable std::vector<std::size_t> send_counts_, recv_counts_, cursors_;
 };
 
 }  // namespace hacc::core

@@ -75,6 +75,9 @@ Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
     kernel_.fgrid = tree::match_grid_force(fm);
   }
 
+  // Inner-loop choice: the config knob, unless HACC_KERNEL overrides it.
+  kernel_variant_ = tree::kernel_variant_from_env(config.kernel);
+
   const double np_total = std::pow(
       static_cast<double>(config.particles_per_dim), 3);
   const double cells = std::pow(static_cast<double>(config.grid), 3);
@@ -182,7 +185,9 @@ void Simulation::apply_short_kick(double coeff) {
       }
       auto scope = timers_.scope(kPhaseSrKernel);
       stats_ = tree::compute_short_range_multi(*forest, kernel_, sr_ax_,
-                                               sr_ay_, sr_az_, mass_scale_);
+                                               sr_ay_, sr_az_, mass_scale_,
+                                               kernel_variant_,
+                                               &sr_workspace_);
       obs::add_counter(kCtrInteractions, stats_.interactions);
       obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
       const auto c2 = static_cast<float>(coeff);
@@ -201,13 +206,15 @@ void Simulation::apply_short_kick(double coeff) {
     }
     auto scope = timers_.scope(kPhaseSrKernel);
     stats_ = tree::compute_short_range(*rcb, kernel_, sr_ax_, sr_ay_, sr_az_,
-                                       mass_scale_);
+                                       mass_scale_, kernel_variant_,
+                                       &sr_workspace_);
     obs::add_counter(kCtrInteractions, stats_.interactions);
     obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
   } else {
     auto scope = timers_.scope(kPhaseSrKernel);
     stats_ = p3m::compute_short_range_p3m(particles_, kernel_, sr_ax_, sr_ay_,
-                                          sr_az_, mass_scale_);
+                                          sr_az_, mass_scale_, {},
+                                          kernel_variant_);
     obs::add_counter(kCtrInteractions, stats_.interactions);
     obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
   }

@@ -82,6 +82,10 @@ struct SimulationConfig {
   /// reproducibility (a restore permutes particles); costs one O(n log n)
   /// sort per refresh.
   bool canonical_order = true;
+  /// Short-range inner-loop implementation: the tile-batched explicit
+  /// vector kernel (default) or the scalar `omp simd` reference loop. The
+  /// HACC_KERNEL environment variable ("scalar"|"batched") overrides this.
+  tree::KernelVariant kernel = tree::KernelVariant::kBatched;
   float softening = 0.1f;       ///< eps in (s + eps)^{-3/2} [grid units^2]
   mesh::SpectralConfig spectral{};
   cosmology::IcConfig ic{};     ///< particles_per_dim/box are overwritten
@@ -244,6 +248,10 @@ class Simulation {
   tree::InteractionStats stats_;
   // Scratch short-range force accumulators.
   std::vector<float> sr_ax_, sr_ay_, sr_az_;
+  // Resolved kernel variant (config knob, overridable by HACC_KERNEL) and
+  // the persistent workspace that keeps the kernel phase allocation-free.
+  tree::KernelVariant kernel_variant_ = tree::KernelVariant::kBatched;
+  tree::ShortRangeWorkspace sr_workspace_;
   // Observability: per-rank sinks, the run ledger, and the delta baselines
   // record_step_ledger() differences against.
   obs::Tracer tracer_;

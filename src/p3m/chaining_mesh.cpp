@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "obs/obs.h"
+#include "tree/interaction_batch.h"
 
 namespace hacc::p3m {
 
@@ -43,7 +44,8 @@ InteractionStats compute_short_range_p3m(const ParticleArray& p,
                                          std::span<float> ay,
                                          std::span<float> az,
                                          float mass_scale,
-                                         const P3mConfig& config) {
+                                         const P3mConfig& config,
+                                         tree::KernelVariant variant) {
   obs::TraceScope trace(kTrcKernel);
   const std::size_t n = p.size();
   HACC_CHECK(ax.size() == n && ay.size() == n && az.size() == n);
@@ -131,19 +133,17 @@ InteractionStats compute_short_range_p3m(const ParticleArray& p,
               list.x.push_back(p.x[j]);
               list.y.push_back(p.y[j]);
               list.z.push_back(p.z[j]);
-              list.m.push_back(p.mass[j] * mass_scale);
+              list.m.push_back(p.mass[j]);
             }
           }
-      for (std::uint32_t k = begin; k < end; ++k) {
-        const std::uint32_t i = order[k];
-        const tree::Force3 f = tree::evaluate_neighbor_list(
-            kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
-            list.z.data(), list.m.data(), list.size());
-        ax[i] = f.x;
-        ay[i] = f.y;
-        az[i] = f.z;
-      }
-      interactions += static_cast<std::size_t>(end - begin) * list.size();
+      // True gathered count, before the batched path pads the list;
+      // mass_scale is folded into the kernel, not baked into the list.
+      const std::size_t true_n = list.size();
+      tree::evaluate_leaf_indexed(
+          variant, kernel, p,
+          std::span<const std::uint32_t>(order.data() + begin, end - begin),
+          list, mass_scale, ax, ay, az);
+      interactions += static_cast<std::size_t>(end - begin) * true_n;
     }
   }
   stats.interactions = interactions;

@@ -30,10 +30,12 @@ struct P3mConfig {
 
 /// Compute short-range forces for every particle by chaining-mesh direct
 /// summation. ax/ay/az are overwritten; neighbor masses are scaled by
-/// `mass_scale`. OpenMP-threaded over cells.
+/// `mass_scale` (folded into the kernel evaluation). OpenMP-threaded over
+/// cells. `variant` picks the tile-batched or scalar inner loop.
 tree::InteractionStats compute_short_range_p3m(
     const tree::ParticleArray& particles, const tree::ShortRangeKernel& kernel,
     std::span<float> ax, std::span<float> ay, std::span<float> az,
-    float mass_scale = 1.0f, const P3mConfig& config = {});
+    float mass_scale = 1.0f, const P3mConfig& config = {},
+    tree::KernelVariant variant = tree::default_kernel_variant());
 
 }  // namespace hacc::p3m

@@ -1,6 +1,8 @@
 #include "tree/force_kernel.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 
 namespace hacc::tree {
 
@@ -14,10 +16,31 @@ float newtonian_fscalar(float s, float softening) noexcept {
   return 1.0f / (t * std::sqrt(t));
 }
 
+KernelVariant parse_kernel_variant(const char* name,
+                                   KernelVariant fallback) noexcept {
+  if (name == nullptr) return fallback;
+  if (std::strcmp(name, "scalar") == 0) return KernelVariant::kScalar;
+  if (std::strcmp(name, "batched") == 0) return KernelVariant::kBatched;
+  return fallback;
+}
+
+KernelVariant kernel_variant_from_env(KernelVariant fallback) noexcept {
+  return parse_kernel_variant(std::getenv("HACC_KERNEL"), fallback);
+}
+
+KernelVariant default_kernel_variant() noexcept {
+  return kernel_variant_from_env(KernelVariant::kBatched);
+}
+
+const char* kernel_variant_name(KernelVariant v) noexcept {
+  return v == KernelVariant::kScalar ? "scalar" : "batched";
+}
+
 Force3 evaluate_neighbor_list(const ShortRangeKernel& kernel, float xi,
                               float yi, float zi, const float* xn,
                               const float* yn, const float* zn,
-                              const float* mn, std::size_t n) noexcept {
+                              const float* mn, std::size_t n,
+                              float mass_scale) noexcept {
   const float eps = kernel.softening;
   const float rmax2 = kernel.rmax2();
   const float c0 = kernel.fgrid.c[0], c1 = kernel.fgrid.c[1],
@@ -48,7 +71,10 @@ Force3 evaluate_neighbor_list(const ShortRangeKernel& kernel, float xi,
     const float f0 = newton - poly;
     const float f1 = (s < rmax2) ? f0 : 0.0f;
     const float f = (s > 0.0f) ? f1 : 0.0f;
-    const float w = mn[j] * f;
+    // mass_scale folds in here — (m * scale) * f associates exactly like
+    // the historical separate "list.m *= scale" pass, so results are
+    // bit-identical to it (and to unscaled lists when scale == 1).
+    const float w = (mn[j] * mass_scale) * f;
     ax += w * dx;
     ay += w * dy;
     az += w * dz;

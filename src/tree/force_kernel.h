@@ -61,14 +61,38 @@ struct Force3 {
   float x = 0, y = 0, z = 0;
 };
 
+/// Which implementation of the short-range inner loop to run.
+///  kScalar  — one target per pass over the neighbor list, `omp simd`
+///             vectorized (the portable reference; bit-for-bit stable).
+///  kBatched — tile-batched explicit-vector kernel (interaction_batch.h):
+///             TILE_T targets share each neighbor tile, 2-fold-unrolled FMA
+///             Horner with branchless cutoff. Same physics, float-summation
+///             order differs.
+enum class KernelVariant { kScalar, kBatched };
+
+/// Parse "scalar"/"batched" (else `fallback`).
+KernelVariant parse_kernel_variant(const char* name,
+                                   KernelVariant fallback) noexcept;
+/// The HACC_KERNEL environment override ("scalar"|"batched"), else
+/// `fallback`. Read afresh on every call so tests can flip it.
+KernelVariant kernel_variant_from_env(
+    KernelVariant fallback = KernelVariant::kBatched) noexcept;
+/// Default for call sites that take no explicit choice: HACC_KERNEL if set,
+/// otherwise the batched kernel.
+KernelVariant default_kernel_variant() noexcept;
+const char* kernel_variant_name(KernelVariant v) noexcept;
+
 /// THE inner loop: force on the target at (xi, yi, zi) from `n` neighbors
 /// given by contiguous arrays xn/yn/zn/mn (64-byte aligned, pre-gathered by
 /// the tree walk). Self-interactions are suppressed by the s > 0 filter.
-/// Returns sum_j m_j f_SR(s_j) (x_j - x_i).
+/// Neighbor masses are scaled by `mass_scale` inside the loop (folded into
+/// the kernel, not a separate rewrite pass over the list).
+/// Returns sum_j (mass_scale m_j) f_SR(s_j) (x_j - x_i).
 Force3 evaluate_neighbor_list(const ShortRangeKernel& kernel, float xi,
                               float yi, float zi, const float* xn,
                               const float* yn, const float* zn,
-                              const float* mn, std::size_t n) noexcept;
+                              const float* mn, std::size_t n,
+                              float mass_scale = 1.0f) noexcept;
 
 /// Exact Newtonian pair scalar with the same softening:
 /// (s + eps)^(-3/2); the short-range kernel minus this is -poly5.

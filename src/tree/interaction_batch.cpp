@@ -1,0 +1,238 @@
+#include "tree/interaction_batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+// Explicit-vector tile kernel: GNU vector extensions (GCC and Clang). On
+// other compilers the batched variant degrades to the scalar loop.
+#if defined(__GNUC__) || defined(__clang__)
+#define HACC_HAVE_VECTOR_EXT 1
+#else
+#define HACC_HAVE_VECTOR_EXT 0
+#endif
+
+#if HACC_HAVE_VECTOR_EXT && defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace hacc::tree {
+
+namespace {
+
+/// Zero-pad the gathered list to a kTileNeighbors multiple so tile passes
+/// need no remainder handling. Zero mass => zero contribution; the
+/// branchless filters keep even a coincident zero pad point finite.
+std::size_t pad_list(NeighborList& list) {
+  const std::size_t n = list.size();
+  const std::size_t n_pad =
+      (n + kTileNeighbors - 1) / kTileNeighbors * kTileNeighbors;
+  for (std::size_t j = n; j < n_pad; ++j) {
+    list.x.push_back(0.0f);
+    list.y.push_back(0.0f);
+    list.z.push_back(0.0f);
+    list.m.push_back(0.0f);
+  }
+  return n_pad;
+}
+
+#if HACC_HAVE_VECTOR_EXT
+
+using vf4 = float __attribute__((vector_size(16)));
+using vi4 = std::int32_t __attribute__((vector_size(16)));
+
+inline vf4 vload(const float* p) noexcept {
+  vf4 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline vf4 vsplat(float x) noexcept { return vf4{x, x, x, x}; }
+
+inline vf4 vsqrt4(vf4 v) noexcept {
+#if defined(__SSE2__)
+  return (vf4)_mm_sqrt_ps((__m128)v);
+#else
+  return vf4{std::sqrt(v[0]), std::sqrt(v[1]), std::sqrt(v[2]),
+             std::sqrt(v[3])};
+#endif
+}
+
+/// Deterministic horizontal sum (fixed association, run-to-run stable).
+inline float hsum(vf4 v) noexcept { return (v[0] + v[1]) + (v[2] + v[3]); }
+
+/// One interaction tile: forces of kTileTargets broadcast targets against
+/// the whole padded neighbor list. Each pass loads one kTileNeighbors-wide
+/// neighbor tile (two 4-wide vectors, the 2-fold unroll) and applies it to
+/// all four targets from registers.
+void evaluate_tile(const ShortRangeKernel& kernel, float mass_scale,
+                   const float* xn, const float* yn, const float* zn,
+                   const float* mn, std::size_t n_pad, const float* tx,
+                   const float* ty, const float* tz, float* fx, float* fy,
+                   float* fz) noexcept {
+  const vf4 eps = vsplat(kernel.softening);
+  const vf4 rmax2 = vsplat(kernel.rmax2());
+  const vf4 c0 = vsplat(kernel.fgrid.c[0]), c1 = vsplat(kernel.fgrid.c[1]),
+            c2 = vsplat(kernel.fgrid.c[2]), c3 = vsplat(kernel.fgrid.c[3]),
+            c4 = vsplat(kernel.fgrid.c[4]), c5 = vsplat(kernel.fgrid.c[5]);
+  const vf4 ms = vsplat(mass_scale);
+  const vf4 one = vsplat(1.0f);
+  const vf4 zero = vsplat(0.0f);
+
+  const vf4 xi[kTileTargets] = {vsplat(tx[0]), vsplat(tx[1]), vsplat(tx[2]),
+                                vsplat(tx[3])};
+  const vf4 yi[kTileTargets] = {vsplat(ty[0]), vsplat(ty[1]), vsplat(ty[2]),
+                                vsplat(ty[3])};
+  const vf4 zi[kTileTargets] = {vsplat(tz[0]), vsplat(tz[1]), vsplat(tz[2]),
+                                vsplat(tz[3])};
+  vf4 accx[kTileTargets] = {zero, zero, zero, zero};
+  vf4 accy[kTileTargets] = {zero, zero, zero, zero};
+  vf4 accz[kTileTargets] = {zero, zero, zero, zero};
+
+  for (std::size_t j = 0; j < n_pad; j += kTileNeighbors) {
+    // The neighbor tile: loaded once, reused by every target below.
+    const vf4 nxA = vload(xn + j), nxB = vload(xn + j + 4);
+    const vf4 nyA = vload(yn + j), nyB = vload(yn + j + 4);
+    const vf4 nzA = vload(zn + j), nzB = vload(zn + j + 4);
+    const vf4 nmA = vload(mn + j) * ms, nmB = vload(mn + j + 4) * ms;
+
+    for (std::size_t t = 0; t < kTileTargets; ++t) {
+      const vf4 dxA = nxA - xi[t], dxB = nxB - xi[t];
+      const vf4 dyA = nyA - yi[t], dyB = nyB - yi[t];
+      const vf4 dzA = nzA - zi[t], dzB = nzB - zi[t];
+      const vf4 sA = dxA * dxA + dyA * dyA + dzA * dzA;
+      const vf4 sB = dxB * dxB + dyB * dyB + dzB * dzB;
+      const vf4 tA = sA + eps, tB = sB + eps;
+      const vf4 invA = one / vsqrt4(tA), invB = one / vsqrt4(tB);
+      const vf4 newtA = invA * invA * invA, newtB = invB * invB * invB;
+      // FMA Horner, both unroll halves interleaved.
+      vf4 pA = c5, pB = c5;
+      pA = pA * sA + c4;
+      pB = pB * sB + c4;
+      pA = pA * sA + c3;
+      pB = pB * sB + c3;
+      pA = pA * sA + c2;
+      pB = pB * sB + c2;
+      pA = pA * sA + c1;
+      pB = pB * sB + c1;
+      pA = pA * sA + c0;
+      pB = pB * sB + c0;
+      // Branchless cutoff: bit-mask the lanes outside (0, rmax^2) — the
+      // vector-select (QPX fsel) idiom. Masking also squashes the inf at
+      // s == 0 with zero softening before it can reach the accumulator.
+      const vi4 inA = (sA < rmax2) & (sA > zero);
+      const vi4 inB = (sB < rmax2) & (sB > zero);
+      const vf4 fA = (vf4)((vi4)(newtA - pA) & inA);
+      const vf4 fB = (vf4)((vi4)(newtB - pB) & inB);
+      const vf4 wA = nmA * fA, wB = nmB * fB;
+      accx[t] += wA * dxA + wB * dxB;
+      accy[t] += wA * dyA + wB * dyB;
+      accz[t] += wA * dzA + wB * dzB;
+    }
+  }
+  for (std::size_t t = 0; t < kTileTargets; ++t) {
+    fx[t] = hsum(accx[t]);
+    fy[t] = hsum(accy[t]);
+    fz[t] = hsum(accz[t]);
+  }
+}
+
+/// Block targets into tiles and evaluate. `target_index(k)` maps the k-th
+/// target (0..count-1) to its absolute index in `p` and ax/ay/az; padding
+/// lanes of a ragged final tile replicate the last target and their
+/// results are discarded.
+template <typename IndexFn>
+void run_tiles_batched(const ShortRangeKernel& kernel, const ParticleArray& p,
+                       NeighborList& list, float mass_scale,
+                       std::size_t count, IndexFn target_index,
+                       std::span<float> ax, std::span<float> ay,
+                       std::span<float> az) {
+  const std::size_t n_pad = pad_list(list);
+  for (std::size_t t0 = 0; t0 < count; t0 += kTileTargets) {
+    const std::size_t nt = std::min(kTileTargets, count - t0);
+    float tx[kTileTargets], ty[kTileTargets], tz[kTileTargets];
+    float fx[kTileTargets], fy[kTileTargets], fz[kTileTargets];
+    for (std::size_t k = 0; k < kTileTargets; ++k) {
+      const std::size_t i = target_index(t0 + std::min(k, nt - 1));
+      tx[k] = p.x[i];
+      ty[k] = p.y[i];
+      tz[k] = p.z[i];
+    }
+    evaluate_tile(kernel, mass_scale, list.x.data(), list.y.data(),
+                  list.z.data(), list.m.data(), n_pad, tx, ty, tz, fx, fy,
+                  fz);
+    for (std::size_t k = 0; k < nt; ++k) {
+      const std::size_t i = target_index(t0 + k);
+      ax[i] = fx[k];
+      ay[i] = fy[k];
+      az[i] = fz[k];
+    }
+  }
+}
+
+#endif  // HACC_HAVE_VECTOR_EXT
+
+template <typename IndexFn>
+void run_targets_scalar(const ShortRangeKernel& kernel,
+                        const ParticleArray& p, const NeighborList& list,
+                        float mass_scale, std::size_t count,
+                        IndexFn target_index, std::span<float> ax,
+                        std::span<float> ay, std::span<float> az) {
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = target_index(k);
+    const Force3 f = evaluate_neighbor_list(
+        kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
+        list.z.data(), list.m.data(), list.size(), mass_scale);
+    ax[i] = f.x;
+    ay[i] = f.y;
+    az[i] = f.z;
+  }
+}
+
+}  // namespace
+
+bool batched_kernel_available() noexcept {
+  return HACC_HAVE_VECTOR_EXT != 0;
+}
+
+void evaluate_leaf(KernelVariant variant, const ShortRangeKernel& kernel,
+                   const ParticleArray& p, std::uint32_t first,
+                   std::uint32_t count, NeighborList& list, float mass_scale,
+                   std::span<float> ax, std::span<float> ay,
+                   std::span<float> az) {
+  const auto index = [first](std::size_t k) {
+    return static_cast<std::size_t>(first) + k;
+  };
+#if HACC_HAVE_VECTOR_EXT
+  if (variant == KernelVariant::kBatched) {
+    run_tiles_batched(kernel, p, list, mass_scale, count, index, ax, ay, az);
+    return;
+  }
+#endif
+  (void)variant;
+  run_targets_scalar(kernel, p, list, mass_scale, count, index, ax, ay, az);
+}
+
+void evaluate_leaf_indexed(KernelVariant variant,
+                           const ShortRangeKernel& kernel,
+                           const ParticleArray& p,
+                           std::span<const std::uint32_t> targets,
+                           NeighborList& list, float mass_scale,
+                           std::span<float> ax, std::span<float> ay,
+                           std::span<float> az) {
+  const auto index = [targets](std::size_t k) {
+    return static_cast<std::size_t>(targets[k]);
+  };
+#if HACC_HAVE_VECTOR_EXT
+  if (variant == KernelVariant::kBatched) {
+    run_tiles_batched(kernel, p, list, mass_scale, targets.size(), index, ax,
+                      ay, az);
+    return;
+  }
+#endif
+  (void)variant;
+  run_targets_scalar(kernel, p, list, mass_scale, targets.size(), index, ax,
+                     ay, az);
+}
+
+}  // namespace hacc::tree

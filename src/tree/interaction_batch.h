@@ -1,0 +1,74 @@
+// Tile-batched short-range kernel (paper Sec. III, the QPX inner loop).
+//
+// evaluate_neighbor_list() is scalar-shaped: one target per pass, so the
+// whole neighbor list is re-streamed from cache for every particle of a fat
+// leaf. The BG/Q kernel instead blocks *targets* into small SoA tiles and
+// evaluates one neighbor tile against every target in the block before
+// moving on — each TILE_N-wide neighbor tile is loaded from L1 once and
+// reused TILE_T times, cutting the inner-loop load traffic by the tile
+// height while keeping the exact same interaction set.
+//
+// Layout of one interaction tile (fixed TILE_T x TILE_N):
+//
+//        neighbors j ->   [ x y z m | x y z m | ... ]   TILE_N = 8
+//   targets i  t0  ---->  two 4-wide vectors per pass (2-fold unroll)
+//       (4)    t1  ---->  same neighbor vectors, re-used from registers
+//              t2  ---->
+//              t3  ---->
+//
+// The arithmetic per (i, j) pair is identical to the scalar loop: FMA
+// Horner for poly5, (s+eps)^{-3/2} via sqrt+div, branchless cutoff by
+// masking (the vector-select idiom), mass_scale folded into the neighbor
+// mass. Only the float summation order differs, so batched and scalar
+// forces agree to rounding (property-tested at 1e-5 relative), and the
+// scalar variant remains bit-for-bit the historical kernel.
+//
+// Dispatch is at run time (KernelVariant, force_kernel.h): explicit
+// compiler-vector-extension code where available (GCC/Clang), with the
+// `omp simd` scalar loop as the portable fallback.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "tree/force_kernel.h"
+#include "tree/particles.h"
+#include "tree/rcb_tree.h"
+
+namespace hacc::tree {
+
+/// Targets per interaction tile (rows sharing one neighbor tile).
+inline constexpr std::size_t kTileTargets = 4;
+/// Neighbors per tile pass: two 4-wide vectors, the 2-fold unroll.
+inline constexpr std::size_t kTileNeighbors = 8;
+
+/// True when the explicit-vector tile path is compiled in (GNU vector
+/// extensions); false means KernelVariant::kBatched falls back to the
+/// scalar loop.
+bool batched_kernel_available() noexcept;
+
+/// Evaluate short-range forces of the contiguous target range
+/// [first, first+count) of `p` against the shared neighbor list, writing
+/// accelerations at the targets' absolute indices of ax/ay/az. Neighbor
+/// masses are scaled by `mass_scale` inside the kernel. The batched path
+/// may append zero-mass padding to `list` (to a kTileNeighbors multiple);
+/// callers needing the true list size must capture it before the call.
+void evaluate_leaf(KernelVariant variant, const ShortRangeKernel& kernel,
+                   const ParticleArray& p, std::uint32_t first,
+                   std::uint32_t count, NeighborList& list, float mass_scale,
+                   std::span<float> ax, std::span<float> ay,
+                   std::span<float> az);
+
+/// As evaluate_leaf, for a non-contiguous target set given by `targets`
+/// (absolute indices into `p` and ax/ay/az) — the chaining-mesh cells of
+/// the P3M solver, which are index-sorted rather than array-partitioned.
+void evaluate_leaf_indexed(KernelVariant variant,
+                           const ShortRangeKernel& kernel,
+                           const ParticleArray& p,
+                           std::span<const std::uint32_t> targets,
+                           NeighborList& list, float mass_scale,
+                           std::span<float> ax, std::span<float> ay,
+                           std::span<float> az);
+
+}  // namespace hacc::tree

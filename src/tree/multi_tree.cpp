@@ -4,6 +4,11 @@
 #include <limits>
 
 #include "obs/obs.h"
+#include "tree/interaction_batch.h"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace hacc::tree {
 
@@ -113,15 +118,26 @@ InteractionStats compute_short_range_multi(const MultiTree& forest,
                                            std::span<float> ax,
                                            std::span<float> ay,
                                            std::span<float> az,
-                                           float mass_scale) {
+                                           float mass_scale,
+                                           KernelVariant variant,
+                                           ShortRangeWorkspace* ws) {
   obs::TraceScope trace(kTrcKernel);
   const ParticleArray& p = forest.particles();
   HACC_CHECK(ax.size() == p.size() && ay.size() == p.size() &&
              az.size() == p.size());
-  // Flatten (tree, leaf) pairs for one dynamic OpenMP loop.
-  std::vector<std::pair<std::size_t, std::uint32_t>> work;
+  ShortRangeWorkspace local;
+  ShortRangeWorkspace& wsp = ws != nullptr ? *ws : local;
+  // Flatten (tree, leaf) pairs for one dynamic OpenMP loop; the vector is
+  // reused (capacity kept) across steps when a workspace is passed.
+  wsp.work.clear();
   for (std::size_t t = 0; t < forest.trees().size(); ++t)
-    for (auto leaf : forest.trees()[t].leaves()) work.emplace_back(t, leaf);
+    for (auto leaf : forest.trees()[t].leaves()) wsp.work.emplace_back(t, leaf);
+#ifdef _OPENMP
+  wsp.prepare_lists(static_cast<std::size_t>(omp_get_max_threads()));
+#else
+  wsp.prepare_lists(1);
+#endif
+  const auto& work = wsp.work;
 
   InteractionStats stats;
   stats.particles = p.size();
@@ -129,26 +145,25 @@ InteractionStats compute_short_range_multi(const MultiTree& forest,
   std::size_t interactions = 0, visits = 0;
 #pragma omp parallel reduction(+ : interactions, visits)
   {
-    NeighborList list;
+#ifdef _OPENMP
+    NeighborList& list =
+        wsp.lists[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+    NeighborList& list = wsp.lists[0];
+#endif
 #pragma omp for schedule(dynamic, 1)
     for (std::size_t w = 0; w < work.size(); ++w) {
       const auto [t, leaf_id] = work[w];
       const RcbNode& leaf = forest.trees()[t].nodes()[leaf_id];
       forest.gather_neighbors(t, leaf_id, kernel.rmax, list, &visits);
-      if (mass_scale != 1.0f) {
-        for (auto& m : list.m) m *= mass_scale;
-      }
-      for (std::uint32_t i = leaf.first; i < leaf.first + leaf.count; ++i) {
-        const Force3 f = evaluate_neighbor_list(
-            kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
-            list.z.data(), list.m.data(), list.size());
-        ax[i] = f.x;
-        ay[i] = f.y;
-        az[i] = f.z;
-      }
-      interactions += static_cast<std::size_t>(leaf.count) * list.size();
+      // True gathered count, before the batched path pads the list.
+      const std::size_t true_n = list.size();
+      evaluate_leaf(variant, kernel, p, leaf.first, leaf.count, list,
+                    mass_scale, ax, ay, az);
+      interactions += static_cast<std::size_t>(leaf.count) * true_n;
     }
   }
+  wsp.record_high_water();
   stats.interactions = interactions;
   stats.walk_visits = visits;
   return stats;

@@ -49,11 +49,13 @@ class MultiTree {
 
 /// Short-range forces over a MultiTree; identical physics to the
 /// single-tree compute_short_range, threaded over (tree, leaf) pairs.
-InteractionStats compute_short_range_multi(const MultiTree& forest,
-                                           const ShortRangeKernel& kernel,
-                                           std::span<float> ax,
-                                           std::span<float> ay,
-                                           std::span<float> az,
-                                           float mass_scale = 1.0f);
+/// `variant` picks the inner loop (tile-batched vs scalar); a persistent
+/// `ws` keeps the flattened work vector and per-thread neighbor lists
+/// across steps, making the phase allocation-free in steady state.
+InteractionStats compute_short_range_multi(
+    const MultiTree& forest, const ShortRangeKernel& kernel,
+    std::span<float> ax, std::span<float> ay, std::span<float> az,
+    float mass_scale = 1.0f, KernelVariant variant = default_kernel_variant(),
+    ShortRangeWorkspace* ws = nullptr);
 
 }  // namespace hacc::tree

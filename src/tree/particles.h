@@ -106,18 +106,25 @@ class ParticleArray {
     role.pop_back();
   }
 
-  /// Sort particles by ascending (id, role). Establishes a *canonical
-  /// order* independent of arrival/removal history, which makes float
-  /// summation order — and therefore the whole run — reproducible across
-  /// restarts (remove_unordered and message arrival otherwise permute the
-  /// array). Ids are globally unique per role, so the order is total.
+  /// Sort particles by ascending (id, role, x, y, z). Establishes a
+  /// *canonical order* independent of arrival/removal history, which makes
+  /// float summation order — and therefore the whole run — reproducible
+  /// across restarts (remove_unordered and message arrival otherwise
+  /// permute the array). Ids are unique among actives; the same id can
+  /// carry several passive replicas on one rank (one per periodic image of
+  /// a small topology), whose unwrapped positions differ by exact box-size
+  /// shifts — the position tie-break makes the order total even then.
   void sort_by_id() {
     std::vector<std::size_t> order(size());
     std::iota(order.begin(), order.end(), std::size_t{0});
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       if (id[a] != id[b]) return id[a] < id[b];
-      return static_cast<std::uint8_t>(role[a]) <
-             static_cast<std::uint8_t>(role[b]);
+      if (role[a] != role[b])
+        return static_cast<std::uint8_t>(role[a]) <
+               static_cast<std::uint8_t>(role[b]);
+      if (x[a] != x[b]) return x[a] < x[b];
+      if (y[a] != y[b]) return y[a] < y[b];
+      return z[a] < z[b];
     });
     gather(x, order);
     gather(y, order);

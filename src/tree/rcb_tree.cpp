@@ -5,6 +5,8 @@
 #include <limits>
 #include <stack>
 
+#include "tree/interaction_batch.h"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -191,8 +193,12 @@ void RcbTree::gather_neighbors_into(const std::array<float, 3>& lo,
   const ParticleArray& p = *particles_;
   std::size_t visited = 0;
 
-  std::vector<std::int32_t> stack;
-  stack.reserve(64);
+  // The traversal stack is part of the (per-thread) list scratch: its
+  // capacity persists across leaves and steps, so the walk is
+  // allocation-free in steady state.
+  std::vector<std::int32_t>& stack = out.walk_stack;
+  stack.clear();
+  if (stack.capacity() < 64) stack.reserve(64);
   stack.push_back(0);
   while (!stack.empty()) {
     const RcbNode& node = nodes_[static_cast<std::size_t>(stack.back())];
@@ -221,7 +227,9 @@ void RcbTree::gather_neighbors_into(const std::array<float, 3>& lo,
 InteractionStats compute_short_range(const RcbTree& tree,
                                      const ShortRangeKernel& kernel,
                                      std::span<float> ax, std::span<float> ay,
-                                     std::span<float> az, float mass_scale) {
+                                     std::span<float> az, float mass_scale,
+                                     KernelVariant variant,
+                                     ShortRangeWorkspace* ws) {
   const ParticleArray& p = tree.particles();
   HACC_CHECK(ax.size() == p.size() && ay.size() == p.size() &&
              az.size() == p.size());
@@ -230,28 +238,34 @@ InteractionStats compute_short_range(const RcbTree& tree,
   stats.leaves = leaves.size();
   stats.particles = p.size();
 
+  ShortRangeWorkspace local;
+  ShortRangeWorkspace& w = ws != nullptr ? *ws : local;
+#ifdef _OPENMP
+  w.prepare_lists(static_cast<std::size_t>(omp_get_max_threads()));
+#else
+  w.prepare_lists(1);
+#endif
+
   std::size_t interactions = 0, walk_visits = 0;
 #pragma omp parallel reduction(+ : interactions, walk_visits)
   {
-    NeighborList list;
+#ifdef _OPENMP
+    NeighborList& list = w.lists[static_cast<std::size_t>(omp_get_thread_num())];
+#else
+    NeighborList& list = w.lists[0];
+#endif
 #pragma omp for schedule(dynamic, 1)
     for (std::size_t li = 0; li < leaves.size(); ++li) {
       const RcbNode& leaf = tree.nodes()[leaves[li]];
       tree.gather_neighbors(leaves[li], kernel.rmax, list, &walk_visits);
-      if (mass_scale != 1.0f) {
-        for (auto& m : list.m) m *= mass_scale;
-      }
-      for (std::uint32_t i = leaf.first; i < leaf.first + leaf.count; ++i) {
-        const Force3 f = evaluate_neighbor_list(
-            kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
-            list.z.data(), list.m.data(), list.size());
-        ax[i] = f.x;
-        ay[i] = f.y;
-        az[i] = f.z;
-      }
-      interactions += static_cast<std::size_t>(leaf.count) * list.size();
+      // True gathered count, before the batched path pads the list.
+      const std::size_t true_n = list.size();
+      evaluate_leaf(variant, kernel, p, leaf.first, leaf.count, list,
+                    mass_scale, ax, ay, az);
+      interactions += static_cast<std::size_t>(leaf.count) * true_n;
     }
   }
+  w.record_high_water();
   stats.interactions = interactions;
   stats.walk_visits = walk_visits;
   return stats;

@@ -22,6 +22,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tree/force_kernel.h"
@@ -46,15 +47,25 @@ struct RcbConfig {
 };
 
 /// Contiguous, aligned neighbor buffers shared by all particles of a leaf.
+/// Doubles as the per-thread walk scratch: the traversal stack lives here
+/// so a steady-state gather allocates nothing (capacities persist).
 struct NeighborList {
   aligned_vector<float> x, y, z, m;
+  std::vector<std::int32_t> walk_stack;  ///< tree-walk scratch, reused
   void clear() noexcept {
     x.clear();
     y.clear();
     z.clear();
     m.clear();
   }
+  void reserve(std::size_t n) {
+    x.reserve(n);
+    y.reserve(n);
+    z.reserve(n);
+    m.reserve(n);
+  }
   std::size_t size() const noexcept { return x.size(); }
+  std::size_t capacity() const noexcept { return x.capacity(); }
 };
 
 /// Statistics accumulated during a force evaluation.
@@ -67,6 +78,30 @@ struct InteractionStats {
     return particles ? static_cast<double>(interactions) /
                            static_cast<double>(particles)
                      : 0.0;
+  }
+};
+
+/// Reusable scratch for the short-range kernel phase. A caller that keeps
+/// one of these across steps makes the phase allocation-free in steady
+/// state: the flattened (tree, leaf) work vector and the per-thread
+/// neighbor lists retain their high-water capacity. Every per-thread list
+/// is re-reserved to the *global* high-water mark `list_reserve` before
+/// each evaluation, so OpenMP dynamic scheduling handing a fat leaf to a
+/// different thread than last step cannot trigger a regrow.
+struct ShortRangeWorkspace {
+  std::vector<std::pair<std::size_t, std::uint32_t>> work;
+  std::vector<NeighborList> lists;  ///< one per OpenMP thread
+  std::size_t list_reserve = 0;     ///< high-water neighbor-list capacity
+
+  /// Grow to `nthreads` lists and pre-reserve each to the high-water mark.
+  void prepare_lists(std::size_t nthreads) {
+    if (lists.size() < nthreads) lists.resize(nthreads);
+    for (auto& l : lists) l.reserve(list_reserve);
+  }
+  /// Fold this evaluation's capacities into the high-water mark.
+  void record_high_water() noexcept {
+    for (const auto& l : lists)
+      if (l.capacity() > list_reserve) list_reserve = l.capacity();
   }
 };
 
@@ -127,14 +162,17 @@ std::uint32_t three_phase_partition(
     std::vector<std::pair<std::uint32_t, std::uint32_t>>& swaps);
 
 /// Short-range forces for every local particle: walk once per leaf, then
-/// run the vector kernel for each particle against the shared list.
-/// `ax/ay/az` are indexed like the (tree-permuted) particle array and are
-/// *overwritten*. Threaded over leaves with OpenMP. Neighbor masses are
-/// scaled by `mass_scale` (the 1/(4 pi rho_bar) code-unit normalization).
-InteractionStats compute_short_range(const RcbTree& tree,
-                                     const ShortRangeKernel& kernel,
-                                     std::span<float> ax, std::span<float> ay,
-                                     std::span<float> az,
-                                     float mass_scale = 1.0f);
+/// run the kernel for the leaf's particles against the shared list (the
+/// tile-batched path of interaction_batch.h, or the scalar loop, per
+/// `variant`). `ax/ay/az` are indexed like the (tree-permuted) particle
+/// array and are *overwritten*. Threaded over leaves with OpenMP. Neighbor
+/// masses are scaled by `mass_scale` (the 1/(4 pi rho_bar) code-unit
+/// normalization), folded into the kernel evaluation. Pass a persistent
+/// `ws` to make the phase allocation-free across steps.
+InteractionStats compute_short_range(
+    const RcbTree& tree, const ShortRangeKernel& kernel, std::span<float> ax,
+    std::span<float> ay, std::span<float> az, float mass_scale = 1.0f,
+    KernelVariant variant = default_kernel_variant(),
+    ShortRangeWorkspace* ws = nullptr);
 
 }  // namespace hacc::tree

@@ -581,6 +581,105 @@ TEST(Telemetry, UnboundRanksCountNothing) {
   });
 }
 
+// ---- sparse neighbor exchange ------------------------------------------------
+
+TEST(NeighborAlltoallv, RingExchangeDeliversBlocksInListOrder) {
+  // P = 4 ring, every rank's neighbor list is {left, self, right} (sorted,
+  // symmetric). Rank r sends r+1 ints of value 100*r + slot to each
+  // neighbor; blocks must come back in list order with matching counts.
+  Machine::run(4, [](Comm& c) {
+    const int p = c.size(), r = c.rank();
+    std::vector<int> neighbors{(r + p - 1) % p, r, (r + 1) % p};
+    std::sort(neighbors.begin(), neighbors.end());
+    neighbors.erase(std::unique(neighbors.begin(), neighbors.end()),
+                    neighbors.end());
+    const std::size_t mine = static_cast<std::size_t>(r) + 1;
+    std::vector<std::size_t> send_counts(neighbors.size(), mine);
+    std::vector<int> send;
+    for (std::size_t s = 0; s < neighbors.size(); ++s)
+      for (std::size_t k = 0; k < mine; ++k)
+        send.push_back(100 * r + static_cast<int>(s));
+    std::vector<int> recv;
+    std::vector<std::size_t> recv_counts;
+    c.neighbor_alltoallv(std::span<const int>(neighbors),
+                         std::span<const int>(send),
+                         std::span<const std::size_t>(send_counts), recv,
+                         recv_counts);
+    ASSERT_EQ(recv_counts.size(), neighbors.size());
+    std::size_t off = 0;
+    for (std::size_t s = 0; s < neighbors.size(); ++s) {
+      const int src = neighbors[s];
+      EXPECT_EQ(recv_counts[s], static_cast<std::size_t>(src) + 1);
+      // The sender put our rank at *its* slot for us; recompute it.
+      std::vector<int> their_nbrs{(src + p - 1) % p, src, (src + 1) % p};
+      std::sort(their_nbrs.begin(), their_nbrs.end());
+      their_nbrs.erase(
+          std::unique(their_nbrs.begin(), their_nbrs.end()),
+          their_nbrs.end());
+      const auto it = std::find(their_nbrs.begin(), their_nbrs.end(), r);
+      ASSERT_NE(it, their_nbrs.end());
+      const int expect =
+          100 * src + static_cast<int>(it - their_nbrs.begin());
+      for (std::size_t k = 0; k < recv_counts[s]; ++k)
+        EXPECT_EQ(recv[off + k], expect) << "from " << src;
+      off += recv_counts[s];
+    }
+    EXPECT_EQ(off, recv.size());
+  });
+}
+
+TEST(NeighborAlltoallv, SingleRankSelfBlockIsACopy) {
+  Machine::run(1, [](Comm& c) {
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    const std::vector<int> neighbors{0};
+    const std::vector<double> send{1.5, 2.5, 3.5};
+    const std::vector<std::size_t> send_counts{3};
+    std::vector<double> recv;
+    std::vector<std::size_t> recv_counts;
+    c.neighbor_alltoallv(std::span<const int>(neighbors),
+                         std::span<const double>(send),
+                         std::span<const std::size_t>(send_counts), recv,
+                         recv_counts);
+    EXPECT_EQ(recv, send);
+    ASSERT_EQ(recv_counts.size(), 1u);
+    EXPECT_EQ(recv_counts[0], 3u);
+    // The self block bypasses the mailbox: a call, but no messages/bytes.
+    const auto& ids = telemetry::ids(telemetry::Op::kNeighborAlltoall);
+    EXPECT_EQ(counters.value(ids.calls), 1u);
+    EXPECT_EQ(counters.value(ids.msgs_sent), 0u);
+    EXPECT_EQ(counters.value(ids.bytes_sent), 0u);
+  });
+}
+
+TEST(Telemetry, NeighborAlltoallvCountsPayloadOnlyNoControlRound) {
+  // Unlike alltoallv there is NO count pre-exchange: element counts are
+  // inferred from byte lengths. P = 3, full stencil incl. self; rank r
+  // sends 2 floats to each of its 2 non-self neighbors.
+  Machine::run(3, [](Comm& c) {
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    const std::vector<int> neighbors{0, 1, 2};
+    std::vector<float> send(6, static_cast<float>(c.rank()));
+    const std::vector<std::size_t> send_counts{2, 2, 2};
+    std::vector<float> recv;
+    std::vector<std::size_t> recv_counts;
+    c.neighbor_alltoallv(std::span<const int>(neighbors),
+                         std::span<const float>(send),
+                         std::span<const std::size_t>(send_counts), recv,
+                         recv_counts);
+    EXPECT_EQ(recv.size(), 6u);
+    const auto& ids = telemetry::ids(telemetry::Op::kNeighborAlltoall);
+    EXPECT_EQ(counters.value(ids.bytes_sent), 2 * 2 * sizeof(float));
+    EXPECT_EQ(counters.value(ids.msgs_sent), 2u);  // payloads only, no counts
+    EXPECT_EQ(counters.value(ids.bytes_recv), 2 * 2 * sizeof(float));
+    EXPECT_EQ(counters.value(ids.msgs_recv), 2u);
+    EXPECT_EQ(counters.value(ids.calls), 1u);
+    EXPECT_EQ(counters.value(telemetry::ids(telemetry::Op::kAlltoall).calls),
+              0u);
+  });
+}
+
 // ---- fault injection -------------------------------------------------------
 
 TEST(FaultInjection, KillAtStepFiresExactlyOnceAcrossRuns) {

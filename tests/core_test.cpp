@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <algorithm>
 #include <limits>
 #include <map>
 #include <set>
@@ -14,6 +15,9 @@
 #include <fstream>
 
 #include "comm/comm.h"
+#include "comm/telemetry.h"
+#include "obs/counters.h"
+#include "obs/obs.h"
 #include "core/domain.h"
 #include "core/simulation.h"
 #include "core/supervisor.h"
@@ -169,6 +173,59 @@ TEST_P(OverloadRanks, RoleSwitchingOnBoundaryCrossing) {
       }
     }
   });
+}
+
+TEST_P(OverloadRanks, RefreshIsExactlyOneSparseExchange) {
+  // The fused refresh: migration + replication in ONE neighbor_alltoallv
+  // over the stencil — no dense alltoall, no second particle round. The
+  // comm telemetry counters are the witness.
+  const int nranks = GetParam();
+  const std::size_t n = 16, n_global = 300;
+  mesh::BlockDecomp3D d = mesh::BlockDecomp3D::balanced({n, n, n}, nranks);
+  comm::Machine::run(nranks, [&](comm::Comm& c) {
+    OverloadDomain dom(d, c.rank(), 2.0);
+    ParticleArray p = scatter_global(dom, n_global, n, 55);
+    obs::Counters counters;
+    obs::Binding binding(nullptr, &counters);
+    dom.refresh(c, p);
+    const auto& nbr =
+        comm::telemetry::ids(comm::telemetry::Op::kNeighborAlltoall);
+    EXPECT_EQ(counters.value(nbr.calls), 1u);
+    // Every payload message goes to a non-self stencil member, once.
+    EXPECT_EQ(counters.value(nbr.msgs_sent), dom.stencil().size() - 1);
+    EXPECT_EQ(
+        counters.value(comm::telemetry::ids(comm::telemetry::Op::kAlltoall)
+                           .calls),
+        0u);
+    EXPECT_EQ(
+        counters.value(comm::telemetry::ids(comm::telemetry::Op::kP2p)
+                           .msgs_sent),
+        0u);
+    // A second refresh is again exactly one exchange.
+    dom.refresh(c, p);
+    EXPECT_EQ(counters.value(nbr.calls), 2u);
+  });
+}
+
+TEST_P(OverloadRanks, StencilIsSymmetricAndContainsSelf) {
+  const int nranks = GetParam();
+  mesh::BlockDecomp3D d = mesh::BlockDecomp3D::balanced({16, 16, 16}, nranks);
+  std::vector<std::vector<int>> stencils(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    OverloadDomain dom(d, r, 2.0);
+    stencils[static_cast<std::size_t>(r)] = dom.stencil();
+  }
+  for (int r = 0; r < nranks; ++r) {
+    const auto& s = stencils[static_cast<std::size_t>(r)];
+    EXPECT_TRUE(std::find(s.begin(), s.end(), r) != s.end())
+        << "rank " << r << " missing from its own stencil";
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    for (const int q : s) {
+      const auto& sq = stencils[static_cast<std::size_t>(q)];
+      EXPECT_TRUE(std::find(sq.begin(), sq.end(), r) != sq.end())
+          << "stencil asymmetric between " << r << " and " << q;
+    }
+  }
 }
 
 TEST(OverloadDomain, RejectsExcessiveDepth) {

@@ -1,9 +1,14 @@
 // Tests for the Sec.-VI extensions: multiple RCB trees per rank and the
 // threaded CIC deposit. The contract for both: identical results to the
 // single-tree / serial implementations (up to float summation order).
+// Also home of the short-range steady-state allocation gate (this binary
+// replaces the global allocator to count, like fft_test).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <new>
 #include <set>
 
 #include "comm/comm.h"
@@ -12,6 +17,51 @@
 #include "tree/force_matcher.h"
 #include "tree/multi_tree.h"
 #include "util/rng.h"
+
+namespace alloc_hook {
+std::atomic<bool> armed{false};
+std::atomic<std::size_t> count{0};
+
+void note() {
+  if (armed.load(std::memory_order_relaxed))
+    count.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace alloc_hook
+
+// GCC does not model user-replaced global operators and flags the
+// new-from-malloc / delete-to-free pairing, which is exactly the C++
+// replacement contract here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void* operator new(std::size_t size) {
+  alloc_hook::note();
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  alloc_hook::note();
+  const auto a = static_cast<std::size_t>(align);
+  if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
 
 namespace hacc::tree {
 namespace {
@@ -150,6 +200,65 @@ TEST(ThreadedCic, MatchesSerialDeposit) {
   for (std::size_t i = 0; i < serial.data().size(); ++i)
     EXPECT_NEAR(threaded.data()[i], serial.data()[i],
                 1e-9 * (std::abs(serial.data()[i]) + 1.0));
+}
+
+// ---- kernel variants over the forest ----------------------------------------
+
+TEST(MultiTreeKernel, VariantsAgreeAndStatsAreIdentical) {
+  // Batched and scalar dispatch must feed the kernel the exact same
+  // interaction set (identical InteractionStats — padding is invisible)
+  // and agree on forces to float-summation-order rounding.
+  ParticleArray p = random_particles(3000, 12.0f, 21);
+  MultiTree forest(p, MultiTreeConfig{2, RcbConfig{64}});
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  std::vector<float> sx(p.size()), sy(p.size()), sz(p.size());
+  std::vector<float> bx(p.size()), by(p.size()), bz(p.size());
+  const auto stats_s = compute_short_range_multi(
+      forest, kernel, sx, sy, sz, 0.73f, KernelVariant::kScalar);
+  const auto stats_b = compute_short_range_multi(
+      forest, kernel, bx, by, bz, 0.73f, KernelVariant::kBatched);
+  EXPECT_EQ(stats_s.leaves, stats_b.leaves);
+  EXPECT_EQ(stats_s.particles, stats_b.particles);
+  EXPECT_EQ(stats_s.interactions, stats_b.interactions);
+  EXPECT_EQ(stats_s.walk_visits, stats_b.walk_visits);
+  double max_rel = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double mag =
+        std::sqrt(static_cast<double>(sx[i]) * sx[i] +
+                  static_cast<double>(sy[i]) * sy[i] +
+                  static_cast<double>(sz[i]) * sz[i]);
+    const double dx = static_cast<double>(bx[i]) - sx[i];
+    const double dy = static_cast<double>(by[i]) - sy[i];
+    const double dz = static_cast<double>(bz[i]) - sz[i];
+    const double diff = std::sqrt(dx * dx + dy * dy + dz * dz);
+    if (mag > 1e-20) max_rel = std::max(max_rel, diff / mag);
+  }
+  EXPECT_LE(max_rel, 1e-5);
+}
+
+TEST(MultiTreeKernel, SteadyStateShortRangeIsAllocationFree) {
+  // Satellite guarantee: with a persistent workspace, the short-range
+  // phase allocates nothing after the first (warmup) step — the flattened
+  // (tree, leaf) work vector and every per-thread neighbor list are
+  // reserved to their high-water marks and reused.
+  ParticleArray p = random_particles(4000, 14.0f, 22);
+  MultiTree forest(p, MultiTreeConfig{2, RcbConfig{48}});
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  std::vector<float> ax(p.size()), ay(p.size()), az(p.size());
+  ShortRangeWorkspace ws;
+  for (const auto variant : {KernelVariant::kBatched, KernelVariant::kScalar}) {
+    // Warmup populates the workspace (and the OpenMP team, first time).
+    compute_short_range_multi(forest, kernel, ax, ay, az, 1.0f, variant, &ws);
+    alloc_hook::count.store(0);
+    alloc_hook::armed.store(true);
+    compute_short_range_multi(forest, kernel, ax, ay, az, 1.0f, variant, &ws);
+    alloc_hook::armed.store(false);
+    EXPECT_EQ(alloc_hook::count.load(), 0u)
+        << "steady-state allocation in variant "
+        << kernel_variant_name(variant);
+  }
 }
 
 // ---- full simulation equivalence -----------------------------------------------

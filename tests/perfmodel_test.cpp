@@ -290,5 +290,23 @@ TEST(PoissonModel, ArchitectureOrderingAndFlatness) {
   EXPECT_LT(hi / lo, 1.5);
 }
 
+TEST(TileKernelModel, TilingRaisesTheRooflineTowardTheoreticalMax) {
+  // 4x8 tiles amortize the neighbor-tile loads over 4 targets:
+  //   instructions/interaction = 26/4 + 10/32 = 6.8125,
+  //   roofline fraction = (42 / 6.8125) / 8 ~= 0.77.
+  const TileKernelModel tiled{};
+  EXPECT_NEAR(tiled.instructions_per_interaction(), 6.8125, 1e-9);
+  EXPECT_NEAR(tiled.roofline_fraction(), 0.7706, 5e-4);
+  // Untiled (one target per neighbor load) pays the loads per interaction.
+  TileKernelModel untiled{};
+  untiled.tile_targets = 1;
+  untiled.tile_neighbors = 8;
+  EXPECT_GT(tiled.roofline_fraction(), untiled.roofline_fraction());
+  // Never above the instruction mix's theoretical maximum (no free flops).
+  EXPECT_LT(tiled.roofline_fraction(),
+            KernelInstructionMix{}.theoretical_peak_fraction());
+  EXPECT_NEAR(tiled.roofline_gflops(100.0), 77.06, 0.1);
+}
+
 }  // namespace
 }  // namespace hacc::perfmodel

@@ -4,12 +4,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
+#include <vector>
 
 #include "tree/direct.h"
 #include "tree/force_kernel.h"
+#include "tree/interaction_batch.h"
 #include "tree/force_matcher.h"
 #include "tree/particles.h"
 #include "tree/rcb_tree.h"
@@ -434,6 +438,201 @@ TEST(ForceMatcher, ShortRangeVanishesBeyondHandOverByConstruction) {
   EXPECT_LT(std::abs(newtonian_fscalar(near_cut, 0.0f) -
                      kernel.fgrid(near_cut)),
             0.15f * newtonian_fscalar(near_cut, 0.0f));
+}
+
+// ---- Tile-batched kernel (interaction_batch.h) -------------------------------
+
+// Run one leaf through evaluate_leaf with the given variant. The batched
+// path pads the list in place, so each call gets a private copy.
+std::array<std::vector<float>, 3> leaf_forces(KernelVariant variant,
+                                              const ShortRangeKernel& kernel,
+                                              const ParticleArray& p,
+                                              const NeighborList& list_in,
+                                              float mass_scale) {
+  NeighborList list;
+  list.x = list_in.x;
+  list.y = list_in.y;
+  list.z = list_in.z;
+  list.m = list_in.m;
+  std::array<std::vector<float>, 3> f;
+  for (auto& v : f) v.assign(p.size(), 0.0f);
+  evaluate_leaf(variant, kernel, p, 0, static_cast<std::uint32_t>(p.size()),
+                list, mass_scale, f[0], f[1], f[2]);
+  return f;
+}
+
+TEST(InteractionBatch, BatchedMatchesScalarOnRandomLeaves) {
+  // Property test over random leaves: every combination of ragged target
+  // blocks (nt % 4 != 0) and ragged neighbor tiles (nn % 8 != 0), with a
+  // non-unit mass scale. Positions in [0, 6)^3 put pair separations on both
+  // sides of the rmax = 3 cutoff.
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  Philox rng(91);
+  Philox::Stream s(rng);
+  for (const std::size_t nt : {1u, 3u, 4u, 5u, 17u, 64u}) {
+    for (const std::size_t nn : {1u, 7u, 8u, 9u, 33u, 256u}) {
+      ParticleArray p;
+      NeighborList list;
+      for (std::size_t i = 0; i < nt; ++i)
+        p.push_back(static_cast<float>(s.uniform(0, 6)),
+                    static_cast<float>(s.uniform(0, 6)),
+                    static_cast<float>(s.uniform(0, 6)), 0, 0, 0, 1.0f, i);
+      for (std::size_t j = 0; j < nn; ++j) {
+        list.x.push_back(static_cast<float>(s.uniform(0, 6)));
+        list.y.push_back(static_cast<float>(s.uniform(0, 6)));
+        list.z.push_back(static_cast<float>(s.uniform(0, 6)));
+        list.m.push_back(0.5f + static_cast<float>(s.uniform(0, 1)));
+      }
+      const auto fs = leaf_forces(KernelVariant::kScalar, kernel, p, list,
+                                  0.37f);
+      const auto fb = leaf_forces(KernelVariant::kBatched, kernel, p, list,
+                                  0.37f);
+      for (std::size_t i = 0; i < nt; ++i) {
+        const double mag = std::sqrt(
+            static_cast<double>(fs[0][i]) * fs[0][i] +
+            static_cast<double>(fs[1][i]) * fs[1][i] +
+            static_cast<double>(fs[2][i]) * fs[2][i]);
+        for (int d = 0; d < 3; ++d) {
+          const double diff = std::abs(static_cast<double>(fb[d][i]) -
+                                       static_cast<double>(fs[d][i]));
+          EXPECT_LE(diff, 1e-5 * std::max(mag, 1e-20))
+              << "nt=" << nt << " nn=" << nn << " i=" << i << " d=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(InteractionBatch, SelfInteractionAndCutoffEdges) {
+  // The two branchless-cutoff edges: s = 0 (a neighbor exactly on the
+  // target — the gathered leaf always contains the target itself) must be
+  // suppressed, and neighbors at s >= rmax^2 contribute nothing, in both
+  // variants identically.
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  ParticleArray p;
+  p.push_back(3.0f, 3.0f, 3.0f, 0, 0, 0, 1.0f, 0);
+  NeighborList list;
+  auto add = [&](float x, float y, float z) {
+    list.x.push_back(x);
+    list.y.push_back(y);
+    list.z.push_back(z);
+    list.m.push_back(1.0f);
+  };
+  add(3.0f, 3.0f, 3.0f);             // s = 0: the target itself
+  add(3.0f, 3.0f, 3.0f);             // a true coincident pair, also s = 0
+  add(6.0f, 3.0f, 3.0f);             // s = 9 = rmax^2 exactly: outside
+  add(3.0f + 2.9999f, 3.0f, 3.0f);   // just inside the cutoff
+  add(3.0f + 3.0001f, 3.0f, 3.0f);   // just outside
+  const auto fs = leaf_forces(KernelVariant::kScalar, kernel, p, list, 1.0f);
+  const auto fb = leaf_forces(KernelVariant::kBatched, kernel, p, list, 1.0f);
+  // Only the "just inside" neighbor may contribute. It acts along x alone
+  // (the sign is the poly-fit residual's near the hand-over, not Newton's).
+  EXPECT_NE(fs[0][0], 0.0f);
+  EXPECT_EQ(fs[1][0], 0.0f);
+  EXPECT_EQ(fs[2][0], 0.0f);
+  for (int d = 0; d < 3; ++d)
+    EXPECT_NEAR(fb[d][0], fs[d][0], 1e-5 * std::abs(fs[0][0])) << "d=" << d;
+  // With ONLY edge neighbors (s = 0 and s >= rmax^2) both variants give an
+  // exact zero — the mask must kill the padded/marginal lanes bit-for-bit.
+  NeighborList edges;
+  edges.x = {3.0f, 6.0f};
+  edges.y = {3.0f, 3.0f};
+  edges.z = {3.0f, 3.0f};
+  edges.m = {1.0f, 1.0f};
+  const auto zs = leaf_forces(KernelVariant::kScalar, kernel, p, edges, 1.0f);
+  const auto zb = leaf_forces(KernelVariant::kBatched, kernel, p, edges, 1.0f);
+  for (int d = 0; d < 3; ++d) {
+    EXPECT_EQ(zs[d][0], 0.0f);
+    EXPECT_EQ(zb[d][0], 0.0f);
+  }
+}
+
+TEST(InteractionBatch, ScalarVariantBitIdenticalToDirectLoop) {
+  // KernelVariant::kScalar must stay bit-for-bit the historical kernel:
+  // evaluate_leaf dispatching to the scalar loop gives exactly
+  // evaluate_neighbor_list per target, including the mass_scale fold
+  // ((m * scale) * f associates identically to the old list-rewrite pass).
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  Philox rng(17);
+  Philox::Stream s(rng);
+  ParticleArray p;
+  NeighborList list;
+  for (std::size_t i = 0; i < 13; ++i)
+    p.push_back(static_cast<float>(s.uniform(0, 6)),
+                static_cast<float>(s.uniform(0, 6)),
+                static_cast<float>(s.uniform(0, 6)), 0, 0, 0, 1.0f, i);
+  for (std::size_t j = 0; j < 67; ++j) {
+    list.x.push_back(static_cast<float>(s.uniform(0, 6)));
+    list.y.push_back(static_cast<float>(s.uniform(0, 6)));
+    list.z.push_back(static_cast<float>(s.uniform(0, 6)));
+    list.m.push_back(0.5f + static_cast<float>(s.uniform(0, 1)));
+  }
+  const float scale = 1.618f;
+  const auto f = leaf_forces(KernelVariant::kScalar, kernel, p, list, scale);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const Force3 ref = evaluate_neighbor_list(
+        kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
+        list.z.data(), list.m.data(), list.x.size(), scale);
+    EXPECT_EQ(f[0][i], ref.x) << i;
+    EXPECT_EQ(f[1][i], ref.y) << i;
+    EXPECT_EQ(f[2][i], ref.z) << i;
+  }
+}
+
+TEST(InteractionBatch, BatchedLeavesTrueInteractionsVisible) {
+  // The batched path may pad the list in place; callers capture the true
+  // size before the call (InteractionStats exactness depends on it). The
+  // pad is zero-mass, multiple-of-kTileNeighbors, and appended — never
+  // reordering the real entries.
+  ShortRangeKernel kernel;
+  kernel.fgrid = default_fgrid_poly5();
+  ParticleArray p;
+  p.push_back(1.0f, 1.0f, 1.0f, 0, 0, 0, 1.0f, 0);
+  NeighborList list;
+  for (int j = 0; j < 5; ++j) {
+    list.x.push_back(1.5f + 0.1f * static_cast<float>(j));
+    list.y.push_back(1.0f);
+    list.z.push_back(1.0f);
+    list.m.push_back(1.0f);
+  }
+  std::vector<float> ax(1, 0.0f), ay(1, 0.0f), az(1, 0.0f);
+  const std::size_t true_n = list.size();
+  evaluate_leaf(KernelVariant::kBatched, kernel, p, 0, 1, list, 1.0f, ax, ay,
+                az);
+  EXPECT_EQ(true_n, 5u);
+  if (batched_kernel_available()) {
+    EXPECT_EQ(list.size() % kTileNeighbors, 0u);
+    for (std::size_t j = true_n; j < list.size(); ++j)
+      EXPECT_EQ(list.m[j], 0.0f) << "padding must be massless";
+    for (std::size_t j = 0; j < true_n; ++j)
+      EXPECT_EQ(list.x[j], 1.5f + 0.1f * static_cast<float>(j));
+  }
+}
+
+TEST(KernelVariantDispatch, ParseAndEnvOverride) {
+  EXPECT_EQ(parse_kernel_variant("scalar", KernelVariant::kBatched),
+            KernelVariant::kScalar);
+  EXPECT_EQ(parse_kernel_variant("batched", KernelVariant::kScalar),
+            KernelVariant::kBatched);
+  EXPECT_EQ(parse_kernel_variant("nonsense", KernelVariant::kScalar),
+            KernelVariant::kScalar);
+  EXPECT_EQ(parse_kernel_variant(nullptr, KernelVariant::kBatched),
+            KernelVariant::kBatched);
+  EXPECT_STREQ(kernel_variant_name(KernelVariant::kScalar), "scalar");
+  EXPECT_STREQ(kernel_variant_name(KernelVariant::kBatched), "batched");
+  // HACC_KERNEL is read afresh on every call.
+  ::setenv("HACC_KERNEL", "scalar", 1);
+  EXPECT_EQ(kernel_variant_from_env(KernelVariant::kBatched),
+            KernelVariant::kScalar);
+  ::setenv("HACC_KERNEL", "batched", 1);
+  EXPECT_EQ(kernel_variant_from_env(KernelVariant::kScalar),
+            KernelVariant::kBatched);
+  ::unsetenv("HACC_KERNEL");
+  EXPECT_EQ(kernel_variant_from_env(KernelVariant::kScalar),
+            KernelVariant::kScalar);
 }
 
 }  // namespace
