@@ -23,6 +23,11 @@
 #    shrink/relaunch/restore path tears machines down mid-flight and
 #    re-launches them narrower, which is prime territory for use-after-free
 #    (ASan) and teardown races (TSan).
+# 6. Serve: the LRU block-cache hammer and the threaded query server under
+#    TSan — the cache's sharded locking, racing cold-key loads, and the
+#    server's queue/histogram/shutdown paths are all cross-thread by
+#    design; plus the full serve suite under ASan (pread buffers, cache
+#    eviction vs outstanding shared_ptr readers).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -90,6 +95,18 @@ echo "== chaos: asan =="
 HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20120 "$ASAN_BUILD/tests/chaos_test"
 echo "== chaos: tsan =="
 HACC_CHAOS_CAMPAIGNS=5 HACC_CHAOS_SEED=20125 "$TSAN_BUILD/tests/chaos_test"
+
+# Serve subsystem: the block cache and query server are the repo's most
+# thread-dense user-facing code paths.
+echo "== serve: build (asan + tsan serve_test) =="
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target serve_test
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target serve_test
+
+echo "== serve: asan (full suite) =="
+"$ASAN_BUILD/tests/serve_test"
+echo "== serve: tsan (cache hammer + threaded query service) =="
+"$TSAN_BUILD/tests/serve_test" \
+  --gtest_filter='BlockCache.*:InSituServe.RunStreamsCatalogsAndAnswersQueries:InSituServe.DamagedCatalogRefusesThatQueryOnly'
 
 # Perf gate (advisory): if bench JSON from a previous bench_all.sh run is
 # lying around, diff it against the committed baseline. Warns only — set

@@ -4,16 +4,20 @@
     scripts/perf_gate.py [build-dir] [--baseline bench/baseline.json]
                          [--threshold 0.10] [--write-baseline]
 
-Reads BENCH_step.json and BENCH_kernel.json from the build directory and
-compares the headline throughput metrics against the baseline:
+Reads BENCH_step.json, BENCH_kernel.json and BENCH_serve.json from the
+build directory and compares the headline metrics against the baseline:
 
     step.steps_per_sec        whole-step throughput (higher is better)
     kernel.batched_gflops     tile-batched kernel flop rate (higher is better)
     kernel.speedup            batched-over-scalar ratio (higher is better)
     kernel.fraction_of_peak   host-normalized rate — robust to machine drift
+    serve.qps                 query service throughput (higher is better)
+    serve.hit_rate            block-cache hit rate (higher is better)
+    serve.p99_ms              query p99 latency (LOWER is better)
 
-A metric more than --threshold (default 10%) below baseline prints a
-PERF REGRESSION warning; the exit code stays 0 unless HACC_PERF_STRICT=1,
+A metric more than --threshold (default 10%) worse than baseline — below it
+for throughput metrics, above it for latency metrics — prints a PERF
+REGRESSION warning; the exit code stays 0 unless HACC_PERF_STRICT=1,
 because absolute rates drift with host load and the baseline may have been
 recorded on different hardware. --write-baseline records the current
 numbers as the new baseline (commit the file to move the bar).
@@ -23,6 +27,10 @@ import argparse
 import json
 import os
 import sys
+
+
+# Metrics where a larger current value is the regression (latencies).
+LOWER_IS_BETTER = {"serve.p99_ms"}
 
 
 def load(path):
@@ -56,6 +64,18 @@ def kernel_metrics(data):
     return out
 
 
+def serve_metrics(data):
+    if not data:
+        return {}
+    out = {}
+    for src, dst in [("qps", "serve.qps"),
+                     ("cache_hit_rate", "serve.hit_rate"),
+                     ("p99_ms", "serve.p99_ms")]:
+        if src in data:
+            out[dst] = data[src]
+    return out
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("build", nargs="?", default="build")
@@ -67,10 +87,11 @@ def main():
     current = {}
     current.update(step_metrics(load(os.path.join(args.build, "BENCH_step.json"))))
     current.update(kernel_metrics(load(os.path.join(args.build, "BENCH_kernel.json"))))
+    current.update(serve_metrics(load(os.path.join(args.build, "BENCH_serve.json"))))
 
     if not current:
-        print("perf_gate: no BENCH_step.json / BENCH_kernel.json in "
-              f"{args.build}/ — nothing to gate")
+        print("perf_gate: no BENCH_step.json / BENCH_kernel.json / "
+              f"BENCH_serve.json in {args.build}/ — nothing to gate")
         return 0
 
     if args.write_baseline:
@@ -100,8 +121,11 @@ def main():
             regressions.append(key)
             continue
         delta = (cur - base) / base if base else 0.0
+        # For latency-style metrics the sign flips: going *up* is the
+        # regression.
+        worsening = -delta if key in LOWER_IS_BETTER else delta
         flag = ""
-        if delta < -args.threshold:
+        if worsening < -args.threshold:
             flag = "  << PERF REGRESSION"
             regressions.append(key)
         print(f"  {key:28s} baseline {base:10.4f}  current {cur:10.4f}  "

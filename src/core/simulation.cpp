@@ -29,6 +29,7 @@ const NameId kPhaseSrKernel = intern_name("sr-kernel");
 const NameId kPhaseStream = intern_name("stream");
 const NameId kPhaseRefresh = intern_name("refresh");
 const NameId kPhaseCheckpoint = intern_name("checkpoint");
+const NameId kPhaseInsitu = intern_name("insitu");
 
 const NameId kCtrInteractions = obs::counter_id("tree.pp_interactions");
 const NameId kCtrWalkVisits = obs::counter_id("tree.walk_visits");
@@ -273,6 +274,35 @@ void Simulation::step() {
   }
   a_ = a1;
   ++steps_taken_;
+  // In-situ hook lives here (not in run()) so supervised/chaos-driven
+  // stepping streams catalogs too.
+  if (config_.insitu.cadence > 0 &&
+      steps_taken_ % config_.insitu.cadence == 0)
+    run_insitu();
+}
+
+serve::InSituReport Simulation::run_insitu() {
+  obs::Binding binding(&tracer_, &counters_);
+  auto scope = timers_.scope(kPhaseInsitu);
+  // Products see actives only — passives are replicas of someone else's
+  // mass and would double-count.
+  tree::ParticleArray actives;
+  for (std::size_t i = 0; i < particles_.size(); ++i) {
+    if (particles_.role[i] == tree::Role::kActive)
+      actives.append_from(particles_, i);
+  }
+  std::vector<cosmology::PowerBin> spectrum;
+  if (config_.insitu.spectrum)
+    spectrum = power_spectrum(config_.insitu.spectrum_bins);
+  gio::GlobalMeta meta;
+  meta.scale_factor = a_;
+  meta.box_mpch = config_.box_mpch;
+  meta.grid = config_.grid;
+  gio::GioConfig gcfg;
+  gcfg.aggregators = config_.io_aggregators;
+  gcfg.verify_after_write = config_.checkpoint_verify;
+  return serve::write_catalogs(world_, config_.insitu, steps_taken_, meta,
+                               actives, spectrum, gcfg);
 }
 
 void Simulation::run() {

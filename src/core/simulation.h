@@ -39,6 +39,7 @@
 #include "obs/ledger.h"
 #include "obs/trace.h"
 #include "p3m/chaining_mesh.h"
+#include "serve/insitu.h"
 #include "tree/force_matcher.h"
 #include "tree/multi_tree.h"
 #include "tree/rcb_tree.h"
@@ -97,6 +98,11 @@ struct SimulationConfig {
   /// When non-empty, run() enables the per-rank tracer and rank 0 writes a
   /// merged Chrome trace_event JSON (pid = rank) here at end of run.
   std::string trace_path;
+  /// In-situ analysis pipeline: when insitu.cadence > 0, every cadence-th
+  /// completed step streams halo/spectrum/slice catalogs into
+  /// insitu.output_dir (see serve/insitu.h). Runs inside step(), so
+  /// supervised/chaos-driven runs stream catalogs too.
+  serve::InSituConfig insitu;
 };
 
 class Simulation {
@@ -142,6 +148,13 @@ class Simulation {
 
   /// Gather every *active* particle to rank 0 (empty elsewhere). Collective.
   tree::ParticleArray gather_active();
+
+  /// Run the in-situ analysis pipeline on the current state: FOF halos,
+  /// P(k), and a region slice streamed as gio catalogs into
+  /// config().insitu.output_dir (products per the config). Collective;
+  /// step() calls this automatically at the configured cadence, and drivers
+  /// may invoke it directly for an on-demand catalog.
+  serve::InSituReport run_insitu();
 
   /// Per-phase wall-clock accumulators ("kernel", "walk+build", "fft",
   /// "cic", "refresh", ...).

@@ -162,6 +162,15 @@ std::vector<Halo> groups_from_sets(const tree::ParticleArray& p,
     if (g.size() < min_members) continue;
     Halo h;
     h.members = std::move(g);
+    // Canonical member order (ascending particle id): the center/velocity
+    // float sums below — and therefore the catalog bytes — are identical no
+    // matter how the particle array was permuted by decomposition or
+    // gathering order.
+    std::sort(h.members.begin(), h.members.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return p.id[a] != p.id[b] ? p.id[a] < p.id[b] : a < b;
+              });
+    h.id = p.id[h.members.front()];
     h.center = periodic_center(p, h.members, box);
     for (auto i : h.members) {
       h.mass += p.mass[i];
@@ -173,8 +182,11 @@ std::vector<Halo> groups_from_sets(const tree::ParticleArray& p,
     for (auto& v : h.velocity) v *= inv;
     halos.push_back(std::move(h));
   }
-  std::sort(halos.begin(), halos.end(),
-            [](const Halo& a, const Halo& b) { return a.mass > b.mass; });
+  // Mass order for science consumers, halo id as the total tie-break so the
+  // list order (and any file written from it) is deterministic.
+  std::sort(halos.begin(), halos.end(), [](const Halo& a, const Halo& b) {
+    return a.mass != b.mass ? a.mass > b.mass : a.id < b.id;
+  });
   return halos;
 }
 

@@ -22,6 +22,10 @@ namespace hacc::cosmology {
 
 struct Halo {
   std::vector<std::uint32_t> members;  ///< indices into the particle array
+  /// Stable halo tag: the minimum member *particle* id (the standard FOF
+  /// convention). Independent of particle array order, rank count, and
+  /// thread count — catalog files keyed by it are reproducible.
+  std::uint64_t id = 0;
   std::array<double, 3> center{};      ///< periodic center of mass (grid units)
   std::array<double, 3> velocity{};    ///< mean velocity
   double mass = 0;                     ///< sum of member masses

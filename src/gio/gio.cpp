@@ -1,5 +1,8 @@
 #include "gio/gio.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <bit>
 #include <cstdio>
@@ -587,6 +590,117 @@ FileInfo inspect(const std::string& path) {
   info.var_types = lay.var_types;
   info.block_counts = lay.counts;
   return info;
+}
+
+// ---- BlockFile -------------------------------------------------------------
+
+struct BlockFile::Impl {
+  std::string path;
+  int fd = -1;
+  Layout lay;
+  bool used_redundant = false;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void pread_all(void* dst, std::size_t bytes, std::uint64_t offset) const {
+    auto* p = static_cast<std::byte*>(dst);
+    while (bytes > 0) {
+      const ::ssize_t n = ::pread(fd, p, bytes, static_cast<::off_t>(offset));
+      HACC_CHECK_MSG(n > 0, "gio: pread failed on " + path);
+      p += n;
+      bytes -= static_cast<std::size_t>(n);
+      offset += static_cast<std::uint64_t>(n);
+    }
+  }
+};
+
+BlockFile::BlockFile(const std::string& path) : impl_(new Impl) {
+  impl_->path = path;
+  // The header is parsed through the stdio path (redundant-copy fallback
+  // included); the descriptor below serves all subsequent data reads.
+  {
+    File f = open_file(path, "rb");
+    impl_->lay = parse_header(load_header(f.get(), impl_->used_redundant));
+  }
+  impl_->fd = ::open(path.c_str(), O_RDONLY);
+  HACC_CHECK_MSG(impl_->fd >= 0, "cannot open " + path);
+}
+
+BlockFile::~BlockFile() = default;
+BlockFile::BlockFile(BlockFile&&) noexcept = default;
+BlockFile& BlockFile::operator=(BlockFile&&) noexcept = default;
+
+const std::string& BlockFile::path() const noexcept { return impl_->path; }
+const GlobalMeta& BlockFile::meta() const noexcept { return impl_->lay.meta; }
+bool BlockFile::used_redundant_header() const noexcept {
+  return impl_->used_redundant;
+}
+std::uint64_t BlockFile::total_rows() const noexcept {
+  return impl_->lay.total;
+}
+std::size_t BlockFile::blocks() const noexcept {
+  return impl_->lay.nblocks();
+}
+std::size_t BlockFile::vars() const noexcept { return impl_->lay.nvars(); }
+const std::vector<std::string>& BlockFile::var_names() const noexcept {
+  return impl_->lay.var_names;
+}
+
+VarType BlockFile::var_type(std::size_t var) const {
+  HACC_CHECK(var < vars());
+  return impl_->lay.var_types[var];
+}
+
+int BlockFile::var_index(std::string_view name) const noexcept {
+  const auto& names = impl_->lay.var_names;
+  for (std::size_t v = 0; v < names.size(); ++v)
+    if (names[v] == name) return static_cast<int>(v);
+  return -1;
+}
+
+std::uint64_t BlockFile::rows(std::size_t block) const {
+  HACC_CHECK(block < blocks());
+  return impl_->lay.counts[block];
+}
+
+std::uint64_t BlockFile::sub_block_bytes(std::size_t block,
+                                         std::size_t var) const {
+  HACC_CHECK(block < blocks() && var < vars());
+  return impl_->lay.bytes[impl_->lay.sub(block, var)];
+}
+
+void BlockFile::read_at(std::size_t block, std::size_t var,
+                        std::uint64_t offset, std::span<std::byte> out) const {
+  const Layout& lay = impl_->lay;
+  HACC_CHECK(block < blocks() && var < vars());
+  const std::size_t s = lay.sub(block, var);
+  HACC_CHECK_MSG(offset + out.size() <= lay.bytes[s],
+                 "gio: ranged read beyond sub-block");
+  impl_->pread_all(out.data(), out.size(), lay.offsets[s] + offset);
+}
+
+bool BlockFile::read_verified(std::size_t block, std::size_t var,
+                              std::vector<std::byte>& out) const {
+  const Layout& lay = impl_->lay;
+  HACC_CHECK(block < blocks() && var < vars());
+  const std::size_t s = lay.sub(block, var);
+  const std::uint64_t nbytes = lay.bytes[s];
+  out.resize(nbytes + kCrcBytes);
+  std::size_t got = 0;
+  std::uint64_t off = lay.offsets[s];
+  while (got < out.size()) {
+    const ::ssize_t n = ::pread(impl_->fd, out.data() + got, out.size() - got,
+                                static_cast<::off_t>(off));
+    if (n <= 0) return false;  // short read: truncated/unreadable, not fatal
+    got += static_cast<std::size_t>(n);
+    off += static_cast<std::uint64_t>(n);
+  }
+  wire::Cursor c(std::span<const std::byte>(out).subspan(nbytes));
+  const bool ok = c.u64() == crc64(out.data(), nbytes);
+  out.resize(nbytes);  // trailer is an implementation detail
+  return ok;
 }
 
 namespace {

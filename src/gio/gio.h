@@ -34,8 +34,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "comm/comm.h"
@@ -166,6 +168,63 @@ struct VerifyReport {
 /// write-then-verify path and by the Supervisor to pick the newest *good*
 /// checkpoint before restoring.
 VerifyReport verify_file(const std::string& path);
+
+// ---- ranged / partial block reads ------------------------------------------
+
+/// Serial random-access reader over one gio file: the header is parsed once
+/// at open, after which any (block, variable) sub-block — or any byte range
+/// inside one — can be read without touching the rest of the file. This is
+/// the granularity the collective read() path lacks (it always delivers a
+/// rank's whole block share), and it is what a read-optimized store needs:
+/// a query touching one column of one writer block costs exactly that
+/// column's bytes.
+///
+/// Reads go through pread(2) on a single file descriptor, so a const
+/// BlockFile is safe to share across threads with no locking — the query
+/// server's thread pool reads concurrently through one open file.
+class BlockFile {
+ public:
+  explicit BlockFile(const std::string& path);
+  ~BlockFile();
+  BlockFile(BlockFile&&) noexcept;
+  BlockFile& operator=(BlockFile&&) noexcept;
+  BlockFile(const BlockFile&) = delete;
+  BlockFile& operator=(const BlockFile&) = delete;
+
+  const std::string& path() const noexcept;
+  const GlobalMeta& meta() const noexcept;
+  bool used_redundant_header() const noexcept;
+  std::uint64_t total_rows() const noexcept;
+  std::size_t blocks() const noexcept;
+  std::size_t vars() const noexcept;
+  const std::vector<std::string>& var_names() const noexcept;
+  VarType var_type(std::size_t var) const;
+  /// Index of the named variable, or -1 when the file has no such variable.
+  int var_index(std::string_view name) const noexcept;
+  /// Rows in one writer-time block.
+  std::uint64_t rows(std::size_t block) const;
+  /// Data bytes of one (block, var) sub-block, excluding the CRC trailer.
+  std::uint64_t sub_block_bytes(std::size_t block, std::size_t var) const;
+
+  /// Ranged read: `out.size()` bytes of sub-block (block, var) starting at
+  /// byte `offset` within the sub-block. No CRC check — the trailer covers
+  /// the whole sub-block, so partial reads cannot verify it; callers that
+  /// need integrity read the full sub-block via read_verified (the block
+  /// cache does exactly that on a miss). Throws on I/O failure or a range
+  /// beyond the sub-block.
+  void read_at(std::size_t block, std::size_t var, std::uint64_t offset,
+               std::span<std::byte> out) const;
+
+  /// Full sub-block read + CRC64 trailer check into `out` (resized).
+  /// Returns false on CRC mismatch or short read (contents unspecified);
+  /// never throws on corruption.
+  bool read_verified(std::size_t block, std::size_t var,
+                     std::vector<std::byte>& out) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 // ---- fault injection (tests prove detection/recovery) ----------------------
 

@@ -1,0 +1,105 @@
+// Sharded LRU block cache over gio variable sub-blocks.
+//
+// The query service's unit of I/O is one (file, block, variable) sub-block:
+// the smallest region the gio format can CRC-verify independently. The
+// cache keys exactly that triple and stores the verified bytes, so a hot
+// query working set is served from memory with zero file reads and zero
+// re-verification, while every *miss* pays one pread + one CRC64 pass —
+// corruption can never be promoted into the cache (a sub-block that fails
+// its CRC is refused, not zero-filled: a query service returning silently
+// wrong science is worse than one returning an error).
+//
+// Concurrency: the key space is hash-sharded; each shard owns a mutex, an
+// intrusive LRU list and its slice of the byte budget, so server threads on
+// different shards never contend. Loads run *outside* the shard lock (a
+// slow disk read must not serialize the cache); two threads racing on the
+// same cold key may both load, and the second insert simply adopts the
+// entry already present. Entries are handed out as shared_ptr, so eviction
+// never invalidates bytes a reader is still holding.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace hacc::serve {
+
+/// Cache identity of one gio variable sub-block.
+struct CacheKey {
+  std::uint32_t file = 0;   ///< store-assigned file id
+  std::uint32_t block = 0;  ///< writer-time source rank
+  std::uint32_t var = 0;    ///< index into the file's variable table
+  bool operator==(const CacheKey&) const = default;
+};
+
+/// Immutable, shareable sub-block bytes.
+using CacheBlock = std::shared_ptr<const std::vector<std::byte>>;
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;          ///< resident payload bytes
+  std::uint64_t entries = 0;        ///< resident sub-blocks
+  std::uint64_t capacity_bytes = 0;
+  double hit_rate() const noexcept {
+    const std::uint64_t n = hits + misses;
+    return n > 0 ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class BlockCache {
+ public:
+  /// `capacity_bytes` is the global payload budget, split evenly over
+  /// `shards` independent LRU shards (clamped to >= 1 each).
+  explicit BlockCache(std::size_t capacity_bytes, std::size_t shards = 8);
+
+  /// The entry for `key`, loading it with `load` on a miss. `load` returns
+  /// the verified sub-block bytes or throws (e.g. CRC refusal) — a throw
+  /// propagates and nothing is cached. An entry larger than a whole shard's
+  /// budget is returned but not retained.
+  CacheBlock get_or_load(const CacheKey& key,
+                         const std::function<std::vector<std::byte>()>& load);
+
+  /// The cached entry or nullptr; never loads, never touches hit/miss
+  /// accounting or recency (test/introspection use).
+  CacheBlock peek(const CacheKey& key) const;
+
+  /// Hit/miss/eviction totals plus resident bytes, aggregated over shards.
+  CacheStats stats() const;
+
+  /// Drop every entry (stats counters are kept).
+  void clear();
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+ private:
+  struct Entry {
+    CacheKey key;
+    CacheBlock data;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> map;
+    std::size_t bytes = 0;
+    std::size_t capacity = 0;
+  };
+
+  static std::uint64_t hash_key(const CacheKey& key) noexcept;
+  Shard& shard_of(std::uint64_t h) const noexcept {
+    return shards_[h % shards_.size()];
+  }
+
+  mutable std::vector<Shard> shards_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace hacc::serve

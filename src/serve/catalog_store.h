@@ -1,0 +1,111 @@
+// Read-optimized store over a run's in-situ catalog files.
+//
+// A CatalogStore opens every `catalog_<step>.<product>.gio` under a run's
+// catalog directory through gio::BlockFile (header parsed once, pread-only
+// data access) and serves typed queries — halo lookups, spectrum slices,
+// 3-D region cutouts — through a sharded LRU block cache. The unit of
+// caching and of integrity is one gio variable sub-block: a cache miss
+// reads exactly that sub-block and checks its CRC64 trailer, and a failed
+// check *refuses* the query with an error naming the damaged region
+// instead of serving zero-filled science.
+//
+// Thread safety: all query methods are const and safe to call from many
+// threads concurrently (BlockFile uses pread, the cache locks per shard).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gio/gio.h"
+#include "serve/block_cache.h"
+
+namespace hacc::serve {
+
+class CatalogStore {
+ public:
+  struct Config {
+    std::size_t cache_bytes = 64u << 20;  ///< LRU payload budget
+    std::size_t cache_shards = 8;
+  };
+
+  /// Open every catalog file under `dir`. Throws when the directory holds
+  /// no catalogs or a file's headers are unusable (both copies).
+  explicit CatalogStore(const std::string& dir) : CatalogStore(dir, Config{}) {}
+  CatalogStore(const std::string& dir, const Config& config);
+
+  /// Steps with at least one catalog product, ascending.
+  const std::vector<int>& steps() const noexcept { return steps_; }
+  /// The newest cataloged step.
+  int latest_step() const { return steps_.back(); }
+
+  struct HaloRecord {
+    std::uint64_t id = 0;     ///< minimum member particle id
+    std::uint64_t count = 0;  ///< FOF member count
+    float mass = 0;
+    std::array<float, 3> center{};    ///< grid units
+    std::array<float, 3> velocity{};  ///< mean member velocity
+  };
+  /// The halo with the given id at `step`, or nullopt.
+  std::optional<HaloRecord> halo_by_id(int step, std::uint64_t id) const;
+  /// All halos with mass in [min_mass, max_mass], ascending halo id.
+  std::vector<HaloRecord> halos_in_mass_range(int step, float min_mass,
+                                              float max_mass) const;
+  /// Halos in the catalog at `step` (0 when the product is absent).
+  std::uint64_t halo_count(int step) const;
+
+  struct SpectrumPoint {
+    float k = 0;  ///< h/Mpc
+    float power = 0;
+    std::uint64_t modes = 0;
+  };
+  /// P(k) bins with k in [kmin, kmax], ascending k.
+  std::vector<SpectrumPoint> spectrum(
+      int step, float kmin = 0,
+      float kmax = std::numeric_limits<float>::max()) const;
+
+  struct SliceParticle {
+    float x = 0, y = 0, z = 0;
+    float vx = 0, vy = 0, vz = 0;
+    std::uint64_t id = 0;
+  };
+  /// Slice particles inside the axis-aligned box [lo, hi) (grid units).
+  std::vector<SliceParticle> region(int step, const std::array<float, 3>& lo,
+                                    const std::array<float, 3>& hi) const;
+
+  /// Full CRC scan of every catalog file (gio::verify_file); paths of
+  /// damaged/unreadable files are appended to `*damaged` when non-null.
+  bool verify_all(std::vector<std::string>* damaged = nullptr) const;
+
+  BlockCache& cache() const noexcept { return *cache_; }
+  const std::string& dir() const noexcept { return dir_; }
+  std::size_t files() const noexcept { return files_.size(); }
+
+ private:
+  enum class Product { kHalos, kSpectrum, kSlice };
+
+  struct FileEntry {
+    int step = 0;
+    Product product = Product::kHalos;
+    std::unique_ptr<gio::BlockFile> file;
+  };
+
+  /// The opened file for (step, product), or nullptr.
+  const FileEntry* find(int step, Product product) const noexcept;
+  /// One verified sub-block through the cache; throws on CRC refusal.
+  CacheBlock column(const FileEntry& fe, std::size_t block,
+                    std::size_t var) const;
+  /// Resolve a variable name, throwing when the file lacks it.
+  std::size_t var_of(const FileEntry& fe, const char* name) const;
+
+  std::string dir_;
+  std::vector<FileEntry> files_;  ///< index == cache file id
+  std::vector<int> steps_;
+  mutable std::unique_ptr<BlockCache> cache_;
+};
+
+}  // namespace hacc::serve

@@ -1,0 +1,168 @@
+#include "serve/query_server.h"
+
+#include <bit>
+
+#include "util/error.h"
+#include "util/telemetry.h"
+
+namespace hacc::serve {
+
+const char* query_type_name(QueryType t) {
+  switch (t) {
+    case QueryType::kHaloById:
+      return "halo_by_id";
+    case QueryType::kHaloMassRange:
+      return "halo_mass_range";
+    case QueryType::kSpectrum:
+      return "spectrum";
+    case QueryType::kRegion:
+      return "region";
+  }
+  return "unknown";
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  const std::size_t b =
+      ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
+  buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+std::uint64_t LatencyHistogram::count() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      q * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (seen > target) return (1ULL << (b + 1)) - 1;  // bucket upper bound
+  }
+  return std::numeric_limits<std::uint64_t>::max();
+}
+
+double LatencyHistogram::mean_ns() const noexcept {
+  const std::uint64_t n = count();
+  return n > 0 ? static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
+                     static_cast<double>(n)
+               : 0.0;
+}
+
+QueryServer::QueryServer(const CatalogStore& store, const Config& config)
+    : store_(store), config_(config) {
+  HACC_CHECK(config_.threads >= 1 && config_.max_queue >= 1);
+  workers_.reserve(static_cast<std::size_t>(config_.threads));
+  for (int t = 0; t < config_.threads; ++t)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_queue_.notify_all();
+  cv_space_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::future<QueryResult> QueryServer::submit(const Query& q) {
+  Item item;
+  item.query = q;
+  std::future<QueryResult> fut = item.promise.get_future();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] {
+      return queue_.size() < config_.max_queue || stopping_;
+    });
+    HACC_CHECK_MSG(!stopping_, "QueryServer is shutting down");
+    queue_.push_back(std::move(item));
+  }
+  cv_queue_.notify_one();
+  return fut;
+}
+
+QueryResult QueryServer::query(const Query& q) { return submit(q).get(); }
+
+void QueryServer::worker_main() {
+  for (;;) {
+    Item item;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_queue_.wait(lock, [this] { return !queue_.empty() || stopping_; });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cv_space_.notify_one();
+    const std::uint64_t t0 = util::now_ns();
+    QueryResult result = execute(item.query);
+    const std::uint64_t dt = util::now_ns() - t0;
+    const auto type = static_cast<std::size_t>(item.query.type);
+    latency_[type < kQueryTypes ? type : 0].record(dt);
+    latency_all_.record(dt);
+    served_.fetch_add(1, std::memory_order_relaxed);
+    if (!result.ok) failed_.fetch_add(1, std::memory_order_relaxed);
+    item.promise.set_value(std::move(result));
+  }
+}
+
+QueryResult QueryServer::execute(const Query& q) const {
+  QueryResult result;
+  try {
+    const int step = q.step >= 0 ? q.step : store_.latest_step();
+    switch (q.type) {
+      case QueryType::kHaloById: {
+        const auto rec = store_.halo_by_id(step, q.halo_id);
+        result.found = rec.has_value();
+        if (rec) result.halos.push_back(*rec);
+        break;
+      }
+      case QueryType::kHaloMassRange:
+        result.halos =
+            store_.halos_in_mass_range(step, q.min_mass, q.max_mass);
+        result.found = !result.halos.empty();
+        break;
+      case QueryType::kSpectrum:
+        result.spectrum = store_.spectrum(step, q.kmin, q.kmax);
+        result.found = !result.spectrum.empty();
+        break;
+      case QueryType::kRegion:
+        result.particles = store_.region(step, q.lo, q.hi);
+        result.found = !result.particles.empty();
+        break;
+    }
+  } catch (const std::exception& e) {
+    // CRC refusal (or any store error) fails this request, not the server.
+    result.ok = false;
+    result.found = false;
+    result.error = e.what();
+  }
+  return result;
+}
+
+QueryServer::Stats QueryServer::stats() const {
+  Stats st;
+  st.served = served_.load(std::memory_order_relaxed);
+  st.failed = failed_.load(std::memory_order_relaxed);
+  for (std::size_t t = 0; t < kQueryTypes; ++t) {
+    st.count[t] = latency_[t].count();
+    st.p50_ms[t] =
+        static_cast<double>(latency_[t].quantile_ns(0.50)) / 1.0e6;
+    st.p99_ms[t] =
+        static_cast<double>(latency_[t].quantile_ns(0.99)) / 1.0e6;
+  }
+  st.p50_ms_all = static_cast<double>(latency_all_.quantile_ns(0.50)) / 1.0e6;
+  st.p99_ms_all = static_cast<double>(latency_all_.quantile_ns(0.99)) / 1.0e6;
+  st.mean_ms_all = latency_all_.mean_ns() / 1.0e6;
+  return st;
+}
+
+}  // namespace hacc::serve

@@ -1,0 +1,148 @@
+// Multi-threaded snapshot query service over a CatalogStore.
+//
+// The "millions of users" face of the system: a fixed pool of worker
+// threads drains a bounded request queue, each request resolved against the
+// cache-fronted CatalogStore, with per-request-type latency histograms
+// (log2-bucketed, lock-free record) for p50/p99 reporting. The request API
+// is in-process — submit() returns a future — which is the transport a
+// socket front-end would sit on; the bench drives it directly so the
+// numbers measure the read path, not loopback TCP.
+//
+// A query that trips a CRC refusal in the store completes with ok == false
+// and the error text — the service degrades per-request, never crashes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/catalog_store.h"
+
+namespace hacc::serve {
+
+enum class QueryType : int {
+  kHaloById = 0,
+  kHaloMassRange = 1,
+  kSpectrum = 2,
+  kRegion = 3,
+};
+inline constexpr int kQueryTypes = 4;
+
+/// Stable name of a query type ("halo_by_id", ...).
+const char* query_type_name(QueryType t);
+
+struct Query {
+  QueryType type = QueryType::kHaloById;
+  int step = -1;  ///< -1 = newest cataloged step
+  // kHaloById
+  std::uint64_t halo_id = 0;
+  // kHaloMassRange
+  float min_mass = 0;
+  float max_mass = std::numeric_limits<float>::max();
+  // kSpectrum
+  float kmin = 0;
+  float kmax = std::numeric_limits<float>::max();
+  // kRegion
+  std::array<float, 3> lo{};
+  std::array<float, 3> hi{};
+};
+
+struct QueryResult {
+  bool ok = true;       ///< false: the store refused (error holds why)
+  bool found = false;   ///< kHaloById: the id exists
+  std::string error;
+  std::vector<CatalogStore::HaloRecord> halos;
+  std::vector<CatalogStore::SpectrumPoint> spectrum;
+  std::vector<CatalogStore::SliceParticle> particles;
+};
+
+/// Lock-free latency histogram: 64 log2(ns) buckets, relaxed atomics.
+/// Quantiles are read from the bucket boundaries (exact count, value
+/// resolution one power of two — plenty for p50/p99 reporting).
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t ns) noexcept;
+  std::uint64_t count() const noexcept;
+  /// The q-quantile (q in [0,1]) in nanoseconds (bucket upper bound);
+  /// 0 when empty.
+  std::uint64_t quantile_ns(double q) const noexcept;
+  double mean_ns() const noexcept;
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_ns_{0};
+};
+
+class QueryServer {
+ public:
+  struct Config {
+    int threads = 4;
+    /// Backpressure bound: submit() blocks once this many requests are
+    /// queued (a real service would shed load here instead).
+    std::size_t max_queue = 4096;
+  };
+
+  explicit QueryServer(const CatalogStore& store)
+      : QueryServer(store, Config{}) {}
+  QueryServer(const CatalogStore& store, const Config& config);
+  ~QueryServer();  ///< drains the queue, joins the workers
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Enqueue a request for the pool; the future completes when a worker
+  /// has resolved it.
+  std::future<QueryResult> submit(const Query& q);
+
+  /// Synchronous convenience: submit + wait.
+  QueryResult query(const Query& q);
+
+  struct Stats {
+    std::uint64_t served = 0;
+    std::uint64_t failed = 0;  ///< completed with ok == false
+    /// Per query type, indexed by QueryType.
+    std::array<std::uint64_t, kQueryTypes> count{};
+    std::array<double, kQueryTypes> p50_ms{};
+    std::array<double, kQueryTypes> p99_ms{};
+    // All types combined.
+    double p50_ms_all = 0;
+    double p99_ms_all = 0;
+    double mean_ms_all = 0;
+  };
+  Stats stats() const;
+
+  int threads() const noexcept { return static_cast<int>(workers_.size()); }
+  const CatalogStore& store() const noexcept { return store_; }
+
+ private:
+  struct Item {
+    Query query;
+    std::promise<QueryResult> promise;
+  };
+
+  void worker_main();
+  QueryResult execute(const Query& q) const;
+
+  const CatalogStore& store_;
+  Config config_;
+  std::mutex mu_;
+  std::condition_variable cv_queue_;  ///< workers wait for work
+  std::condition_variable cv_space_;  ///< submitters wait for queue space
+  std::deque<Item> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::array<LatencyHistogram, kQueryTypes> latency_;
+  LatencyHistogram latency_all_;
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> failed_{0};
+};
+
+}  // namespace hacc::serve
