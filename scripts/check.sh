@@ -28,6 +28,11 @@
 #    server's queue/histogram/shutdown paths are all cross-thread by
 #    design; plus the full serve suite under ASan (pread buffers, cache
 #    eviction vs outstanding shared_ptr readers).
+# 7. Observatory: the live /metrics endpoint smoke (normal build), the
+#    metrics/cost-map/watchdog suites plus the HTTP endpoint under TSan
+#    (scrape threads read histogram/counter atomics while rank threads and
+#    OpenMP kernel workers write them), and trace_summary.py against empty
+#    and partial traces.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -107,6 +112,33 @@ echo "== serve: asan (full suite) =="
 echo "== serve: tsan (cache hammer + threaded query service) =="
 "$TSAN_BUILD/tests/serve_test" \
   --gtest_filter='BlockCache.*:InSituServe.RunStreamsCatalogsAndAnswersQueries:InSituServe.DamagedCatalogRefusesThatQueryOnly'
+
+# Observatory: metrics endpoint smoke in the normal build, then the whole
+# metrics/cost-attribution/watchdog surface under TSan — the scraper threads
+# read the same atomics the rank threads and OpenMP kernel workers write,
+# and the cost map's mutex is taken from inside the parallel region.
+echo "== observatory: metrics endpoint smoke =="
+"$BUILD/tests/serve_test" --gtest_filter='MetricsEndpoint.*'
+echo "== observatory: tsan (metrics + costmap + watchdog + endpoint) =="
+"$TSAN_BUILD/tests/obs_test" \
+  --gtest_filter='Metrics.*:CostMap.*:Watchdog.*:Reduce.CostMapReduceNamesStragglerRank:SimulationObservatory.*'
+"$TSAN_BUILD/tests/serve_test" --gtest_filter='MetricsEndpoint.*'
+
+# The trace summarizer must stay graceful on the traces a dead run leaves
+# behind: empty arrays, truncated JSON, events missing fields.
+echo "== observatory: trace_summary edge cases =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+echo '[]' > "$TRACE_TMP/empty.json"
+printf '[{"ph":"X","name":"a","dur":100,"pid":0},{"ph":"M"},{"bogus":1}]' \
+  > "$TRACE_TMP/partial.json"
+printf '{"traceEvents":' > "$TRACE_TMP/truncated.json"
+python3 scripts/trace_summary.py "$TRACE_TMP/empty.json"
+python3 scripts/trace_summary.py "$TRACE_TMP/partial.json"
+if python3 scripts/trace_summary.py "$TRACE_TMP/truncated.json" 2>/dev/null; then
+  echo "trace_summary.py should reject truncated JSON" >&2
+  exit 1
+fi
 
 # Perf gate (advisory): if bench JSON from a previous bench_all.sh run is
 # lying around, diff it against the committed baseline. Warns only — set

@@ -4,8 +4,9 @@
     scripts/perf_gate.py [build-dir] [--baseline bench/baseline.json]
                          [--threshold 0.10] [--write-baseline]
 
-Reads BENCH_step.json, BENCH_kernel.json and BENCH_serve.json from the
-build directory and compares the headline metrics against the baseline:
+Reads BENCH_step.json, BENCH_kernel.json, BENCH_serve.json and
+BENCH_obs.json from the build directory and compares the headline metrics
+against the baseline:
 
     step.steps_per_sec        whole-step throughput (higher is better)
     kernel.batched_gflops     tile-batched kernel flop rate (higher is better)
@@ -14,6 +15,9 @@ build directory and compares the headline metrics against the baseline:
     serve.qps                 query service throughput (higher is better)
     serve.hit_rate            block-cache hit rate (higher is better)
     serve.p99_ms              query p99 latency (LOWER is better)
+    obs.overhead_pct          observatory overhead (ABSOLUTE cap, not a
+                              baseline diff: the bar is < 2% regardless of
+                              what any earlier run measured)
 
 A metric more than --threshold (default 10%) worse than baseline — below it
 for throughput metrics, above it for latency metrics — prints a PERF
@@ -31,6 +35,11 @@ import sys
 
 # Metrics where a larger current value is the regression (latencies).
 LOWER_IS_BETTER = {"serve.p99_ms"}
+
+# Metrics gated against a fixed ceiling instead of the recorded baseline —
+# the contract is absolute ("the observatory costs < 2%"), so host drift
+# never moves the bar. These never participate in the baseline diff.
+ABSOLUTE_CAPS = {"obs.overhead_pct": 2.0}
 
 
 def load(path):
@@ -76,6 +85,12 @@ def serve_metrics(data):
     return out
 
 
+def obs_metrics(data):
+    if not data or "overhead_pct" not in data:
+        return {}
+    return {"obs.overhead_pct": data["overhead_pct"]}
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("build", nargs="?", default="build")
@@ -88,11 +103,17 @@ def main():
     current.update(step_metrics(load(os.path.join(args.build, "BENCH_step.json"))))
     current.update(kernel_metrics(load(os.path.join(args.build, "BENCH_kernel.json"))))
     current.update(serve_metrics(load(os.path.join(args.build, "BENCH_serve.json"))))
+    current.update(obs_metrics(load(os.path.join(args.build, "BENCH_obs.json"))))
 
     if not current:
         print("perf_gate: no BENCH_step.json / BENCH_kernel.json / "
-              f"BENCH_serve.json in {args.build}/ — nothing to gate")
+              f"BENCH_serve.json / BENCH_obs.json in {args.build}/ — "
+              "nothing to gate")
         return 0
+
+    # Absolute-cap metrics are gated here and never enter the baseline diff.
+    capped = {k: v for k, v in current.items() if k in ABSOLUTE_CAPS}
+    current = {k: v for k, v in current.items() if k not in ABSOLUTE_CAPS}
 
     if args.write_baseline:
         os.makedirs(os.path.dirname(args.baseline) or ".", exist_ok=True)
@@ -104,13 +125,26 @@ def main():
             print(f"  {k:28s} {current[k]:.4f}")
         return 0
 
+    regressions = []
+    for key in sorted(capped):
+        cap = ABSOLUTE_CAPS[key]
+        flag = ""
+        if capped[key] > cap:
+            flag = "  << PERF REGRESSION"
+            regressions.append(key)
+        print(f"  {key:28s} cap      {cap:10.4f}  current {capped[key]:10.4f}"
+              f"{flag}")
+
     baseline = load(args.baseline)
     if baseline is None:
+        if regressions:
+            print(f"perf_gate: WARNING — {len(regressions)} metric(s) over "
+                  f"their absolute cap: {', '.join(regressions)}")
+            if os.environ.get("HACC_PERF_STRICT") == "1":
+                return 1
         print(f"perf_gate: no baseline at {args.baseline} — run with "
               "--write-baseline to record one")
         return 0
-
-    regressions = []
     print(f"perf_gate: current vs {args.baseline} "
           f"(warn below -{args.threshold:.0%})")
     for key in sorted(baseline):

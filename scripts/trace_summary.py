@@ -20,8 +20,15 @@ import sys
 
 
 def load_events(path):
-    with open(path, "r", encoding="utf-8") as f:
-        data = json.load(f)
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except OSError as e:
+        raise SystemExit(f"{path}: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        # A truncated trace (run died mid-write) is the common case here;
+        # fail with one readable line, not a traceback.
+        raise SystemExit(f"{path}: not valid JSON ({e})")
     if isinstance(data, dict):  # Chrome's object form: {"traceEvents": [...]}
         data = data.get("traceEvents", [])
     if not isinstance(data, list):
@@ -29,12 +36,19 @@ def load_events(path):
     return [e for e in data if isinstance(e, dict) and e.get("ph") == "X"]
 
 
+def dur_us(e):
+    try:
+        return float(e.get("dur", 0.0))
+    except (TypeError, ValueError):
+        return 0.0
+
+
 def aggregate(events, key):
     agg = collections.defaultdict(lambda: [0, 0.0])  # key -> [count, total_us]
     for e in events:
         a = agg[key(e)]
         a[0] += 1
-        a[1] += float(e.get("dur", 0.0))
+        a[1] += dur_us(e)
     return agg
 
 
@@ -58,8 +72,8 @@ def main():
         print(f"{args.trace}: no complete ('X') events")
         return
 
-    ranks = sorted({e.get("pid", 0) for e in events})
-    total_us = sum(float(e.get("dur", 0.0)) for e in events)
+    ranks = sorted({e.get("pid", 0) for e in events}, key=str)
+    total_us = sum(dur_us(e) for e in events)
     print(f"{args.trace}: {len(events)} spans across {len(ranks)} rank(s)")
 
     key = (lambda e: (e.get("pid", 0), e.get("name", "?"))) if args.per_rank \
@@ -81,9 +95,10 @@ def main():
         times = {r: v[1] for r, v in per_rank.items()}
         mean = sum(times.values()) / len(times)
         worst = max(times.values())
-        print(f"\nper-rank span time: mean {mean/1000.0:.3f} ms, "
-              f"max {worst/1000.0:.3f} ms "
-              f"(imbalance {worst/mean:.2f})" if mean > 0 else "")
+        if mean > 0:
+            print(f"\nper-rank span time: mean {mean/1000.0:.3f} ms, "
+                  f"max {worst/1000.0:.3f} ms "
+                  f"(imbalance {worst/mean:.2f})")
 
 
 if __name__ == "__main__":

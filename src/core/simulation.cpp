@@ -35,6 +35,17 @@ const NameId kCtrInteractions = obs::counter_id("tree.pp_interactions");
 const NameId kCtrWalkVisits = obs::counter_id("tree.walk_visits");
 const NameId kGaugePeakRss = obs::gauge_id("mem.peak_rss_bytes");
 
+// Live-scrape slots: step wall-time distribution plus the cost-map summary
+// gauges (the _micro suffix is the fixed-point convention for fractional
+// values in uint64 counter slots; the Prometheus exporter divides by 1e6).
+const NameId kHistStepWall = obs::histogram_id("step.wall_ns");
+const NameId kGaugeCostKernelNs = obs::gauge_id("cost.kernel_ns");
+const NameId kGaugeCostLeaves = obs::gauge_id("cost.leaves");
+const NameId kGaugeCostLeafImbalance = obs::gauge_id("cost.leaf_imbalance_micro");
+const NameId kGaugeCostNsPerInteraction =
+    obs::gauge_id("cost.ns_per_interaction_micro");
+const NameId kGaugeCostTopDecile = obs::gauge_id("cost.top_decile_share_micro");
+
 }  // namespace
 
 Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
@@ -49,6 +60,7 @@ Simulation::Simulation(comm::Comm& world, const Cosmology& cosmo,
   HACC_CHECK_MSG(config.z_initial > config.z_final,
                  "z must decrease over the run");
 
+  watchdog_ = obs::Watchdog(config.watchdog_config);
   domain_ = std::make_unique<OverloadDomain>(decomp_, world.rank(),
                                              config.overload);
   domain_->set_canonical_order(config.canonical_order);
@@ -256,29 +268,70 @@ void Simulation::short_range_subcycles(double a0, double a1) {
 }
 
 void Simulation::step() {
-  obs::Binding binding(&tracer_, &counters_);
-  auto step_scope = timers_.scope(kPhaseStep);
-  const double a0 = a_;
-  const double a_final = Cosmology::a_of_z(config_.z_final);
-  const double a_init = Cosmology::a_of_z(config_.z_initial);
-  const double da = (a_final - a_init) / static_cast<double>(config_.steps);
-  const double a1 = std::min(a0 + da, a_final);
-  const double am = 0.5 * (a0 + a1);
-
-  long_range_kick(a0, am);        // M_lr(t/2)
-  short_range_subcycles(a0, a1);  // (M_sr(t/n_c))^{n_c}
-  long_range_kick(am, a1);        // M_lr(t/2)
+  obs::CostMap* cost = config_.cost_attribution ? &cost_map_ : nullptr;
+  if (cost != nullptr) cost->begin_step();
+  const std::uint64_t wall_t0 = util::now_ns();
   {
-    auto scope = timers_.scope(kPhaseRefresh);
-    domain_->refresh(world_, particles_);
+    obs::Binding binding(&tracer_, &counters_, cost);
+    auto step_scope = timers_.scope(kPhaseStep);
+    const double a0 = a_;
+    const double a_final = Cosmology::a_of_z(config_.z_final);
+    const double a_init = Cosmology::a_of_z(config_.z_initial);
+    const double da = (a_final - a_init) / static_cast<double>(config_.steps);
+    const double a1 = std::min(a0 + da, a_final);
+    const double am = 0.5 * (a0 + a1);
+
+    long_range_kick(a0, am);        // M_lr(t/2)
+    short_range_subcycles(a0, a1);  // (M_sr(t/n_c))^{n_c}
+    long_range_kick(am, a1);        // M_lr(t/2)
+    {
+      auto scope = timers_.scope(kPhaseRefresh);
+      domain_->refresh(world_, particles_);
+    }
+    a_ = a1;
+    ++steps_taken_;
+    // In-situ hook lives here (not in run()) so supervised/chaos-driven
+    // stepping streams catalogs too.
+    if (config_.insitu.cadence > 0 &&
+        steps_taken_ % config_.insitu.cadence == 0)
+      run_insitu();
   }
-  a_ = a1;
-  ++steps_taken_;
-  // In-situ hook lives here (not in run()) so supervised/chaos-driven
-  // stepping streams catalogs too.
-  if (config_.insitu.cadence > 0 &&
-      steps_taken_ % config_.insitu.cadence == 0)
-    run_insitu();
+  // Outside the step scope so the published "step" total includes the step
+  // that just ended; both sinks are atomics, safe against a live scrape.
+  histograms_.record(kHistStepWall, util::now_ns() - wall_t0);
+  publish_metric_gauges();
+}
+
+void Simulation::publish_metric_gauges() {
+  // Phase totals as counters: a /metrics scrape must never read the
+  // race-unsafe TimerRegistry, so each step republishes the totals into
+  // atomic counter slots under phase.<name>.ns (the exporter folds them
+  // into one hacc_phase_ns_total family labeled by phase).
+  constexpr NameId kUnmapped = ~NameId{0};
+  auto publish = [&](NameId phase, double seconds, const char* prefix) {
+    if (phase_metric_ids_.size() <= phase)
+      phase_metric_ids_.resize(static_cast<std::size_t>(phase) + 1, kUnmapped);
+    if (phase_metric_ids_[phase] == kUnmapped)
+      phase_metric_ids_[phase] = obs::counter_id(
+          std::string("phase.") + prefix + std::string(name_of(phase)) + ".ns");
+    counters_.set(phase_metric_ids_[phase],
+                  static_cast<std::uint64_t>(seconds * 1e9));
+  };
+  for (const auto& t : timers_.totals()) publish(t.id, t.seconds, "");
+  for (const auto& t : poisson_->timers().totals())
+    publish(t.id, t.seconds, "poisson.");
+
+  if (config_.cost_attribution) {
+    const obs::CostMap::Summary s = cost_map_.summarize();
+    counters_.set(kGaugeCostKernelNs, s.kernel_ns);
+    counters_.set(kGaugeCostLeaves, s.leaves);
+    counters_.set(kGaugeCostLeafImbalance,
+                  static_cast<std::uint64_t>(s.leaf_imbalance * 1e6));
+    counters_.set(kGaugeCostNsPerInteraction,
+                  static_cast<std::uint64_t>(s.ns_per_interaction * 1e6));
+    counters_.set(kGaugeCostTopDecile,
+                  static_cast<std::uint64_t>(s.top_decile_share * 1e6));
+  }
 }
 
 serve::InSituReport Simulation::run_insitu() {
@@ -352,6 +405,9 @@ std::vector<std::pair<NameId, double>> Simulation::ledger_counter_samples() {
   counters_.set(kGaugePeakRss, obs::peak_rss_bytes());
   std::vector<std::pair<NameId, double>> out;
   for (const auto& s : counters_.snapshot()) {
+    // phase.<x>.ns slots are republished timer totals for the live scrape;
+    // the ledger already carries the same data in its phases map.
+    if (name_of(s.id).rfind("phase.", 0) == 0) continue;
     if (obs::kind_of(s.id) == obs::CounterKind::kGauge) {
       out.emplace_back(s.id, static_cast<double>(s.value));
       continue;
@@ -376,6 +432,12 @@ void Simulation::record_step_ledger() {
       world_, std::span<const std::pair<NameId, double>>(phase_samples));
   const auto counters = obs::reduce_samples(
       world_, std::span<const std::pair<NameId, double>>(counter_samples));
+  // Cost attribution is reduced collectively too (even though only the
+  // root keeps the record) — every rank must participate.
+  obs::CostMapRecord cost_rec;
+  if (config_.cost_attribution)
+    cost_rec =
+        obs::reduce_cost_map(world_, cost_map_.summarize(), steps_taken_);
   if (world_.rank() != 0) return;  // reductions land on the root only
 
   obs::StepRecord rec;
@@ -407,7 +469,18 @@ void Simulation::record_step_ledger() {
     rec.t_per_substep_per_particle =
         rec.wall.mean / static_cast<double>(config_.subcycles) / np_total;
   rec.breakdown = obs::paper_breakdown(rec.phases, rec.wall.mean);
+
+  // Watchdog inspects the reduced record before it is consumed; anomalies
+  // interleave with the step/costmap lines in the streamed ledger.
+  std::vector<obs::Anomaly> anomalies;
+  if (config_.watchdog)
+    anomalies = watchdog_.observe(
+        rec, config_.cost_attribution ? &cost_rec : nullptr);
+
   ledger_.append(std::move(rec));
+  if (config_.cost_attribution) ledger_.append_costmap(cost_rec);
+  for (const obs::Anomaly& a : anomalies)
+    ledger_.append_event(obs::Watchdog::to_event(a, steps_taken_));
 }
 
 std::vector<cosmology::PowerBin> Simulation::power_spectrum(

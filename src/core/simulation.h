@@ -35,9 +35,12 @@
 #include "cosmology/initial_conditions.h"
 #include "cosmology/power_spectrum.h"
 #include "mesh/poisson.h"
+#include "obs/costmap.h"
 #include "obs/counters.h"
 #include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "p3m/chaining_mesh.h"
 #include "serve/insitu.h"
 #include "tree/force_matcher.h"
@@ -103,6 +106,18 @@ struct SimulationConfig {
   /// insitu.output_dir (see serve/insitu.h). Runs inside step(), so
   /// supervised/chaos-driven runs stream catalogs too.
   serve::InSituConfig insitu;
+  /// Per-leaf cost attribution: bind the rank's CostMap during step() so
+  /// the short-range kernels record {leaf box, interactions, kernel ns}
+  /// per leaf, and (when the ledger is on) reduce + stream a per-step
+  /// {"costmap":...} record — the measured-cost input for the roadmap's
+  /// cost-based rebalancer.
+  bool cost_attribution = true;
+  /// Drift watchdog: inspect each reduced step record (straggler
+  /// imbalance, model-vs-measured ns/interaction drift, phase-coverage
+  /// gaps) and ledger {"event":"anomaly"} lines. Only active when the
+  /// ledger is on (the watchdog reads reduced records).
+  bool watchdog = true;
+  obs::WatchdogConfig watchdog_config{};
 };
 
 class Simulation {
@@ -169,6 +184,15 @@ class Simulation {
   /// record here while the simulation runs.
   obs::Tracer& tracer() noexcept { return tracer_; }
   obs::Counters& counters() noexcept { return counters_; }
+  /// Per-leaf kernel cost of the latest step (cost_attribution on).
+  const obs::CostMap& cost_map() const noexcept { return cost_map_; }
+  /// Histogram slots (step.wall_ns, plus anything a driver mirrors in);
+  /// together with counters() this is the rank's live /metrics source.
+  obs::HistogramSet& histograms() noexcept { return histograms_; }
+  const obs::HistogramSet& histograms() const noexcept { return histograms_; }
+  /// Drift watchdog state (anomaly totals feed /healthz).
+  const obs::Watchdog& watchdog() const noexcept { return watchdog_; }
+  std::uint64_t anomaly_count() const noexcept { return watchdog_.anomalies(); }
 
   /// The per-step run ledger (populated by run() when config().ledger_path
   /// is set, or explicitly via record_step_ledger()).
@@ -244,6 +268,10 @@ class Simulation {
   /// Counter deltas (gauges: absolute values) since the previous call;
   /// advances the baseline.
   std::vector<std::pair<NameId, double>> ledger_counter_samples();
+  /// Publish per-phase timer totals (as phase.<name>.ns counters) and cost
+  /// summary gauges into counters_, so a live /metrics scrape sees them
+  /// without touching the race-unsafe TimerRegistry.
+  void publish_metric_gauges();
 
   comm::Comm world_;
   cosmology::Cosmology cosmo_;
@@ -270,9 +298,13 @@ class Simulation {
   obs::Tracer tracer_;
   obs::Counters counters_;
   obs::Ledger ledger_;
+  obs::CostMap cost_map_;
+  obs::HistogramSet histograms_;
+  obs::Watchdog watchdog_;
   std::optional<std::array<double, 3>> momentum0_;
   std::vector<double> prev_phase_seconds_;     // indexed by NameId
   std::vector<std::uint64_t> prev_counters_;   // indexed by NameId
+  std::vector<NameId> phase_metric_ids_;       // phase id -> phase.<x>.ns id
 };
 
 }  // namespace hacc::core

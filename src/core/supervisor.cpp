@@ -158,9 +158,52 @@ void Supervisor::record_event(const std::string& kind, int step, int attempt,
                                obs::EventRecord{kind, step, attempt, detail});
 }
 
+void Supervisor::start_metrics_server() {
+  if (config_.metrics_port < 0 || metrics_server_) return;
+  serve::MetricsServer::Config mcfg;
+  mcfg.port = config_.metrics_port;
+  metrics_server_ = std::make_unique<serve::MetricsServer>(mcfg);
+  metrics_server_->set_metrics_handler([this] { return hub_.render(); });
+  metrics_server_->set_healthz_handler([this] {
+    const bool done = health_.completed.load(std::memory_order_relaxed);
+    std::string body = "{\"status\":\"";
+    body += done ? "ok" : "running";
+    body += "\",\"attempt\":" +
+            std::to_string(health_.attempt.load(std::memory_order_relaxed));
+    body += ",\"width\":" +
+            std::to_string(health_.width.load(std::memory_order_relaxed));
+    body += ",\"step\":" +
+            std::to_string(health_.step.load(std::memory_order_relaxed));
+    body += ",\"last_checkpoint_step\":" +
+            std::to_string(
+                health_.last_checkpoint.load(std::memory_order_relaxed));
+    body += ",\"anomalies\":" +
+            std::to_string(health_.anomalies.load(std::memory_order_relaxed));
+    body += ",\"completed\":";
+    body += done ? "true" : "false";
+    body += "}";
+    return body;
+  });
+}
+
 void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
                            int attempt) {
   Simulation sim(comm, cosmo_, config_.sim);
+  // Register this rank's scrape sinks for the lifetime of the attempt.
+  // Declared after `sim`, so unwinding removes the source from the hub
+  // before the sinks it points at are destroyed.
+  struct HubGuard {
+    obs::MetricsHub* hub;
+    int handle;
+    ~HubGuard() {
+      if (hub != nullptr) hub->remove(handle);
+    }
+  } hub_guard{nullptr, -1};
+  if (metrics_server_) {
+    hub_guard.hub = &hub_;
+    hub_guard.handle = hub_.add(
+        obs::MetricsSource{comm.rank(), &sim.counters(), &sim.histograms()});
+  }
   const bool ledger_on = !config_.sim.ledger_path.empty();
   const bool root = comm.rank() == 0;
   if (ledger_on && root) {
@@ -189,6 +232,10 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
     // serial, so the rank-0 thread is the only writer).
     if (root) note_step(comm.size(), step_timer.elapsed());
     if (ledger_on) sim.record_step_ledger();
+    if (root) {
+      health_.step.store(sim.steps_taken(), std::memory_order_relaxed);
+      health_.anomalies.store(sim.anomaly_count(), std::memory_order_relaxed);
+    }
 
     // Health guards before the state can be checkpointed: a checkpoint of
     // sick state would poison every later recovery. The report is
@@ -211,6 +258,7 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
       sim.write_checkpoint(path);  // write-then-verify inside (collective)
       if (root) {
         checkpoints_.publish(s);
+        health_.last_checkpoint.store(s, std::memory_order_relaxed);
         if (ledger_on)
           sim.mutable_ledger().append_event(
               obs::EventRecord{"checkpoint", s, attempt, path});
@@ -224,12 +272,16 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
 SupervisorReport Supervisor::run() {
   report_ = SupervisorReport{};
   width_ = config_.nranks;
+  start_metrics_server();  // outlives attempts: scrapeable through failures
+  health_.completed.store(false, std::memory_order_relaxed);
   int failures_at_width = 0;
   std::optional<Timer> recover_timer;  // starts when a failure is detected
   for (int attempt = 0;; ++attempt) {
     report_.attempts = attempt + 1;
     report_.width_history.push_back(width_);
     report_.final_width = width_;
+    health_.attempt.store(attempt, std::memory_order_relaxed);
+    health_.width.store(width_, std::memory_order_relaxed);
     std::string restore;
     int restore_step = -1;
     if (attempt > 0) {
@@ -275,6 +327,7 @@ SupervisorReport Supervisor::run() {
           config_.machine, &machine_report);
       report_.completed = true;
       report_.final_step = config_.sim.steps;
+      health_.completed.store(true, std::memory_order_relaxed);
       record_event("run_complete", config_.sim.steps, attempt, "");
       return report_;
     } catch (const std::exception& e) {

@@ -35,13 +35,17 @@
 // recovered run is bit-for-bit identical to an uninterrupted one.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "comm/comm.h"
 #include "core/simulation.h"
 #include "cosmology/background.h"
+#include "obs/metrics.h"
+#include "serve/metrics_server.h"
 
 namespace hacc::core {
 
@@ -124,6 +128,11 @@ struct SupervisorConfig {
   /// Runtime options for every attempt (receive deadline, payload
   /// verification, fault plan).
   comm::MachineOptions machine;
+  /// Live observability endpoint: -1 = off, 0 = bind an ephemeral loopback
+  /// port (see Supervisor::metrics_port()), otherwise the port to bind.
+  /// The server outlives individual attempts, so a campaign stays
+  /// scrapeable through failures and degraded-width phases.
+  int metrics_port = -1;
 };
 
 struct SupervisorReport {
@@ -175,9 +184,20 @@ class Supervisor {
 
   const CheckpointSet& checkpoints() const noexcept { return checkpoints_; }
 
+  /// The bound metrics port (-1 when config.metrics_port is -1 or run()
+  /// has not started the server yet).
+  int metrics_port() const noexcept {
+    return metrics_server_ ? metrics_server_->port() : -1;
+  }
+  /// The live source registry behind /metrics: each attempt's ranks
+  /// register their counter/histogram sinks here; drivers (e.g. a query
+  /// service riding on the run) may add their own sources.
+  obs::MetricsHub& metrics_hub() noexcept { return hub_; }
+
  private:
   void rank_main(comm::Comm& comm, const std::string& restore_path,
                  int attempt);
+  void start_metrics_server();
   void record_event(const std::string& kind, int step, int attempt,
                     const std::string& detail);
   /// Accumulate one completed step into the per-width throughput stats
@@ -189,6 +209,20 @@ class Supervisor {
   CheckpointSet checkpoints_;
   SupervisorReport report_;
   int width_ = 0;  ///< rank count of the current/next attempt
+
+  /// /healthz state: every field an atomic so the server threads read it
+  /// while rank threads advance the run.
+  struct HealthState {
+    std::atomic<int> attempt{-1};
+    std::atomic<int> width{0};
+    std::atomic<int> step{0};
+    std::atomic<int> last_checkpoint{-1};
+    std::atomic<std::uint64_t> anomalies{0};
+    std::atomic<bool> completed{false};
+  };
+  HealthState health_;
+  obs::MetricsHub hub_;
+  std::unique_ptr<serve::MetricsServer> metrics_server_;
 };
 
 }  // namespace hacc::core

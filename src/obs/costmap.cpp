@@ -1,0 +1,64 @@
+#include "obs/costmap.h"
+
+#include <algorithm>
+
+namespace hacc::obs {
+
+void CostMap::begin_step() {
+  std::lock_guard<std::mutex> lock(mu_);
+  leaves_.clear();  // capacity retained
+}
+
+void CostMap::record(const LeafCost& leaf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  leaves_.push_back(leaf);
+}
+
+std::vector<LeafCost> CostMap::leaves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leaves_;
+}
+
+std::size_t CostMap::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return leaves_.size();
+}
+
+CostMap::Summary CostMap::summarize() const {
+  std::vector<std::uint64_t> ns;
+  Summary s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ns.reserve(leaves_.size());
+    for (const LeafCost& l : leaves_) {
+      s.particles += l.particles;
+      s.interactions += l.interactions;
+      s.kernel_ns += l.kernel_ns;
+      ns.push_back(l.kernel_ns);
+    }
+  }
+  s.leaves = ns.size();
+  if (s.leaves == 0) return s;
+
+  s.max_leaf_ns = *std::max_element(ns.begin(), ns.end());
+  s.mean_leaf_ns =
+      static_cast<double>(s.kernel_ns) / static_cast<double>(s.leaves);
+  s.leaf_imbalance = s.mean_leaf_ns > 0
+                         ? static_cast<double>(s.max_leaf_ns) / s.mean_leaf_ns
+                         : 0.0;
+  if (s.interactions > 0)
+    s.ns_per_interaction =
+        static_cast<double>(s.kernel_ns) / static_cast<double>(s.interactions);
+
+  // Share of kernel time in the costliest 10% of leaves (at least one).
+  const std::size_t top = std::max<std::size_t>(1, ns.size() / 10);
+  std::nth_element(ns.begin(), ns.begin() + (ns.size() - top), ns.end());
+  std::uint64_t top_ns = 0;
+  for (std::size_t i = ns.size() - top; i < ns.size(); ++i) top_ns += ns[i];
+  if (s.kernel_ns > 0)
+    s.top_decile_share =
+        static_cast<double>(top_ns) / static_cast<double>(s.kernel_ns);
+  return s;
+}
+
+}  // namespace hacc::obs

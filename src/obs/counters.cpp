@@ -35,6 +35,10 @@ NameId gauge_id(std::string_view name) {
   return intern_with_kind(name, CounterKind::kGauge);
 }
 
+NameId histogram_id(std::string_view name) {
+  return intern_with_kind(name, CounterKind::kHistogram);
+}
+
 CounterKind kind_of(NameId id) {
   KindTable& t = kind_table();
   std::lock_guard<std::mutex> lock(t.mu);

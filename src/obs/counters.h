@@ -28,14 +28,17 @@
 namespace hacc::obs {
 
 enum class CounterKind : std::uint8_t {
-  kCounter,  ///< monotonic; per-step deltas are meaningful
-  kGauge,    ///< latest value; report absolute
+  kCounter,    ///< monotonic; per-step deltas are meaningful
+  kGauge,      ///< latest value; report absolute
+  kHistogram,  ///< distribution; slot lives in an obs::HistogramSet
 };
 
 /// Intern a monotonic counter name; idempotent.
 NameId counter_id(std::string_view name);
 /// Intern a gauge name; idempotent.
 NameId gauge_id(std::string_view name);
+/// Intern a histogram name (slots live in obs::HistogramSet); idempotent.
+NameId histogram_id(std::string_view name);
 /// The registered kind of an id (kCounter for plain interned names).
 CounterKind kind_of(NameId id);
 

@@ -90,6 +90,82 @@ std::string step_record_json(const StepRecord& r) {
   return line;
 }
 
+CostMapRecord reduce_cost_map(comm::Comm& comm, const CostMap::Summary& mine,
+                              int step, int root) {
+  // Interned once: the same ids feed reduce_samples and (via counters) the
+  // per-rank /metrics gauges, so the two views stay name-compatible.
+  static const NameId kKernelNs = counter_id("cost.kernel_ns");
+  static const NameId kInteractions = counter_id("cost.interactions");
+
+  // One POD summary per rank for the leaf-level fields (and the straggler
+  // argmax, which a min/mean/max reduction cannot recover).
+  struct WireSummary {
+    std::uint64_t leaves, interactions, kernel_ns;
+    double leaf_imbalance, top_decile_share;
+  };
+  const WireSummary w{mine.leaves, mine.interactions, mine.kernel_ns,
+                      mine.leaf_imbalance, mine.top_decile_share};
+  std::vector<std::size_t> counts;
+  const std::vector<WireSummary> all =
+      comm.gatherv(std::span<const WireSummary>(&w, 1), root, &counts);
+
+  // Per-rank kernel seconds / interactions through the shared reducer —
+  // rank_kernel_s.imbalance is the cross-rank straggler signal.
+  const std::array<std::pair<NameId, double>, 2> samples{
+      std::pair<NameId, double>{kKernelNs,
+                                static_cast<double>(mine.kernel_ns) / 1e9},
+      std::pair<NameId, double>{kInteractions,
+                                static_cast<double>(mine.interactions)}};
+  const std::vector<Reduced> reduced = reduce_samples(comm, samples, root);
+
+  CostMapRecord rec;
+  rec.step = step;
+  if (comm.rank() != root) return rec;
+
+  for (const Reduced& r : reduced) {
+    const PhaseStat s{r.min, r.mean, r.max, r.imbalance()};
+    if (r.name == kKernelNs) rec.rank_kernel_s = s;
+    if (r.name == kInteractions) rec.rank_interactions = s;
+  }
+  std::uint64_t kernel_ns = 0;
+  for (std::size_t r = 0; r < all.size(); ++r) {
+    rec.leaves += all[r].leaves;
+    rec.interactions += all[r].interactions;
+    kernel_ns += all[r].kernel_ns;
+    rec.leaf_imbalance = std::max(rec.leaf_imbalance, all[r].leaf_imbalance);
+    rec.top_decile_share =
+        std::max(rec.top_decile_share, all[r].top_decile_share);
+    if (all[r].kernel_ns > 0 &&
+        (rec.straggler_rank < 0 ||
+         all[r].kernel_ns >
+             all[static_cast<std::size_t>(rec.straggler_rank)].kernel_ns))
+      rec.straggler_rank = static_cast<int>(r);
+  }
+  rec.kernel_s = static_cast<double>(kernel_ns) / 1e9;
+  if (rec.interactions > 0)
+    rec.ns_per_interaction = static_cast<double>(kernel_ns) /
+                             static_cast<double>(rec.interactions);
+  return rec;
+}
+
+std::string costmap_record_json(const CostMapRecord& c) {
+  std::string line = "{\"costmap\":{";
+  line += "\"step\":" + std::to_string(c.step);
+  line += ",\"leaves\":" + std::to_string(c.leaves);
+  line += ",\"interactions\":" + std::to_string(c.interactions);
+  line += ",\"kernel_s\":" + json_number(c.kernel_s);
+  line += ',';
+  append_stat(line, "rank_kernel_s", c.rank_kernel_s);
+  line += ',';
+  append_stat(line, "rank_interactions", c.rank_interactions);
+  line += ",\"leaf_imbalance\":" + json_number(c.leaf_imbalance);
+  line += ",\"top_decile_share\":" + json_number(c.top_decile_share);
+  line += ",\"ns_per_interaction\":" + json_number(c.ns_per_interaction);
+  line += ",\"straggler_rank\":" + std::to_string(c.straggler_rank);
+  line += "}}";
+  return line;
+}
+
 std::string event_record_json(const EventRecord& e) {
   std::string line = "{\"event\":\"" + json_escape(e.kind) + '"';
   if (e.step >= 0) line += ",\"step\":" + std::to_string(e.step);
@@ -129,6 +205,11 @@ void Ledger::append(StepRecord record) {
 void Ledger::append_event(EventRecord event) {
   stream_line(event_record_json(event));
   events_.push_back(std::move(event));
+}
+
+void Ledger::append_costmap(CostMapRecord record) {
+  stream_line(costmap_record_json(record));
+  costmaps_.push_back(record);
 }
 
 void Ledger::append_event_to(const std::string& path, const EventRecord& e) {

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/costmap.h"
 #include "obs/reduce.h"
 
 namespace hacc::obs {
@@ -75,9 +76,39 @@ struct EventRecord {
   std::string detail;  ///< free-form human-readable context
 };
 
-/// One StepRecord / EventRecord as a single JSONL line (no trailing '\n').
+/// One step's cost map, reduced across ranks — streamed into the ledger as
+/// a `{"costmap":...}` JSONL line, the measured-cost input the roadmap's
+/// cost-based rebalancer consumes.
+struct CostMapRecord {
+  int step = 0;
+  std::uint64_t leaves = 0;        ///< total leaves across ranks
+  std::uint64_t interactions = 0;  ///< total pairwise interactions
+  double kernel_s = 0;             ///< summed leaf kernel seconds
+  /// Per-rank kernel seconds / interaction counts reduced min/mean/max —
+  /// rank_kernel_s.imbalance is the cross-rank signal the watchdog gates.
+  PhaseStat rank_kernel_s;
+  PhaseStat rank_interactions;
+  /// Worst single rank's within-rank leaf imbalance (max leaf / mean leaf).
+  double leaf_imbalance = 0;
+  /// Worst single rank's kernel-time share in its costliest 10% of leaves.
+  double top_decile_share = 0;
+  /// Mean measured ns per interaction across ranks (kernel_ns weighted).
+  double ns_per_interaction = 0;
+  int straggler_rank = -1;  ///< rank with the most kernel time (-1 = none)
+};
+
+/// Reduce every rank's CostMap::Summary to rank 0 (empty record with the
+/// given step elsewhere). Collective over `comm`; uses obs::reduce_samples
+/// for the per-rank kernel/interaction stats plus one summary gather for
+/// the leaf-level fields.
+CostMapRecord reduce_cost_map(comm::Comm& comm, const CostMap::Summary& mine,
+                              int step, int root = 0);
+
+/// One StepRecord / EventRecord / CostMapRecord as a single JSONL line (no
+/// trailing '\n').
 std::string step_record_json(const StepRecord& r);
 std::string event_record_json(const EventRecord& e);
+std::string costmap_record_json(const CostMapRecord& c);
 
 class Ledger {
  public:
@@ -95,8 +126,12 @@ class Ledger {
 
   void append(StepRecord record);
   void append_event(EventRecord event);
+  void append_costmap(CostMapRecord record);
   const std::vector<StepRecord>& records() const noexcept { return records_; }
   const std::vector<EventRecord>& events() const noexcept { return events_; }
+  const std::vector<CostMapRecord>& costmaps() const noexcept {
+    return costmaps_;
+  }
   bool empty() const noexcept { return records_.empty(); }
 
   /// The full ledger as JSONL (one JSON object per line; step records only,
@@ -118,6 +153,7 @@ class Ledger {
 
   std::vector<StepRecord> records_;
   std::vector<EventRecord> events_;
+  std::vector<CostMapRecord> costmaps_;
   std::FILE* sink_ = nullptr;
 };
 

@@ -9,6 +9,7 @@ namespace hacc::obs {
 namespace {
 thread_local Tracer* g_tracer = nullptr;
 thread_local Counters* g_counters = nullptr;
+thread_local CostMap* g_cost = nullptr;
 
 void hook_complete(void* ctx, NameId name, std::uint64_t t0_ns,
                    std::uint64_t dur_ns) {
@@ -18,11 +19,15 @@ void hook_complete(void* ctx, NameId name, std::uint64_t t0_ns,
 
 Tracer* tracer() noexcept { return g_tracer; }
 Counters* counters() noexcept { return g_counters; }
+CostMap* cost_map() noexcept { return g_cost; }
 
-Binding::Binding(Tracer* tracer, Counters* counters) noexcept
-    : prev_tracer_(g_tracer), prev_counters_(g_counters) {
+Binding::Binding(Tracer* tracer, Counters* counters, CostMap* cost_map) noexcept
+    : prev_tracer_(g_tracer),
+      prev_counters_(g_counters),
+      prev_cost_(g_cost) {
   g_tracer = tracer;
   g_counters = counters;
+  g_cost = cost_map;
   if (tracer != nullptr) {
     hook_.complete = &hook_complete;
     hook_.ctx = tracer;
@@ -36,6 +41,7 @@ Binding::~Binding() {
   util::set_trace_hook(prev_hook_);
   g_tracer = prev_tracer_;
   g_counters = prev_counters_;
+  g_cost = prev_cost_;
 }
 
 std::uint64_t peak_rss_bytes() {

@@ -19,16 +19,23 @@
 
 namespace hacc::obs {
 
-/// The calling thread's bound tracer/counters, or nullptr.
+class CostMap;
+
+/// The calling thread's bound tracer/counters/cost map, or nullptr.
 Tracer* tracer() noexcept;
 Counters* counters() noexcept;
+CostMap* cost_map() noexcept;
 
-/// RAII: binds `tracer`/`counters` (either may be null) to the calling
-/// thread and installs the util::TraceHook so TimerRegistry scopes feed the
-/// tracer; restores the previous binding on destruction. Bindings nest.
+/// RAII: binds `tracer`/`counters`/`cost_map` (any may be null) to the
+/// calling thread and installs the util::TraceHook so TimerRegistry scopes
+/// feed the tracer; restores the previous binding on destruction. Bindings
+/// nest. Note the binding is per-thread: OpenMP workers spawned inside a
+/// bound region do NOT inherit it — kernels that attribute cost capture
+/// obs::cost_map() on the rank thread before entering the parallel region.
 class Binding {
  public:
-  Binding(Tracer* tracer, Counters* counters) noexcept;
+  Binding(Tracer* tracer, Counters* counters,
+          CostMap* cost_map = nullptr) noexcept;
   ~Binding();
   Binding(const Binding&) = delete;
   Binding& operator=(const Binding&) = delete;
@@ -36,6 +43,7 @@ class Binding {
  private:
   Tracer* prev_tracer_;
   Counters* prev_counters_;
+  CostMap* prev_cost_;
   const util::TraceHook* prev_hook_;
   util::TraceHook hook_{};
 };

@@ -1,0 +1,90 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hacc::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.3g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<Anomaly> Watchdog::observe(const StepRecord& record,
+                                       const CostMapRecord* cost) {
+  std::vector<Anomaly> out;
+
+  // Straggler: worst of cross-rank wall imbalance and (when attributed)
+  // cross-rank kernel-time imbalance. The cost map also names the rank.
+  double imbalance = record.wall.imbalance;
+  std::string who;
+  if (cost != nullptr && cost->rank_kernel_s.imbalance > imbalance) {
+    imbalance = cost->rank_kernel_s.imbalance;
+    who = " straggler_rank=" + std::to_string(cost->straggler_rank);
+  }
+  if (imbalance > config_.straggler_imbalance) {
+    out.push_back(Anomaly{
+        "straggler", imbalance / config_.straggler_imbalance,
+        "rank imbalance " + fmt(imbalance) + " exceeds " +
+            fmt(config_.straggler_imbalance) + who});
+  }
+
+  // Model drift: calibrate the host's effective issue rate from the first
+  // few steps (the TileKernelModel pins instructions/interaction, so the
+  // measured ns/interaction has exactly one machine-dependent degree of
+  // freedom), then flag excursions.
+  if (cost != nullptr && cost->interactions >= config_.min_interactions &&
+      cost->ns_per_interaction > 0) {
+    if (calibration_seen_ < config_.calibration_steps) {
+      calibration_sum_ += cost->ns_per_interaction;
+      if (++calibration_seen_ == config_.calibration_steps)
+        calibrated_ = calibration_sum_ / static_cast<double>(config_.calibration_steps);
+    } else if (calibrated_ > 0) {
+      const double deviation =
+          std::abs(cost->ns_per_interaction - calibrated_) / calibrated_;
+      if (deviation > config_.model_tolerance) {
+        const double issue_ghz =
+            model_.instructions_per_interaction() / calibrated_;
+        out.push_back(Anomaly{
+            "model_drift", deviation / config_.model_tolerance,
+            "measured " + fmt(cost->ns_per_interaction) +
+                " ns/interaction vs calibrated " + fmt(calibrated_) +
+                " (model: " + fmt(model_.instructions_per_interaction()) +
+                " instr/interaction at " + fmt(issue_ghz) + " Ginstr/s)"});
+      }
+    }
+  }
+
+  // Phase coverage: the named phases must account for most of the wall.
+  if (record.wall.mean > 0) {
+    auto it = record.breakdown.find("other");
+    const double other = it == record.breakdown.end() ? 0.0 : it->second;
+    const double coverage = 1.0 - other / record.wall.mean;
+    if (coverage < config_.phase_coverage_floor) {
+      out.push_back(Anomaly{
+          "phase_coverage",
+          config_.phase_coverage_floor / std::max(coverage, 1e-9),
+          "named phases cover " + fmt(100 * coverage) + "% of step wall (floor " +
+              fmt(100 * config_.phase_coverage_floor) + "%)"});
+    }
+  }
+
+  total_ += out.size();
+  return out;
+}
+
+EventRecord Watchdog::to_event(const Anomaly& a, int step) {
+  EventRecord e;
+  e.kind = "anomaly";
+  e.step = step;
+  e.detail = a.kind + " severity=" + fmt(a.severity) + ": " + a.detail;
+  return e;
+}
+
+}  // namespace hacc::obs

@@ -1,0 +1,87 @@
+// Model-vs-measured drift watchdog.
+//
+// Every step the watchdog inspects the reduced StepRecord (and the reduced
+// CostMapRecord when cost attribution is on) and emits anomalies for the
+// three failure smells the paper's performance methodology watches for:
+//
+//   * straggler — cross-rank wall or kernel-time imbalance past a
+//     threshold: one rank (named in the detail when the cost map knows it)
+//     is holding the step hostage. The signal the elastic Supervisor and
+//     the future cost-based rebalancer act on.
+//   * model_drift — the measured ns-per-interaction wanders away from the
+//     calibrated expectation. The perfmodel's TileKernelModel fixes the
+//     instruction count per interaction (~6.8); the host's effective issue
+//     rate is the one free parameter, calibrated over the first few steps.
+//     A later excursion means the kernel is no longer running at the speed
+//     the machine demonstrated it can — cache pollution, thermal
+//     throttling, a co-tenant, or a regression.
+//   * phase_coverage — the named phases stop accounting for the step
+//     ("other" grows past the floor): time is going somewhere the
+//     telemetry cannot see, so every other number is suspect.
+//
+// The watchdog only reads reduced records, so it runs on rank 0 (wherever
+// the ledger is written); anomalies are appended to the same ledger as
+// {"event":"anomaly"} lines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/ledger.h"
+#include "perfmodel/kernel_model.h"
+
+namespace hacc::obs {
+
+struct WatchdogConfig {
+  /// Cross-rank max/mean wall (or rank kernel time) above this flags a
+  /// straggler. 1 = perfectly flat; SimMPI rank threads share cores, so
+  /// leave headroom above the benign jitter.
+  double straggler_imbalance = 1.5;
+  /// Fractional deviation of measured ns/interaction from the calibrated
+  /// value that flags model drift (0.75 = measured 75% off calibration).
+  double model_tolerance = 0.75;
+  /// Steps whose ns/interaction seed the calibration (their mean becomes
+  /// the expectation; no drift check is made while calibrating).
+  int calibration_steps = 2;
+  /// Minimum fraction of step wall the named phases must cover.
+  double phase_coverage_floor = 0.5;
+  /// Steps with fewer total interactions than this are too small to
+  /// calibrate or drift-check (timer noise dominates).
+  std::uint64_t min_interactions = 10000;
+};
+
+struct Anomaly {
+  std::string kind;    ///< "straggler" | "model_drift" | "phase_coverage"
+  double severity = 0; ///< how far past the threshold (ratio, >= 1)
+  std::string detail;  ///< human-readable context for the ledger line
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;
+  explicit Watchdog(const WatchdogConfig& config) : config_(config) {}
+
+  /// Inspect one step's reduced telemetry; `cost` may be null (cost
+  /// attribution off). Returns the anomalies found this step.
+  std::vector<Anomaly> observe(const StepRecord& record,
+                               const CostMapRecord* cost = nullptr);
+
+  /// Total anomalies over the run (the /healthz counter).
+  std::uint64_t anomalies() const noexcept { return total_; }
+  /// Calibrated ns/interaction expectation (0 until calibrated).
+  double calibrated_ns_per_interaction() const noexcept { return calibrated_; }
+  const WatchdogConfig& config() const noexcept { return config_; }
+
+  /// The anomaly as a ledger EventRecord ({"event":"anomaly"} line).
+  static EventRecord to_event(const Anomaly& a, int step);
+
+ private:
+  WatchdogConfig config_{};
+  perfmodel::TileKernelModel model_{};
+  int calibration_seen_ = 0;
+  double calibration_sum_ = 0;
+  double calibrated_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hacc::obs

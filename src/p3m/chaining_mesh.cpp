@@ -5,8 +5,10 @@
 #include <limits>
 #include <vector>
 
+#include "obs/costmap.h"
 #include "obs/obs.h"
 #include "tree/interaction_batch.h"
+#include "util/telemetry.h"
 
 namespace hacc::p3m {
 
@@ -102,6 +104,10 @@ InteractionStats compute_short_range_p3m(const ParticleArray& p,
           static_cast<std::uint32_t>(i);
   }
 
+  // Captured on the rank thread: OpenMP workers don't inherit the binding.
+  // P3M "leaves" are chaining-mesh cells; the recorded box is the cell box.
+  obs::CostMap* cost = obs::cost_map();
+
   std::size_t interactions = 0, visits = 0;
 #pragma omp parallel reduction(+ : interactions, visits)
   {
@@ -139,11 +145,24 @@ InteractionStats compute_short_range_p3m(const ParticleArray& p,
       // True gathered count, before the batched path pads the list;
       // mass_scale is folded into the kernel, not baked into the list.
       const std::size_t true_n = list.size();
+      const std::uint64_t t0 = cost != nullptr ? util::now_ns() : 0;
       tree::evaluate_leaf_indexed(
           variant, kernel, p,
           std::span<const std::uint32_t>(order.data() + begin, end - begin),
           list, mass_scale, ax, ay, az);
-      interactions += static_cast<std::size_t>(end - begin) * true_n;
+      const std::size_t pp = static_cast<std::size_t>(end - begin) * true_n;
+      if (cost != nullptr) {
+        const std::array<float, 3> cell_lo{
+            mesh.lo[0] + static_cast<float>(cx) * mesh.cell,
+            mesh.lo[1] + static_cast<float>(cy) * mesh.cell,
+            mesh.lo[2] + static_cast<float>(cz) * mesh.cell};
+        const std::array<float, 3> cell_hi{cell_lo[0] + mesh.cell,
+                                           cell_lo[1] + mesh.cell,
+                                           cell_lo[2] + mesh.cell};
+        cost->record(obs::LeafCost{cell_lo, cell_hi, end - begin, pp,
+                                   util::now_ns() - t0});
+      }
+      interactions += pp;
     }
   }
   stats.interactions = interactions;

@@ -1,0 +1,203 @@
+#include "serve/metrics_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "util/error.h"
+
+namespace hacc::serve {
+
+namespace {
+
+// Read until the end of the request headers (blank line) or the peer stops
+// sending; we only need the request line.
+std::string read_request(int fd) {
+  std::string req;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    req.append(buf, static_cast<std::size_t>(n));
+    if (req.find("\r\n\r\n") != std::string::npos ||
+        req.find("\n\n") != std::string::npos)
+      break;
+    if (req.size() > 16 * 1024) break;  // header flood; give up
+  }
+  return req;
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return;
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+std::string response(int status, const char* status_text,
+                     const std::string& content_type,
+                     const std::string& body) {
+  std::string r = "HTTP/1.0 " + std::to_string(status) + " " + status_text +
+                  "\r\nContent-Type: " + content_type +
+                  "\r\nContent-Length: " + std::to_string(body.size()) +
+                  "\r\nConnection: close\r\n\r\n";
+  r += body;
+  return r;
+}
+
+}  // namespace
+
+MetricsServer::MetricsServer(const Config& config) : config_(config) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  HACC_CHECK_MSG(listen_fd_ >= 0, "metrics server: socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(config_.port));
+  HACC_CHECK_MSG(
+      ::inet_pton(AF_INET, config_.bind_address.c_str(), &addr.sin_addr) == 1,
+      "metrics server: bad bind address " + config_.bind_address);
+  HACC_CHECK_MSG(::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof(addr)) == 0,
+                 "metrics server: cannot bind " + config_.bind_address + ":" +
+                     std::to_string(config_.port));
+  HACC_CHECK_MSG(::listen(listen_fd_, 64) == 0,
+                 "metrics server: listen() failed");
+
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &blen);
+  port_ = static_cast<int>(ntohs(bound.sin_port));
+
+  const int threads = config_.threads >= 1 ? config_.threads : 1;
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+MetricsServer::~MetricsServer() {
+  stopping_.store(true, std::memory_order_relaxed);
+  // Unblock every worker parked in accept(): shutdown makes accept return
+  // with an error on all threads sharing the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  for (auto& w : workers_) w.join();
+}
+
+void MetricsServer::set_metrics_handler(std::function<std::string()> handler) {
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  metrics_handler_ = std::move(handler);
+}
+
+void MetricsServer::set_healthz_handler(std::function<std::string()> handler) {
+  std::lock_guard<std::mutex> lock(handler_mu_);
+  healthz_handler_ = std::move(handler);
+}
+
+void MetricsServer::worker_main() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_relaxed)) return;
+      continue;  // transient accept failure
+    }
+    // Bound a slow or dead client; a scrape is a tiny exchange.
+    timeval tv{2, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsServer::handle_connection(int fd) {
+  const std::string req = read_request(fd);
+  // Parse "GET <path> ..." from the request line.
+  std::string path;
+  if (req.rfind("GET ", 0) == 0) {
+    const std::size_t end = req.find_first_of(" \r\n", 4);
+    path = req.substr(4, end == std::string::npos ? std::string::npos : end - 4);
+  }
+
+  std::function<std::string()> handler;
+  std::string content_type;
+  if (path == "/metrics") {
+    std::lock_guard<std::mutex> lock(handler_mu_);
+    handler = metrics_handler_;
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+  } else if (path == "/healthz") {
+    std::lock_guard<std::mutex> lock(handler_mu_);
+    handler = healthz_handler_;
+    content_type = "application/json";
+  }
+
+  if (!handler) {
+    send_all(fd, response(404, "Not Found", "text/plain",
+                          "not found: " + path + "\n"));
+    return;
+  }
+  std::string body;
+  try {
+    body = handler();
+  } catch (const std::exception& e) {
+    send_all(fd, response(500, "Internal Server Error", "text/plain",
+                          std::string(e.what()) + "\n"));
+    return;
+  }
+  send_all(fd, response(200, "OK", content_type, body));
+  served_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::string http_get(int port, const std::string& path, int* status) {
+  if (status != nullptr) *status = 0;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  send_all(fd, "GET " + path + " HTTP/1.0\r\nHost: localhost\r\n\r\n");
+
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  // Split status line and body.
+  if (status != nullptr && resp.rfind("HTTP/", 0) == 0) {
+    const std::size_t sp = resp.find(' ');
+    if (sp != std::string::npos) *status = std::atoi(resp.c_str() + sp + 1);
+  }
+  const std::size_t body_at = resp.find("\r\n\r\n");
+  return body_at == std::string::npos ? "" : resp.substr(body_at + 4);
+}
+
+}  // namespace hacc::serve

@@ -1,0 +1,70 @@
+// Minimal HTTP endpoint for live observability: /metrics (Prometheus text)
+// and /healthz (JSON), served by a tiny blocking-accept thread pool.
+//
+// Deliberately not a web framework: the server answers exactly two GET
+// paths with caller-provided render functions, closes the connection after
+// each response (HTTP/1.0 semantics), and binds loopback by default. Port 0
+// asks the kernel for an ephemeral port — port() reports the real one, so
+// tests and the Supervisor banner can publish a scrape target. The render
+// handlers run on server threads concurrently with the simulation; the
+// MetricsHub/atomic-counter design (obs/metrics.h) makes that safe without
+// stalling any rank thread.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hacc::serve {
+
+class MetricsServer {
+ public:
+  struct Config {
+    std::string bind_address = "127.0.0.1";
+    int port = 0;  ///< 0 = ephemeral; see port() for the bound one
+    int threads = 2;
+  };
+
+  /// Binds and starts listening; throws on bind failure.
+  explicit MetricsServer(const Config& config);
+  ~MetricsServer();  ///< closes the listener, joins the workers
+  MetricsServer(const MetricsServer&) = delete;
+  MetricsServer& operator=(const MetricsServer&) = delete;
+
+  /// GET /metrics body (Content-Type text/plain; version=0.0.4).
+  void set_metrics_handler(std::function<std::string()> handler);
+  /// GET /healthz body (Content-Type application/json).
+  void set_healthz_handler(std::function<std::string()> handler);
+
+  /// The actually bound port (resolves port 0).
+  int port() const noexcept { return port_; }
+  std::uint64_t requests_served() const noexcept {
+    return served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void worker_main();
+  void handle_connection(int fd);
+
+  Config config_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> served_{0};
+  std::mutex handler_mu_;
+  std::function<std::string()> metrics_handler_;
+  std::function<std::string()> healthz_handler_;
+  std::vector<std::thread> workers_;
+};
+
+/// Blocking loopback HTTP GET against 127.0.0.1:`port` — the scrape client
+/// used by tests and the check.sh smoke test. Returns the response body;
+/// `status` (when non-null) receives the HTTP status code, 0 on transport
+/// failure.
+std::string http_get(int port, const std::string& path, int* status = nullptr);
+
+}  // namespace hacc::serve

@@ -1,11 +1,33 @@
 #include "serve/query_server.h"
 
-#include <bit>
-
+#include "obs/obs.h"
 #include "util/error.h"
 #include "util/telemetry.h"
 
 namespace hacc::serve {
+
+namespace {
+
+// Interned histogram ids for the optional Config::histograms mirror, one per
+// query type plus the all-types rollup.
+NameId query_hist_id(std::size_t type) {
+  static const std::array<NameId, kQueryTypes> ids = [] {
+    std::array<NameId, kQueryTypes> out{};
+    for (int t = 0; t < kQueryTypes; ++t)
+      out[static_cast<std::size_t>(t)] = obs::histogram_id(
+          std::string("serve.query.") +
+          query_type_name(static_cast<QueryType>(t)) + ".ns");
+    return out;
+  }();
+  return ids[type < kQueryTypes ? type : 0];
+}
+
+NameId query_hist_all_id() {
+  static const NameId id = obs::histogram_id("serve.query.all.ns");
+  return id;
+}
+
+}  // namespace
 
 const char* query_type_name(QueryType t) {
   switch (t) {
@@ -19,40 +41,6 @@ const char* query_type_name(QueryType t) {
       return "region";
   }
   return "unknown";
-}
-
-void LatencyHistogram::record(std::uint64_t ns) noexcept {
-  const std::size_t b =
-      ns == 0 ? 0 : static_cast<std::size_t>(std::bit_width(ns) - 1);
-  buckets_[b < kBuckets ? b : kBuckets - 1].fetch_add(
-      1, std::memory_order_relaxed);
-  sum_ns_.fetch_add(ns, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::count() const noexcept {
-  std::uint64_t n = 0;
-  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
-  return n;
-}
-
-std::uint64_t LatencyHistogram::quantile_ns(double q) const noexcept {
-  const std::uint64_t n = count();
-  if (n == 0) return 0;
-  const auto target = static_cast<std::uint64_t>(
-      q * static_cast<double>(n - 1));
-  std::uint64_t seen = 0;
-  for (std::size_t b = 0; b < kBuckets; ++b) {
-    seen += buckets_[b].load(std::memory_order_relaxed);
-    if (seen > target) return (1ULL << (b + 1)) - 1;  // bucket upper bound
-  }
-  return std::numeric_limits<std::uint64_t>::max();
-}
-
-double LatencyHistogram::mean_ns() const noexcept {
-  const std::uint64_t n = count();
-  return n > 0 ? static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) /
-                     static_cast<double>(n)
-               : 0.0;
 }
 
 QueryServer::QueryServer(const CatalogStore& store, const Config& config)
@@ -92,6 +80,10 @@ std::future<QueryResult> QueryServer::submit(const Query& q) {
 QueryResult QueryServer::query(const Query& q) { return submit(q).get(); }
 
 void QueryServer::worker_main() {
+  // Bind the scrape counters (if any) for the life of this worker so the
+  // block cache's hit/miss/eviction bumps on our cache misses are
+  // attributed instead of dropped.
+  obs::Binding binding(nullptr, config_.counters);
   for (;;) {
     Item item;
     {
@@ -108,6 +100,10 @@ void QueryServer::worker_main() {
     const auto type = static_cast<std::size_t>(item.query.type);
     latency_[type < kQueryTypes ? type : 0].record(dt);
     latency_all_.record(dt);
+    if (config_.histograms != nullptr) {
+      config_.histograms->record(query_hist_id(type), dt);
+      config_.histograms->record(query_hist_all_id(), dt);
+    }
     served_.fetch_add(1, std::memory_order_relaxed);
     if (!result.ok) failed_.fetch_add(1, std::memory_order_relaxed);
     item.promise.set_value(std::move(result));

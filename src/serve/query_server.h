@@ -24,6 +24,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "serve/catalog_store.h"
 
 namespace hacc::serve {
@@ -64,23 +65,10 @@ struct QueryResult {
   std::vector<CatalogStore::SliceParticle> particles;
 };
 
-/// Lock-free latency histogram: 64 log2(ns) buckets, relaxed atomics.
-/// Quantiles are read from the bucket boundaries (exact count, value
-/// resolution one power of two — plenty for p50/p99 reporting).
-class LatencyHistogram {
- public:
-  void record(std::uint64_t ns) noexcept;
-  std::uint64_t count() const noexcept;
-  /// The q-quantile (q in [0,1]) in nanoseconds (bucket upper bound);
-  /// 0 when empty.
-  std::uint64_t quantile_ns(double q) const noexcept;
-  double mean_ns() const noexcept;
-
- private:
-  static constexpr std::size_t kBuckets = 64;
-  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-  std::atomic<std::uint64_t> sum_ns_{0};
-};
+/// The per-type latency histograms are the shared obs::Histogram (promoted
+/// from the original serve-local implementation) so QPS histograms and sim
+/// metrics share one implementation and one Prometheus exposition path.
+using LatencyHistogram = obs::Histogram;
 
 class QueryServer {
  public:
@@ -89,6 +77,13 @@ class QueryServer {
     /// Backpressure bound: submit() blocks once this many requests are
     /// queued (a real service would shed load here instead).
     std::size_t max_queue = 4096;
+    /// Optional scrape sinks. When set, every worker thread binds
+    /// `counters` (so the block cache's serve.cache.* bumps land somewhere
+    /// a /metrics endpoint can see) and mirrors per-type latencies into
+    /// `histograms` under serve.query.<type>.ns / serve.query.all.ns.
+    /// Both must outlive the server.
+    obs::Counters* counters = nullptr;
+    obs::HistogramSet* histograms = nullptr;
   };
 
   explicit QueryServer(const CatalogStore& store)

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/costmap.h"
 #include "obs/obs.h"
 #include "tree/interaction_batch.h"
+#include "util/telemetry.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -142,6 +144,9 @@ InteractionStats compute_short_range_multi(const MultiTree& forest,
   InteractionStats stats;
   stats.particles = p.size();
   stats.leaves = work.size();
+  // Captured on the rank thread: OpenMP workers don't inherit the binding.
+  obs::CostMap* cost = obs::cost_map();
+
   std::size_t interactions = 0, visits = 0;
 #pragma omp parallel reduction(+ : interactions, visits)
   {
@@ -158,9 +163,14 @@ InteractionStats compute_short_range_multi(const MultiTree& forest,
       forest.gather_neighbors(t, leaf_id, kernel.rmax, list, &visits);
       // True gathered count, before the batched path pads the list.
       const std::size_t true_n = list.size();
+      const std::uint64_t t0 = cost != nullptr ? util::now_ns() : 0;
       evaluate_leaf(variant, kernel, p, leaf.first, leaf.count, list,
                     mass_scale, ax, ay, az);
-      interactions += static_cast<std::size_t>(leaf.count) * true_n;
+      const std::size_t pp = static_cast<std::size_t>(leaf.count) * true_n;
+      if (cost != nullptr)
+        cost->record(obs::LeafCost{leaf.lo, leaf.hi, leaf.count, pp,
+                                   util::now_ns() - t0});
+      interactions += pp;
     }
   }
   wsp.record_high_water();

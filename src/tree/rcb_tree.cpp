@@ -5,7 +5,10 @@
 #include <limits>
 #include <stack>
 
+#include "obs/costmap.h"
+#include "obs/obs.h"
 #include "tree/interaction_batch.h"
+#include "util/telemetry.h"
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -246,6 +249,11 @@ InteractionStats compute_short_range(const RcbTree& tree,
   w.prepare_lists(1);
 #endif
 
+  // Cost attribution: the thread-local binding does not propagate into the
+  // OpenMP workers, so capture the rank thread's cost map here and share
+  // the pointer (CostMap::record is thread-safe, one call per leaf).
+  obs::CostMap* cost = obs::cost_map();
+
   std::size_t interactions = 0, walk_visits = 0;
 #pragma omp parallel reduction(+ : interactions, walk_visits)
   {
@@ -260,9 +268,14 @@ InteractionStats compute_short_range(const RcbTree& tree,
       tree.gather_neighbors(leaves[li], kernel.rmax, list, &walk_visits);
       // True gathered count, before the batched path pads the list.
       const std::size_t true_n = list.size();
+      const std::uint64_t t0 = cost != nullptr ? util::now_ns() : 0;
       evaluate_leaf(variant, kernel, p, leaf.first, leaf.count, list,
                     mass_scale, ax, ay, az);
-      interactions += static_cast<std::size_t>(leaf.count) * true_n;
+      const std::size_t pp = static_cast<std::size_t>(leaf.count) * true_n;
+      if (cost != nullptr)
+        cost->record(obs::LeafCost{leaf.lo, leaf.hi, leaf.count, pp,
+                                   util::now_ns() - t0});
+      interactions += pp;
     }
   }
   w.record_high_water();

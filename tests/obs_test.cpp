@@ -66,13 +66,20 @@ void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
 
 #include "comm/comm.h"
 #include "core/simulation.h"
+#include "obs/costmap.h"
 #include "obs/counters.h"
 #include "obs/json.h"
 #include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "obs/obs.h"
 #include "obs/reduce.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
+#include "tree/force_matcher.h"
+#include "tree/particles.h"
+#include "tree/rcb_tree.h"
 #include "util/names.h"
+#include "util/rng.h"
 #include "util/timer.h"
 
 namespace hacc::obs {
@@ -642,15 +649,17 @@ TEST(SimulationLedger, FourRankRunWritesLedgerAndTrace) {
     EXPECT_DOUBLE_EQ(records[0].momentum_drift, 0.0);
   });
 
-  // Ledger file: one valid JSON object per line.
+  // Ledger file: one valid JSON object per line; exactly one step record
+  // per step (costmap and anomaly lines may interleave — see
+  // SimulationObservatory below for their schema).
   const std::string jsonl = read_file(ledger_path);
   ASSERT_FALSE(jsonl.empty());
   std::istringstream lines(jsonl);
   std::string line;
   int n = 0;
   while (std::getline(lines, line)) {
-    ++n;
     EXPECT_TRUE(JsonValidator::valid(line)) << line.substr(0, 120);
+    if (line.find("\"wall_s\"") != std::string::npos) ++n;
   }
   EXPECT_EQ(n, 2);
 
@@ -664,6 +673,457 @@ TEST(SimulationLedger, FourRankRunWritesLedgerAndTrace) {
     EXPECT_NE(trace.find("\"pid\":" + std::to_string(pid)), std::string::npos);
   std::remove(ledger_path.c_str());
   std::remove(trace_path.c_str());
+}
+
+// ---- metrics core: histograms + Prometheus exposition -----------------------
+
+TEST(Metrics, HistogramRecordsCountSumAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile_ns(0.5), 0u);
+  EXPECT_DOUBLE_EQ(h.mean_ns(), 0.0);
+  for (int i = 0; i < 100; ++i) h.record(1000);   // bucket 9: [512, 1023]... 1000
+  for (int i = 0; i < 10; ++i) h.record(1 << 20);  // ~1 ms outliers
+  EXPECT_EQ(h.count(), 110u);
+  EXPECT_EQ(h.sum_ns(), 100u * 1000 + 10u * (1 << 20));
+  EXPECT_NEAR(h.mean_ns(), static_cast<double>(h.sum_ns()) / 110.0, 1e-9);
+  // p50 lands in the 1000ns bucket, p99+ in the outlier bucket; the reported
+  // value is the bucket's inclusive upper bound.
+  EXPECT_LE(h.quantile_ns(0.5), 1023u);
+  EXPECT_GE(h.quantile_ns(0.995), static_cast<std::uint64_t>(1 << 20));
+  // Monotone in q.
+  EXPECT_LE(h.quantile_ns(0.1), h.quantile_ns(0.9));
+  // Extremes and zero handling.
+  h.record(0);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  h.record(~0ULL);
+  EXPECT_EQ(h.bucket_count(Histogram::kBuckets - 1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_ns(Histogram::kBuckets - 1), ~0ULL);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum_ns(), 0u);
+}
+
+TEST(Metrics, HistogramSetDropsIdsBeyondSlots) {
+  HistogramSet set;
+  const NameId in_range = histogram_id("obsx.hist.in_range_ns");
+  ASSERT_LT(in_range, HistogramSet::kMaxSlots);
+  set.record(in_range, 42);
+  EXPECT_EQ(set.find(in_range)->count(), 1u);
+
+  const NameId beyond = static_cast<NameId>(HistogramSet::kMaxSlots + 7);
+  set.record(beyond, 42);  // must not crash, must not land anywhere
+  EXPECT_EQ(set.find(beyond), nullptr);
+  const auto ids = set.nonempty();
+  EXPECT_EQ(ids.size(), 1u);
+  EXPECT_EQ(ids[0], in_range);
+  set.clear();
+  EXPECT_TRUE(set.nonempty().empty());
+}
+
+TEST(Counters, IdsBeyondSlotsAreSilentlyDropped) {
+  Counters c;
+  const NameId beyond = static_cast<NameId>(Counters::kMaxSlots + 3);
+  c.add(beyond, 17);
+  c.set(beyond, 17);
+  EXPECT_EQ(c.value(beyond), 0u);
+  for (const auto& s : c.snapshot()) EXPECT_LT(s.id, Counters::kMaxSlots);
+}
+
+TEST(Counters, KindRegistrationRoundTrips) {
+  const NameId ctr = counter_id("obsx.kind.counter");
+  const NameId gauge = gauge_id("obsx.kind.gauge");
+  const NameId hist = histogram_id("obsx.kind.hist_ns");
+  EXPECT_EQ(kind_of(ctr), CounterKind::kCounter);
+  EXPECT_EQ(kind_of(gauge), CounterKind::kGauge);
+  EXPECT_EQ(kind_of(hist), CounterKind::kHistogram);
+  // Idempotent re-registration keeps id and kind.
+  EXPECT_EQ(counter_id("obsx.kind.counter"), ctr);
+  EXPECT_EQ(gauge_id("obsx.kind.gauge"), gauge);
+  EXPECT_EQ(histogram_id("obsx.kind.hist_ns"), hist);
+  EXPECT_EQ(kind_of(gauge), CounterKind::kGauge);
+  // A plain interned name defaults to counter.
+  EXPECT_EQ(kind_of(intern_name("obsx.kind.plain")), CounterKind::kCounter);
+}
+
+TEST(Metrics, PrometheusExpositionFormat) {
+  Counters counters;
+  HistogramSet hists;
+  counters.add(counter_id("obsx.prom.bytes"), 1234);
+  counters.set(gauge_id("obsx.prom.depth"), 7);
+  counters.set(gauge_id("obsx.prom.share_micro"), 250000);  // 0.25 fixed-point
+  counters.add(counter_id("phase.obsx-prom.ns"), 5000);
+  const NameId hid = histogram_id("obsx.prom.lat_ns");
+  hists.record(hid, 3);    // bucket le=3
+  hists.record(hid, 3);
+  hists.record(hid, 900);  // bucket le=1023
+
+  const MetricsSource src{3, &counters, &hists};
+  const std::string text = export_prometheus(std::span<const MetricsSource>(&src, 1));
+
+  // Counter: sanitized name + _total suffix + rank label.
+  EXPECT_NE(text.find("# TYPE hacc_obsx_prom_bytes_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_bytes_total{rank=\"3\"} 1234"),
+            std::string::npos);
+  // Gauge: bare name.
+  EXPECT_NE(text.find("# TYPE hacc_obsx_prom_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_depth{rank=\"3\"} 7"), std::string::npos);
+  // _micro gauge: suffix stripped, value scaled to the real number.
+  EXPECT_NE(text.find("hacc_obsx_prom_share{rank=\"3\"} 0.25"),
+            std::string::npos);
+  EXPECT_EQ(text.find("share_micro"), std::string::npos);
+  // Phase counters fold into one family with the phase as a label.
+  EXPECT_NE(text.find("# TYPE hacc_phase_ns_total counter"), std::string::npos);
+  EXPECT_NE(
+      text.find("hacc_phase_ns_total{phase=\"obsx-prom\",rank=\"3\"} 5000"),
+      std::string::npos);
+  // Histogram: cumulative buckets, +Inf terminator, _sum and _count.
+  EXPECT_NE(text.find("# TYPE hacc_obsx_prom_lat_ns histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_lat_ns_bucket{rank=\"3\",le=\"3\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_lat_ns_bucket{rank=\"3\",le=\"1023\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_lat_ns_bucket{rank=\"3\",le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_lat_ns_sum{rank=\"3\"} 906"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_prom_lat_ns_count{rank=\"3\"} 3"),
+            std::string::npos);
+  // Exactly one # TYPE line per family.
+  std::size_t types = 0;
+  for (std::size_t pos = text.find("# TYPE hacc_phase_ns_total");
+       pos != std::string::npos;
+       pos = text.find("# TYPE hacc_phase_ns_total", pos + 1))
+    ++types;
+  EXPECT_EQ(types, 1u);
+}
+
+TEST(Metrics, HubRegistersRendersAndRemoves) {
+  Counters c0, c1;
+  c0.add(counter_id("obsx.hub.events"), 10);
+  c1.add(counter_id("obsx.hub.events"), 20);
+  MetricsHub hub;
+  const int h0 = hub.add(MetricsSource{0, &c0, nullptr});
+  const int h1 = hub.add(MetricsSource{1, &c1, nullptr});
+  EXPECT_EQ(hub.size(), 2u);
+  std::string text = hub.render();
+  EXPECT_NE(text.find("hacc_obsx_hub_events_total{rank=\"0\"} 10"),
+            std::string::npos);
+  EXPECT_NE(text.find("hacc_obsx_hub_events_total{rank=\"1\"} 20"),
+            std::string::npos);
+  hub.remove(h0);
+  EXPECT_EQ(hub.size(), 1u);
+  text = hub.render();
+  EXPECT_EQ(text.find("rank=\"0\""), std::string::npos);
+  EXPECT_NE(text.find("rank=\"1\""), std::string::npos);
+  hub.remove(h1);
+  EXPECT_EQ(hub.render(), "");
+}
+
+// ---- cost attribution --------------------------------------------------------
+
+tree::ParticleArray clustered_particles(std::size_t n, float box,
+                                        std::uint64_t seed, bool clustered) {
+  tree::ParticleArray p;
+  p.reserve(n);
+  Philox rng(seed);
+  Philox::Stream s(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    float x, y, z;
+    if (clustered && i % 8 == 0) {
+      // One particle in eight in one tight blob — a halo-like hot spot
+      // whose leaves evaluate far more pairs than the background's, while
+      // the background still dominates the mean leaf cost.
+      x = std::clamp(0.5f * box + 0.04f * box * static_cast<float>(s.gaussian()),
+                     0.0f, box - 1e-3f);
+      y = std::clamp(0.5f * box + 0.04f * box * static_cast<float>(s.gaussian()),
+                     0.0f, box - 1e-3f);
+      z = std::clamp(0.5f * box + 0.04f * box * static_cast<float>(s.gaussian()),
+                     0.0f, box - 1e-3f);
+    } else {
+      x = static_cast<float>(s.uniform(0, box));
+      y = static_cast<float>(s.uniform(0, box));
+      z = static_cast<float>(s.uniform(0, box));
+    }
+    p.push_back(x, y, z, 0.0f, 0.0f, 0.0f, 1.0f, i);
+  }
+  return p;
+}
+
+TEST(CostMap, ClusteredDistributionShowsLeafImbalance) {
+  tree::ParticleArray p = clustered_particles(1200, 16.0f, 99, /*clustered=*/true);
+  tree::ShortRangeKernel kernel;
+  kernel.softening = 0.05f;
+  kernel.fgrid = tree::default_fgrid_poly5();
+  tree::RcbTree rcb(p, tree::RcbConfig{32});
+  std::vector<float> ax(p.size()), ay(p.size()), az(p.size());
+
+  CostMap cost;
+  cost.begin_step();
+  tree::InteractionStats stats;
+  {
+    Binding binding(nullptr, nullptr, &cost);
+    stats = tree::compute_short_range(rcb, kernel, ax, ay, az);
+  }
+
+  // Every evaluated leaf left a record, and the records account for the
+  // kernel's own interaction count exactly.
+  const auto summary = cost.summarize();
+  EXPECT_EQ(summary.leaves, rcb.leaves().size());
+  EXPECT_EQ(summary.particles, p.size());
+  EXPECT_EQ(summary.interactions, stats.interactions);
+  EXPECT_GT(summary.kernel_ns, 0u);
+  EXPECT_GE(summary.leaf_imbalance, 1.0);
+
+  // Acceptance: the clustered blob concentrates the pairwise work — the
+  // hottest leaf evaluates far more interactions than the mean leaf, and
+  // the per-leaf kernel-time distribution is visibly skewed.
+  std::uint64_t max_inter = 0;
+  for (const auto& leaf : cost.leaves())
+    max_inter = std::max(max_inter, leaf.interactions);
+  const double mean_inter = static_cast<double>(summary.interactions) /
+                            static_cast<double>(summary.leaves);
+  EXPECT_GT(static_cast<double>(max_inter), 2.0 * mean_inter);
+  EXPECT_GT(summary.leaf_imbalance, 1.2);
+  EXPECT_GT(summary.top_decile_share, 0.1);
+  EXPECT_GT(summary.ns_per_interaction, 0.0);
+
+  // The same box, uniformly filled, is flatter in interaction terms.
+  tree::ParticleArray u = clustered_particles(1200, 16.0f, 99, /*clustered=*/false);
+  tree::RcbTree urcb(u, tree::RcbConfig{32});
+  std::vector<float> ux(u.size()), uy(u.size()), uz(u.size());
+  CostMap ucost;
+  ucost.begin_step();
+  {
+    Binding binding(nullptr, nullptr, &ucost);
+    tree::compute_short_range(urcb, kernel, ux, uy, uz);
+  }
+  std::uint64_t umax = 0;
+  std::uint64_t utotal = 0;
+  for (const auto& leaf : ucost.leaves()) {
+    umax = std::max(umax, leaf.interactions);
+    utotal += leaf.interactions;
+  }
+  const double umean = static_cast<double>(utotal) /
+                       static_cast<double>(ucost.size());
+  EXPECT_GT(static_cast<double>(max_inter) / mean_inter,
+            static_cast<double>(umax) / umean);
+
+  // begin_step drops the previous step's records but keeps working.
+  cost.begin_step();
+  EXPECT_EQ(cost.size(), 0u);
+  EXPECT_EQ(cost.summarize().leaves, 0u);
+}
+
+TEST(CostMap, UnboundKernelRecordsNothing) {
+  tree::ParticleArray p = clustered_particles(300, 8.0f, 5, false);
+  tree::ShortRangeKernel kernel;
+  kernel.softening = 0.05f;
+  kernel.fgrid = tree::default_fgrid_poly5();
+  tree::RcbTree rcb(p, tree::RcbConfig{16});
+  std::vector<float> ax(p.size()), ay(p.size()), az(p.size());
+  ASSERT_EQ(cost_map(), nullptr);  // no binding on this thread
+  tree::compute_short_range(rcb, kernel, ax, ay, az);  // must not crash
+}
+
+TEST(Reduce, CostMapReduceNamesStragglerRank) {
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    CostMap cm;
+    cm.begin_step();
+    // Rank 2 carries 10x the kernel time of everyone else.
+    const std::uint64_t ns = c.rank() == 2 ? 10'000'000 : 1'000'000;
+    cm.record(LeafCost{{0, 0, 0}, {1, 1, 1}, 100, 1000, ns});
+    const CostMapRecord rec = reduce_cost_map(c, cm.summarize(), /*step=*/7);
+    if (c.rank() != 0) {
+      EXPECT_EQ(rec.leaves, 0u);  // reduced record lives on root only
+      return;
+    }
+    EXPECT_EQ(rec.step, 7);
+    EXPECT_EQ(rec.leaves, 4u);
+    EXPECT_EQ(rec.interactions, 4000u);
+    EXPECT_NEAR(rec.kernel_s, 13e-3, 1e-9);
+    EXPECT_EQ(rec.straggler_rank, 2);
+    // max/mean = 10 / (13/4).
+    EXPECT_NEAR(rec.rank_kernel_s.imbalance, 40.0 / 13.0, 1e-6);
+    EXPECT_NEAR(rec.rank_kernel_s.max, 10e-3, 1e-9);
+    EXPECT_NEAR(rec.rank_interactions.imbalance, 1.0, 1e-9);
+    EXPECT_NEAR(rec.ns_per_interaction, 13e6 / 4000.0, 1e-6);
+
+    const std::string line = costmap_record_json(rec);
+    EXPECT_TRUE(JsonValidator::valid(line)) << line;
+    for (const char* key :
+         {"\"costmap\"", "\"step\":7", "\"leaves\":4", "\"interactions\":4000",
+          "\"kernel_s\"", "\"rank_kernel_s\"", "\"rank_interactions\"",
+          "\"leaf_imbalance\"", "\"top_decile_share\"",
+          "\"ns_per_interaction\"", "\"straggler_rank\":2"}) {
+      EXPECT_NE(line.find(key), std::string::npos) << key;
+    }
+  });
+}
+
+// ---- drift watchdog ----------------------------------------------------------
+
+TEST(Watchdog, FlagsStragglerAndNamesTheRank) {
+  Watchdog wd;
+  StepRecord rec;
+  rec.wall = PhaseStat{1.0, 1.0, 1.0, 1.0};
+  EXPECT_TRUE(wd.observe(rec).empty());  // flat run, no anomaly
+
+  rec.wall = PhaseStat{0.5, 1.0, 2.0, 2.0};
+  auto anomalies = wd.observe(rec);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "straggler");
+  EXPECT_NEAR(anomalies[0].severity, 2.0 / 1.5, 1e-9);
+
+  // The cost map's kernel-time imbalance dominates and names the rank.
+  CostMapRecord cost;
+  cost.rank_kernel_s = PhaseStat{0.1, 1.0, 3.0, 3.0};
+  cost.straggler_rank = 2;
+  anomalies = wd.observe(rec, &cost);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_NE(anomalies[0].detail.find("straggler_rank=2"), std::string::npos);
+  EXPECT_EQ(wd.anomalies(), 2u);
+}
+
+TEST(Watchdog, CalibratesThenFlagsModelDrift) {
+  WatchdogConfig cfg;
+  cfg.calibration_steps = 2;
+  cfg.model_tolerance = 0.75;
+  cfg.min_interactions = 100;
+  Watchdog wd(cfg);
+  StepRecord rec;
+  rec.wall = PhaseStat{1.0, 1.0, 1.0, 1.0};
+  CostMapRecord cost;
+  cost.interactions = 1000;
+
+  cost.ns_per_interaction = 10.0;
+  EXPECT_TRUE(wd.observe(rec, &cost).empty());  // calibrating
+  cost.ns_per_interaction = 12.0;
+  EXPECT_TRUE(wd.observe(rec, &cost).empty());  // calibrating
+  EXPECT_DOUBLE_EQ(wd.calibrated_ns_per_interaction(), 11.0);
+
+  cost.ns_per_interaction = 13.0;  // 18% off — inside tolerance
+  EXPECT_TRUE(wd.observe(rec, &cost).empty());
+
+  cost.ns_per_interaction = 30.0;  // 173% off — drift
+  auto anomalies = wd.observe(rec, &cost);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "model_drift");
+  EXPECT_GT(anomalies[0].severity, 1.0);
+  EXPECT_NE(anomalies[0].detail.find("ns/interaction"), std::string::npos);
+
+  // Steps too small to time reliably never count, in either direction.
+  cost.interactions = 10;
+  cost.ns_per_interaction = 500.0;
+  EXPECT_TRUE(wd.observe(rec, &cost).empty());
+}
+
+TEST(Watchdog, FlagsPhaseCoverageGap) {
+  Watchdog wd;
+  StepRecord rec;
+  rec.wall = PhaseStat{1.0, 1.0, 1.0, 1.0};
+  rec.breakdown["other"] = 0.8;  // named phases cover only 20%
+  auto anomalies = wd.observe(rec);
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].kind, "phase_coverage");
+  rec.breakdown["other"] = 0.1;
+  EXPECT_TRUE(wd.observe(rec).empty());
+}
+
+TEST(Watchdog, AnomalyLedgerLineIsValidSchema) {
+  Watchdog wd;
+  StepRecord rec;
+  rec.wall = PhaseStat{0.5, 1.0, 2.0, 2.0};
+  const auto anomalies = wd.observe(rec);
+  ASSERT_EQ(anomalies.size(), 1u);
+  const EventRecord ev = Watchdog::to_event(anomalies[0], /*step=*/5);
+  EXPECT_EQ(ev.kind, "anomaly");
+  const std::string line = event_record_json(ev);
+  EXPECT_TRUE(JsonValidator::valid(line)) << line;
+  EXPECT_NE(line.find("\"event\":\"anomaly\""), std::string::npos);
+  EXPECT_NE(line.find("\"step\":5"), std::string::npos);
+  EXPECT_NE(line.find("straggler"), std::string::npos);
+
+  // Streamed through a ledger file it stays one valid JSONL line.
+  const std::string path = temp_path("obs_anomaly.jsonl");
+  Ledger::append_event_to(path, ev);
+  const std::string contents = read_file(path);
+  EXPECT_EQ(contents, line + "\n");
+  std::remove(path.c_str());
+}
+
+// ---- end-to-end: the observatory over a real 4-rank run ---------------------
+
+TEST(SimulationObservatory, FourRankRunAttributesCostAndPublishesMetrics) {
+  const std::string ledger_path = temp_path("obs_observatory_ledger.jsonl");
+  core::SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 12;
+  cfg.steps = 2;
+  cfg.subcycles = 2;
+  cfg.overload = 2.0;
+  cfg.ledger_path = ledger_path;
+  cosmology::Cosmology cosmo;
+  comm::Machine::run(4, [&](comm::Comm& c) {
+    core::Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();
+
+    // Every rank published its step-wall histogram and phase gauges.
+    const Histogram* wall = sim.histograms().find(histogram_id("step.wall_ns"));
+    ASSERT_NE(wall, nullptr);
+    EXPECT_EQ(wall->count(), 2u);
+    EXPECT_GT(sim.counters().value(counter_id("phase.sr-kernel.ns")), 0u);
+    EXPECT_GT(sim.counters().value(counter_id("phase.poisson.fft.ns")), 0u);
+    // Cost gauges: imbalance is fixed-point micro, >= 1.0 by construction.
+    EXPECT_GE(sim.counters().value(gauge_id("cost.leaf_imbalance_micro")),
+              1000000u);
+    EXPECT_GT(sim.counters().value(gauge_id("cost.kernel_ns")), 0u);
+
+    // A rank is a renderable /metrics source.
+    const MetricsSource src{c.rank(), &sim.counters(), &sim.histograms()};
+    const std::string text =
+        export_prometheus(std::span<const MetricsSource>(&src, 1));
+    EXPECT_NE(text.find("hacc_phase_ns_total{phase=\"sr-kernel\""),
+              std::string::npos);
+    EXPECT_NE(text.find("hacc_cost_leaf_imbalance{"), std::string::npos);
+    EXPECT_NE(text.find("hacc_step_wall_ns_bucket{"), std::string::npos);
+    EXPECT_NE(text.find("le=\"+Inf\""), std::string::npos);
+
+    if (c.rank() != 0) return;
+    // Root: the reduced cost map was ledgered every step.
+    const auto& costmaps = sim.ledger().costmaps();
+    ASSERT_EQ(costmaps.size(), 2u);
+    for (const auto& cmr : costmaps) {
+      EXPECT_GT(cmr.leaves, 0u);
+      EXPECT_GT(cmr.interactions, 0u);
+      EXPECT_GT(cmr.kernel_s, 0.0);
+      EXPECT_GE(cmr.rank_kernel_s.imbalance, 1.0);
+      EXPECT_GE(cmr.leaf_imbalance, 1.0);
+      EXPECT_GT(cmr.ns_per_interaction, 0.0);
+      EXPECT_GE(cmr.straggler_rank, 0);
+      EXPECT_LT(cmr.straggler_rank, 4);
+    }
+  });
+
+  // The ledger file carries both step and costmap lines, all valid JSON.
+  const std::string jsonl = read_file(ledger_path);
+  ASSERT_FALSE(jsonl.empty());
+  std::istringstream lines(jsonl);
+  std::string line;
+  int steps = 0, costmaps = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_TRUE(JsonValidator::valid(line)) << line.substr(0, 120);
+    if (line.find("\"costmap\"") != std::string::npos)
+      ++costmaps;
+    else if (line.find("\"wall_s\"") != std::string::npos)
+      ++steps;
+  }
+  EXPECT_EQ(steps, 2);
+  EXPECT_EQ(costmaps, 2);
+  std::remove(ledger_path.c_str());
 }
 
 }  // namespace

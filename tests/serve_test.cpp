@@ -23,9 +23,12 @@
 #include "core/supervisor.h"
 #include "cosmology/background.h"
 #include "gio/gio.h"
+#include "obs/counters.h"
+#include "obs/metrics.h"
 #include "serve/block_cache.h"
 #include "serve/catalog_store.h"
 #include "serve/insitu.h"
+#include "serve/metrics_server.h"
 #include "serve/query_server.h"
 #include "util/error.h"
 #include "util/rng.h"
@@ -616,6 +619,160 @@ TEST(InSituServe, ChaosInterruptedRunLeavesServableCatalogs) {
   qr.type = QueryType::kRegion;
   qr.hi = {16, 16, 16};
   EXPECT_TRUE(server.query(qr).ok);
+  fs::remove_all(dir);
+}
+
+// ---- live metrics endpoint ---------------------------------------------------
+
+TEST(MetricsEndpoint, ServesPrometheusAndHealthz) {
+  MetricsServer::Config cfg;
+  cfg.port = 0;  // ephemeral
+  MetricsServer server(cfg);
+  ASSERT_GT(server.port(), 0);
+
+  obs::Counters counters;
+  counters.add(obs::counter_id("servex.endpoint.events"), 42);
+  obs::MetricsHub hub;
+  hub.add(obs::MetricsSource{0, &counters, nullptr});
+  server.set_metrics_handler([&hub] { return hub.render(); });
+  server.set_healthz_handler([] {
+    return std::string("{\"status\":\"ok\",\"width\":4}");
+  });
+
+  int status = 0;
+  const std::string metrics = http_get(server.port(), "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(metrics.find("# TYPE hacc_servex_endpoint_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("hacc_servex_endpoint_events_total{rank=\"0\"} 42"),
+            std::string::npos);
+
+  const std::string health = http_get(server.port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+
+  http_get(server.port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+
+  // Concurrent scrapes while a writer keeps bumping the counter.
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load()) counters.add(obs::counter_id("servex.endpoint.events"), 1);
+  });
+  std::vector<std::thread> scrapers;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 4; ++t) {
+    scrapers.emplace_back([&] {
+      for (int i = 0; i < 10; ++i) {
+        int st = 0;
+        const std::string body = http_get(server.port(), "/metrics", &st);
+        if (st == 200 &&
+            body.find("hacc_servex_endpoint_events_total") != std::string::npos)
+          ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : scrapers) t.join();
+  stop.store(true);
+  writer.join();
+  EXPECT_EQ(ok.load(), 40);
+  EXPECT_GE(server.requests_served(), 42u);
+}
+
+TEST(MetricsEndpoint, LiveScrapeDuringSupervisedRun) {
+  // Acceptance: a 4-rank supervised run is scraped over HTTP while the
+  // machine is up. /metrics must expose per-phase timings, the cost-map
+  // imbalance gauges, and (once a query service rides on the run) the
+  // cache counters and query-latency histograms; /healthz must report the
+  // run's width and checkpoint progress.
+  const std::string dir = temp_dir("hacc_serve_metrics_live");
+  core::SupervisorConfig scfg;
+  scfg.sim = serve_config(dir + "/catalogs");
+  scfg.nranks = 4;
+  scfg.checkpoint_dir = dir + "/ckpt";
+  scfg.sim.ledger_path = scfg.checkpoint_dir + "/ledger.jsonl";
+  scfg.checkpoint_every = 2;
+  scfg.metrics_port = 0;  // ephemeral loopback
+  fs::create_directories(scfg.checkpoint_dir);
+
+  cosmology::Cosmology cosmo;
+  core::Supervisor sup(cosmo, scfg);
+  sup.on_finished = [&](core::Simulation&, comm::Comm& c) {
+    // Hold every rank inside the attempt while rank 0 scrapes, so all four
+    // rank sources stay registered in the hub for the live scrape.
+    c.barrier();
+    if (c.rank() != 0) {
+      c.barrier();
+      return;
+    }
+    const int port = sup.metrics_port();
+    ASSERT_GT(port, 0);
+
+    // Mid-attempt scrape: all four ranks' sinks are registered.
+    int status = 0;
+    std::string text = http_get(port, "/metrics", &status);
+    ASSERT_EQ(status, 200);
+    for (int rank = 0; rank < 4; ++rank)
+      EXPECT_NE(text.find("rank=\"" + std::to_string(rank) + "\""),
+                std::string::npos);
+    EXPECT_NE(text.find("hacc_phase_ns_total{phase=\"sr-kernel\""),
+              std::string::npos);
+    EXPECT_NE(text.find("hacc_phase_ns_total{phase=\"poisson.fft\""),
+              std::string::npos);
+    EXPECT_NE(text.find("hacc_cost_leaf_imbalance{"), std::string::npos);
+    EXPECT_NE(text.find("hacc_cost_ns_per_interaction{"), std::string::npos);
+    EXPECT_NE(text.find("hacc_step_wall_ns_bucket{"), std::string::npos);
+
+    std::string health = http_get(port, "/healthz", &status);
+    ASSERT_EQ(status, 200);
+    EXPECT_NE(health.find("\"status\":\"running\""), std::string::npos);
+    EXPECT_NE(health.find("\"width\":4"), std::string::npos);
+    EXPECT_NE(health.find("\"step\":4"), std::string::npos);
+    EXPECT_NE(health.find("\"last_checkpoint_step\":4"), std::string::npos);
+    EXPECT_NE(health.find("\"anomalies\":"), std::string::npos);
+
+    // A query service rides on the live run: its cache counters and
+    // latency histograms join the same hub and the next scrape sees them.
+    obs::Counters qcounters;
+    obs::HistogramSet qhists;
+    CatalogStore store(scfg.sim.insitu.output_dir);
+    QueryServer::Config qcfg;
+    qcfg.threads = 2;
+    qcfg.counters = &qcounters;
+    qcfg.histograms = &qhists;
+    QueryServer qserver(store, qcfg);
+    const int handle =
+        sup.metrics_hub().add(obs::MetricsSource{0, &qcounters, &qhists});
+    Query q;
+    q.type = QueryType::kHaloMassRange;
+    q.step = -1;
+    EXPECT_TRUE(qserver.query(q).ok);
+    Query qr;
+    qr.type = QueryType::kRegion;
+    qr.hi = {16, 16, 16};
+    EXPECT_TRUE(qserver.query(qr).ok);
+
+    text = http_get(port, "/metrics", &status);
+    ASSERT_EQ(status, 200);
+    EXPECT_NE(text.find("hacc_serve_cache_"), std::string::npos);
+    EXPECT_NE(text.find("hacc_serve_query_all_ns_bucket{"), std::string::npos);
+    EXPECT_NE(text.find("hacc_serve_query_all_ns_count{"), std::string::npos);
+    sup.metrics_hub().remove(handle);
+    c.barrier();  // release the other ranks
+  };
+  const core::SupervisorReport rep = sup.run();
+  ASSERT_TRUE(rep.completed) << rep.last_error;
+
+  // The endpoint outlives the attempt: after completion /healthz flips to
+  // ok and the rank sources are gone from /metrics.
+  int status = 0;
+  const std::string health = http_get(sup.metrics_port(), "/healthz", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"completed\":true"), std::string::npos);
+  const std::string text = http_get(sup.metrics_port(), "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(text.find("hacc_phase_ns_total"), std::string::npos);
   fs::remove_all(dir);
 }
 
