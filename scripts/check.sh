@@ -140,6 +140,23 @@ if python3 scripts/trace_summary.py "$TRACE_TMP/truncated.json" 2>/dev/null; the
   exit 1
 fi
 
+# SDC defense: the ABFT audit suite (checksums, duplicate execution, mass
+# conservation) and the in-place rollback ladder. ASan runs the whole suite
+# — the memory-fault hooks literally flip bits in live arrays, so any
+# indexing slip in the injection or repair path is a guaranteed ASan find.
+# TSan covers the unit surface plus one end-to-end rollback: the audits
+# accumulate across OpenMP force workers and fold into the health gate's
+# allreduce from every rank thread.
+echo "== sdc: build (asan + tsan audit_test) =="
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target audit_test
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target audit_test
+
+echo "== sdc: asan (full audit suite) =="
+"$ASAN_BUILD/tests/audit_test"
+echo "== sdc: tsan (audit units + one in-place rollback campaign) =="
+"$TSAN_BUILD/tests/audit_test" \
+  --gtest_filter='ParticleChecksum.*:MemoryFaults.*:AuditCost.*:SdcRollback.ParticleFlipDetectedAndRolledBackInPlaceBitForBit'
+
 # Perf gate (advisory): if bench JSON from a previous bench_all.sh run is
 # lying around, diff it against the committed baseline. Warns only — set
 # HACC_PERF_STRICT=1 to make a >10% regression fail the gate.

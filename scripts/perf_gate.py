@@ -4,9 +4,9 @@
     scripts/perf_gate.py [build-dir] [--baseline bench/baseline.json]
                          [--threshold 0.10] [--write-baseline]
 
-Reads BENCH_step.json, BENCH_kernel.json, BENCH_serve.json and
-BENCH_obs.json from the build directory and compares the headline metrics
-against the baseline:
+Reads BENCH_step.json, BENCH_kernel.json, BENCH_serve.json, BENCH_obs.json
+and BENCH_sdc.json from the build directory and compares the headline
+metrics against the baseline:
 
     step.steps_per_sec        whole-step throughput (higher is better)
     kernel.batched_gflops     tile-batched kernel flop rate (higher is better)
@@ -18,6 +18,8 @@ against the baseline:
     obs.overhead_pct          observatory overhead (ABSOLUTE cap, not a
                               baseline diff: the bar is < 2% regardless of
                               what any earlier run measured)
+    sdc.overhead_pct          ABFT audit-suite overhead at the default
+                              cadence (ABSOLUTE cap: < 3%)
 
 A metric more than --threshold (default 10%) worse than baseline — below it
 for throughput metrics, above it for latency metrics — prints a PERF
@@ -39,7 +41,7 @@ LOWER_IS_BETTER = {"serve.p99_ms"}
 # Metrics gated against a fixed ceiling instead of the recorded baseline —
 # the contract is absolute ("the observatory costs < 2%"), so host drift
 # never moves the bar. These never participate in the baseline diff.
-ABSOLUTE_CAPS = {"obs.overhead_pct": 2.0}
+ABSOLUTE_CAPS = {"obs.overhead_pct": 2.0, "sdc.overhead_pct": 3.0}
 
 
 def load(path):
@@ -91,6 +93,12 @@ def obs_metrics(data):
     return {"obs.overhead_pct": data["overhead_pct"]}
 
 
+def sdc_metrics(data):
+    if not data or "overhead_pct" not in data:
+        return {}
+    return {"sdc.overhead_pct": data["overhead_pct"]}
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("build", nargs="?", default="build")
@@ -104,11 +112,12 @@ def main():
     current.update(kernel_metrics(load(os.path.join(args.build, "BENCH_kernel.json"))))
     current.update(serve_metrics(load(os.path.join(args.build, "BENCH_serve.json"))))
     current.update(obs_metrics(load(os.path.join(args.build, "BENCH_obs.json"))))
+    current.update(sdc_metrics(load(os.path.join(args.build, "BENCH_sdc.json"))))
 
     if not current:
         print("perf_gate: no BENCH_step.json / BENCH_kernel.json / "
-              f"BENCH_serve.json / BENCH_obs.json in {args.build}/ — "
-              "nothing to gate")
+              f"BENCH_serve.json / BENCH_obs.json / BENCH_sdc.json in "
+              f"{args.build}/ — nothing to gate")
         return 0
 
     # Absolute-cap metrics are gated here and never enter the baseline diff.

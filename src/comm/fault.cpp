@@ -3,6 +3,8 @@
 #include <chrono>
 #include <thread>
 
+#include "util/rng.h"
+
 namespace hacc::comm {
 
 namespace {
@@ -79,10 +81,37 @@ FaultPlan& FaultPlan::fail_collective(int rank, telemetry::Op op, int nth) {
   return *this;
 }
 
+FaultPlan& FaultPlan::flip_bits_in_particles(int rank, int step, int nbits,
+                                             std::uint64_t seed) {
+  fault::Spec& s = add(rank, fault::Kind::kFlipParticleMemory);
+  s.step = step;
+  s.nbits = nbits;
+  s.mem_seed = seed;
+  return *this;
+}
+
+FaultPlan& FaultPlan::flip_bits_in_grid(int rank, int step, int nbits,
+                                        std::uint64_t seed) {
+  fault::Spec& s = add(rank, fault::Kind::kFlipGridMemory);
+  s.step = step;
+  s.nbits = nbits;
+  s.mem_seed = seed;
+  return *this;
+}
+
 FaultPlan& FaultPlan::repeat(int times) {
   HACC_CHECK_MSG(!specs_.empty(), "repeat() needs a preceding fault spec");
   specs_.back().max_fires = times;
   specs_.back().nth = -1;  // every matching event, not just the nth
+  return *this;
+}
+
+FaultPlan& FaultPlan::pin_bit(int bit) {
+  HACC_CHECK_MSG(!specs_.empty() &&
+                     (specs_.back().kind == fault::Kind::kFlipParticleMemory ||
+                      specs_.back().kind == fault::Kind::kFlipGridMemory),
+                 "pin_bit() needs a preceding memory-flip spec");
+  specs_.back().bit = bit;
   return *this;
 }
 
@@ -144,6 +173,40 @@ void on_recv(int /*source*/, int tag) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(s.stall_seconds));
   }
+}
+
+std::vector<MemoryFlip> take_memory_flips(MemoryTarget target,
+                                          std::uint64_t elements, int bit_lo,
+                                          int bit_hi) {
+  std::vector<MemoryFlip> out;
+  if (g_plan == nullptr || elements == 0 || bit_hi <= bit_lo) return out;
+  const Kind want = target == MemoryTarget::kParticles
+                        ? Kind::kFlipParticleMemory
+                        : Kind::kFlipGridMemory;
+  for (Spec& s : g_plan->specs()) {
+    if (victim_rank(s) != g_rank || s.kind != want || s.step != g_step)
+      continue;
+    const int fired = s.fires.fetch_add(1, std::memory_order_relaxed);
+    if (s.max_fires >= 0 && fired >= s.max_fires) continue;
+    // Draw (element, bit) pairs from the spec's own counter-based stream:
+    // the damage is a pure function of (mem_seed, fired), identical on
+    // every re-run that lets the spec fire.
+    const Philox rng(s.mem_seed, 0x51DCu + static_cast<std::uint64_t>(fired));
+    for (int i = 0; i < s.nbits; ++i) {
+      const auto u = rng.uniform2(static_cast<std::uint64_t>(i));
+      MemoryFlip flip;
+      flip.element =
+          static_cast<std::uint64_t>(u[0] * static_cast<double>(elements)) %
+          elements;
+      flip.bit = s.bit >= 0
+                     ? s.bit
+                     : bit_lo + static_cast<int>(
+                                    u[1] * static_cast<double>(bit_hi - bit_lo)) %
+                           (bit_hi - bit_lo);
+      out.push_back(flip);
+    }
+  }
+  return out;
 }
 
 void on_collective(telemetry::Op op) {

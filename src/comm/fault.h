@@ -47,6 +47,8 @@ enum class Kind : int {
   kDropSend,        ///< silently drop the nth matching send in transit
   kCorruptSend,     ///< bit-flip a payload byte of the nth matching send
   kFailCollective,  ///< throw on the nth collective entry of an op class
+  kFlipParticleMemory,  ///< flip bits in resident particle state at a step
+  kFlipGridMemory,      ///< flip bits in the resident CIC grid at a step
 };
 
 struct Spec {
@@ -61,10 +63,25 @@ struct Spec {
   int nth = 0;          ///< fire on the nth (0-based) matching event
   double stall_seconds = 0;
   telemetry::Op op = telemetry::Op::kBarrier;  ///< kFailCollective class
+  // kFlip*Memory: how many bits to corrupt, which bit (-1 = draw from the
+  // seeded stream), and the Philox seed that makes the damage reproducible.
+  int nbits = 1;
+  int bit = -1;
+  std::uint64_t mem_seed = 0x5DC;
   int max_fires = 1;    ///< one-shot by default; <0 = unlimited
   std::atomic<int> fires{0};  ///< times this spec has fired (survives runs)
   std::atomic<int> seen{0};   ///< matching events observed (drives `nth`)
 };
+
+/// One resident-memory corruption: flip `bit` of logical element `element`
+/// of the targeted array (the caller maps elements to its own storage).
+struct MemoryFlip {
+  std::uint64_t element = 0;
+  int bit = 0;
+};
+
+/// Which resident array a kFlip*Memory spec attacks.
+enum class MemoryTarget { kParticles, kGrid };
 
 }  // namespace fault
 
@@ -91,9 +108,23 @@ class FaultPlan {
   FaultPlan& corrupt_send(int rank, int tag = fault::kAnyTag, int nth = 0);
   /// Throw on `rank`'s nth collective entry of class `op`.
   FaultPlan& fail_collective(int rank, telemetry::Op op, int nth = 0);
+  /// Flip `nbits` seeded-random bits of `rank`'s resident particle state
+  /// (positions/velocities/mass of actives) when step `step` begins —
+  /// silent corruption the comm layer never sees. One-shot across
+  /// Supervisor re-runs, like kill_at_step.
+  FaultPlan& flip_bits_in_particles(int rank, int step, int nbits = 1,
+                                    std::uint64_t seed = 0x5DC);
+  /// Flip `nbits` seeded-random bits of `rank`'s resident CIC density grid
+  /// right after the step's first deposit (high mantissa/exponent/sign
+  /// bits, so the damage is physically consequential). One-shot.
+  FaultPlan& flip_bits_in_grid(int rank, int step, int nbits = 1,
+                               std::uint64_t seed = 0x9D1D);
 
   /// Make the most recently added spec repeatable (`times` < 0: forever).
   FaultPlan& repeat(int times);
+  /// Pin the most recently added kFlip*Memory spec to one exact bit index
+  /// instead of a seeded draw (property tests target specific bit classes).
+  FaultPlan& pin_bit(int bit);
 
   std::deque<fault::Spec>& specs() noexcept { return specs_; }
   const std::deque<fault::Spec>& specs() const noexcept { return specs_; }
@@ -145,6 +176,17 @@ void on_recv(int source, int tag);
 /// Collective-entry hook (called by telemetry::OpGuard): fires
 /// kFailCollective by throwing hacc::Error.
 void on_collective(telemetry::Op op);
+
+/// Resident-memory corruption hook: the flips due on this rank at the
+/// current step (set_step) for `target`, over a logical array of `elements`
+/// elements whose usable bits are [bit_lo, bit_hi). Element and bit indices
+/// are drawn from Philox(spec.mem_seed), so the same plan damages the same
+/// state on every re-run; a pinned bit overrides the bit draw. Consuming is
+/// firing: one-shot specs never return flips twice, even across Supervisor
+/// re-runs. Empty when no plan is installed.
+std::vector<MemoryFlip> take_memory_flips(MemoryTarget target,
+                                          std::uint64_t elements, int bit_lo,
+                                          int bit_hi);
 
 }  // namespace fault
 }  // namespace hacc::comm

@@ -1,0 +1,150 @@
+#include "core/audit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace hacc::core {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// One component comparison under the audit tolerance.
+inline bool component_mismatch(float recomputed, float stored,
+                               const AuditConfig& config) noexcept {
+  const float d = std::fabs(recomputed - stored);
+  const float scale = std::max(std::fabs(recomputed), std::fabs(stored));
+  return d > config.dup_atol + config.dup_rtol * scale;
+}
+
+/// Compare one leaf's particles against the stored accumulators; the
+/// neighbor list has already been gathered by the caller.
+void check_leaf(const tree::ParticleArray& p, const tree::RcbNode& node,
+                const tree::NeighborList& list,
+                const tree::ShortRangeKernel& kernel, float mass_scale,
+                std::span<const float> ax, std::span<const float> ay,
+                std::span<const float> az, const AuditConfig& config,
+                DuplicateExecutionResult& out) {
+  for (std::uint32_t i = node.first; i < node.first + node.count; ++i) {
+    const tree::Force3 f = tree::evaluate_neighbor_list(
+        kernel, p.x[i], p.y[i], p.z[i], list.x.data(), list.y.data(),
+        list.z.data(), list.m.data(), list.size(), mass_scale);
+    ++out.checked;
+    if (component_mismatch(f.x, ax[i], config) ||
+        component_mismatch(f.y, ay[i], config) ||
+        component_mismatch(f.z, az[i], config)) {
+      ++out.mismatches;
+      if (out.detail.empty()) {
+        out.detail = "particle " + std::to_string(i) + ": scalar (" +
+                     std::to_string(f.x) + "," + std::to_string(f.y) + "," +
+                     std::to_string(f.z) + ") vs stored (" +
+                     std::to_string(ax[i]) + "," + std::to_string(ay[i]) +
+                     "," + std::to_string(az[i]) + ")";
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::uint64_t particle_checksum(const tree::ParticleArray& particles,
+                                bool assume_id_sorted) {
+  // Canonical order: actives sorted by id (unique among actives), so the
+  // hash is invariant under the permutations refresh/restore perform.
+  std::vector<std::size_t> order;
+  order.reserve(particles.size());
+  for (std::size_t i = 0; i < particles.size(); ++i)
+    if (particles.role[i] == tree::Role::kActive) order.push_back(i);
+  if (!assume_id_sorted) {
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return particles.id[a] < particles.id[b];
+    });
+  }
+  std::uint64_t h = kFnvOffset;
+  for (const std::size_t i : order) {
+    const float payload[7] = {particles.x[i],  particles.y[i],
+                              particles.z[i],  particles.vx[i],
+                              particles.vy[i], particles.vz[i],
+                              particles.mass[i]};
+    h = fnv1a(h, payload, sizeof(payload));
+    h = fnv1a(h, &particles.id[i], sizeof(particles.id[i]));
+  }
+  return h;
+}
+
+DuplicateExecutionResult duplicate_execution_check(
+    const tree::RcbTree& tree, const tree::ShortRangeKernel& kernel,
+    std::span<const float> ax, std::span<const float> ay,
+    std::span<const float> az, float mass_scale, const AuditConfig& config,
+    std::uint64_t draw_key) {
+  DuplicateExecutionResult out;
+  const auto& leaves = tree.leaves();
+  if (leaves.empty() || config.sample_leaves <= 0) return out;
+  Philox::Stream draw(Philox(config.seed, draw_key));
+  tree::NeighborList list;
+  // A budget that covers the whole leaf set means "audit everything":
+  // sweep exhaustively rather than drawing with replacement (which would
+  // leave ~1/e of the leaves uncovered even at budget == leaf count).
+  const bool exhaustive =
+      static_cast<std::size_t>(config.sample_leaves) >= leaves.size();
+  const std::size_t samples = std::min<std::size_t>(
+      static_cast<std::size_t>(config.sample_leaves), leaves.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const std::uint32_t leaf =
+        exhaustive ? leaves[s] : leaves[draw.index(leaves.size())];
+    list.clear();
+    tree.gather_neighbors(leaf, kernel.rmax, list);
+    ++out.sampled_leaves;
+    check_leaf(tree.particles(), tree.nodes()[leaf], list, kernel,
+               mass_scale, ax, ay, az, config, out);
+  }
+  return out;
+}
+
+DuplicateExecutionResult duplicate_execution_check(
+    const tree::MultiTree& forest, const tree::ShortRangeKernel& kernel,
+    std::span<const float> ax, std::span<const float> ay,
+    std::span<const float> az, float mass_scale, const AuditConfig& config,
+    std::uint64_t draw_key) {
+  DuplicateExecutionResult out;
+  // Flatten (tree, leaf) pairs so the draw is uniform over all leaves.
+  std::vector<std::pair<std::size_t, std::uint32_t>> pairs;
+  for (std::size_t t = 0; t < forest.trees().size(); ++t)
+    for (const std::uint32_t leaf : forest.trees()[t].leaves())
+      pairs.emplace_back(t, leaf);
+  if (pairs.empty() || config.sample_leaves <= 0) return out;
+  Philox::Stream draw(Philox(config.seed, draw_key));
+  tree::NeighborList list;
+  const bool exhaustive =
+      static_cast<std::size_t>(config.sample_leaves) >= pairs.size();
+  const std::size_t samples = std::min<std::size_t>(
+      static_cast<std::size_t>(config.sample_leaves), pairs.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto [t, leaf] =
+        exhaustive ? pairs[s] : pairs[draw.index(pairs.size())];
+    list.clear();
+    forest.gather_neighbors(t, leaf, kernel.rmax, list);
+    ++out.sampled_leaves;
+    check_leaf(forest.particles(), forest.trees()[t].nodes()[leaf], list,
+               kernel, mass_scale, ax, ay, az, config, out);
+  }
+  return out;
+}
+
+}  // namespace hacc::core

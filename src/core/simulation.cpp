@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <iostream>
 #include <numbers>
 
+#include "comm/fault.h"
 #include "gio/particle_io.h"
 #include "mesh/cic.h"
 #include "obs/obs.h"
@@ -30,10 +32,37 @@ const NameId kPhaseStream = intern_name("stream");
 const NameId kPhaseRefresh = intern_name("refresh");
 const NameId kPhaseCheckpoint = intern_name("checkpoint");
 const NameId kPhaseInsitu = intern_name("insitu");
+const NameId kPhaseAudit = intern_name("audit");
 
 const NameId kCtrInteractions = obs::counter_id("tree.pp_interactions");
 const NameId kCtrWalkVisits = obs::counter_id("tree.walk_visits");
 const NameId kGaugePeakRss = obs::gauge_id("mem.peak_rss_bytes");
+
+// SDC audit observability: per-gate totals plus the injection count (so a
+// chaos run's ledger shows the flips that were actually applied).
+const NameId kCtrAuditRuns = obs::counter_id("audit.runs");
+const NameId kCtrAuditChecksum = obs::counter_id("audit.checksum_mismatches");
+const NameId kCtrAuditDup = obs::counter_id("audit.dup_mismatches");
+const NameId kCtrAuditDupSamples = obs::counter_id("audit.dup_samples");
+const NameId kGaugeAuditMassResidual =
+    obs::gauge_id("audit.mass_residual_nano");
+const NameId kCtrMemoryFlips = obs::counter_id("fault.memory_flips");
+
+/// Flip one bit of a float (SDC injection applied to resident state).
+inline void flip_float_bit(float& v, int bit) noexcept {
+  std::uint32_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= std::uint32_t{1} << (bit & 31);
+  std::memcpy(&v, &u, sizeof(v));
+}
+
+/// Flip one bit of a double (grid cells are double).
+inline void flip_double_bit(double& v, int bit) noexcept {
+  std::uint64_t u;
+  std::memcpy(&u, &v, sizeof(u));
+  u ^= std::uint64_t{1} << (bit & 63);
+  std::memcpy(&v, &u, sizeof(v));
+}
 
 // Live-scrape slots: step wall-time distribution plus the cost-map summary
 // gauges (the _micro suffix is the fixed-point convention for fractional
@@ -113,6 +142,10 @@ void Simulation::initialize() {
   domain_->refresh(world_, particles_);
   steps_taken_ = 0;
   a_ = Cosmology::a_of_z(config_.z_initial);
+  // Open the first invariance window over the freshly initialized state,
+  // so a flip at step 1 is already caught.
+  reset_audit_window();
+  audit_end_step();
 }
 
 mesh::DistGrid Simulation::density_contrast() {
@@ -139,6 +172,31 @@ mesh::DistGrid Simulation::density_contrast() {
   {
     auto scope = timers_.scope(kPhaseGridExchange);
     rho.fold_ghosts(world_);
+  }
+  // Grid-resident fault injection fires here — after the fold, before the
+  // mass audit captures the interior sum, so the damage both corrupts the
+  // physics downstream and is visible to the conservation check. Flips are
+  // drawn from the high mantissa/exponent/sign bits (the physically
+  // consequential ones; a low-mantissa flip is below deposit rounding).
+  if (comm::fault::active()) {
+    const auto& box = rho.interior();
+    const std::uint64_t ex = box.x.extent();
+    const std::uint64_t ey = box.y.extent();
+    const std::uint64_t ez = box.z.extent();
+    const auto flips = comm::fault::take_memory_flips(
+        comm::fault::MemoryTarget::kGrid, ex * ey * ez, 48, 64);
+    for (const auto& flip : flips) {
+      const auto i = static_cast<std::ptrdiff_t>(flip.element / (ey * ez));
+      const auto j =
+          static_cast<std::ptrdiff_t>((flip.element / ez) % ey);
+      const auto k = static_cast<std::ptrdiff_t>(flip.element % ez);
+      flip_double_bit(rho.at(i, j, k), flip.bit);
+    }
+    if (!flips.empty()) counters_.add(kCtrMemoryFlips, flips.size());
+  }
+  if (config_.audit.cadence > 0 && config_.audit.mass_conservation) {
+    audit_.grid_mass += rho.interior_sum();
+    audit_.deposits += 1.0;
   }
   mesh::to_density_contrast(rho, world_);
   return rho;
@@ -203,6 +261,18 @@ void Simulation::apply_short_kick(double coeff) {
                                                &sr_workspace_);
       obs::add_counter(kCtrInteractions, stats_.interactions);
       obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
+      if (audit_.dup_pending) {
+        // Duplicate-execution audit while the forest is live: re-run
+        // sampled leaves through the scalar reference and compare against
+        // the accumulators before the kick consumes them.
+        audit_.dup_pending = false;
+        auto audit_scope = timers_.scope(kPhaseAudit);
+        const DuplicateExecutionResult dup = duplicate_execution_check(
+            *forest, kernel_, sr_ax_, sr_ay_, sr_az_, mass_scale_,
+            config_.audit, static_cast<std::uint64_t>(steps_taken_ + 1));
+        audit_.dup_mismatches += static_cast<double>(dup.mismatches);
+        audit_.dup_samples += static_cast<double>(dup.checked);
+      }
       const auto c2 = static_cast<float>(coeff);
       for (std::size_t i = 0; i < particles_.size(); ++i) {
         particles_.vx[i] += c2 * sr_ax_[i];
@@ -223,6 +293,15 @@ void Simulation::apply_short_kick(double coeff) {
                                        &sr_workspace_);
     obs::add_counter(kCtrInteractions, stats_.interactions);
     obs::add_counter(kCtrWalkVisits, stats_.walk_visits);
+    if (audit_.dup_pending) {
+      audit_.dup_pending = false;
+      auto audit_scope = timers_.scope(kPhaseAudit);
+      const DuplicateExecutionResult dup = duplicate_execution_check(
+          *rcb, kernel_, sr_ax_, sr_ay_, sr_az_, mass_scale_, config_.audit,
+          static_cast<std::uint64_t>(steps_taken_ + 1));
+      audit_.dup_mismatches += static_cast<double>(dup.mismatches);
+      audit_.dup_samples += static_cast<double>(dup.checked);
+    }
   } else {
     auto scope = timers_.scope(kPhaseSrKernel);
     stats_ = p3m::compute_short_range_p3m(particles_, kernel_, sr_ax_, sr_ay_,
@@ -274,6 +353,9 @@ void Simulation::step() {
   {
     obs::Binding binding(&tracer_, &counters_, cost);
     auto step_scope = timers_.scope(kPhaseStep);
+    // SDC window: fire any due resident-memory faults, then verify the
+    // state is bit-identical to the end of the previous step.
+    audit_begin_step();
     const double a0 = a_;
     const double a_final = Cosmology::a_of_z(config_.z_final);
     const double a_init = Cosmology::a_of_z(config_.z_initial);
@@ -295,11 +377,69 @@ void Simulation::step() {
     if (config_.insitu.cadence > 0 &&
         steps_taken_ % config_.insitu.cadence == 0)
       run_insitu();
+    // Open the next invariance window over the post-refresh state.
+    audit_end_step();
   }
   // Outside the step scope so the published "step" total includes the step
   // that just ended; both sinks are atomics, safe against a live scrape.
   histograms_.record(kHistStepWall, util::now_ns() - wall_t0);
   publish_metric_gauges();
+}
+
+void Simulation::apply_particle_memory_faults() {
+  if (!comm::fault::active()) return;
+  // Actives only: passive replicas are rebuilt at every refresh, so a flip
+  // there models a transient the next exchange heals; the actives are the
+  // authoritative state the audit defends.
+  std::vector<std::size_t> actives;
+  actives.reserve(particles_.size());
+  for (std::size_t i = 0; i < particles_.size(); ++i)
+    if (particles_.role[i] == tree::Role::kActive) actives.push_back(i);
+  if (actives.empty()) return;
+  // 7 float fields per particle: x, y, z, vx, vy, vz, mass.
+  const auto flips = comm::fault::take_memory_flips(
+      comm::fault::MemoryTarget::kParticles, actives.size() * 7, 0, 32);
+  for (const auto& flip : flips) {
+    const std::size_t i = actives[flip.element / 7];
+    float* fields[7] = {&particles_.x[i],  &particles_.y[i],
+                        &particles_.z[i],  &particles_.vx[i],
+                        &particles_.vy[i], &particles_.vz[i],
+                        &particles_.mass[i]};
+    flip_float_bit(*fields[flip.element % 7], flip.bit);
+  }
+  if (!flips.empty()) counters_.add(kCtrMemoryFlips, flips.size());
+}
+
+void Simulation::audit_begin_step() {
+  apply_particle_memory_faults();
+  const AuditConfig& audit = config_.audit;
+  if (audit.cadence > 0 && audit.checksum && audit_.stash_valid) {
+    auto scope = timers_.scope(kPhaseAudit);
+    // The inter-step window is idle: nothing legitimately mutates particle
+    // state between the end-of-step stash and here, so any difference is
+    // resident-memory corruption.
+    if (particle_checksum(particles_, config_.canonical_order) !=
+        audit_.stash)
+      audit_.checksum_mismatches += 1.0;
+  }
+  audit_.stash_valid = false;  // consumed; re-stashed at end of step
+  audit_.dup_pending = audit.cadence > 0 && audit.duplicate_execution &&
+                       config_.solver == ShortRangeSolver::kTreePP &&
+                       audit_due(steps_taken_ + 1);
+}
+
+void Simulation::audit_end_step() {
+  const AuditConfig& audit = config_.audit;
+  if (audit.cadence > 0 && audit.checksum) {
+    auto scope = timers_.scope(kPhaseAudit);
+    audit_.stash = particle_checksum(particles_, config_.canonical_order);
+    audit_.stash_valid = true;
+  }
+}
+
+void Simulation::reset_audit_window() {
+  audit_ = AuditScratch{};
+  prev_audit_kinetic_ = 0;
 }
 
 void Simulation::publish_metric_gauges() {
@@ -568,6 +708,18 @@ void Simulation::read_checkpoint(const std::string& path) {
   // passive layer.
   gio::redistribute_by_domain(world_, decomp_, particles_);
   domain_->refresh(world_, particles_);
+  // The restored state seeds fresh audit baselines: stale windows or
+  // accumulated findings from the abandoned trajectory must not trip the
+  // next gate.
+  reset_audit_window();
+  audit_end_step();
+}
+
+void Simulation::rollback(const std::string& path) {
+  // In-place restore: same machine, same width, no teardown — the elastic
+  // gio read routes blocks to the live ranks and the refresh rebuilds the
+  // passive layer. read_checkpoint also re-arms the audit window.
+  read_checkpoint(path);
 }
 
 Simulation::EnergyDiagnostics Simulation::energy() {
@@ -628,11 +780,37 @@ std::string Simulation::HealthReport::describe(double max_drift) const {
   return what;
 }
 
+std::string Simulation::HealthReport::describe_sdc(
+    const AuditConfig& audit) const {
+  std::string what;
+  if (checksum_mismatches > 0)
+    what += std::to_string(checksum_mismatches) +
+            " payload checksum mismatch(es); ";
+  if (dup_mismatches > 0)
+    what += std::to_string(dup_mismatches) + " of " +
+            std::to_string(dup_samples) +
+            " duplicate-execution sample(s) disagree; ";
+  if (mass_residual > audit.mass_rtol)
+    what += "CIC mass residual " + std::to_string(mass_residual) +
+            " exceeds " + std::to_string(audit.mass_rtol) + "; ";
+  if (audit.kinetic_jump > 0 && kinetic_jump > 0 &&
+      (kinetic_jump > audit.kinetic_jump ||
+       kinetic_jump < 1.0 / audit.kinetic_jump))
+    what += "kinetic energy jumped " + std::to_string(kinetic_jump) +
+            "x between audits (budget " +
+            std::to_string(audit.kinetic_jump) + "x); ";
+  if (!what.empty()) what.resize(what.size() - 2);  // trailing "; "
+  return what;
+}
+
 Simulation::HealthReport Simulation::health_check() {
   const auto finite = [](float v) { return std::isfinite(v); };
-  // Local scan, then ONE 5-wide allreduce: {nonfinite particles, actives,
-  // momentum x/y/z}.
-  std::array<double, 5> agg{0, 0, 0, 0, 0};
+  // Local scan, then ONE 10-wide allreduce: {nonfinite particles, actives,
+  // momentum x/y/z, kinetic p^2 sum} plus the SDC audit accumulators
+  // {checksum mismatches, dup mismatches, dup samples, grid mass}. The
+  // audits ride the existing gate collective — a gated step still costs
+  // exactly one allreduce.
+  std::array<double, 10> agg{};
   for (std::size_t i = 0; i < particles_.size(); ++i) {
     if (particles_.role[i] != tree::Role::kActive) continue;
     agg[1] += 1.0;
@@ -644,7 +822,14 @@ Simulation::HealthReport Simulation::health_check() {
     agg[2] += particles_.vx[i];
     agg[3] += particles_.vy[i];
     agg[4] += particles_.vz[i];
+    agg[5] += 0.5 * (static_cast<double>(particles_.vx[i]) * particles_.vx[i] +
+                     static_cast<double>(particles_.vy[i]) * particles_.vy[i] +
+                     static_cast<double>(particles_.vz[i]) * particles_.vz[i]);
   }
+  agg[6] = audit_.checksum_mismatches;
+  agg[7] = audit_.dup_mismatches;
+  agg[8] = audit_.dup_samples;
+  agg[9] = audit_.grid_mass;
   world_.allreduce(std::span<double>(agg), comm::ReduceOp::kSum);
 
   HealthReport report;
@@ -659,6 +844,39 @@ Simulation::HealthReport Simulation::health_check() {
     report.momentum_drift = std::max(
         report.momentum_drift,
         std::abs(report.momentum[sd] - (*momentum0_)[sd]));
+  }
+  report.kinetic = a_ > 0 ? agg[5] / (a_ * a_) : agg[5];
+  report.checksum_mismatches = static_cast<std::uint64_t>(agg[6]);
+  report.dup_mismatches = static_cast<std::uint64_t>(agg[7]);
+  report.dup_samples = static_cast<std::uint64_t>(agg[8]);
+  if (audit_.deposits > 0) {
+    // Each deposit's global grid sum must equal the global active count
+    // (CIC is a partition of unity); the accumulated residual is relative
+    // to the accumulated expectation, so it is cadence-independent.
+    const double expected_mass =
+        audit_.deposits * static_cast<double>(report.expected);
+    if (expected_mass > 0)
+      report.mass_residual = std::abs(agg[9] - expected_mass) / expected_mass;
+  }
+  report.audited = audit_due(steps_taken_);
+  if (report.audited) {
+    if (config_.audit.energy_tracker && prev_audit_kinetic_ > 0 &&
+        report.kinetic > 0)
+      report.kinetic_jump = report.kinetic / prev_audit_kinetic_;
+    prev_audit_kinetic_ = report.kinetic;
+    // This gate consumed the accumulated findings; publish them to the
+    // live counters and start the next accumulation window.
+    counters_.add(kCtrAuditRuns, 1);
+    counters_.add(kCtrAuditChecksum, report.checksum_mismatches);
+    counters_.add(kCtrAuditDup, report.dup_mismatches);
+    counters_.add(kCtrAuditDupSamples, report.dup_samples);
+    counters_.set(kGaugeAuditMassResidual,
+                  static_cast<std::uint64_t>(report.mass_residual * 1e9));
+    audit_.checksum_mismatches = 0;
+    audit_.dup_mismatches = 0;
+    audit_.dup_samples = 0;
+    audit_.grid_mass = 0;
+    audit_.deposits = 0;
   }
   return report;
 }

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "comm/comm.h"
+#include "core/audit.h"
 #include "core/domain.h"
 #include "cosmology/background.h"
 #include "cosmology/initial_conditions.h"
@@ -118,6 +119,10 @@ struct SimulationConfig {
   /// ledger is on (the watchdog reads reduced records).
   bool watchdog = true;
   obs::WatchdogConfig watchdog_config{};
+  /// Silent-data-corruption audits (core/audit.h): payload-invariance
+  /// checksums, CIC mass conservation, kinetic-energy drift, and sampled
+  /// duplicate execution, all folded into health_check()'s one allreduce.
+  AuditConfig audit{};
 };
 
 class Simulation {
@@ -192,6 +197,9 @@ class Simulation {
   const obs::HistogramSet& histograms() const noexcept { return histograms_; }
   /// Drift watchdog state (anomaly totals feed /healthz).
   const obs::Watchdog& watchdog() const noexcept { return watchdog_; }
+  /// Mutable access for drivers: the Supervisor notes SDC detections here
+  /// so /healthz anomaly totals include them.
+  obs::Watchdog& mutable_watchdog() noexcept { return watchdog_; }
   std::uint64_t anomaly_count() const noexcept { return watchdog_.anomalies(); }
 
   /// The per-step run ledger (populated by run() when config().ledger_path
@@ -221,6 +229,15 @@ class Simulation {
     std::uint64_t expected = 0;  ///< configured particles_per_dim^3
     std::array<double, 3> momentum{};
     double momentum_drift = 0;   ///< max |component - first recorded|
+    // ---- SDC audit findings, accumulated since the last audited gate and
+    // reduced in the SAME allreduce (zeros when the audit is off) ----
+    bool audited = false;  ///< this gate falls on the audit cadence
+    std::uint64_t checksum_mismatches = 0;  ///< payload-invariance breaks
+    std::uint64_t dup_mismatches = 0;  ///< duplicate-execution disagreements
+    std::uint64_t dup_samples = 0;     ///< particles re-executed
+    double mass_residual = 0;  ///< relative CIC grid-mass error (worst case)
+    double kinetic = 0;        ///< global kinetic energy sum p^2 / 2a^2
+    double kinetic_jump = 0;   ///< ratio vs previous audited gate (0 = n/a)
     bool counts_ok() const noexcept { return active == expected; }
     /// Healthy under a drift budget (<= 0 disables the drift test).
     bool ok(double max_drift = 0) const noexcept {
@@ -229,8 +246,27 @@ class Simulation {
     }
     /// Human-readable diagnosis of what failed ("" when ok()).
     std::string describe(double max_drift = 0) const;
+    /// No audit tripped: checksums held, mass conserved, duplicate
+    /// execution agreed, kinetic energy within the jump budget. Evaluated
+    /// by the Supervisor on audited gates only.
+    bool sdc_clean(const AuditConfig& audit) const noexcept {
+      return checksum_mismatches == 0 && dup_mismatches == 0 &&
+             mass_residual <= audit.mass_rtol &&
+             (audit.kinetic_jump <= 0 || kinetic_jump <= 0 ||
+              (kinetic_jump <= audit.kinetic_jump &&
+               kinetic_jump >= 1.0 / audit.kinetic_jump));
+    }
+    /// Human-readable diagnosis of the audit findings ("" when clean).
+    std::string describe_sdc(const AuditConfig& audit) const;
   };
   HealthReport health_check();
+
+  /// In-place SDC recovery: restore the checkpoint at `path` on the live
+  /// machine (elastic gio read + redistribution + overload refresh — no
+  /// Machine teardown) and reset the audit window so the restored state
+  /// seeds fresh baselines. Collective; throws if the checkpoint refuses
+  /// to read back clean.
+  void rollback(const std::string& path);
 
   /// Cosmic energy (Layzer-Irvine) diagnostics over active particles.
   /// kinetic  T = sum p^2 / (2 a^2),
@@ -261,6 +297,25 @@ class Simulation {
   void short_range_subcycles(double a0, double a1);
   void apply_short_kick(double coeff);
   void drift(double factor);
+
+  /// Fire any due kFlipParticleMemory specs on this rank: flip the drawn
+  /// bits in resident active particle state. Called at the top of step(),
+  /// before the audit recomputes the invariance checksum.
+  void apply_particle_memory_faults();
+  /// Local audit work at the start of a step: memory-fault injection, then
+  /// the payload-invariance recompute against the stash.
+  void audit_begin_step();
+  /// Local audit work at the end of a step: stash the post-refresh
+  /// canonical checksum for the next step's window.
+  void audit_end_step();
+  /// Drop the stash and accumulated findings (initialize/rollback): the
+  /// restored state seeds fresh baselines instead of tripping the window.
+  void reset_audit_window();
+  /// True when the gate after `step` falls on the audit cadence.
+  bool audit_due(int step) const noexcept {
+    return config_.audit.cadence > 0 && step > 0 &&
+           step % config_.audit.cadence == 0;
+  }
 
   /// Per-phase seconds since the previous call (sim + "poisson."-prefixed
   /// solver phases); advances the baseline.
@@ -305,6 +360,22 @@ class Simulation {
   std::vector<double> prev_phase_seconds_;     // indexed by NameId
   std::vector<std::uint64_t> prev_counters_;   // indexed by NameId
   std::vector<NameId> phase_metric_ids_;       // phase id -> phase.<x>.ns id
+  // ---- SDC audit state ----
+  // Local findings accumulate here between audited gates; health_check()
+  // folds them into its allreduce and clears them once a gate on the audit
+  // cadence has consumed them.
+  struct AuditScratch {
+    bool stash_valid = false;    ///< a checksum window is open
+    std::uint64_t stash = 0;     ///< canonical checksum at last step end
+    double checksum_mismatches = 0;
+    double grid_mass = 0;        ///< sum of local interior sums per deposit
+    double deposits = 0;         ///< deposits captured (same on all ranks)
+    double dup_mismatches = 0;
+    double dup_samples = 0;
+    bool dup_pending = false;    ///< run duplicate execution this step
+  };
+  AuditScratch audit_;
+  double prev_audit_kinetic_ = 0;  ///< KE at the previous audited gate
 };
 
 }  // namespace hacc::core

@@ -64,10 +64,47 @@ void CheckpointSet::publish(int step) {
   HACC_CHECK_MSG(std::rename(tmp.c_str(), latest_path().c_str()) == 0,
                  "cannot publish " + latest_path());
   fsync_directory(dir_);  // make the rename itself crash-durable
-  // Rotate: drop everything older than the last `keep_` checkpoints.
+  // Rotate: drop everything older than the last `keep_` checkpoints,
+  // including their audit-verdict sidecars.
   const std::vector<int> steps = existing();
-  for (std::size_t i = static_cast<std::size_t>(keep_); i < steps.size(); ++i)
+  for (std::size_t i = static_cast<std::size_t>(keep_); i < steps.size(); ++i) {
     std::remove(path_for_step(steps[i]).c_str());
+    std::remove(verdict_path_for_step(steps[i]).c_str());
+  }
+}
+
+std::string CheckpointSet::verdict_path_for_step(int step) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%s%06d.audit", kCkptPrefix, step);
+  return dir_ + "/" + name;
+}
+
+void CheckpointSet::record_verdict(int step, const std::string& verdict) {
+  const std::string path = verdict_path_for_step(step);
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    HACC_CHECK_MSG(f != nullptr, "cannot write " + tmp);
+    const std::string body = verdict + "\n";
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fflush(f);
+    ::fsync(fileno(f));
+    std::fclose(f);
+  }
+  HACC_CHECK_MSG(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "cannot publish " + path);
+  fsync_directory(dir_);
+}
+
+std::string CheckpointSet::verdict(int step) const {
+  std::FILE* f = std::fopen(verdict_path_for_step(step).c_str(), "rb");
+  if (f == nullptr) return "";
+  char buf[32] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  std::string v(buf, n);
+  while (!v.empty() && (v.back() == '\n' || v.back() == '\r')) v.pop_back();
+  return v;
 }
 
 int CheckpointSet::latest() const {
@@ -187,7 +224,7 @@ void Supervisor::start_metrics_server() {
 }
 
 void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
-                           int attempt) {
+                           int restore_step, int attempt) {
   Simulation sim(comm, cosmo_, config_.sim);
   // Register this rank's scrape sinks for the lifetime of the attempt.
   // Declared after `sim`, so unwinding removes the source from the hub
@@ -222,6 +259,14 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
     sim.read_checkpoint(restore_path);
   }
 
+  // SDC bookkeeping. Both are per-rank locals that stay in lockstep: every
+  // rank sees the same reduced HealthReport, so every rank takes the same
+  // branches. `last_clean_audit` bounds the corruption window a detection
+  // poisons: anything checkpointed after the last audited-clean gate may
+  // hold the flip inside a CRC-clean payload.
+  int last_clean_audit = std::max(0, restore_step);
+  int rollbacks_taken = 0;
+
   while (sim.steps_taken() < config_.sim.steps) {
     // Announce the step to fault injection: a scheduled kill fires here, on
     // the victim rank, exactly once across all supervisor attempts.
@@ -239,8 +284,113 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
 
     // Health guards before the state can be checkpointed: a checkpoint of
     // sick state would poison every later recovery. The report is
-    // identical on all ranks, so all ranks throw (or none).
+    // identical on all ranks, so all ranks take the same branch below.
     const Simulation::HealthReport health = sim.health_check();
+    const bool sdc_ok =
+        !health.audited || health.sdc_clean(config_.sim.audit);
+    if (health.audited && ledger_on && root) {
+      sim.mutable_ledger().append_event(obs::EventRecord{
+          "audit", sim.steps_taken(), attempt,
+          sdc_ok ? "clean" : health.describe_sdc(config_.sim.audit)});
+    }
+    if (health.audited && sdc_ok) last_clean_audit = sim.steps_taken();
+
+    // SDC response ladder, evaluated *before* the hard health throw: an
+    // in-place rollback on the live machine is far cheaper than tearing it
+    // down and relaunching, and a flip large enough to also trip the
+    // momentum/nonfinite guards is still just corrupted state — restore it.
+    if (!sdc_ok) {
+      const int detect_step = sim.steps_taken();
+      const std::string what = health.describe_sdc(config_.sim.audit);
+      if (root) {
+        ++report_.sdc_detections;
+        sim.mutable_watchdog().note(obs::Anomaly{"sdc", 1.0, what});
+        health_.anomalies.store(sim.anomaly_count(),
+                                std::memory_order_relaxed);
+        if (ledger_on)
+          sim.mutable_ledger().append_event(
+              obs::EventRecord{"sdc_detected", detect_step, attempt, what});
+        // The flip happened somewhere in (last clean audit, now]: every
+        // checkpoint written in that window may hold the corruption inside
+        // a CRC-clean payload. Poison them durably so neither this ladder
+        // nor a later relaunch restores one.
+        for (const int cs : checkpoints_.existing())
+          if (cs > last_clean_audit && cs <= detect_step)
+            checkpoints_.record_verdict(cs, "poisoned");
+      }
+      if (++rollbacks_taken > config_.max_rollbacks) {
+        const std::string msg =
+            "SDC rollback budget exhausted (" +
+            std::to_string(config_.max_rollbacks) + ") after step " +
+            std::to_string(detect_step) + ": " + what;
+        if (ledger_on && root)
+          sim.mutable_ledger().append_event(obs::EventRecord{
+              "rollback_failed", detect_step, attempt, msg});
+        throw Error(msg);
+      }
+      // Pick the newest checkpoint that is neither poisoned nor damaged on
+      // disk; rescan with backoff to ride out transient FS trouble.
+      int candidate = -1;
+      for (int t = 0; t <= config_.rollback_retries && candidate < 0; ++t) {
+        if (t > 0 && config_.rollback_backoff_s > 0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(
+              config_.rollback_backoff_s * t));
+        if (root) {
+          for (const int cs : checkpoints_.existing()) {
+            const std::string path = checkpoints_.path_for_step(cs);
+            if (checkpoints_.verdict(cs) == "poisoned") {
+              if (ledger_on && t == 0)
+                sim.mutable_ledger().append_event(
+                    obs::EventRecord{"checkpoint_rejected", cs, attempt,
+                                     path + ": audit verdict poisoned"});
+              continue;
+            }
+            if (!gio::verify_file(path).ok) {
+              if (ledger_on && t == 0)
+                sim.mutable_ledger().append_event(
+                    obs::EventRecord{"checkpoint_rejected", cs, attempt,
+                                     path + ": failed re-verification"});
+              continue;
+            }
+            candidate = cs;
+            break;
+          }
+        }
+        candidate = comm.bcast_value(candidate, 0);
+      }
+      if (candidate < 0) {
+        // Escalate: no state on disk is trustworthy at this width. The
+        // machine-level catch in run() owns what happens next (relaunch,
+        // possibly elastic, possibly cold).
+        const std::string msg =
+            "SDC detected after step " + std::to_string(detect_step) +
+            " and no audit-clean checkpoint is restorable: " + what;
+        if (ledger_on && root)
+          sim.mutable_ledger().append_event(obs::EventRecord{
+              "rollback_failed", detect_step, attempt, msg});
+        throw Error(msg);
+      }
+      // In-place restore on the live machine: no teardown, no relaunch. A
+      // read failure here (the file died between verify and read) escapes
+      // to run()'s catch and escalates exactly like any other rank fault.
+      sim.rollback(checkpoints_.path_for_step(candidate));
+      last_clean_audit = candidate;
+      if (root) {
+        ++report_.rollbacks;
+        health_.step.store(sim.steps_taken(), std::memory_order_relaxed);
+        if (ledger_on) {
+          sim.mutable_ledger().append_event(
+              obs::EventRecord{"rollback", candidate, attempt,
+                               checkpoints_.path_for_step(candidate)});
+          sim.mutable_ledger().append_event(obs::EventRecord{
+              "resume", candidate, attempt,
+              "in-place resume at step " + std::to_string(candidate) +
+                  " (no relaunch)"});
+        }
+      }
+      continue;  // the corrupted step is never checkpointed
+    }
+
     if (!health.ok(config_.max_momentum_drift)) {
       const std::string what =
           "health check failed after step " +
@@ -258,6 +408,10 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
       sim.write_checkpoint(path);  // write-then-verify inside (collective)
       if (root) {
         checkpoints_.publish(s);
+        // The verdict rides with the checkpoint: restores prefer state
+        // that had passed a full audit at the moment it was written.
+        checkpoints_.record_verdict(
+            s, health.audited && sdc_ok ? "clean" : "unaudited");
         health_.last_checkpoint.store(s, std::memory_order_relaxed);
         if (ledger_on)
           sim.mutable_ledger().append_event(
@@ -292,6 +446,14 @@ SupervisorReport Supervisor::run() {
       Timer verify_timer;
       for (const int step : checkpoints_.existing()) {
         const std::string path = checkpoints_.path_for_step(step);
+        // An audit verdict outranks the CRC: a "poisoned" checkpoint holds
+        // corruption *inside* its checksummed payload, so verify_file
+        // passing it proves nothing.
+        if (checkpoints_.verdict(step) == "poisoned") {
+          record_event("checkpoint_rejected", step, attempt,
+                       path + ": audit verdict poisoned");
+          continue;
+        }
         const gio::VerifyReport vr = gio::verify_file(path);
         if (vr.ok) {
           restore = path;
@@ -323,7 +485,10 @@ SupervisorReport Supervisor::run() {
     comm::MachineReport machine_report;
     try {
       comm::Machine::run(
-          width_, [&](comm::Comm& comm) { rank_main(comm, restore, attempt); },
+          width_,
+          [&](comm::Comm& comm) {
+            rank_main(comm, restore, restore_step, attempt);
+          },
           config_.machine, &machine_report);
       report_.completed = true;
       report_.final_step = config_.sim.steps;

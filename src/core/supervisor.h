@@ -73,6 +73,23 @@ class CheckpointSet {
   /// Step named by the `latest` pointer, or -1 when absent/unreadable.
   int latest() const;
 
+  /// Durably record an ABFT audit verdict for `step`'s checkpoint in a
+  /// `ckpt_<step>.audit` sidecar (tmp+rename+fsync, like `latest`). The
+  /// storage CRC says the *bytes* survived; the verdict says whether the
+  /// *physics* they encode had passed an audit when written ("clean"), had
+  /// not been audited yet ("unaudited"), or has since been implicated in a
+  /// detected corruption window ("poisoned"). Restores skip "poisoned"
+  /// checkpoints even though their CRCs verify — that is the whole point:
+  /// a flip that happened *before* the checkpoint was written is inside
+  /// the checksummed payload and invisible to gio::verify_file.
+  void record_verdict(int step, const std::string& verdict);
+
+  /// The recorded verdict for `step`, or "" when no sidecar exists
+  /// (treat as "unaudited").
+  std::string verdict(int step) const;
+
+  std::string verdict_path_for_step(int step) const;
+
   /// Steps of all existing checkpoint files in `dir`, newest first. Scans
   /// the directory, not the pointer: recovery must see checkpoints even
   /// when `latest` itself was lost or points at a damaged file.
@@ -125,6 +142,17 @@ struct SupervisorConfig {
   /// Health budget: max momentum-component drift from the first recorded
   /// value before the state is declared sick (<= 0 disables).
   double max_momentum_drift = 0;
+  // ---- silent-data-corruption response (sim.audit is the detection side) --
+  /// Extra scans of the checkpoint chain for a rollback candidate when the
+  /// first scan finds none (covers transient shared-FS hiccups).
+  int rollback_retries = 2;
+  /// Sleep `try * rollback_backoff_s` between those scans.
+  double rollback_backoff_s = 0;
+  /// In-place rollbacks tolerated per attempt before an SDC detection
+  /// escalates to the relaunch path instead — a state that keeps failing
+  /// its audits after restore means the damage is upstream of this
+  /// machine's memory (e.g. every surviving checkpoint is bad).
+  int max_rollbacks = 4;
   /// Runtime options for every attempt (receive deadline, payload
   /// verification, fault plan).
   comm::MachineOptions machine;
@@ -139,6 +167,8 @@ struct SupervisorReport {
   bool completed = false;  ///< the run reached sim.steps
   int attempts = 0;        ///< machine launches (1 = no failure)
   int restores = 0;        ///< warm restarts from a checkpoint
+  int sdc_detections = 0;  ///< audited gates that reported corruption
+  int rollbacks = 0;       ///< in-place restores (no machine relaunch)
   int final_step = 0;
   std::string last_error;  ///< diagnosis of the last failed attempt ("")
   /// Wall seconds of failed attempts (failure detection latency included).
@@ -196,7 +226,7 @@ class Supervisor {
 
  private:
   void rank_main(comm::Comm& comm, const std::string& restore_path,
-                 int attempt);
+                 int restore_step, int attempt);
   void start_metrics_server();
   void record_event(const std::string& kind, int step, int attempt,
                     const std::string& detail);

@@ -68,6 +68,10 @@ class Watchdog {
 
   /// Total anomalies over the run (the /healthz counter).
   std::uint64_t anomalies() const noexcept { return total_; }
+  /// Fold an externally detected anomaly (e.g. the Supervisor's "sdc"
+  /// class from the ABFT audits) into the run total, so /healthz counts
+  /// it alongside the watchdog's own telemetry findings.
+  void note(const Anomaly&) noexcept { ++total_; }
   /// Calibrated ns/interaction expectation (0 until calibrated).
   double calibrated_ns_per_interaction() const noexcept { return calibrated_; }
   const WatchdogConfig& config() const noexcept { return config_; }

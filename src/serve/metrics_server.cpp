@@ -17,20 +17,33 @@ namespace hacc::serve {
 namespace {
 
 // Read until the end of the request headers (blank line) or the peer stops
-// sending; we only need the request line.
-std::string read_request(int fd) {
-  std::string req;
+// sending; we only need the request line. The caller must be able to tell a
+// finished request from a client that wandered off mid-line or tried to
+// flood the header buffer — those are distinct failure answers, not 404s.
+struct Request {
+  std::string data;
+  bool complete = false;  ///< saw the end-of-headers blank line
+  bool overflow = false;  ///< hit the header cap before completing
+};
+
+Request read_request(int fd) {
+  Request r;
   char buf[1024];
   for (;;) {
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    req.append(buf, static_cast<std::size_t>(n));
-    if (req.find("\r\n\r\n") != std::string::npos ||
-        req.find("\n\n") != std::string::npos)
+    if (n <= 0) break;  // disconnect, timeout, or error: incomplete
+    r.data.append(buf, static_cast<std::size_t>(n));
+    if (r.data.find("\r\n\r\n") != std::string::npos ||
+        r.data.find("\n\n") != std::string::npos) {
+      r.complete = true;
       break;
-    if (req.size() > 16 * 1024) break;  // header flood; give up
+    }
+    if (r.data.size() > 16 * 1024) {  // header flood; give up
+      r.overflow = true;
+      break;
+    }
   }
-  return req;
+  return r;
 }
 
 void send_all(int fd, const std::string& data) {
@@ -127,12 +140,37 @@ void MetricsServer::worker_main() {
 }
 
 void MetricsServer::handle_connection(int fd) {
-  const std::string req = read_request(fd);
-  // Parse "GET <path> ..." from the request line.
+  const Request req = read_request(fd);
+  // A peer that connected and left without sending a byte (port scanner,
+  // aborted scrape) gets no response — there is no request to answer.
+  if (req.data.empty()) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // A request that never reached the end of its headers is malformed
+  // whether it stalled (partial line, early close) or flooded (header cap):
+  // answer 400, never dispatch a handler on a half-read line.
+  if (!req.complete) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    send_all(fd, response(400, "Bad Request", "text/plain",
+                          req.overflow ? "request headers too large\n"
+                                       : "incomplete request\n"));
+    return;
+  }
+  // Parse "GET <path> ..." from the request line, strictly: the method must
+  // be GET, the path non-empty and absolute, the line terminated. Anything
+  // else — binary garbage, other methods, a bare "GET\r\n" — is a 400, not
+  // a 404 (404 means "well-formed request for a path we don't serve").
   std::string path;
-  if (req.rfind("GET ", 0) == 0) {
-    const std::size_t end = req.find_first_of(" \r\n", 4);
-    path = req.substr(4, end == std::string::npos ? std::string::npos : end - 4);
+  if (req.data.rfind("GET ", 0) == 0) {
+    const std::size_t end = req.data.find_first_of(" \r\n", 4);
+    if (end != std::string::npos) path = req.data.substr(4, end - 4);
+  }
+  if (path.empty() || path[0] != '/') {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    send_all(fd,
+             response(400, "Bad Request", "text/plain", "bad request line\n"));
+    return;
   }
 
   std::function<std::string()> handler;

@@ -45,6 +45,13 @@ class MetricsServer {
   std::uint64_t requests_served() const noexcept {
     return served_.load(std::memory_order_relaxed);
   }
+  /// Connections dropped or answered 400 without dispatching a handler:
+  /// empty/partial/unterminated request lines, non-GET garbage, header
+  /// floods past the 16 KiB cap. A hostile or broken scraper shows up here
+  /// instead of wedging a worker.
+  std::uint64_t requests_rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   void worker_main();
@@ -55,6 +62,7 @@ class MetricsServer {
   int port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> rejected_{0};
   std::mutex handler_mu_;
   std::function<std::string()> metrics_handler_;
   std::function<std::string()> healthz_handler_;

@@ -357,6 +357,8 @@ struct CampaignOutcome {
   int shrinks = 0;
   int faults_planned = 0;
   int checkpoints_damaged = 0;
+  bool sdc_detected = false;
+  bool rolled_back = false;
 };
 
 CampaignOutcome run_campaign(std::uint64_t seed, const SimulationConfig& cfg,
@@ -383,7 +385,9 @@ CampaignOutcome run_campaign(std::uint64_t seed, const SimulationConfig& cfg,
   // peer) dies with a DeadlockError at this deadline instead of wedging
   // the campaign.
   scfg.machine.recv_timeout_s = 3.0;
+  scfg.sim.ledger_path = scfg.checkpoint_dir + "/ledger.jsonl";
   fs::remove_all(scfg.checkpoint_dir);
+  fs::create_directories(scfg.checkpoint_dir);
 
   comm::FaultPlan plan;
   CampaignOutcome out;
@@ -416,6 +420,21 @@ CampaignOutcome run_campaign(std::uint64_t seed, const SimulationConfig& cfg,
                          rng.uniform() < 0.5 ? comm::telemetry::Op::kBarrier
                                              : comm::telemetry::Op::kAlltoall,
                          static_cast<int>(rng.index(16)));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.5) {  // resident particle memory flip (ABFT checksum)
+    plan.flip_bits_in_particles(
+        static_cast<int>(rng.index(4)),
+        1 + static_cast<int>(
+                rng.index(static_cast<std::uint64_t>(cfg.steps))),
+        1 + static_cast<int>(rng.index(2)));
+    ++out.faults_planned;
+  }
+  if (rng.uniform() < 0.25) {  // resident grid memory flip (mass audit)
+    plan.flip_bits_in_grid(
+        static_cast<int>(rng.index(4)),
+        1 + static_cast<int>(
+                rng.index(static_cast<std::uint64_t>(cfg.steps))));
     ++out.faults_planned;
   }
   scfg.machine.fault_plan = &plan;
@@ -464,6 +483,25 @@ CampaignOutcome run_campaign(std::uint64_t seed, const SimulationConfig& cfg,
       expect_pk_close(ref.pk, got.pk, /*rtol=*/1e-3);
     }
   }
+
+  // SDC trail: whenever a campaign repaired corruption in place, the ledger
+  // must show the full escalation story in order — detection, then the
+  // in-place rollback, then the no-relaunch resume. (A campaign may instead
+  // escalate to relaunch or give up; only the in-place path is ordered.)
+  const std::string text = read_file(scfg.sim.ledger_path);
+  const std::size_t at_detect = text.find("\"event\":\"sdc_detected\"");
+  const std::size_t at_rollback = text.find("\"event\":\"rollback\"");
+  const std::size_t at_resume = text.find("\"event\":\"resume\"");
+  out.sdc_detected = at_detect != std::string::npos;
+  if (at_rollback != std::string::npos) {
+    out.rolled_back = true;
+    EXPECT_NE(at_detect, std::string::npos) << "seed " << seed;
+    EXPECT_LT(at_detect, at_rollback) << "seed " << seed;
+    EXPECT_NE(at_resume, std::string::npos) << "seed " << seed;
+    if (at_resume != std::string::npos)
+      EXPECT_LT(at_rollback, at_resume) << "seed " << seed;
+  }
+
   fs::remove_all(scfg.checkpoint_dir);
   return out;
 }
@@ -480,21 +518,28 @@ TEST(ChaosCampaign, SeededCampaignsAllTerminateAndConserve) {
   cosmology::Cosmology cosmo;
   const FinalState ref = reference_run(cfg, cosmo, 4);
 
-  int completed = 0, gave_up = 0, shrunk = 0;
+  int completed = 0, gave_up = 0, shrunk = 0, sdc = 0, rolled = 0;
   for (int i = 0; i < campaigns; ++i) {
     SCOPED_TRACE("campaign " + std::to_string(i));
     const CampaignOutcome out = run_campaign(base_seed + static_cast<std::uint64_t>(i), cfg, cosmo, ref);
     completed += out.completed ? 1 : 0;
     gave_up += out.completed ? 0 : 1;
     shrunk += out.shrinks > 0 ? 1 : 0;
+    sdc += out.sdc_detected ? 1 : 0;
+    rolled += out.rolled_back ? 1 : 0;
   }
-  std::printf("chaos: %d campaigns, %d completed, %d gave up, %d shrank\n",
-              campaigns, completed, gave_up, shrunk);
+  std::printf(
+      "chaos: %d campaigns, %d completed, %d gave up, %d shrank, "
+      "%d caught SDC (%d repaired in place)\n",
+      campaigns, completed, gave_up, shrunk, sdc, rolled);
   // Every campaign terminated (we got here). The sweep must not be
   // degenerate: most campaigns finish, and the elastic path was exercised.
   EXPECT_GE(completed, (2 * campaigns) / 3);
   if (campaigns >= 10) {
     EXPECT_GT(shrunk, 0);
+    // Memory flips land with probability ~0.6 per campaign; the ABFT
+    // audits must have fired on some of them.
+    EXPECT_GT(sdc, 0);
   }
 }
 

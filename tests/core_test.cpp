@@ -683,6 +683,44 @@ TEST(CheckpointSet, RecoversFromMissingLatestPointer) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(CheckpointSet, AuditVerdictSidecars) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "hacc_ckpt_verdict").string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  CheckpointSet set(dir, /*keep=*/1);
+
+  const auto touch = [&](int step) {
+    std::ofstream(set.path_for_step(step)) << "x";
+  };
+  touch(2);
+  set.publish(2);
+
+  // No sidecar yet: the verdict is the empty string (read as "unaudited").
+  EXPECT_EQ(set.verdict(2), "");
+
+  // Record, read back, and overwrite in place — a checkpoint written clean
+  // can later be implicated in a detected corruption window.
+  set.record_verdict(2, "clean");
+  EXPECT_EQ(set.verdict(2), "clean");
+  set.record_verdict(2, "poisoned");
+  EXPECT_EQ(set.verdict(2), "poisoned");
+  EXPECT_TRUE(std::filesystem::exists(set.verdict_path_for_step(2)));
+
+  // Sidecars never pollute the checkpoint scan.
+  EXPECT_EQ(set.existing(), (std::vector<int>{2}));
+
+  // Rotation prunes the sidecar together with its checkpoint (keep=1).
+  touch(4);
+  set.publish(4);
+  set.record_verdict(4, "clean");
+  EXPECT_FALSE(std::filesystem::exists(set.path_for_step(2)));
+  EXPECT_FALSE(std::filesystem::exists(set.verdict_path_for_step(2)));
+  EXPECT_EQ(set.verdict(2), "");
+  EXPECT_EQ(set.verdict(4), "clean");
+  std::filesystem::remove_all(dir);
+}
+
 TEST(Supervisor, CompletesCleanRunWithRotatedCheckpoints) {
   SupervisorConfig scfg;
   scfg.sim.grid = 16;

@@ -6,6 +6,11 @@
 // chaos-interrupted supervised run.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
@@ -677,6 +682,99 @@ TEST(MetricsEndpoint, ServesPrometheusAndHealthz) {
   writer.join();
   EXPECT_EQ(ok.load(), 40);
   EXPECT_GE(server.requests_served(), 42u);
+}
+
+// Raw-socket client for the hardening tests: sends exactly `payload` (no
+// HTTP framing added) and returns whatever the server answers until it
+// closes. http_get can't produce malformed traffic, so this can.
+std::string raw_exchange(int port, const std::string& payload,
+                         bool shutdown_write = true) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  timeval tv{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::size_t sent = 0;
+  while (sent < payload.size()) {
+    const ssize_t n =
+        ::send(fd, payload.data() + sent, payload.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  // Model the client being done (or dead): half-close so the server's recv
+  // sees EOF instead of waiting out its timeout.
+  if (shutdown_write) ::shutdown(fd, SHUT_WR);
+  std::string resp;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    resp.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return resp;
+}
+
+TEST(MetricsEndpoint, SurvivesMalformedAndHostileClients) {
+  MetricsServer::Config cfg;
+  cfg.port = 0;
+  MetricsServer server(cfg);
+  server.set_metrics_handler([] { return std::string("ok 1\n"); });
+  server.set_healthz_handler([] { return std::string("{}"); });
+
+  // Connect-and-leave: no bytes sent. No response owed, no worker wedged.
+  EXPECT_EQ(raw_exchange(server.port(), ""), "");
+
+  // Partial request line, then the client dies: 400, not a handler
+  // dispatch on the half-read path.
+  EXPECT_NE(raw_exchange(server.port(), "GET /met").find("400 Bad Request"),
+            std::string::npos);
+
+  // Binary garbage and non-GET methods: 400.
+  EXPECT_NE(raw_exchange(server.port(), "\x01\x02\xff\r\n\r\n")
+                .find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(raw_exchange(server.port(), "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("400 Bad Request"),
+            std::string::npos);
+  EXPECT_NE(
+      raw_exchange(server.port(), "GET \r\n\r\n").find("400 Bad Request"),
+      std::string::npos);
+
+  // Header flood past the 16 KiB cap, never terminated: 400, bounded read.
+  std::string flood = "GET /metrics HTTP/1.0\r\n";
+  flood.append(64 * 1024, 'x');
+  EXPECT_NE(raw_exchange(server.port(), flood).find("400 Bad Request"),
+            std::string::npos);
+
+  EXPECT_GE(server.requests_rejected(), 6u);
+
+  // A well-formed request for an unknown path is still a 404 — 400 is
+  // reserved for requests we could not even parse.
+  int status = 0;
+  http_get(server.port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+
+  // The pool survives a burst of abuse and still answers real scrapes.
+  std::vector<std::thread> abusers;
+  for (int t = 0; t < 8; ++t) {
+    abusers.emplace_back([&, t] {
+      for (int i = 0; i < 5; ++i)
+        raw_exchange(server.port(), t % 2 == 0 ? "" : "junk\r\n\r\n");
+    });
+  }
+  for (auto& t : abusers) t.join();
+  const std::string body = http_get(server.port(), "/metrics", &status);
+  EXPECT_EQ(status, 200);
+  EXPECT_EQ(body, "ok 1\n");
 }
 
 TEST(MetricsEndpoint, LiveScrapeDuringSupervisedRun) {
