@@ -56,7 +56,7 @@ RunResult timed_run(int ranks, const core::SimulationConfig& cfg,
     int handle = -1;
     if (hub != nullptr)
       handle = hub->add(
-          obs::MetricsSource{c.rank(), &sim.counters(), &sim.histograms()});
+          obs::MetricsSource{c.rank(), &sim.counters(), &sim.histograms(), ""});
     c.barrier();
     Timer t;
     sim.run();

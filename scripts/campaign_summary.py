@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Render a per-run summary table from a campaign write-ahead journal.
+
+    scripts/campaign_summary.py <campaign-root-or-journal> [--events]
+
+Accepts either the campaign root directory (reads <root>/campaign.jsonl) or a
+path to the journal itself. The journal is append-only JSONL (see DESIGN.md
+section 4l); torn tails and blank lines are skipped, matching the C++ replay
+parser, so the tool is safe to point at a live or crashed campaign.
+
+For each run: terminal outcome (or current phase), launch/failure counts,
+the width history reconstructed from grant and elastic-reclaim events, and
+the last recorded error detail. Campaign-level lines (orchestrator starts,
+shrink reclaims, regrants) are summarized at the bottom; --events appends
+the full decoded event stream.
+
+Exit code is 1 if any run ended quarantined, so scripts can gate on it.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def read_journal(path):
+    """Yield decoded entries, skipping blank/torn/garbage lines."""
+    with open(path) as f:
+        for line in f:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn tail from a killed orchestrator
+            if isinstance(entry, dict) and "event" in entry:
+                yield entry
+
+
+def summarize(entries):
+    runs = {}  # name -> state dict, in first-seen (schedule) order
+    campaign = {"orchestrator_starts": 0, "reclaims": 0,
+                "reclaimed_ranks": 0, "grants": 0}
+
+    def run(name):
+        return runs.setdefault(name, {
+            "phase": "queued", "launches": 0, "failures": 0,
+            "widths": [], "restores": 0, "last_error": "",
+        })
+
+    for e in entries:
+        event = e.get("event", "")
+        name = e.get("run", "")
+        if not name:
+            if event == "orchestrator_start":
+                campaign["orchestrator_starts"] += 1
+            continue
+        r = run(name)
+        width = e.get("width", 0)
+        if event == "grant":
+            campaign["grants"] += 1
+            if not r["widths"] or r["widths"][-1] != width:
+                r["widths"].append(width)
+        elif event == "started":
+            r["phase"] = "running"
+            r["launches"] += 1
+        elif event == "restore":
+            r["restores"] += 1
+        elif event == "reclaim":
+            campaign["reclaims"] += 1
+            # "elastic shrink F -> T returned N rank(s) to the pool"
+            detail = e.get("detail", "")
+            if "returned" in detail:
+                try:
+                    campaign["reclaimed_ranks"] += int(
+                        detail.split("returned", 1)[1].split()[0])
+                except (ValueError, IndexError):
+                    pass
+            if width and (not r["widths"] or r["widths"][-1] != width):
+                r["widths"].append(width)
+        elif event == "failed":
+            r["phase"] = "queued"
+            r["failures"] += 1
+            r["last_error"] = e.get("detail", "")
+        elif event == "finished":
+            r["phase"] = "finished"
+        elif event == "quarantined":
+            r["phase"] = "quarantined"
+            r["last_error"] = e.get("detail", "")
+    return runs, campaign
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("path", help="campaign root dir or campaign.jsonl")
+    ap.add_argument("--events", action="store_true",
+                    help="also print the decoded event stream")
+    args = ap.parse_args()
+
+    path = args.path
+    if os.path.isdir(path):
+        path = os.path.join(path, "campaign.jsonl")
+    if not os.path.exists(path):
+        print(f"campaign_summary: no journal at {path}", file=sys.stderr)
+        return 2
+
+    entries = list(read_journal(path))
+    runs, campaign = summarize(entries)
+    if not runs:
+        print(f"campaign_summary: {path}: no run events")
+        return 0
+
+    name_w = max(len(n) for n in runs) + 2
+    print(f"{'run':{name_w}s} {'outcome':12s} {'launches':>8s} "
+          f"{'failures':>8s} {'restores':>8s}  width history")
+    for name, r in runs.items():
+        widths = " -> ".join(str(w) for w in r["widths"]) or "-"
+        print(f"{name:{name_w}s} {r['phase']:12s} {r['launches']:8d} "
+              f"{r['failures']:8d} {r['restores']:8d}  {widths}")
+        if r["last_error"] and r["phase"] in ("quarantined", "queued"):
+            print(f"{'':{name_w}s}   last error: {r['last_error']}")
+
+    outcomes = [r["phase"] for r in runs.values()]
+    print(f"\n{len(runs)} run(s): "
+          f"{outcomes.count('finished')} finished, "
+          f"{outcomes.count('quarantined')} quarantined, "
+          f"{outcomes.count('running')} running, "
+          f"{outcomes.count('queued')} queued; "
+          f"{campaign['grants']} grant(s), "
+          f"{campaign['reclaims']} elastic reclaim(s) "
+          f"({campaign['reclaimed_ranks']} rank(s) returned), "
+          f"{campaign['orchestrator_starts']} orchestrator start(s)")
+
+    if args.events:
+        print()
+        for e in entries:
+            print(f"  [{e.get('event', '?'):18s}] "
+                  f"run={e.get('run', '') or '<campaign>':12s} "
+                  f"step={e.get('step', 0):3d} width={e.get('width', 0):2d}  "
+                  f"{e.get('detail', '')}")
+
+    return 1 if "quarantined" in outcomes else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,6 +33,9 @@
 #    (scrape threads read histogram/counter atomics while rank threads and
 #    OpenMP kernel workers write them), and trace_summary.py against empty
 #    and partial traces.
+# 8. Campaign: the multi-run orchestrator's journal/kill-replay/isolation
+#    tests under both sanitizers, plus campaign_summary.py against a real
+#    (and then deliberately torn) journal.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -156,6 +159,38 @@ echo "== sdc: asan (full audit suite) =="
 echo "== sdc: tsan (audit units + one in-place rollback campaign) =="
 "$TSAN_BUILD/tests/audit_test" \
   --gtest_filter='ParticleChecksum.*:MemoryFaults.*:AuditCost.*:SdcRollback.ParticleFlipDetectedAndRolledBackInPlaceBitForBit'
+
+# Campaign orchestrator: the multi-run scheduler under both sanitizers. The
+# orchestrator-kill/replay test exercises journal append/fsync/reseal across
+# process "restarts" (fresh orchestrator over the same root), and the
+# isolation test runs two supervised machines concurrently off one worker
+# pool — grant/reclaim accounting, the shared MetricsHub, and the fsync'd
+# journal mutex are all cross-thread. The full suite (including the 8-run
+# chaos acceptance sweep) runs unsanitized in ctest.
+CAMPAIGN_FILTER='CampaignJournalTest.*:CampaignSpec.*:Campaign.KilledOrchestratorResumesFromJournalWithoutRepeatingWork:Campaign.ConcurrentRunsIsolateFaults'
+echo "== campaign: build (asan + tsan campaign_test) =="
+cmake --build "$ASAN_BUILD" -j "$JOBS" --target campaign_test
+cmake --build "$TSAN_BUILD" -j "$JOBS" --target campaign_test
+
+echo "== campaign: asan (journal + kill/replay + isolation) =="
+"$ASAN_BUILD/tests/campaign_test" --gtest_filter="$CAMPAIGN_FILTER"
+echo "== campaign: tsan (journal + kill/replay + isolation) =="
+"$TSAN_BUILD/tests/campaign_test" --gtest_filter="$CAMPAIGN_FILTER"
+
+# campaign_summary.py must render a real journal — produced here by the
+# throughput bench with KEEP=1 — and stay graceful on the torn tail a killed
+# orchestrator leaves behind.
+echo "== campaign: summary tool against a live journal =="
+cmake --build "$BUILD" -j "$JOBS" --target campaign_throughput
+CAMP_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP" "$CAMP_TMP"' EXIT
+(cd "$BUILD" && TMPDIR="$CAMP_TMP" HACC_CAMPAIGN_KEEP=1 HACC_CAMPAIGN_RUNS=4 \
+  ./bench/campaign_throughput >/dev/null)
+python3 scripts/campaign_summary.py "$CAMP_TMP/hacc_bench_campaign_faulty"
+# Torn tail: an unterminated fragment must be skipped, not crash the parse.
+printf '{"event":"fini' >> "$CAMP_TMP/hacc_bench_campaign_faulty/campaign.jsonl"
+python3 scripts/campaign_summary.py "$CAMP_TMP/hacc_bench_campaign_faulty" \
+  >/dev/null
 
 # Perf gate (advisory): if bench JSON from a previous bench_all.sh run is
 # lying around, diff it against the committed baseline. Warns only — set

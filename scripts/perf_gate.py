@@ -4,9 +4,9 @@
     scripts/perf_gate.py [build-dir] [--baseline bench/baseline.json]
                          [--threshold 0.10] [--write-baseline]
 
-Reads BENCH_step.json, BENCH_kernel.json, BENCH_serve.json, BENCH_obs.json
-and BENCH_sdc.json from the build directory and compares the headline
-metrics against the baseline:
+Reads BENCH_step.json, BENCH_kernel.json, BENCH_serve.json, BENCH_obs.json,
+BENCH_sdc.json and BENCH_campaign.json from the build directory and compares
+the headline metrics against the baseline:
 
     step.steps_per_sec        whole-step throughput (higher is better)
     kernel.batched_gflops     tile-batched kernel flop rate (higher is better)
@@ -20,6 +20,9 @@ metrics against the baseline:
                               what any earlier run measured)
     sdc.overhead_pct          ABFT audit-suite overhead at the default
                               cadence (ABSOLUTE cap: < 3%)
+    campaign.utilization      fleet-pool utilization of the clean sweep —
+                              busy rank-seconds over fleet x makespan, a
+                              ratio robust to host speed (higher is better)
 
 A metric more than --threshold (default 10%) worse than baseline — below it
 for throughput metrics, above it for latency metrics — prints a PERF
@@ -99,6 +102,12 @@ def sdc_metrics(data):
     return {"sdc.overhead_pct": data["overhead_pct"]}
 
 
+def campaign_metrics(data):
+    if not data or "utilization_clean" not in data:
+        return {}
+    return {"campaign.utilization": data["utilization_clean"]}
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("build", nargs="?", default="build")
@@ -113,11 +122,12 @@ def main():
     current.update(serve_metrics(load(os.path.join(args.build, "BENCH_serve.json"))))
     current.update(obs_metrics(load(os.path.join(args.build, "BENCH_obs.json"))))
     current.update(sdc_metrics(load(os.path.join(args.build, "BENCH_sdc.json"))))
+    current.update(campaign_metrics(load(os.path.join(args.build, "BENCH_campaign.json"))))
 
     if not current:
         print("perf_gate: no BENCH_step.json / BENCH_kernel.json / "
-              f"BENCH_serve.json / BENCH_obs.json / BENCH_sdc.json in "
-              f"{args.build}/ — nothing to gate")
+              f"BENCH_serve.json / BENCH_obs.json / BENCH_sdc.json / "
+              f"BENCH_campaign.json in {args.build}/ — nothing to gate")
         return 0
 
     # Absolute-cap metrics are gated here and never enter the baseline diff.

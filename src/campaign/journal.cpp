@@ -1,0 +1,148 @@
+#include "campaign/journal.h"
+
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdlib>
+
+#include "obs/json.h"
+#include "util/error.h"
+
+namespace hacc::campaign {
+
+std::string journal_entry_json(const JournalEntry& e) {
+  std::string out = "{\"event\":\"" + obs::json_escape(e.event) + "\"";
+  out += ",\"run\":\"" + obs::json_escape(e.run) + "\"";
+  out += ",\"step\":" + std::to_string(e.step);
+  out += ",\"attempt\":" + std::to_string(e.attempt);
+  out += ",\"width\":" + std::to_string(e.width);
+  out += ",\"detail\":\"" + obs::json_escape(e.detail) + "\"}";
+  return out;
+}
+
+namespace {
+
+/// Value of string key `key` in `line`, unescaping the JSON escapes
+/// json_escape produces. False when the key is absent or the value is torn
+/// (no closing quote — the crash happened mid-append).
+bool extract_string(const std::string& line, const std::string& key,
+                    std::string* out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  std::string value;
+  for (std::size_t i = at + needle.size(); i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '"') {
+      *out = std::move(value);
+      return true;
+    }
+    if (c != '\\') {
+      value.push_back(c);
+      continue;
+    }
+    if (++i >= line.size()) return false;  // torn mid-escape
+    switch (line[i]) {
+      case 'n': value.push_back('\n'); break;
+      case 't': value.push_back('\t'); break;
+      case 'r': value.push_back('\r'); break;
+      case 'u':
+        // json_escape only emits \u00XX for control bytes.
+        if (i + 4 < line.size()) {
+          value.push_back(static_cast<char>(
+              std::strtol(line.substr(i + 1, 4).c_str(), nullptr, 16)));
+          i += 4;
+        }
+        break;
+      default: value.push_back(line[i]); break;
+    }
+  }
+  return false;  // no closing quote: torn line
+}
+
+bool extract_int(const std::string& line, const std::string& key, int* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = line.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t v = at + needle.size();
+  if (v >= line.size() || (line[v] != '-' && !std::isdigit(line[v])))
+    return false;
+  *out = std::atoi(line.c_str() + v);
+  return true;
+}
+
+}  // namespace
+
+bool parse_journal_line(const std::string& line, JournalEntry* out) {
+  JournalEntry e;
+  // `event` is the one mandatory field: a line without a complete event
+  // value is noise (blank line, torn tail), not an entry.
+  if (!extract_string(line, "event", &e.event) || e.event.empty()) return false;
+  extract_string(line, "run", &e.run);
+  extract_string(line, "detail", &e.detail);
+  extract_int(line, "step", &e.step);
+  extract_int(line, "attempt", &e.attempt);
+  extract_int(line, "width", &e.width);
+  *out = std::move(e);
+  return true;
+}
+
+CampaignJournal::CampaignJournal(std::string path, bool append)
+    : path_(std::move(path)) {
+  file_ = std::fopen(path_.c_str(), append ? "ab" : "wb");
+  HACC_CHECK_MSG(file_ != nullptr, "cannot open campaign journal " + path_);
+  if (append) {
+    // Seal a torn tail: an orchestrator killed mid-append leaves an
+    // unterminated fragment, and appending straight onto it would corrupt
+    // the next entry too. A lone newline turns the fragment into a line the
+    // replay parser already drops.
+    std::FILE* r = std::fopen(path_.c_str(), "rb");
+    if (r != nullptr) {
+      bool torn = false;
+      if (std::fseek(r, -1, SEEK_END) == 0) torn = std::fgetc(r) != '\n';
+      std::fclose(r);
+      if (torn) {
+        std::fputc('\n', file_);
+        std::fflush(file_);
+        ::fsync(fileno(file_));
+      }
+    }
+  }
+}
+
+CampaignJournal::~CampaignJournal() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void CampaignJournal::append(const JournalEntry& e) {
+  const std::string line = journal_entry_json(e) + "\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fflush(file_);
+  ::fsync(fileno(file_));  // write-ahead: durable before the action proceeds
+}
+
+std::vector<JournalEntry> CampaignJournal::replay(const std::string& path) {
+  std::vector<JournalEntry> out;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return out;  // no journal yet: an empty campaign
+  std::string line;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    line += buf;
+    if (line.empty() || line.back() != '\n') continue;  // long line: keep
+    JournalEntry e;
+    if (parse_journal_line(line, &e)) out.push_back(std::move(e));
+    line.clear();
+  }
+  // A final unterminated fragment is the torn append of the crash that
+  // stopped the previous orchestrator; parse it only if it is whole enough.
+  if (!line.empty()) {
+    JournalEntry e;
+    if (parse_journal_line(line, &e)) out.push_back(std::move(e));
+  }
+  std::fclose(f);
+  return out;
+}
+
+}  // namespace hacc::campaign

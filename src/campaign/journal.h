@@ -1,0 +1,76 @@
+// Crash-safe write-ahead campaign journal.
+//
+// A campaign is dozens of supervised runs stretched over days; the
+// orchestrator process driving them is itself mortal (node loss, operator
+// restart, OOM). The journal is the orchestrator's only durable state: one
+// fsync'd JSON line per scheduling decision and per run lifecycle event
+// (`scheduled`, `started`, `checkpointed`, `finished`, `failed`,
+// `quarantined`, plus pool traffic `grant`/`reclaim` and the mirrored
+// Supervisor audit trail), appended *before* the action it describes takes
+// effect wherever possible. A restarted orchestrator replays the file,
+// reconstructs every run's phase and failure count, and resumes the sweep
+// without re-running finished work — the same write-ahead discipline the
+// per-run ledger (obs/ledger.h) applies to one simulation, lifted to the
+// fleet.
+//
+// The replay parser is deliberately tolerant: a torn final line (the crash
+// happened mid-append, before the fsync landed) is dropped, unknown keys
+// are ignored, and missing integer fields default — a journal written by a
+// newer build must never wedge an older reader mid-recovery.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace hacc::campaign {
+
+/// One line of `campaign.jsonl`. Campaign-level entries (pool grants,
+/// orchestrator start/stop) leave `run` empty; run-level entries carry the
+/// run's name so one file rolls up the whole sweep.
+struct JournalEntry {
+  std::string event;   ///< "scheduled", "started", "checkpointed", ...
+  std::string run;     ///< run name ("" = campaign-level)
+  int step = -1;       ///< step the event refers to (-1 = n/a)
+  int attempt = -1;    ///< orchestrator launch number for the run (-1 = n/a)
+  int width = 0;       ///< ranks involved (grant width, run width; 0 = n/a)
+  std::string detail;  ///< free-form human-readable context
+};
+
+/// Serialize `e` as one JSON object (no trailing newline).
+std::string journal_entry_json(const JournalEntry& e);
+
+/// Parse one journal line. Returns false for blank, torn or non-JSON lines
+/// (replay skips them); missing fields keep their defaults.
+bool parse_journal_line(const std::string& line, JournalEntry* out);
+
+/// Append-only fsync'd journal writer. Thread-safe: Supervisor rank threads
+/// mirror events into the campaign rollup while the scheduler thread writes
+/// intents, so every append is serialized and durable before it returns.
+class CampaignJournal {
+ public:
+  /// Opens `path` for appending (creating it if absent); truncates instead
+  /// when `append` is false. Throws when the file cannot be opened.
+  explicit CampaignJournal(std::string path, bool append = true);
+  ~CampaignJournal();
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  /// Write one line and fsync it: when append() returns, the entry survives
+  /// the orchestrator dying on the very next instruction.
+  void append(const JournalEntry& e);
+
+  const std::string& path() const noexcept { return path_; }
+
+  /// Read every parseable entry of `path` in file order. A missing file is
+  /// an empty campaign, not an error; a torn trailing line is dropped.
+  static std::vector<JournalEntry> replay(const std::string& path);
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace hacc::campaign

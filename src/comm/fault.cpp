@@ -46,6 +46,26 @@ fault::Spec& FaultPlan::add(int rank, fault::Kind kind) {
   return s;
 }
 
+FaultPlan FaultPlan::clone_fresh() const {
+  FaultPlan out;
+  for (const fault::Spec& s : specs_) {
+    fault::Spec& c = out.specs_.emplace_back();
+    c.rank = s.rank;
+    c.kind = s.kind;
+    c.step = s.step;
+    c.tag = s.tag;
+    c.nth = s.nth;
+    c.stall_seconds = s.stall_seconds;
+    c.op = s.op;
+    c.nbits = s.nbits;
+    c.bit = s.bit;
+    c.mem_seed = s.mem_seed;
+    c.max_fires = s.max_fires;
+    // fires/seen stay zero: the clone has never fired.
+  }
+  return out;
+}
+
 FaultPlan& FaultPlan::kill_at_step(int rank, int step) {
   fault::Spec& s = add(rank, fault::Kind::kKillAtStep);
   s.step = step;

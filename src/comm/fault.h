@@ -89,11 +89,28 @@ enum class MemoryTarget { kParticles, kGrid };
 /// Machine::run. Build it with the chained helpers, pass it through
 /// MachineOptions. Spec state (fired counters) lives in the plan, so the
 /// same plan can supervise several consecutive Machine::run attempts.
+///
+/// Concurrency: the fired/seen counters are atomics and every hook uses a
+/// single fetch_add to claim a firing, so a plan shared by several
+/// *concurrent* machines in one process (a campaign) can never double-fire
+/// a one-shot spec — but sharing does make one-shot mean once per
+/// *process*: the first run to reach the trigger consumes it for everyone.
+/// Campaign drivers that want every run to see its full schedule hand each
+/// run its own instance via clone_fresh().
 class FaultPlan {
  public:
   FaultPlan() = default;
   FaultPlan(const FaultPlan&) = delete;
   FaultPlan& operator=(const FaultPlan&) = delete;
+  // Movable (the deque's nodes transfer; the non-movable atomic Specs stay
+  // where they are) so clone_fresh() can return by value.
+  FaultPlan(FaultPlan&&) noexcept = default;
+  FaultPlan& operator=(FaultPlan&&) noexcept = default;
+
+  /// A deep copy of the schedule with all firing state (fires/seen) reset
+  /// to zero — a plan that has never fired. The per-run instance a
+  /// campaign hands each of its concurrent runs.
+  FaultPlan clone_fresh() const;
 
   /// Kill `rank` when fault::set_step(step) is called on it.
   FaultPlan& kill_at_step(int rank, int step);

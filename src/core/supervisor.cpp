@@ -190,12 +190,15 @@ void Supervisor::note_step(int width, double seconds) {
 
 void Supervisor::record_event(const std::string& kind, int step, int attempt,
                               const std::string& detail) {
+  const obs::EventRecord e{kind, step, attempt, detail};
+  if (on_event) on_event(e);
   if (config_.sim.ledger_path.empty()) return;
-  obs::Ledger::append_event_to(config_.sim.ledger_path,
-                               obs::EventRecord{kind, step, attempt, detail});
+  obs::Ledger::append_event_to(config_.sim.ledger_path, e);
 }
 
 void Supervisor::start_metrics_server() {
+  // With a shared hub the campaign owns the one endpoint for all runs.
+  if (config_.shared_hub != nullptr) return;
   if (config_.metrics_port < 0 || metrics_server_) return;
   serve::MetricsServer::Config mcfg;
   mcfg.port = config_.metrics_port;
@@ -236,23 +239,33 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
       if (hub != nullptr) hub->remove(handle);
     }
   } hub_guard{nullptr, -1};
-  if (metrics_server_) {
-    hub_guard.hub = &hub_;
-    hub_guard.handle = hub_.add(
-        obs::MetricsSource{comm.rank(), &sim.counters(), &sim.histograms()});
+  if (metrics_server_ || config_.shared_hub != nullptr) {
+    obs::MetricsHub& hub = metrics_hub();
+    hub_guard.hub = &hub;
+    hub_guard.handle = hub.add(obs::MetricsSource{
+        comm.rank(), &sim.counters(), &sim.histograms(), config_.run_label});
   }
   const bool ledger_on = !config_.sim.ledger_path.empty();
   const bool root = comm.rank() == 0;
+  // Root-side event sink: the run ledger (when configured) plus the
+  // on_event observer (always) — call sites guard on `root` so each event
+  // is emitted exactly once per machine.
+  auto emit = [&](const obs::EventRecord& e) {
+    if (ledger_on) sim.mutable_ledger().append_event(e);
+    if (on_event) on_event(e);
+  };
   if (ledger_on && root) {
-    // Attempt 0 owns the file; recovery attempts append below the records
-    // the failed attempt already made durable.
+    // Attempt 0 of a fresh run owns the file; recovery attempts (and
+    // resume-mode relaunches) append below the records the earlier attempts
+    // already made durable.
     sim.mutable_ledger().stream_to(config_.sim.ledger_path,
-                                   /*append=*/attempt > 0);
-    sim.mutable_ledger().append_event(obs::EventRecord{
+                                   /*append=*/attempt > 0 || config_.resume);
+  }
+  if (root)
+    emit(obs::EventRecord{
         "attempt_start", -1, attempt,
         restore_path.empty() ? std::string("cold start")
                              : "restore from " + restore_path});
-  }
   if (restore_path.empty()) {
     sim.initialize();
   } else {
@@ -288,8 +301,8 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
     const Simulation::HealthReport health = sim.health_check();
     const bool sdc_ok =
         !health.audited || health.sdc_clean(config_.sim.audit);
-    if (health.audited && ledger_on && root) {
-      sim.mutable_ledger().append_event(obs::EventRecord{
+    if (health.audited && root) {
+      emit(obs::EventRecord{
           "audit", sim.steps_taken(), attempt,
           sdc_ok ? "clean" : health.describe_sdc(config_.sim.audit)});
     }
@@ -307,9 +320,7 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
         sim.mutable_watchdog().note(obs::Anomaly{"sdc", 1.0, what});
         health_.anomalies.store(sim.anomaly_count(),
                                 std::memory_order_relaxed);
-        if (ledger_on)
-          sim.mutable_ledger().append_event(
-              obs::EventRecord{"sdc_detected", detect_step, attempt, what});
+        emit(obs::EventRecord{"sdc_detected", detect_step, attempt, what});
         // The flip happened somewhere in (last clean audit, now]: every
         // checkpoint written in that window may hold the corruption inside
         // a CRC-clean payload. Poison them durably so neither this ladder
@@ -323,9 +334,8 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
             "SDC rollback budget exhausted (" +
             std::to_string(config_.max_rollbacks) + ") after step " +
             std::to_string(detect_step) + ": " + what;
-        if (ledger_on && root)
-          sim.mutable_ledger().append_event(obs::EventRecord{
-              "rollback_failed", detect_step, attempt, msg});
+        if (root)
+          emit(obs::EventRecord{"rollback_failed", detect_step, attempt, msg});
         throw Error(msg);
       }
       // Pick the newest checkpoint that is neither poisoned nor damaged on
@@ -339,17 +349,15 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
           for (const int cs : checkpoints_.existing()) {
             const std::string path = checkpoints_.path_for_step(cs);
             if (checkpoints_.verdict(cs) == "poisoned") {
-              if (ledger_on && t == 0)
-                sim.mutable_ledger().append_event(
-                    obs::EventRecord{"checkpoint_rejected", cs, attempt,
-                                     path + ": audit verdict poisoned"});
+              if (t == 0)
+                emit(obs::EventRecord{"checkpoint_rejected", cs, attempt,
+                                      path + ": audit verdict poisoned"});
               continue;
             }
             if (!gio::verify_file(path).ok) {
-              if (ledger_on && t == 0)
-                sim.mutable_ledger().append_event(
-                    obs::EventRecord{"checkpoint_rejected", cs, attempt,
-                                     path + ": failed re-verification"});
+              if (t == 0)
+                emit(obs::EventRecord{"checkpoint_rejected", cs, attempt,
+                                      path + ": failed re-verification"});
               continue;
             }
             candidate = cs;
@@ -365,9 +373,8 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
         const std::string msg =
             "SDC detected after step " + std::to_string(detect_step) +
             " and no audit-clean checkpoint is restorable: " + what;
-        if (ledger_on && root)
-          sim.mutable_ledger().append_event(obs::EventRecord{
-              "rollback_failed", detect_step, attempt, msg});
+        if (root)
+          emit(obs::EventRecord{"rollback_failed", detect_step, attempt, msg});
         throw Error(msg);
       }
       // In-place restore on the live machine: no teardown, no relaunch. A
@@ -378,15 +385,12 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
       if (root) {
         ++report_.rollbacks;
         health_.step.store(sim.steps_taken(), std::memory_order_relaxed);
-        if (ledger_on) {
-          sim.mutable_ledger().append_event(
-              obs::EventRecord{"rollback", candidate, attempt,
-                               checkpoints_.path_for_step(candidate)});
-          sim.mutable_ledger().append_event(obs::EventRecord{
-              "resume", candidate, attempt,
-              "in-place resume at step " + std::to_string(candidate) +
-                  " (no relaunch)"});
-        }
+        emit(obs::EventRecord{"rollback", candidate, attempt,
+                              checkpoints_.path_for_step(candidate)});
+        emit(obs::EventRecord{
+            "resume", candidate, attempt,
+            "in-place resume at step " + std::to_string(candidate) +
+                " (no relaunch)"});
       }
       continue;  // the corrupted step is never checkpointed
     }
@@ -396,9 +400,9 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
           "health check failed after step " +
           std::to_string(sim.steps_taken()) + ": " +
           health.describe(config_.max_momentum_drift);
-      if (ledger_on && root)
-        sim.mutable_ledger().append_event(obs::EventRecord{
-            "health_check_failed", sim.steps_taken(), attempt, what});
+      if (root)
+        emit(obs::EventRecord{"health_check_failed", sim.steps_taken(),
+                              attempt, what});
       throw Error(what);
     }
 
@@ -413,9 +417,7 @@ void Supervisor::rank_main(comm::Comm& comm, const std::string& restore_path,
         checkpoints_.record_verdict(
             s, health.audited && sdc_ok ? "clean" : "unaudited");
         health_.last_checkpoint.store(s, std::memory_order_relaxed);
-        if (ledger_on)
-          sim.mutable_ledger().append_event(
-              obs::EventRecord{"checkpoint", s, attempt, path});
+        emit(obs::EventRecord{"checkpoint", s, attempt, path});
       }
       comm.barrier();  // pointer update + rotation visible everywhere
     }
@@ -438,11 +440,12 @@ SupervisorReport Supervisor::run() {
     health_.width.store(width_, std::memory_order_relaxed);
     std::string restore;
     int restore_step = -1;
-    if (attempt > 0) {
+    if (attempt > 0 || config_.resume) {
       // Re-verify the chain newest-first: a checkpoint that was good when
       // written can be damaged on disk afterwards, and `latest` may point
       // at exactly that file. Restore from the first one that still reads
-      // back clean.
+      // back clean. Resume mode (a campaign relaunching a run a previous
+      // process advanced) takes the same path on the very first attempt.
       Timer verify_timer;
       for (const int step : checkpoints_.existing()) {
         const std::string path = checkpoints_.path_for_step(step);
@@ -466,6 +469,9 @@ SupervisorReport Supervisor::run() {
                                           : ": header unreadable"));
       }
       report_.verify_seconds += verify_timer.elapsed();
+      // A resume-mode warm start is a restore too (attempt > 0 relaunches
+      // are counted on their failure path below).
+      if (attempt == 0 && !restore.empty()) ++report_.restores;
       if (restore.empty())
         record_event("restore_cold", -1, attempt,
                      "no usable checkpoint; restarting from initial "
@@ -522,6 +528,9 @@ SupervisorReport Supervisor::run() {
                 std::to_string(failed) + " failed rank(s), " +
                 std::to_string(failures_at_width) + " failure(s) at width " +
                 std::to_string(width_) + ")");
+        // A campaign pool reclaims the shed ranks before the narrower
+        // attempt launches.
+        if (on_width_change) on_width_change(width_, next);
         width_ = next;
         failures_at_width = 0;
       }

@@ -161,6 +161,19 @@ struct SupervisorConfig {
   /// The server outlives individual attempts, so a campaign stays
   /// scrapeable through failures and degraded-width phases.
   int metrics_port = -1;
+  /// Resume mode: scan the checkpoint chain on the *first* attempt too and
+  /// restore the newest verified checkpoint instead of cold-starting — how
+  /// a campaign orchestrator relaunches a run a previous process already
+  /// advanced. A run with no usable checkpoint still cold-starts.
+  bool resume = false;
+  /// When set, each attempt's per-rank metrics sources register in this
+  /// external hub (labeled `run_label`) instead of the Supervisor's own,
+  /// and no private metrics server is started even when metrics_port >= 0:
+  /// a campaign exposes one endpoint for all of its runs. Must outlive the
+  /// Supervisor.
+  obs::MetricsHub* shared_hub = nullptr;
+  /// run="..." label attached to this run's series in a shared hub.
+  std::string run_label;
 };
 
 struct SupervisorReport {
@@ -209,6 +222,17 @@ class Supervisor {
   /// Test hook: called on every rank at the end of the successful attempt,
   /// with the machine still up (gather final state, assert invariants).
   std::function<void(Simulation&, comm::Comm&)> on_finished;
+  /// Observer hook: every lifecycle event the Supervisor records
+  /// (attempt_start, checkpoint, restore, shrink, ...), fired whether or
+  /// not a ledger path is configured — a campaign orchestrator rolls these
+  /// up into its fleet journal. Called from the control thread *and* from
+  /// the rank-0 machine thread, so the observer must be thread-safe.
+  std::function<void(const obs::EventRecord&)> on_event;
+  /// Fired when the elastic policy shrinks the relaunch width
+  /// (from_width > to_width), before the narrower attempt launches — a
+  /// campaign pool reclaims the shed ranks here. Called on the control
+  /// thread.
+  std::function<void(int from_width, int to_width)> on_width_change;
 
   SupervisorReport run();
 
@@ -221,8 +245,11 @@ class Supervisor {
   }
   /// The live source registry behind /metrics: each attempt's ranks
   /// register their counter/histogram sinks here; drivers (e.g. a query
-  /// service riding on the run) may add their own sources.
-  obs::MetricsHub& metrics_hub() noexcept { return hub_; }
+  /// service riding on the run) may add their own sources. With
+  /// config.shared_hub set this *is* that shared hub.
+  obs::MetricsHub& metrics_hub() noexcept {
+    return config_.shared_hub != nullptr ? *config_.shared_hub : hub_;
+  }
 
  private:
   void rank_main(comm::Comm& comm, const std::string& restore_path,

@@ -94,12 +94,12 @@ std::string fmt_u64(std::uint64_t v) {
 }
 
 // Scalar slot -> (family name, labels, value, type). Encodes the naming
-// conventions documented in metrics.h / DESIGN.md §4j.
-void add_scalar(std::map<std::string, Family>& families, int rank, NameId id,
-                std::uint64_t raw) {
+// conventions documented in metrics.h / DESIGN.md §4j. `rank_label` is the
+// prebuilt source label set (rank="N", optionally preceded by run="...").
+void add_scalar(std::map<std::string, Family>& families,
+                const std::string& rank_label, NameId id, std::uint64_t raw) {
   const std::string_view name = name_of(id);
   const CounterKind kind = kind_of(id);
-  const std::string rank_label = "rank=\"" + fmt_u64(rank) + "\"";
 
   // phase.<X>.ns (and phase.poisson.<X>.ns) -> one hacc_phase_ns_total
   // family with the phase as a label, so dashboards can sum/stack phases
@@ -144,10 +144,10 @@ void add_scalar(std::map<std::string, Family>& families, int rank, NameId id,
   fam.series.push_back(Series{"{" + rank_label + "}", fmt_u64(raw)});
 }
 
-void add_histogram(std::map<std::string, Family>& families, int rank, NameId id,
+void add_histogram(std::map<std::string, Family>& families,
+                   const std::string& rank_label, NameId id,
                    const Histogram& h) {
   const std::string base = "hacc_" + sanitize(name_of(id));
-  const std::string rank_label = "rank=\"" + fmt_u64(rank) + "\"";
   Family& fam = families[base];
   fam.type = "histogram";
 
@@ -175,16 +175,19 @@ void add_histogram(std::map<std::string, Family>& families, int rank, NameId id,
 std::string export_prometheus(std::span<const MetricsSource> sources) {
   std::map<std::string, Family> families;
   for (const MetricsSource& src : sources) {
+    std::string labels;
+    if (!src.run.empty()) labels = "run=\"" + src.run + "\",";
+    labels += "rank=\"" + fmt_u64(static_cast<std::uint64_t>(src.rank)) + "\"";
     if (src.counters != nullptr) {
       for (const Counters::Sample& s : src.counters->snapshot()) {
         if (kind_of(s.id) == CounterKind::kHistogram) continue;  // wrong sink
-        add_scalar(families, src.rank, s.id, s.value);
+        add_scalar(families, labels, s.id, s.value);
       }
     }
     if (src.histograms != nullptr) {
       for (NameId id : src.histograms->nonempty()) {
         const Histogram* h = src.histograms->find(id);
-        if (h != nullptr) add_histogram(families, src.rank, id, *h);
+        if (h != nullptr) add_histogram(families, labels, id, *h);
       }
     }
   }

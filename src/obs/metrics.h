@@ -108,6 +108,12 @@ struct MetricsSource {
   int rank = 0;
   const Counters* counters = nullptr;      ///< may be null
   const HistogramSet* histograms = nullptr;  ///< may be null
+  /// Optional run label: when non-empty every series of this source gets a
+  /// leading run="..." label, so one hub can serve a whole campaign of
+  /// concurrent runs without series collisions. Appended last so existing
+  /// brace-initializers keep their meaning; empty keeps the exposition
+  /// byte-identical to the single-run format.
+  std::string run;
 };
 
 /// Render `sources` as Prometheus text exposition format v0.0.4 (one

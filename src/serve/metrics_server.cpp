@@ -114,13 +114,19 @@ MetricsServer::~MetricsServer() {
 }
 
 void MetricsServer::set_metrics_handler(std::function<std::string()> handler) {
-  std::lock_guard<std::mutex> lock(handler_mu_);
-  metrics_handler_ = std::move(handler);
+  set_handler("/metrics", "text/plain; version=0.0.4; charset=utf-8",
+              std::move(handler));
 }
 
 void MetricsServer::set_healthz_handler(std::function<std::string()> handler) {
+  set_handler("/healthz", "application/json", std::move(handler));
+}
+
+void MetricsServer::set_handler(const std::string& path,
+                                const std::string& content_type,
+                                std::function<std::string()> handler) {
   std::lock_guard<std::mutex> lock(handler_mu_);
-  healthz_handler_ = std::move(handler);
+  handlers_[path] = Handler{content_type, std::move(handler)};
 }
 
 void MetricsServer::worker_main() {
@@ -173,32 +179,27 @@ void MetricsServer::handle_connection(int fd) {
     return;
   }
 
-  std::function<std::string()> handler;
-  std::string content_type;
-  if (path == "/metrics") {
+  Handler handler;
+  {
     std::lock_guard<std::mutex> lock(handler_mu_);
-    handler = metrics_handler_;
-    content_type = "text/plain; version=0.0.4; charset=utf-8";
-  } else if (path == "/healthz") {
-    std::lock_guard<std::mutex> lock(handler_mu_);
-    handler = healthz_handler_;
-    content_type = "application/json";
+    const auto it = handlers_.find(path);
+    if (it != handlers_.end()) handler = it->second;
   }
 
-  if (!handler) {
+  if (!handler.fn) {
     send_all(fd, response(404, "Not Found", "text/plain",
                           "not found: " + path + "\n"));
     return;
   }
   std::string body;
   try {
-    body = handler();
+    body = handler.fn();
   } catch (const std::exception& e) {
     send_all(fd, response(500, "Internal Server Error", "text/plain",
                           std::string(e.what()) + "\n"));
     return;
   }
-  send_all(fd, response(200, "OK", content_type, body));
+  send_all(fd, response(200, "OK", handler.content_type, body));
   served_.fetch_add(1, std::memory_order_relaxed);
 }
 

@@ -1,9 +1,11 @@
 // Minimal HTTP endpoint for live observability: /metrics (Prometheus text)
 // and /healthz (JSON), served by a tiny blocking-accept thread pool.
 //
-// Deliberately not a web framework: the server answers exactly two GET
-// paths with caller-provided render functions, closes the connection after
-// each response (HTTP/1.0 semantics), and binds loopback by default. Port 0
+// Deliberately not a web framework: the server answers a small registry of
+// GET paths (the standard /metrics + /healthz pair, plus any extra paths a
+// fleet driver registers) with caller-provided render functions, closes the
+// connection after each response (HTTP/1.0 semantics), and binds loopback
+// by default. Port 0
 // asks the kernel for an ephemeral port — port() reports the real one, so
 // tests and the Supervisor banner can publish a scrape target. The render
 // handlers run on server threads concurrently with the simulation; the
@@ -14,6 +16,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -39,6 +42,11 @@ class MetricsServer {
   void set_metrics_handler(std::function<std::string()> handler);
   /// GET /healthz body (Content-Type application/json).
   void set_healthz_handler(std::function<std::string()> handler);
+  /// Register (or replace) the GET handler for an arbitrary absolute path —
+  /// fleet drivers add endpoints beside the standard pair (the two setters
+  /// above are wrappers over this). `content_type` is sent verbatim.
+  void set_handler(const std::string& path, const std::string& content_type,
+                   std::function<std::string()> handler);
 
   /// The actually bound port (resolves port 0).
   int port() const noexcept { return port_; }
@@ -63,9 +71,12 @@ class MetricsServer {
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> rejected_{0};
+  struct Handler {
+    std::string content_type;
+    std::function<std::string()> fn;
+  };
   std::mutex handler_mu_;
-  std::function<std::string()> metrics_handler_;
-  std::function<std::string()> healthz_handler_;
+  std::map<std::string, Handler> handlers_;  ///< keyed by absolute path
   std::vector<std::thread> workers_;
 };
 

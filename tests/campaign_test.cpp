@@ -1,0 +1,817 @@
+// Tests for the campaign orchestrator (campaign/): declarative sweep
+// expansion, the crash-safe write-ahead journal, multi-run scheduling over
+// the fleet pool, orchestrator-kill recovery via journal replay, fault
+// quarantine, elastic capacity reallocation, and the campaign-wide
+// observability endpoint.
+//
+// The chaos scenarios reuse the chaos_test idiom: a small but real
+// simulation (16^3 grid, 12^3 particles), seeded fault plans, and final
+// states compared against clean uninterrupted reference runs.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.h"
+#include "campaign/journal.h"
+#include "comm/comm.h"
+#include "comm/fault.h"
+#include "core/simulation.h"
+#include "core/supervisor.h"
+#include "cosmology/background.h"
+#include "serve/metrics_server.h"
+
+namespace hacc::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+using core::Simulation;
+using core::SimulationConfig;
+
+SimulationConfig campaign_base_config() {
+  SimulationConfig cfg;
+  cfg.grid = 16;
+  cfg.particles_per_dim = 12;
+  cfg.box_mpch = 32.0;
+  cfg.z_initial = 30.0;
+  cfg.z_final = 10.0;
+  cfg.steps = 4;
+  cfg.subcycles = 2;
+  cfg.overload = 3.0;
+  return cfg;
+}
+
+std::string fresh_root(const std::string& name) {
+  const std::string root = (fs::temp_directory_path() / name).string();
+  fs::remove_all(root);
+  fs::create_directories(root);
+  return root;
+}
+
+// ---- final-state comparison (chaos_test currency) --------------------------
+
+struct FinalState {
+  std::map<std::uint64_t, std::array<float, 6>> values;
+  double mass_sum = 0;
+  std::vector<cosmology::PowerBin> pk;
+};
+
+/// Collective: gathers the final particle state and spectra to rank 0's
+/// `out` (untouched on other ranks).
+void collect_state(Simulation& sim, comm::Comm& c, FinalState* out) {
+  auto pk = sim.power_spectrum(/*bins=*/8);
+  auto all = sim.gather_active();
+  if (c.rank() != 0) return;
+  out->pk = std::move(pk);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    out->values[all.id[i]] = {all.x[i],  all.y[i],  all.z[i],
+                              all.vx[i], all.vy[i], all.vz[i]};
+    out->mass_sum += all.mass[i];
+  }
+}
+
+/// Clean uninterrupted run at `nranks`: the truth a campaign run must match.
+FinalState reference_run(const SimulationConfig& cfg,
+                         const cosmology::Cosmology& cosmo, int nranks) {
+  FinalState ref;
+  comm::Machine::run(nranks, [&](comm::Comm& c) {
+    Simulation sim(c, cosmo, cfg);
+    sim.initialize();
+    sim.run();
+    collect_state(sim, c, &ref);
+  });
+  return ref;
+}
+
+float periodic_delta(float a, float b, float n) {
+  float d = std::fabs(a - b);
+  while (d > n) d -= n;
+  return std::min(d, n - d);
+}
+
+void expect_state_close(const FinalState& ref, const FinalState& got,
+                        float grid, float pos_tol, float vel_tol) {
+  ASSERT_EQ(ref.values.size(), got.values.size());
+  EXPECT_NEAR(got.mass_sum, ref.mass_sum, 1e-9 * std::fabs(ref.mass_sum));
+  float worst_pos = 0, worst_vel = 0;
+  for (const auto& [id, rv] : ref.values) {
+    const auto it = got.values.find(id);
+    ASSERT_NE(it, got.values.end()) << "id " << id;
+    for (int a = 0; a < 3; ++a) {
+      worst_pos = std::max(worst_pos, periodic_delta(rv[a], it->second[a], grid));
+      worst_vel = std::max(worst_vel, std::fabs(rv[a + 3] - it->second[a + 3]));
+    }
+  }
+  EXPECT_LE(worst_pos, pos_tol);
+  EXPECT_LE(worst_vel, vel_tol);
+}
+
+void expect_pk_close(const std::vector<cosmology::PowerBin>& ref,
+                     const std::vector<cosmology::PowerBin>& got,
+                     double rtol) {
+  ASSERT_EQ(ref.size(), got.size());
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    if (ref[i].modes == 0) continue;
+    EXPECT_EQ(ref[i].modes, got[i].modes) << "bin " << i;
+    EXPECT_NEAR(got[i].power, ref[i].power, rtol * ref[i].power) << "bin " << i;
+  }
+}
+
+// ---- per-run capture hook --------------------------------------------------
+
+struct RunCapture {
+  Simulation::HealthReport health;
+  FinalState state;
+};
+
+/// An on_run_finished hook that gathers each finishing run's health and
+/// final state into `out` (rank 0 writes under `mu`; runs are concurrent).
+std::function<void(const RunSpec&, Simulation&, comm::Comm&)> capture_into(
+    std::mutex& mu, std::map<std::string, RunCapture>& out) {
+  return [&mu, &out](const RunSpec& spec, Simulation& sim, comm::Comm& c) {
+    RunCapture cap;
+    cap.health = sim.health_check();  // collective
+    collect_state(sim, c, &cap.state);
+    if (c.rank() != 0) return;
+    std::lock_guard<std::mutex> lock(mu);
+    out[spec.name] = std::move(cap);
+  };
+}
+
+// ---- journal inspection ----------------------------------------------------
+
+std::vector<JournalEntry> journal_of(const std::string& root) {
+  return CampaignJournal::replay(CampaignOrchestrator::journal_path(root));
+}
+
+int index_of(const std::vector<JournalEntry>& es, const std::string& event,
+             const std::string& run, int from = 0) {
+  for (std::size_t i = static_cast<std::size_t>(from); i < es.size(); ++i)
+    if (es[i].event == event && es[i].run == run) return static_cast<int>(i);
+  return -1;
+}
+
+int count_of(const std::vector<JournalEntry>& es, const std::string& event,
+             const std::string& run) {
+  int n = 0;
+  for (const JournalEntry& e : es)
+    if (e.event == event && e.run == run) ++n;
+  return n;
+}
+
+/// Asserts the per-run lifecycle ordering the journal format promises:
+/// exactly one `scheduled`, at least one `started` after it, exactly one
+/// terminal entry (`finished` xor `quarantined`) after every `started`.
+void expect_lifecycle(const std::vector<JournalEntry>& es,
+                      const std::string& run, const std::string& terminal) {
+  ASSERT_EQ(count_of(es, "scheduled", run), 1) << run;
+  const int scheduled = index_of(es, "scheduled", run);
+  const int started = index_of(es, "started", run);
+  ASSERT_GE(started, 0) << run;
+  EXPECT_LT(scheduled, started) << run;
+  EXPECT_EQ(count_of(es, terminal, run), 1) << run << " " << terminal;
+  const std::string other = terminal == "finished" ? "quarantined" : "finished";
+  EXPECT_EQ(count_of(es, other, run), 0) << run;
+  const int term = index_of(es, terminal, run);
+  int last_started = started;
+  for (int at = started; at >= 0;
+       at = index_of(es, "started", run, at + 1))
+    last_started = at;
+  EXPECT_LT(last_started, term) << run;
+}
+
+// ---- sweep expansion -------------------------------------------------------
+
+TEST(CampaignSpec, ExpandCrossesAxesScalesLoadingAndAppliesTweaks) {
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {1, 2};
+  spec.grids = {16, 32};
+  cosmology::Cosmology wcdm;
+  wcdm.w = -0.9;
+  spec.cosmologies = {{"lcdm", cosmology::Cosmology{}}, {"w9", wcdm}};
+  spec.width = 3;
+  spec.tweak = [](RunSpec& r) {
+    if (r.name == "s1_g16_lcdm") r.width = 5;
+  };
+
+  const std::vector<RunSpec> runs = spec.expand();
+  ASSERT_EQ(runs.size(), 8u);
+  EXPECT_EQ(runs[0].name, "s1_g16_lcdm");
+  EXPECT_EQ(runs[0].width, 5);  // tweaked
+  EXPECT_EQ(runs[1].name, "s1_g16_w9");
+  EXPECT_EQ(runs[1].width, 3);
+  EXPECT_DOUBLE_EQ(runs[1].cosmo.w, -0.9);
+  for (const RunSpec& r : runs) {
+    if (r.name == "s2_g32_lcdm") {
+      EXPECT_EQ(r.sim.seed, 2u);
+      EXPECT_EQ(r.sim.grid, 32u);
+      // The grid axis keeps the base particles-per-cell loading.
+      EXPECT_EQ(r.sim.particles_per_dim, 24u);
+    }
+  }
+
+  // Empty axes default to the base values: the smallest campaign is one run.
+  CampaignSpec one;
+  one.base = campaign_base_config();
+  const std::vector<RunSpec> single = one.expand();
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].name, "s" + std::to_string(one.base.seed));
+  EXPECT_EQ(single[0].sim.grid, one.base.grid);
+
+  // Colliding names (two variants with the same tag) are rejected loudly.
+  CampaignSpec dup;
+  dup.base = campaign_base_config();
+  dup.cosmologies = {{"x", cosmology::Cosmology{}},
+                     {"x", cosmology::Cosmology{}}};
+  EXPECT_THROW(dup.expand(), std::exception);
+}
+
+// ---- write-ahead journal ---------------------------------------------------
+
+TEST(CampaignJournalTest, RoundTripsEntriesAndSurvivesTornTail) {
+  const std::string root = fresh_root("hacc_campaign_journal");
+  const std::string path = root + "/campaign.jsonl";
+  {
+    CampaignJournal j(path);
+    j.append({"scheduled", "s1", -1, -1, 4, "sweep member"});
+    j.append({"started", "s1", -1, 0, 4, "cold start"});
+    j.append({"checkpointed", "s1", 3, 0, 0, "with \"quotes\"\nand newline"});
+  }
+  std::vector<JournalEntry> es = CampaignJournal::replay(path);
+  ASSERT_EQ(es.size(), 3u);
+  EXPECT_EQ(es[0].event, "scheduled");
+  EXPECT_EQ(es[0].width, 4);
+  EXPECT_EQ(es[1].attempt, 0);
+  EXPECT_EQ(es[2].step, 3);
+  EXPECT_EQ(es[2].detail, "with \"quotes\"\nand newline");
+
+  // A crash mid-append leaves an unterminated fragment: replay must drop
+  // exactly that line and keep everything before it.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "{\"event\":\"fini";
+  }
+  es = CampaignJournal::replay(path);
+  ASSERT_EQ(es.size(), 3u);
+
+  // Re-opening for append seals the torn tail, so the next entry is not
+  // swallowed by the fragment.
+  {
+    CampaignJournal j(path, /*append=*/true);
+    j.append({"finished", "s1", 4, 0, 4, "1 attempt(s)"});
+  }
+  es = CampaignJournal::replay(path);
+  ASSERT_EQ(es.size(), 4u);
+  EXPECT_EQ(es[3].event, "finished");
+
+  // Blank lines and non-entry noise are skipped, not fatal.
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << "\n\nnot json at all\n";
+  }
+  es = CampaignJournal::replay(path);
+  ASSERT_EQ(es.size(), 4u);
+
+  // A missing journal is an empty campaign, not an error.
+  EXPECT_TRUE(CampaignJournal::replay(root + "/absent.jsonl").empty());
+  fs::remove_all(root);
+}
+
+// ---- clean sweep: scheduling, journal ordering, shared observability -------
+
+TEST(Campaign, CleanSweepFinishesEveryRunWithSharedMetricsEndpoint) {
+  const std::string root = fresh_root("hacc_campaign_clean");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {5, 6, 7};
+  spec.width = 2;
+
+  std::mutex cap_mu;
+  std::map<std::string, RunCapture> caps;
+  CampaignConfig cfg;
+  cfg.root_dir = root;
+  cfg.fleet_ranks = 4;
+  cfg.max_concurrent_runs = 2;
+  cfg.supervisor_retries = 0;
+  cfg.max_momentum_drift = 1e-2;
+  cfg.metrics_port = 0;  // ephemeral: the whole fleet behind one endpoint
+  cfg.on_run_finished = capture_into(cap_mu, caps);
+
+  // Scrape /metrics while runs are still up (their per-rank sources are
+  // registered only for the attempt's lifetime).
+  CampaignOrchestrator* live = nullptr;
+  std::mutex scrape_mu;
+  std::string live_metrics;
+  auto inner = cfg.on_run_finished;
+  cfg.on_run_finished = [&](const RunSpec& spec_, Simulation& sim,
+                            comm::Comm& c) {
+    inner(spec_, sim, c);
+    if (c.rank() != 0) return;
+    std::lock_guard<std::mutex> lock(scrape_mu);
+    if (live_metrics.empty())
+      live_metrics = serve::http_get(live->metrics_port(), "/metrics");
+  };
+
+  CampaignOrchestrator orch(spec, cfg);
+  live = &orch;
+  ASSERT_GT(orch.metrics_port(), 0);
+  const CampaignReport rep = orch.run();
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_FALSE(rep.interrupted);
+  EXPECT_EQ(rep.launched, 3);
+  EXPECT_EQ(rep.grants, 3);
+  EXPECT_EQ(rep.finished, 3);
+  EXPECT_EQ(rep.quarantined, 0);
+  EXPECT_GT(rep.makespan_s, 0.0);
+  EXPECT_GT(rep.utilization, 0.0);
+  EXPECT_LE(rep.utilization, 1.0);
+  for (const RunStatus& st : rep.runs) {
+    EXPECT_EQ(st.phase, RunPhase::kFinished) << st.spec.name;
+    EXPECT_EQ(st.report.attempts, 1) << st.spec.name;
+    EXPECT_EQ(st.launches, 1) << st.spec.name;
+  }
+
+  // Namespaced per-run trees: checkpoints and a ledger per run.
+  for (const char* name : {"s5", "s6", "s7"}) {
+    EXPECT_TRUE(fs::exists(orch.run_dir(name) + "/ledger.jsonl")) << name;
+    EXPECT_FALSE(core::CheckpointSet(orch.run_dir(name) + "/ckpt", 2)
+                     .existing()
+                     .empty())
+        << name;
+  }
+
+  // Journal lifecycle ordering per run.
+  const std::vector<JournalEntry> es = journal_of(root);
+  for (const char* name : {"s5", "s6", "s7"})
+    expect_lifecycle(es, name, "finished");
+
+  // The mid-run scrape saw per-run labeled series from the shared hub.
+  EXPECT_NE(live_metrics.find("run=\"s"), std::string::npos) << live_metrics;
+  EXPECT_NE(live_metrics.find("hacc_"), std::string::npos);
+  // After the sweep, the fleet's own counters are still scrapeable...
+  const std::string metrics = serve::http_get(orch.metrics_port(), "/metrics");
+  EXPECT_NE(metrics.find("hacc_campaign_grants_total{run=\"campaign\""),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("hacc_campaign_runs_finished_total"),
+            std::string::npos);
+  // ...and /healthz reports the terminal scheduler state per run.
+  const std::string healthz = serve::http_get(orch.metrics_port(), "/healthz");
+  EXPECT_NE(healthz.find("\"status\":\"ok\""), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"s5\":\"finished\""), std::string::npos) << healthz;
+  EXPECT_NE(healthz.find("\"quarantined\":0"), std::string::npos);
+  int status = 0;
+  serve::http_get(orch.metrics_port(), "/nope", &status);
+  EXPECT_EQ(status, 404);
+
+  // Physics: every run conservation-clean; one spot-checked against its
+  // clean reference (same width, canonical order: tight tolerances).
+  ASSERT_EQ(caps.size(), 3u);
+  for (const auto& [name, cap] : caps) {
+    EXPECT_TRUE(cap.health.finite) << name;
+    EXPECT_TRUE(cap.health.counts_ok()) << name;
+    EXPECT_EQ(cap.health.active, 12u * 12u * 12u) << name;
+  }
+  SimulationConfig ref_cfg = spec.base;
+  ref_cfg.seed = 5;
+  const FinalState ref = reference_run(ref_cfg, spec.cosmo, 2);
+  expect_state_close(ref, caps.at("s5").state, 16.0f, 1e-4f, 1e-4f);
+  expect_pk_close(ref.pk, caps.at("s5").state.pk, 1e-6);
+  fs::remove_all(root);
+}
+
+// ---- orchestrator kill: journal replay resumes the campaign ----------------
+
+TEST(Campaign, KilledOrchestratorResumesFromJournalWithoutRepeatingWork) {
+  const std::string root = fresh_root("hacc_campaign_kill");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {1, 2, 3};
+  spec.width = 2;
+
+  auto base_cfg = [&] {
+    CampaignConfig cfg;
+    cfg.root_dir = root;
+    cfg.fleet_ranks = 2;  // serial: grants happen in ID order
+    cfg.max_concurrent_runs = 1;
+    cfg.run_retries = 2;
+    cfg.supervisor_retries = 0;  // failures surface to the orchestrator
+    cfg.max_momentum_drift = 1e-2;
+    return cfg;
+  };
+
+  // Process 1: s1 finishes; s2 is killed at step 3 (checkpoints at 1 and 2
+  // exist); then the orchestrator "dies" (max_launches).
+  {
+    CampaignConfig cfg = base_cfg();
+    cfg.max_launches = 2;
+    cfg.fault_plans = [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+      if (r.name != "s2") return nullptr;
+      auto plan = std::make_shared<comm::FaultPlan>();
+      plan->kill_at_step(/*rank=*/0, /*step=*/3);
+      return plan;
+    };
+    CampaignOrchestrator orch(spec, cfg);
+    const CampaignReport rep = orch.run();
+    EXPECT_TRUE(rep.interrupted);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_EQ(rep.launched, 2);
+    EXPECT_EQ(rep.finished, 1);
+    EXPECT_EQ(rep.runs[0].phase, RunPhase::kFinished);  // s1
+    EXPECT_EQ(rep.runs[1].phase, RunPhase::kQueued);    // s2: failed once
+    EXPECT_EQ(rep.runs[1].failures, 1);
+    EXPECT_EQ(rep.runs[2].launches, 0);                 // s3: never started
+  }
+
+  // Process 2: a new orchestrator on the same root replays the journal —
+  // s1 must not re-run, s2 resumes from its newest verified checkpoint,
+  // s3 cold-starts.
+  std::mutex cap_mu;
+  std::map<std::string, RunCapture> caps;
+  CampaignConfig cfg2 = base_cfg();
+  cfg2.on_run_finished = capture_into(cap_mu, caps);
+  CampaignOrchestrator orch2(spec, cfg2);
+  const CampaignReport rep2 = orch2.run();
+
+  EXPECT_TRUE(rep2.completed) << rep2.runs[1].last_error;
+  EXPECT_FALSE(rep2.interrupted);
+  EXPECT_EQ(rep2.replay_skipped, 1);  // s1 was already terminal
+  EXPECT_EQ(rep2.launched, 2);        // s2 + s3 only
+  EXPECT_EQ(rep2.finished, 3);
+  EXPECT_TRUE(rep2.runs[0].replayed_terminal);
+  EXPECT_EQ(caps.count("s1"), 0u);  // finished work was not repeated
+
+  const std::vector<JournalEntry> es = journal_of(root);
+  for (const char* name : {"s1", "s2", "s3"})
+    expect_lifecycle(es, name, "finished");
+  // s1 launched exactly once, in process 1.
+  EXPECT_EQ(count_of(es, "started", "s1"), 1);
+  EXPECT_EQ(count_of(es, "scheduled", "s1"), 1);  // intents not re-journaled
+  const int restart = index_of(es, "orchestrator_start", "",
+                               index_of(es, "orchestrator_start", "") + 1);
+  ASSERT_GT(restart, 0);
+  EXPECT_EQ(index_of(es, "started", "s1", restart), -1);
+  // s2's relaunch declared resume mode and actually restored mid-run state.
+  const int s2_restarted = index_of(es, "started", "s2", restart);
+  ASSERT_GE(s2_restarted, 0);
+  EXPECT_NE(es[static_cast<std::size_t>(s2_restarted)].detail.find(
+                "resume from newest verified checkpoint"),
+            std::string::npos);
+  const int s2_restore = index_of(es, "restore", "s2", restart);
+  ASSERT_GE(s2_restore, 0) << "resumed run must restore, not cold-start";
+  EXPECT_GE(es[static_cast<std::size_t>(s2_restore)].step, 1);
+
+  // The interrupted-and-resumed run still lands on the clean reference.
+  SimulationConfig ref_cfg = spec.base;
+  ref_cfg.seed = 2;
+  const FinalState ref = reference_run(ref_cfg, spec.cosmo, 2);
+  expect_state_close(ref, caps.at("s2").state, 16.0f, 1e-4f, 1e-4f);
+  expect_pk_close(ref.pk, caps.at("s2").state.pk, 1e-6);
+  fs::remove_all(root);
+}
+
+// ---- quarantine: a poisoned config cannot starve the sweep -----------------
+
+TEST(Campaign, DeterministicallyFailingRunIsQuarantinedNotRetriedForever) {
+  const std::string root = fresh_root("hacc_campaign_quarantine");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {1, 2};  // s1 is poisoned, s2 is healthy
+  spec.width = 2;
+
+  CampaignConfig cfg;
+  cfg.root_dir = root;
+  cfg.fleet_ranks = 2;
+  cfg.max_concurrent_runs = 1;
+  cfg.run_retries = 5;  // generous budget: quarantine must trip earlier
+  cfg.supervisor_retries = 0;
+  cfg.fault_plans = [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+    if (r.name != "s1") return nullptr;
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->kill_at_step(/*rank=*/0, /*step=*/1).repeat(-1);  // dies every time
+    return plan;
+  };
+  CampaignOrchestrator orch(spec, cfg);
+  const CampaignReport rep = orch.run();
+
+  // Zero checkpoints across two failures is the deterministic-failure
+  // signature: quarantined long before the retry budget runs out.
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.quarantined, 1);
+  EXPECT_EQ(rep.finished, 1);
+  EXPECT_EQ(rep.runs[0].phase, RunPhase::kQuarantined);
+  EXPECT_EQ(rep.runs[0].failures, 2);
+  EXPECT_EQ(rep.runs[1].phase, RunPhase::kFinished);
+  EXPECT_EQ(rep.runs[1].report.attempts, 1);  // the healthy run untouched
+
+  const std::vector<JournalEntry> es = journal_of(root);
+  expect_lifecycle(es, "s1", "quarantined");
+  expect_lifecycle(es, "s2", "finished");
+  const int q = index_of(es, "quarantined", "s1");
+  ASSERT_GE(q, 0);
+  EXPECT_NE(es[static_cast<std::size_t>(q)].detail.find(
+                "deterministic failure suspected"),
+            std::string::npos)
+      << es[static_cast<std::size_t>(q)].detail;
+  fs::remove_all(root);
+}
+
+// ---- elastic reallocation: shrink-freed ranks grant a queued run -----------
+
+TEST(Campaign, ShrinkFreedCapacityIsRegrantedToQueuedRun) {
+  const std::string root = fresh_root("hacc_campaign_shrink");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {1, 2};
+  spec.width = 4;
+  // Heterogeneous fleet: s1 wants the whole pool, s2 fits in one rank —
+  // s2 can only ever launch out of capacity s1 gives back.
+  spec.tweak = [](RunSpec& r) {
+    if (r.name == "s2") r.width = 1;
+  };
+
+  std::mutex cap_mu;
+  std::map<std::string, RunCapture> caps;
+  CampaignConfig cfg;
+  cfg.root_dir = root;
+  cfg.fleet_ranks = 4;
+  cfg.max_concurrent_runs = 2;
+  cfg.supervisor_retries = 1;  // the shrink happens inside s1's launch
+  cfg.elastic.rule = core::ElasticRule::kShrinkByFailed;
+  cfg.elastic.min_ranks = 1;
+  cfg.max_momentum_drift = 1e-2;
+  cfg.on_run_finished = capture_into(cap_mu, caps);
+  cfg.fault_plans = [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+    if (r.name != "s1") return nullptr;
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->kill_at_step(/*rank=*/3, /*step=*/2);  // one node dies once
+    return plan;
+  };
+  CampaignOrchestrator orch(spec, cfg);
+  const CampaignReport rep = orch.run();
+
+  EXPECT_TRUE(rep.completed) << rep.runs[0].last_error;
+  EXPECT_EQ(rep.finished, 2);
+  EXPECT_EQ(rep.runs[0].report.shrinks, 1);
+  EXPECT_EQ(rep.runs[0].report.final_width, 3);
+  // The shed rank went back to the pool and s2's grant consumed it.
+  EXPECT_EQ(rep.shrink_reclaimed, 1);
+  EXPECT_GE(rep.shrink_regrant_ranks, 1);
+
+  const std::vector<JournalEntry> es = journal_of(root);
+  const int reclaim = index_of(es, "reclaim", "s1");
+  ASSERT_GE(reclaim, 0);
+  EXPECT_NE(es[static_cast<std::size_t>(reclaim)].detail.find(
+                "elastic shrink 4 -> 3"),
+            std::string::npos);
+  const int regrant = index_of(es, "grant", "s2");
+  ASSERT_GE(regrant, 0);
+  EXPECT_GT(regrant, reclaim);  // s2 could not launch before the reclaim
+  EXPECT_NE(es[static_cast<std::size_t>(regrant)].detail.find(
+                "shrink-reclaimed capacity"),
+            std::string::npos)
+      << es[static_cast<std::size_t>(regrant)].detail;
+
+  // Conservation on both sides: the shrunken run and the width-1 run.
+  for (const auto& [name, cap] : caps) {
+    EXPECT_TRUE(cap.health.finite) << name;
+    EXPECT_TRUE(cap.health.counts_ok()) << name;
+  }
+  fs::remove_all(root);
+}
+
+// ---- concurrent chaos: faults in one run never leak into another -----------
+
+TEST(Campaign, ConcurrentRunsIsolateFaults) {
+  const std::string root = fresh_root("hacc_campaign_isolation");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {21, 22};  // s21 chaotic, s22 clean — running side by side
+  spec.width = 2;
+
+  std::mutex cap_mu;
+  std::map<std::string, RunCapture> caps;
+  CampaignConfig cfg;
+  cfg.root_dir = root;
+  cfg.fleet_ranks = 4;
+  cfg.max_concurrent_runs = 2;
+  cfg.supervisor_retries = 2;
+  cfg.max_momentum_drift = 1e-2;
+  cfg.machine.verify_payloads = true;
+  cfg.machine.recv_timeout_s = 60;
+  cfg.on_run_finished = capture_into(cap_mu, caps);
+  cfg.fault_plans = [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+    if (r.name != "s21") return nullptr;
+    auto plan = std::make_shared<comm::FaultPlan>();
+    plan->kill_at_step(/*rank=*/1, /*step=*/2);
+    plan->corrupt_send(/*rank=*/0, comm::fault::kAnyTag, /*nth=*/40);
+    return plan;
+  };
+  CampaignOrchestrator orch(spec, cfg);
+  const CampaignReport rep = orch.run();
+
+  EXPECT_TRUE(rep.completed) << rep.runs[0].last_error;
+  EXPECT_EQ(rep.finished, 2);
+  // The chaotic run needed recovery; the clean run never noticed.
+  EXPECT_GE(rep.runs[0].report.attempts, 2);
+  EXPECT_GE(rep.runs[0].report.restores, 1);
+  EXPECT_EQ(rep.runs[1].report.attempts, 1);
+  EXPECT_EQ(rep.runs[1].report.restores, 0);
+
+  // Both runs end conservation-clean, and the clean run matches its
+  // reference exactly as if it had run alone.
+  for (const auto& [name, cap] : caps) {
+    EXPECT_TRUE(cap.health.finite) << name;
+    EXPECT_TRUE(cap.health.counts_ok()) << name;
+    EXPECT_EQ(cap.health.active, 12u * 12u * 12u) << name;
+  }
+  SimulationConfig ref_cfg = spec.base;
+  ref_cfg.seed = 22;
+  const FinalState ref = reference_run(ref_cfg, spec.cosmo, 2);
+  expect_state_close(ref, caps.at("s22").state, 16.0f, 1e-4f, 1e-4f);
+  expect_pk_close(ref.pk, caps.at("s22").state.pk, 1e-6);
+  fs::remove_all(root);
+}
+
+// ---- acceptance: 8-run seeded chaos sweep across an orchestrator kill ------
+
+TEST(Campaign, EightRunChaosSweepSurvivesOrchestratorKillMidFlight) {
+  const std::string root = fresh_root("hacc_campaign_acceptance");
+  CampaignSpec spec;
+  spec.base = campaign_base_config();
+  spec.seeds = {11, 12, 13, 14};
+  cosmology::Cosmology wcdm;
+  wcdm.w = -0.9;
+  spec.cosmologies = {{"", cosmology::Cosmology{}}, {"w9", wcdm}};
+  spec.width = 2;
+  // s11 wants the whole fleet (and will shed a rank); s11_w9 fits in the
+  // one rank that shrink frees — a guaranteed shrink-regrant.
+  spec.tweak = [](RunSpec& r) {
+    if (r.name == "s11") r.width = 4;
+    if (r.name == "s11_w9") r.width = 1;
+  };
+  // Expansion order: s11, s11_w9, s12, s12_w9, s13, s13_w9, s14, s14_w9.
+
+  std::mutex cap_mu;
+  std::map<std::string, RunCapture> caps;
+  auto base_cfg = [&] {
+    CampaignConfig cfg;
+    cfg.root_dir = root;
+    cfg.fleet_ranks = 4;
+    cfg.max_concurrent_runs = 4;
+    cfg.run_retries = 2;
+    cfg.supervisor_retries = 1;
+    cfg.elastic.rule = core::ElasticRule::kShrinkByFailed;
+    cfg.elastic.min_ranks = 1;
+    cfg.max_momentum_drift = 1e-2;
+    cfg.machine.verify_payloads = true;
+    cfg.machine.recv_timeout_s = 60;
+    cfg.on_run_finished = capture_into(cap_mu, caps);
+    return cfg;
+  };
+
+  // Phase 1: mixed seeded faults — a rank death that shrinks s11, a
+  // repeated kill that fails s12's whole launch (with checkpoints), an
+  // in-transit payload corruption on s12_w9 — then the orchestrator is
+  // killed after its 4th grant.
+  {
+    CampaignConfig cfg = base_cfg();
+    cfg.max_launches = 4;
+    cfg.fault_plans =
+        [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+      auto plan = std::make_shared<comm::FaultPlan>();
+      if (r.name == "s11") {
+        plan->kill_at_step(/*rank=*/3, /*step=*/2);
+      } else if (r.name == "s12") {
+        // Fires in both attempts of the launch: the launch itself fails,
+        // leaving verified checkpoints for the post-restart resume.
+        plan->kill_at_step(/*rank=*/0, /*step=*/3).repeat(2);
+      } else if (r.name == "s12_w9") {
+        plan->corrupt_send(/*rank=*/0, comm::fault::kAnyTag, /*nth=*/25);
+      } else {
+        return nullptr;
+      }
+      return plan;
+    };
+    CampaignOrchestrator orch(spec, cfg);
+    const CampaignReport rep = orch.run();
+
+    EXPECT_TRUE(rep.interrupted);
+    EXPECT_FALSE(rep.completed);
+    EXPECT_EQ(rep.launched, 4);  // s11, s11_w9, s12, s12_w9
+    EXPECT_GE(rep.shrink_reclaimed, 1);
+    EXPECT_GE(rep.shrink_regrant_ranks, 1);  // s11_w9 ran on the shed rank
+    std::map<std::string, RunPhase> phases;
+    for (const RunStatus& st : rep.runs) phases[st.spec.name] = st.phase;
+    EXPECT_EQ(phases.at("s11"), RunPhase::kFinished);
+    EXPECT_EQ(phases.at("s11_w9"), RunPhase::kFinished);
+    EXPECT_EQ(phases.at("s12"), RunPhase::kQueued);  // failed, checkpointed
+    EXPECT_EQ(phases.at("s12_w9"), RunPhase::kFinished);
+    EXPECT_EQ(phases.at("s13"), RunPhase::kQueued);  // never launched
+    EXPECT_EQ(phases.at("s14_w9"), RunPhase::kQueued);
+  }
+
+  // Phase 2: restart on the same root. The replay skips the three finished
+  // runs; s12 resumes from its newest verified checkpoint; s13 takes a
+  // silent memory corruption (audits catch it, rollback repairs it);
+  // s13_w9 is a poisoned config that must be quarantined; s14 rides
+  // through a benign recv stall.
+  CampaignConfig cfg2 = base_cfg();
+  cfg2.fault_plans = [](const RunSpec& r) -> std::shared_ptr<comm::FaultPlan> {
+    auto plan = std::make_shared<comm::FaultPlan>();
+    if (r.name == "s13") {
+      plan->flip_bits_in_particles(/*rank=*/0, /*step=*/2, /*nbits=*/1);
+    } else if (r.name == "s13_w9") {
+      plan->kill_at_step(/*rank=*/0, /*step=*/1).repeat(-1);
+    } else if (r.name == "s14") {
+      plan->stall_recv(/*rank=*/1, /*seconds=*/0.05, /*nth=*/3);
+    } else {
+      return nullptr;
+    }
+    return plan;
+  };
+  CampaignOrchestrator orch2(spec, cfg2);
+  const CampaignReport rep2 = orch2.run();
+
+  EXPECT_TRUE(rep2.completed);
+  EXPECT_FALSE(rep2.interrupted);
+  EXPECT_EQ(rep2.replay_skipped, 3);
+  EXPECT_EQ(rep2.finished, 7);
+  EXPECT_EQ(rep2.quarantined, 1);
+  EXPECT_EQ(rep2.launched, 6);  // s12, s13, s13_w9 x2, s14, s14_w9
+  std::map<std::string, const RunStatus*> by_name;
+  for (const RunStatus& st : rep2.runs) by_name[st.spec.name] = &st;
+  EXPECT_TRUE(by_name.at("s11")->replayed_terminal);
+  EXPECT_EQ(by_name.at("s13_w9")->phase, RunPhase::kQuarantined);
+  EXPECT_EQ(by_name.at("s13_w9")->failures, 2);
+  EXPECT_GE(by_name.at("s13")->report.rollbacks, 1);  // SDC repaired in place
+  EXPECT_GE(by_name.at("s12")->report.restores, 1);   // resumed, not re-run
+
+  // Journal: the full per-run event ordering holds across both processes.
+  const std::vector<JournalEntry> es = journal_of(root);
+  for (const char* name :
+       {"s11", "s11_w9", "s12", "s12_w9", "s13", "s14", "s14_w9"})
+    expect_lifecycle(es, name, "finished");
+  expect_lifecycle(es, "s13_w9", "quarantined");
+
+  const int restart = index_of(es, "orchestrator_start", "",
+                               index_of(es, "orchestrator_start", "") + 1);
+  ASSERT_GT(restart, 0);
+  // Finished work is never repeated after replay.
+  for (const char* name : {"s11", "s11_w9", "s12_w9"}) {
+    EXPECT_EQ(count_of(es, "started", name), 1) << name;
+    EXPECT_EQ(index_of(es, "started", name, restart), -1) << name;
+  }
+  // The interrupted run resumed from mid-campaign state.
+  const int s12_restarted = index_of(es, "started", "s12", restart);
+  ASSERT_GE(s12_restarted, 0);
+  EXPECT_NE(es[static_cast<std::size_t>(s12_restarted)].detail.find(
+                "resume from newest verified checkpoint"),
+            std::string::npos);
+  const int s12_restore = index_of(es, "restore", "s12", restart);
+  ASSERT_GE(s12_restore, 0);
+  EXPECT_GE(es[static_cast<std::size_t>(s12_restore)].step, 1);
+  // At least one shrink-freed width grant is recorded, by name.
+  bool regranted = false;
+  for (const JournalEntry& e : es)
+    if (e.event == "grant" &&
+        e.detail.find("shrink-reclaimed capacity") != std::string::npos)
+      regranted = true;
+  EXPECT_TRUE(regranted);
+  EXPECT_GE(count_of(es, "reclaim", "s11"), 1);
+  // The silent corruption was detected and repaired, audibly.
+  EXPECT_GE(count_of(es, "sdc_detected", "s13"), 1);
+  EXPECT_GE(count_of(es, "rollback", "s13"), 1);
+
+  // Physics: every non-quarantined run is conservation-clean, and the
+  // sweep's mass is identical across runs (same loading in every variant).
+  ASSERT_EQ(caps.size(), 7u);
+  const double mass0 = caps.begin()->second.state.mass_sum;
+  for (const auto& [name, cap] : caps) {
+    EXPECT_TRUE(cap.health.finite) << name;
+    EXPECT_TRUE(cap.health.counts_ok()) << name;
+    EXPECT_EQ(cap.health.active, 12u * 12u * 12u) << name;
+    EXPECT_NEAR(cap.state.mass_sum, mass0, 1e-9 * std::fabs(mass0)) << name;
+  }
+  // Spot-check a clean run of the second process against its reference.
+  SimulationConfig ref_cfg = spec.base;
+  ref_cfg.seed = 14;
+  const FinalState ref = reference_run(ref_cfg, wcdm, 2);
+  expect_state_close(ref, caps.at("s14_w9").state, 16.0f, 1e-4f, 1e-4f);
+  expect_pk_close(ref.pk, caps.at("s14_w9").state.pk, 1e-6);
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace hacc::campaign

@@ -10,6 +10,7 @@
 #include <chrono>
 #include <numeric>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "comm/cart.h"
@@ -801,6 +802,57 @@ TEST(FaultInjection, HooksAreNoOpsWithoutPlan) {
     EXPECT_EQ(fault::current_step(), 3);
     c.barrier();
   });
+}
+
+TEST(FaultInjection, SharedPlanOneShotFiresOnceAcrossConcurrentMachines) {
+  // A campaign may drive several machines at once against one plan; the
+  // single atomic fetch_add that claims a firing must hand a one-shot kill
+  // to exactly one of them — never both, never neither.
+  for (int round = 0; round < 8; ++round) {
+    FaultPlan plan;
+    plan.kill_at_step(/*rank=*/0, /*step=*/2);
+    MachineOptions opts;
+    opts.fault_plan = &plan;
+    std::atomic<int> killed{0};
+    auto machine = [&] {
+      try {
+        Machine::run(1, [](Comm& c) {
+          fault::set_step(2);
+          c.barrier();
+        }, opts);
+      } catch (const std::exception&) {
+        killed.fetch_add(1);
+      }
+    };
+    std::thread a(machine);
+    std::thread b(machine);
+    a.join();
+    b.join();
+    EXPECT_EQ(killed.load(), 1) << "round " << round;
+  }
+}
+
+TEST(FaultInjection, CloneFreshCarriesScheduleWithFiringStateReset) {
+  FaultPlan plan;
+  plan.kill_at_step(/*rank=*/0, /*step=*/3);
+  MachineOptions opts;
+  opts.fault_plan = &plan;
+  auto stepper = [](Comm& c) {
+    for (int s = 1; s <= 4; ++s) {
+      fault::set_step(s);
+      c.barrier();
+    }
+  };
+  EXPECT_THROW(Machine::run(2, stepper, opts), std::exception);
+  // The original is spent (one-shot consumed)...
+  Machine::run(2, stepper, opts);
+  // ...but a fresh clone carries the whole schedule again, and fires
+  // independently of the original's counters.
+  FaultPlan clone = plan.clone_fresh();
+  MachineOptions copts;
+  copts.fault_plan = &clone;
+  EXPECT_THROW(Machine::run(2, stepper, copts), std::exception);
+  Machine::run(2, stepper, copts);
 }
 
 // ---- deadlock / failure detection ------------------------------------------

@@ -758,7 +758,7 @@ TEST(Metrics, PrometheusExpositionFormat) {
   hists.record(hid, 3);
   hists.record(hid, 900);  // bucket le=1023
 
-  const MetricsSource src{3, &counters, &hists};
+  const MetricsSource src{3, &counters, &hists, ""};
   const std::string text = export_prometheus(std::span<const MetricsSource>(&src, 1));
 
   // Counter: sanitized name + _total suffix + rank label.
@@ -805,8 +805,8 @@ TEST(Metrics, HubRegistersRendersAndRemoves) {
   c0.add(counter_id("obsx.hub.events"), 10);
   c1.add(counter_id("obsx.hub.events"), 20);
   MetricsHub hub;
-  const int h0 = hub.add(MetricsSource{0, &c0, nullptr});
-  const int h1 = hub.add(MetricsSource{1, &c1, nullptr});
+  const int h0 = hub.add(MetricsSource{0, &c0, nullptr, ""});
+  const int h1 = hub.add(MetricsSource{1, &c1, nullptr, ""});
   EXPECT_EQ(hub.size(), 2u);
   std::string text = hub.render();
   EXPECT_NE(text.find("hacc_obsx_hub_events_total{rank=\"0\"} 10"),
@@ -1083,7 +1083,8 @@ TEST(SimulationObservatory, FourRankRunAttributesCostAndPublishesMetrics) {
     EXPECT_GT(sim.counters().value(gauge_id("cost.kernel_ns")), 0u);
 
     // A rank is a renderable /metrics source.
-    const MetricsSource src{c.rank(), &sim.counters(), &sim.histograms()};
+    const MetricsSource src{c.rank(), &sim.counters(), &sim.histograms(),
+                            ""};
     const std::string text =
         export_prometheus(std::span<const MetricsSource>(&src, 1));
     EXPECT_NE(text.find("hacc_phase_ns_total{phase=\"sr-kernel\""),

@@ -638,7 +638,7 @@ TEST(MetricsEndpoint, ServesPrometheusAndHealthz) {
   obs::Counters counters;
   counters.add(obs::counter_id("servex.endpoint.events"), 42);
   obs::MetricsHub hub;
-  hub.add(obs::MetricsSource{0, &counters, nullptr});
+  hub.add(obs::MetricsSource{0, &counters, nullptr, ""});
   server.set_metrics_handler([&hub] { return hub.render(); });
   server.set_healthz_handler([] {
     return std::string("{\"status\":\"ok\",\"width\":4}");
@@ -840,7 +840,7 @@ TEST(MetricsEndpoint, LiveScrapeDuringSupervisedRun) {
     qcfg.histograms = &qhists;
     QueryServer qserver(store, qcfg);
     const int handle =
-        sup.metrics_hub().add(obs::MetricsSource{0, &qcounters, &qhists});
+        sup.metrics_hub().add(obs::MetricsSource{0, &qcounters, &qhists, ""});
     Query q;
     q.type = QueryType::kHaloMassRange;
     q.step = -1;
